@@ -1,0 +1,110 @@
+// Figure 4: reconciliation cost scaling.
+//  (a) single-switch dump time vs table size (Cumulus SN2100 calibration:
+//      13ms @ 512 entries -> 117ms @ 4096, a 9x increase for 8x the state);
+//  (b) full-network reconciliation time on 100 switches vs per-switch table
+//      size (831ms @ 500 -> 8.58s @ 4000; the serialized NIB update is the
+//      bottleneck).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+SimTime measure_single_switch_dump(std::size_t entries) {
+  Simulator sim;
+  Fabric fabric(&sim, gen::linear(1), Rng(3));
+  for (std::size_t i = 0; i < entries; ++i) {
+    Op op;
+    op.id = OpId(static_cast<std::uint32_t>(i + 1));
+    op.type = OpType::kInstallRule;
+    op.sw = SwitchId(0);
+    op.rule = FlowRule{FlowId(1), SwitchId(0), SwitchId(0), SwitchId(0), 0};
+    fabric.at(SwitchId(0)).preload_entry(op);
+  }
+  SwitchRequest dump;
+  dump.type = SwitchRequest::Type::kDumpTable;
+  SimTime started = sim.now();
+  fabric.send(SwitchId(0), dump);
+  sim.run();
+  return sim.now() - started;
+}
+
+SimTime measure_network_reconciliation(std::size_t entries_per_switch) {
+  constexpr std::size_t kSwitches = 100;
+  ExperimentConfig config;
+  config.seed = 7;
+  config.kind = ControllerKind::kPr;
+  config.reconciliation_period = seconds(30);
+  Experiment exp(gen::kdl_like(kSwitches, 5), config);
+  exp.start();
+  preload_background_entries(exp, entries_per_switch);
+  // Run past the first cycle and measure its NIB-work horizon: cycle start
+  // to the commit of the last batch.
+  SimTime cycle_start = seconds(30);
+  exp.run_for(seconds(31));
+  // Wait until all dump batches committed (the NIB lock horizon passes).
+  auto done = exp.run_until(
+      [&] {
+        return exp.controller().context().nib_locked_until <=
+                   exp.sim().now() &&
+               exp.controller().context().reconciler_reply_queue.empty();
+      },
+      seconds(120));
+  (void)done;
+  SimTime lock_horizon = exp.controller().context().nib_locked_until;
+  return std::max(lock_horizon, exp.sim().now()) - cycle_start;
+}
+
+void BM_SingleSwitchDump(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measure_single_switch_dump(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SingleSwitchDump)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+}  // namespace
+}  // namespace zenith
+
+int main(int argc, char** argv) {
+  using namespace zenith;
+  benchutil::banner(
+      "Figure 4: reconciliation cost grows with topology and table size",
+      "(a) 13ms @512 -> 117ms @4096 entries on one switch (9x for 8x); "
+      "(b) 831ms @500 -> 8.58s @4000 entries/switch on 100 switches (NIB "
+      "updates are the bottleneck)");
+
+  std::printf("\n(a) single-switch dump time vs flow-table size:\n");
+  TablePrinter a({"entries", "dump time (ms)"});
+  SimTime t512 = 0;
+  for (std::size_t entries : {512u, 1024u, 2048u, 4096u}) {
+    SimTime t = measure_single_switch_dump(entries);
+    if (entries == 512) t512 = t;
+    a.add_row({std::to_string(entries),
+               TablePrinter::fmt(to_seconds(t) * 1e3, 1)});
+  }
+  std::printf("%s", a.to_string().c_str());
+  SimTime t4096 = measure_single_switch_dump(4096);
+  std::printf("growth 512->4096: %.1fx (paper: 9x)\n",
+              static_cast<double>(t4096) / static_cast<double>(t512));
+
+  std::printf("\n(b) 100-switch reconciliation time vs entries/switch:\n");
+  TablePrinter b({"entries/switch", "reconciliation time (s)"});
+  double t500 = 0, t4000 = 0;
+  for (std::size_t entries : {500u, 1000u, 2000u, 4000u}) {
+    double t = to_seconds(measure_network_reconciliation(entries));
+    if (entries == 500) t500 = t;
+    if (entries == 4000) t4000 = t;
+    b.add_row({std::to_string(entries), TablePrinter::fmt(t, 2)});
+  }
+  std::printf("%s", b.to_string().c_str());
+  std::printf("growth 500->4000: %.1fx (paper: 831ms -> 8.58s, ~10x)\n",
+              t4000 / t500);
+
+  std::printf("\nmicrobenchmark (google-benchmark) of the dump path:\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

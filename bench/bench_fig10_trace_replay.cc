@@ -1,0 +1,131 @@
+// Figure 10: trace replay. Replays the model-checker counterexample library
+// (the stand-in for the paper's 17 TLA+ traces), 10 runs each, on
+// ZENITH-NR, ZENITH-DR and PR; reports the convergence CDF (10a) and
+// per-trace spreads (10b), and validates that the generated controller
+// never violates DAG order on any trace.
+#include "bench_util.h"
+#include "to/library.h"
+#include "to/orchestrator.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+struct ReplayResult {
+  SimTime convergence = kSimTimeNever;
+  bool order_ok = true;
+};
+
+ReplayResult replay_once(const to::Trace& trace, ControllerKind kind,
+                         std::uint64_t seed) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.kind = kind;
+  config.reconciliation_period = seconds(30);
+  config.core.num_sequencers = 1;
+  config.core.num_workers = 2;
+  Experiment exp(gen::figure2_diamond(), config);
+  exp.start();
+  Workload workload(&exp, seed + 100);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+  DagId id = dag.id();
+  ReplayResult result;
+  if (!exp.install_and_wait(std::move(dag), seconds(30)).has_value()) {
+    return result;
+  }
+  // Randomize the phase between the failure schedule and the
+  // reconciliation cycle: "PR's convergence depends on the timing of
+  // failures relative to the reconciliation. When the failures occur just
+  // after the reconciliation, PR must wait a full round" (§6.1, Fig 10b).
+  Rng phase_rng(seed * 31 + trace.length());
+  exp.run_for(static_cast<SimTime>(
+      phase_rng.next_below(static_cast<std::uint64_t>(seconds(30)))));
+  to::TraceOrchestrator orchestrator(&exp);
+  SimTime start = exp.sim().now();
+  orchestrator.replay(trace);
+  auto converged = exp.run_until(
+      [&] { return exp.checker().converged(id); }, seconds(60));
+  if (converged.has_value()) {
+    result.convergence = exp.sim().now() - start;
+  }
+  result.order_ok = exp.order_checker().ok();
+  return result;
+}
+
+}  // namespace
+}  // namespace zenith
+
+int main() {
+  using namespace zenith;
+  benchutil::banner(
+      "Figure 10: convergence on inconsistency-triggering traces (10 runs "
+      "per trace)",
+      "PR averages 11.2s (p99 26.8s) across 170 runs; ZENITH-NR 2.11s (5.3x "
+      "lower), p99 3.3s (8.1x lower); ZENITH-NR and ZENITH-DR are "
+      "comparable; NADIR-generated code never violates safety on any trace");
+
+  std::vector<to::Trace> library = to::build_trace_library(17);
+  std::printf("trace library: %zu counterexample traces\n", library.size());
+
+  struct SystemRow {
+    ControllerKind kind;
+    Summary all;
+    std::size_t dnf = 0;
+    bool order_ok = true;
+  };
+  SystemRow systems[] = {{ControllerKind::kZenithNR},
+                         {ControllerKind::kZenithDR},
+                         {ControllerKind::kPr}};
+
+  std::printf("\n(10b) per-trace convergence [median (min..max) seconds]:\n");
+  std::printf("%-55s %-22s %-22s\n", "trace", "ZENITH-NR", "PR");
+  for (const to::Trace& trace : library) {
+    Summary per_trace[3];
+    for (std::size_t s = 0; s < 3; ++s) {
+      for (std::uint64_t run = 0; run < 10; ++run) {
+        ReplayResult r = replay_once(trace, systems[s].kind, 1000 + run);
+        systems[s].order_ok &= r.order_ok;
+        if (r.convergence == kSimTimeNever) {
+          ++systems[s].dnf;
+        } else {
+          per_trace[s].add(to_seconds(r.convergence));
+          systems[s].all.add(to_seconds(r.convergence));
+        }
+      }
+    }
+    auto spread = [](const Summary& s) -> std::string {
+      if (s.empty()) return "DNF";
+      return TablePrinter::fmt(s.median(), 2) + " (" +
+             TablePrinter::fmt(s.min(), 2) + ".." +
+             TablePrinter::fmt(s.max(), 2) + ")";
+    };
+    std::printf("%-55s %-22s %-22s\n", trace.name.c_str(),
+                spread(per_trace[0]).c_str(), spread(per_trace[2]).c_str());
+  }
+
+  std::printf("\n(10a) aggregate convergence across all traces and runs:\n");
+  TablePrinter table({"system", "mean(s)", "median(s)", "p99(s)", "DNF"});
+  for (const SystemRow& s : systems) {
+    table.add_row({to_string(s.kind),
+                   s.all.empty() ? "-" : TablePrinter::fmt(s.all.mean(), 2),
+                   s.all.empty() ? "-" : TablePrinter::fmt(s.all.median(), 2),
+                   s.all.empty() ? "-" : TablePrinter::fmt(s.all.p99(), 2),
+                   std::to_string(s.dnf)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  for (const SystemRow& s : systems) {
+    benchutil::print_cdf(to_string(s.kind), s.all);
+  }
+
+  double zenith_mean = systems[0].all.mean();
+  double pr_mean = systems[2].all.mean();
+  double zenith_p99 = systems[0].all.p99();
+  double pr_p99 = systems[2].all.p99();
+  std::printf(
+      "\nshape check: PR/ZENITH mean ratio = %.1fx (paper 5.3x), p99 ratio "
+      "= %.1fx (paper 8.1x); ZENITH-NR vs -DR comparable; DAG-order safety "
+      "held on every replay: %s\n",
+      pr_mean / zenith_mean, pr_p99 / zenith_p99,
+      (systems[0].order_ok && systems[1].order_ok) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 16: drain (t=20) / undrain (t=40) of an aggregation switch in a
+// fat-tree carrying ~80% load. ZENITH keeps normalized throughput high with
+// only the capacity-loss dip while the switch is out of service.
+#include "apps/drain_app.h"
+#include "bench_util.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+struct RunResult {
+  TimeSeries normalized{millis(500)};
+  double min_during_drain = 1.0;
+};
+
+RunResult run(ControllerKind kind) {
+  constexpr std::size_t kFatTreeK = 4;
+  ExperimentConfig config;
+  config.seed = 9;
+  config.kind = kind;
+  config.reconciliation_period = seconds(30);
+  Topology topo = gen::fat_tree(kFatTreeK);
+  auto idx = gen::fat_tree_index(kFatTreeK);
+  Experiment exp(topo, config);
+  exp.start();
+
+  // Cross-pod flows between edge switches at ~80% of edge-link capacity.
+  Workload workload(&exp, 17);
+  std::vector<std::pair<SwitchId, SwitchId>> pairs;
+  for (std::size_t pod = 0; pod + 1 < kFatTreeK; pod += 2) {
+    for (std::size_t e = 0; e < kFatTreeK / 2; ++e) {
+      pairs.emplace_back(
+          SwitchId(static_cast<std::uint32_t>(idx.edge_begin +
+                                              pod * (kFatTreeK / 2) + e)),
+          SwitchId(static_cast<std::uint32_t>(idx.edge_begin +
+                                              (pod + 1) * (kFatTreeK / 2) +
+                                              e)));
+    }
+  }
+  Dag initial = workload.initial_dag_for_pairs(pairs);
+  (void)exp.install_and_wait(std::move(initial), seconds(30));
+
+  TrafficModel traffic(&exp.fabric());
+  std::vector<Demand> demands = workload.demands();
+  for (Demand& d : demands) d.rate_gbps = 32.0;  // ~80% of a 40G edge link
+  double full = traffic.total_throughput(demands);
+
+  apps::DrainApp drain_app(&exp.controller());
+  auto agg = SwitchId(static_cast<std::uint32_t>(idx.agg_begin));
+
+  auto make_request = [&](bool undrain) {
+    apps::DrainRequest request;
+    request.topology = topo;
+    request.flows = drain_app.drains_completed() > 0
+                        ? drain_app.current_flows()
+                        : [&] {
+                            std::vector<FlowId> flows;
+                            for (const Demand& d : demands) {
+                              flows.push_back(d.flow);
+                            }
+                            return flows;
+                          }();
+    request.paths = drain_app.drains_completed() > 0
+                        ? drain_app.current_paths()
+                        : [&] {
+                            std::vector<Path> paths;
+                            for (const Demand& d : demands) {
+                              paths.push_back(
+                                  traffic.resolve(d).path);
+                            }
+                            return paths;
+                          }();
+    request.ops = drain_app.drains_completed() > 0
+                      ? drain_app.current_ops()
+                      : workload.all_flow_ops();
+    request.node_to_drain = agg;
+    request.undrain = undrain;
+    return request;
+  };
+
+  RunResult result;
+  bool drained = false, undrained = false;
+  for (SimTime t = 0; t < seconds(60); t += millis(500)) {
+    if (!drained && exp.sim().now() >= seconds(20)) {
+      drain_app.submit(make_request(false));
+      drained = true;
+    }
+    if (drained && !undrained && exp.sim().now() >= seconds(40)) {
+      drain_app.submit(make_request(true));
+      undrained = true;
+    }
+    double tput = traffic.total_throughput(demands) / std::max(full, 1e-9);
+    result.normalized.record(exp.sim().now(), tput);
+    if (exp.sim().now() >= seconds(20) && exp.sim().now() < seconds(40)) {
+      result.min_during_drain = std::min(result.min_during_drain, tput);
+    }
+    exp.run_for(millis(500));
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace zenith
+
+int main() {
+  using namespace zenith;
+  benchutil::banner(
+      "Figure 16: hitless drain/undrain of an aggregation switch (fat-tree, "
+      "~80% load)",
+      "ZENITH keeps throughput consistently high; only a slight decrease "
+      "while the switch is drained (reduced capacity)");
+
+  RunResult zenith_run = run(ControllerKind::kZenithNR);
+
+  std::printf("\nnormalized aggregate throughput (drain at t=20, undrain at "
+              "t=40):\n");
+  std::printf("%8s %12s\n", "t(s)", "ZENITH");
+  for (std::size_t i = 0; i < zenith_run.normalized.size(); i += 4) {
+    std::printf("%8.1f %12.2f\n", to_seconds(zenith_run.normalized.time_at(i)),
+                zenith_run.normalized.value_at(i));
+  }
+  std::printf("\nminimum normalized throughput during the drain window: "
+              "%.2f (paper: slight decrease only; no transient collapse)\n",
+              zenith_run.min_during_drain);
+  return 0;
+}

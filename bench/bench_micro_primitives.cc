@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) of the substrate primitives the
+// scenario benches are built on: simulator event dispatch, NIB writes,
+// queue operations, model-checker state fingerprints, NADIR value ops and
+// DAG compilation. Useful for spotting substrate regressions that would
+// skew the figure-level results.
+#include <benchmark/benchmark.h>
+
+#include "dag/compiler.h"
+#include "mc/pipeline_model.h"
+#include "nadir/value.h"
+#include "nib/nib.h"
+#include "sim/fifo.h"
+#include "sim/simulator.h"
+#include "topo/generators.h"
+#include "topo/paths.h"
+
+namespace zenith {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule(micros(i % 100), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_NadirFifoPushPop(benchmark::State& state) {
+  NadirFifo<int> fifo;
+  for (auto _ : state) {
+    fifo.push(1);
+    benchmark::DoNotOptimize(fifo.peek());
+    fifo.ack_pop();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NadirFifoPushPop);
+
+void BM_NibOpStatusWrite(benchmark::State& state) {
+  Nib nib;
+  Op op;
+  op.id = OpId(1);
+  op.type = OpType::kInstallRule;
+  op.sw = SwitchId(0);
+  nib.put_op(op);
+  bool flip = false;
+  for (auto _ : state) {
+    nib.set_op_status(OpId(1),
+                      flip ? OpStatus::kSent : OpStatus::kScheduled);
+    flip = !flip;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NibOpStatusWrite);
+
+void BM_McStateFingerprint(benchmark::State& state) {
+  mc::PipelineModel model(mc::ModelConfig::table4_measurement_instance());
+  mc::State s = model.initial_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.fingerprint(/*symmetry=*/true));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_McStateFingerprint);
+
+void BM_McSuccessorExpansion(benchmark::State& state) {
+  mc::PipelineModel model(mc::ModelConfig::table4_measurement_instance());
+  mc::State s = model.initial_state();
+  for (auto _ : state) {
+    auto actions = model.enabled_actions(s);
+    for (const auto& action : actions) {
+      mc::State next = s;
+      benchmark::DoNotOptimize(model.apply(next, action));
+    }
+  }
+}
+BENCHMARK(BM_McSuccessorExpansion);
+
+void BM_NadirValueSetInsert(benchmark::State& state) {
+  nadir::Value set = nadir::Value::set({});
+  for (int i = 0; i < 64; ++i) {
+    set = set.set_insert(nadir::Value::integer(i));
+  }
+  std::int64_t next = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.set_insert(nadir::Value::integer(next)));
+  }
+}
+BENCHMARK(BM_NadirValueSetInsert);
+
+void BM_ShortestPathKdl(benchmark::State& state) {
+  Topology topo = gen::kdl_like(static_cast<std::size_t>(state.range(0)), 42);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto a = SwitchId(static_cast<std::uint32_t>(
+        rng.next_below(topo.switch_count())));
+    auto b = SwitchId(static_cast<std::uint32_t>(
+        rng.next_below(topo.switch_count())));
+    benchmark::DoNotOptimize(shortest_path(topo, a, b));
+  }
+}
+BENCHMARK(BM_ShortestPathKdl)->Arg(100)->Arg(750);
+
+void BM_CompileReplacementDag(benchmark::State& state) {
+  Topology topo = gen::kdl_like(200, 42);
+  OpIdAllocator ids;
+  Path path = *shortest_path(topo, SwitchId(0), SwitchId(150));
+  CompiledPath previous = compile_single_path(path, FlowId(1), 1, ids);
+  for (auto _ : state) {
+    auto dag = compile_replacement_dag(DagId(1), {path}, {FlowId(1)},
+                                       previous.ops, ids);
+    benchmark::DoNotOptimize(dag.ok());
+  }
+}
+BENCHMARK(BM_CompileReplacementDag);
+
+}  // namespace
+}  // namespace zenith
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints (a) the rows/series its paper counterpart reports and
+// (b) a short "paper vs measured" shape note. Absolute values are not
+// expected to match the paper's testbed; the comparisons of interest are
+// relative (who wins, by what factor, where the crossover sits).
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+
+namespace zenith::benchutil {
+
+inline void banner(const std::string& title, const std::string& paper_claim) {
+  std::printf("\n=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("=====================================================\n");
+}
+
+inline std::string fmt_seconds(std::optional<SimTime> t) {
+  if (!t.has_value()) return "DNF";
+  return TablePrinter::fmt(to_seconds(*t), 3) + "s";
+}
+
+/// Convergence-time samples for one controller kind under a caller-supplied
+/// scenario body. The body receives a ready experiment + workload and
+/// returns one convergence sample (nullopt = did not converge).
+struct TrialSeries {
+  Summary converged;
+  std::size_t dnf = 0;
+  std::size_t trials = 0;
+
+  void add(std::optional<SimTime> sample) {
+    ++trials;
+    if (sample.has_value()) {
+      converged.add(to_seconds(*sample));
+    } else {
+      ++dnf;
+    }
+  }
+
+  std::string median() const {
+    return converged.empty() ? "DNF" : TablePrinter::fmt(converged.median(), 3);
+  }
+  std::string p99() const {
+    if (dnf > 0) return "DNF";
+    return converged.empty() ? "DNF" : TablePrinter::fmt(converged.p99(), 3);
+  }
+  std::string mean() const {
+    return converged.empty() ? "DNF" : TablePrinter::fmt(converged.mean(), 3);
+  }
+};
+
+/// Prints a CDF as value/percentile pairs at canonical percentiles.
+inline void print_cdf(const std::string& label, const Summary& summary) {
+  std::printf("  %-12s:", label.c_str());
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    std::printf(" p%.0f=%.3fs", p, summary.percentile(p));
+  }
+  std::printf(" (n=%zu)\n", summary.count());
+}
+
+}  // namespace zenith::benchutil

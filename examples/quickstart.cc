@@ -1,0 +1,68 @@
+// Quickstart: bring up ZENITH-core on a small simulated network, submit a
+// DAG of routing OPs, and watch it converge.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "dag/compiler.h"
+#include "harness/experiment.h"
+#include "topo/generators.h"
+
+int main() {
+  using namespace zenith;
+
+  // 1. A topology: the 4-switch diamond from the paper's Figure 2
+  //    (A=sw0, B=sw1, C=sw2, D=sw3).
+  Topology topo = gen::figure2_diamond();
+
+  // 2. A deployment: simulator + switch fabric + ZENITH-core.
+  ExperimentConfig config;
+  config.kind = ControllerKind::kZenithNR;
+  config.seed = 1;
+  Experiment deployment(topo, config);
+  deployment.start();
+
+  // 3. Intent: route a flow from A to D via B, expressed as a DAG whose
+  //    edges force downstream-before-upstream installation (hitless).
+  OpIdAllocator& ids = deployment.op_ids();
+  Path route{SwitchId(0), SwitchId(1), SwitchId(3)};  // A -> B -> D
+  CompiledPath compiled = compile_single_path(route, FlowId(1),
+                                              /*priority=*/1, ids);
+  Dag dag(DagId(1));
+  for (const Op& op : compiled.ops) (void)dag.add_op(op);
+  for (auto [before, after] : compiled.edges) (void)dag.add_edge(before, after);
+  std::printf("submitting DAG %u with %zu OPs (%zu ordering edges)\n",
+              dag.id().value(), dag.size(), dag.edge_count());
+
+  // 4. Submit and wait for the controller to certify convergence — and for
+  //    the ground truth (actual switch tables) to agree.
+  auto latency = deployment.install_and_wait(std::move(dag), seconds(10));
+  if (!latency.has_value()) {
+    std::printf("did not converge!\n");
+    return 1;
+  }
+  std::printf("converged in %.3f ms (simulated)\n",
+              to_seconds(*latency) * 1e3);
+
+  // 5. Inspect the data plane.
+  for (SwitchId sw : deployment.nib().switches()) {
+    const auto& table = deployment.fabric().at(sw).table();
+    std::printf("  %s: %zu rules\n",
+                deployment.topology().switch_name(sw).c_str(), table.size());
+    for (const auto& entry : table) {
+      std::printf("    dst=sw%u -> next_hop=sw%u (prio %d, op%u)\n",
+                  entry.rule.dst.value(), entry.rule.next_hop.value(),
+                  entry.rule.priority, entry.installed_by.value());
+    }
+  }
+
+  // 6. The correctness monitors that guard every experiment.
+  std::printf("DAG order violations: %zu; NIB view consistent: %s\n",
+              deployment.order_checker().violations().size(),
+              deployment.checker().check(std::nullopt).view_consistent
+                  ? "yes"
+                  : "no");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "apps/abstract_app.h"
+
+#include "common/logging.h"
+
+namespace zenith::apps {
+
+AbstractApp::AbstractApp(ZenithController* controller)
+    : Component(controller->context().sim, "abstract_app", micros(100)),
+      controller_(controller) {
+  events_.set_wake_callback([this] { kick(); });
+  controller_->register_app_sink(&events_);
+}
+
+void AbstractApp::add_dag_for(std::set<SwitchId> healthy, Dag dag) {
+  library_.emplace(std::move(healthy), std::move(dag));
+}
+
+std::set<SwitchId> AbstractApp::healthy_set() const {
+  std::set<SwitchId> healthy;
+  const Nib& nib = controller_->nib();
+  for (SwitchId sw : nib.switches()) {
+    if (nib.switch_health(sw) == SwitchHealth::kUp) healthy.insert(sw);
+  }
+  return healthy;
+}
+
+void AbstractApp::bootstrap() { react(); }
+
+void AbstractApp::react() {
+  auto it = library_.find(healthy_set());
+  if (it == library_.end()) return;  // no pre-defined DAG for this state
+  if (it->second.id() == current_) return;
+  // Delete the invalidated DAG, then install the matching one (§3.6).
+  if (current_.valid()) controller_->delete_dag(current_);
+  current_ = it->second.id();
+  controller_->submit_dag(it->second);
+  ++dags_installed_;
+  ZLOG_DEBUG("AbstractApp installing dag%u", current_.value());
+}
+
+bool AbstractApp::try_step() {
+  if (events_.empty()) return false;
+  NibEvent event = events_.peek();
+  if (event.type == NibEvent::Type::kSwitchHealthChanged) react();
+  events_.ack_pop();
+  return true;
+}
+
+}  // namespace zenith::apps

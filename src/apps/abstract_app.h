@@ -1,0 +1,46 @@
+// AbstractApp (§3.6): the application stand-in used to verify ZENITH-core
+// without any real app.
+//
+// It holds a library of pre-defined DAGs, one per topology state (the set
+// of healthy switches), and "does not include logic for *generating* DAGs.
+// It simply reacts to data plane events by deleting the current DAG and
+// installing a new one consistent with the updated topology."
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/component.h"
+#include "core/controller.h"
+
+namespace zenith::apps {
+
+class AbstractApp : public Component {
+ public:
+  explicit AbstractApp(ZenithController* controller);
+
+  /// Registers the DAG to install when exactly `healthy` switches are up.
+  /// The DAG for the full topology is installed by `bootstrap()`.
+  void add_dag_for(std::set<SwitchId> healthy, Dag dag);
+
+  /// Installs the DAG matching the currently healthy set.
+  void bootstrap();
+
+  std::size_t dags_installed() const { return dags_installed_; }
+  DagId current_dag() const { return current_; }
+
+ protected:
+  bool try_step() override;
+
+ private:
+  std::set<SwitchId> healthy_set() const;
+  void react();
+
+  ZenithController* controller_;
+  NadirFifo<NibEvent> events_;
+  std::map<std::set<SwitchId>, Dag> library_;
+  DagId current_;
+  std::size_t dags_installed_ = 0;
+};
+
+}  // namespace zenith::apps

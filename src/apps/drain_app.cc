@@ -1,0 +1,128 @@
+#include "apps/drain_app.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zenith::apps {
+
+Result<DrainResult> compute_drain_dag(const DrainRequest& request,
+                                      DagId dag_id, OpIdAllocator& ids,
+                                      double max_capacity_fraction,
+                                      std::size_t switches_drained_so_far) {
+  const Topology& topo = request.topology;
+  if (!topo.has_switch(request.node_to_drain)) {
+    return Error::invalid_argument("drain target does not exist");
+  }
+  if (request.paths.size() != request.flows.size()) {
+    return Error::invalid_argument("paths/flows mismatch");
+  }
+
+  std::unordered_set<SwitchId> excluded;
+  if (!request.undrain) {
+    excluded.insert(request.node_to_drain);
+    // App-specific invariant (§4): bounded capacity removal.
+    double fraction =
+        static_cast<double>(switches_drained_so_far + 1) /
+        static_cast<double>(topo.switch_count());
+    if (fraction > max_capacity_fraction) {
+      return Error::failed_precondition(
+          "drain would remove more than the allowed capacity fraction");
+    }
+  }
+
+  // §E step 1: endpoints that must remain connected (the drained node
+  // itself is excused).
+  std::vector<std::pair<SwitchId, SwitchId>> endpoint_pairs;
+  std::vector<FlowId> surviving_flows;
+  for (std::size_t i = 0; i < request.paths.size(); ++i) {
+    const Path& path = request.paths[i];
+    if (path.size() < 2) continue;
+    SwitchId src = path.front();
+    SwitchId dst = path.back();
+    if (!request.undrain &&
+        (src == request.node_to_drain || dst == request.node_to_drain)) {
+      continue;
+    }
+    endpoint_pairs.emplace_back(src, dst);
+    surviving_flows.push_back(request.flows[i]);
+  }
+
+  // §E step 2: new paths with the drained node removed.
+  DrainResult result;
+  for (std::size_t i = 0; i < endpoint_pairs.size(); ++i) {
+    auto path = shortest_path(topo, endpoint_pairs[i].first,
+                              endpoint_pairs[i].second, excluded);
+    if (!path.has_value()) {
+      // DAG-correctness invariant: a hitless drain must keep every
+      // surviving endpoint pair connected.
+      return Error::failed_precondition(
+          "drain would disconnect endpoints; refusing");
+    }
+    result.new_paths.push_back(std::move(*path));
+    result.flows.push_back(surviving_flows[i]);
+  }
+
+  // §E steps 3-4: ComputeDrainDAG — install new paths above the previous
+  // priority, then delete all previous OPs at the leaves.
+  auto dag = compile_replacement_dag(dag_id, result.new_paths, result.flows,
+                                     request.ops, ids);
+  if (!dag.ok()) return dag.error();
+  for (const Op* op : dag.value().all_ops()) {
+    if (op->type != OpType::kInstallRule) continue;
+    result.new_ops.push_back(*op);
+    // DAG-correctness invariant (§4): no traffic over the drained switch.
+    if (!request.undrain && (op->sw == request.node_to_drain ||
+                             op->rule.next_hop == request.node_to_drain)) {
+      return Error::internal(
+          "computed drain DAG still routes via the drained switch");
+    }
+  }
+  result.dag = std::move(dag).value();
+  return result;
+}
+
+DrainApp::DrainApp(ZenithController* controller, std::uint32_t first_dag_id)
+    : Component(controller->context().sim, "drain_app", micros(100)),
+      controller_(controller),
+      next_dag_id_(first_dag_id) {
+  request_queue_.set_wake_callback([this] { kick(); });
+}
+
+void DrainApp::submit(DrainRequest request) {
+  request_queue_.push(std::move(request));
+}
+
+bool DrainApp::try_step() {
+  if (request_queue_.empty()) return false;
+  // Read-head/ack-pop: the app follows the same crash-safe discipline as
+  // the core (its spec is verified under the same rules).
+  const DrainRequest& request = request_queue_.peek();
+
+  DagId dag_id(next_dag_id_);
+  auto result = compute_drain_dag(request, dag_id, controller_->op_ids(),
+                                  /*max_capacity_fraction=*/0.25,
+                                  drained_.size());
+  if (!result.ok()) {
+    ++drains_rejected_;
+    ZLOG_DEBUG("drain rejected: %s", result.error().message.c_str());
+    request_queue_.ack_pop();
+    return true;
+  }
+  ++next_dag_id_;
+
+  if (request.undrain) {
+    drained_.erase(request.node_to_drain);
+  } else {
+    drained_.insert(request.node_to_drain);
+  }
+  current_ops_ = result.value().new_ops;
+  current_paths_ = result.value().new_paths;
+  current_flows_ = result.value().flows;
+  ++drains_completed_;
+  controller_->submit_dag(std::move(result).value().dag);
+  request_queue_.ack_pop();
+  return true;
+}
+
+}  // namespace zenith::apps

@@ -1,0 +1,80 @@
+// The hitless drain/undrain application (§4, §E, Listing 4).
+//
+// A drain request carries the current topology, the active path set, the
+// OPs implementing those paths, and the node to drain. The app:
+//   1. computes the endpoints that must stay connected (§E step 1);
+//   2. recomputes shortest paths with the drained node removed (step 2);
+//   3. compiles a DAG that installs the new paths at a strictly higher
+//      priority and deletes the old OPs only after all installs — making
+//      the drain hitless (steps 3-4, ComputeDrainDAG);
+//   4. submits the DAG to ZENITH-core.
+//
+// App-specific safety invariants (§4): a drain is refused when it would
+// disconnect surviving endpoints or remove more than `max_capacity_fraction`
+// of the network's switches at once (the paper's "never disable more than
+// 25% of capacity" example).
+#pragma once
+
+#include <unordered_set>
+
+#include "core/component.h"
+#include "core/controller.h"
+#include "dag/compiler.h"
+#include "topo/paths.h"
+
+namespace zenith::apps {
+
+struct DrainRequest {
+  Topology topology;                 // current topology as the app sees it
+  std::vector<Path> paths;           // active paths
+  std::vector<FlowId> flows;         // flows_of_path
+  std::vector<Op> ops;               // OPs implementing `paths`
+  SwitchId node_to_drain;
+  bool undrain = false;              // undrain: re-admit the node
+};
+
+struct DrainResult {
+  Dag dag;                           // the full replacement DAG
+  std::vector<Path> new_paths;       // per surviving flow
+  std::vector<FlowId> flows;
+  std::vector<Op> new_ops;           // install OPs of `dag`
+};
+
+/// Pure DAG computation, shared by the runtime app and its NADIR spec's
+/// conformance tests.
+Result<DrainResult> compute_drain_dag(const DrainRequest& request,
+                                      DagId dag_id, OpIdAllocator& ids,
+                                      double max_capacity_fraction = 0.25,
+                                      std::size_t switches_drained_so_far = 0);
+
+class DrainApp : public Component {
+ public:
+  DrainApp(ZenithController* controller, std::uint32_t first_dag_id = 1000);
+
+  /// FIFOPut on the DrainRequestQueue (Listing 5).
+  void submit(DrainRequest request);
+
+  std::size_t drains_completed() const { return drains_completed_; }
+  std::size_t drains_rejected() const { return drains_rejected_; }
+  const std::unordered_set<SwitchId>& drained() const { return drained_; }
+  /// Intent after the latest accepted request.
+  const std::vector<Op>& current_ops() const { return current_ops_; }
+  const std::vector<Path>& current_paths() const { return current_paths_; }
+  const std::vector<FlowId>& current_flows() const { return current_flows_; }
+
+ protected:
+  bool try_step() override;
+
+ private:
+  ZenithController* controller_;
+  NadirFifo<DrainRequest> request_queue_;
+  std::uint32_t next_dag_id_;
+  std::unordered_set<SwitchId> drained_;
+  std::size_t drains_completed_ = 0;
+  std::size_t drains_rejected_ = 0;
+  std::vector<Op> current_ops_;
+  std::vector<Path> current_paths_;
+  std::vector<FlowId> current_flows_;
+};
+
+}  // namespace zenith::apps

@@ -1,0 +1,375 @@
+#include "apps/drain_spec.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace zenith::apps {
+
+using nadir::FieldMap;
+using nadir::Spec;
+using nadir::StepContext;
+using nadir::Type;
+using nadir::Value;
+using nadir::ValueVec;
+
+namespace {
+
+// ---- value constructors ----------------------------------------------------
+
+Value op_object(int op, int sw, int next_hop, int dst, int priority) {
+  return Value::record(FieldMap{{"op", Value::integer(op)},
+                                {"sw", Value::integer(sw)},
+                                {"nh", Value::integer(next_hop)},
+                                {"dst", Value::integer(dst)},
+                                {"priority", Value::integer(priority)}});
+}
+
+Value int_seq(const std::vector<int>& xs) {
+  ValueVec items;
+  items.reserve(xs.size());
+  for (int x : xs) items.push_back(Value::integer(x));
+  return Value::seq(std::move(items));
+}
+
+// ---- ShortestPaths operator (recursive BFS in the paper; plain BFS here) --
+
+std::vector<std::vector<int>> shortest_paths_int(
+    const std::set<int>& nodes, const std::set<std::pair<int, int>>& edges,
+    const std::vector<std::pair<int, int>>& endpoint_pairs) {
+  std::map<int, std::vector<int>> adjacency;
+  for (auto [a, b] : edges) {
+    if (!nodes.count(a) || !nodes.count(b)) continue;
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  for (auto& [_, neighbors] : adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  std::vector<std::vector<int>> out;
+  for (auto [src, dst] : endpoint_pairs) {
+    std::map<int, int> parent;
+    std::deque<int> frontier{src};
+    parent[src] = src;
+    while (!frontier.empty()) {
+      int cur = frontier.front();
+      frontier.pop_front();
+      if (cur == dst) break;
+      for (int next : adjacency[cur]) {
+        if (!parent.count(next)) {
+          parent[next] = cur;
+          frontier.push_back(next);
+        }
+      }
+    }
+    if (!parent.count(dst)) continue;
+    std::vector<int> path{dst};
+    int hop = dst;
+    while (hop != src) {
+      hop = parent[hop];
+      path.push_back(hop);
+    }
+    std::reverse(path.begin(), path.end());
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+// The HighestPriorityInOPSet operator (Listing 7).
+std::int64_t highest_priority_in_op_set(const Value& op_set) {
+  std::int64_t best = 0;
+  for (const Value& op : op_set.as_set()) {
+    best = std::max(best, op.field("priority").as_int());
+  }
+  return best;
+}
+
+}  // namespace
+
+Spec build_drain_spec(const DrainSpecScenario& scenario) {
+  Spec spec("HitlessDrainApp");
+
+  // ---- NADIR struct types (Listing 8) ---------------------------------------
+  auto op_type = Type::record({{"op", Type::integer()},
+                               {"sw", Type::integer()},
+                               {"nh", Type::integer()},
+                               {"dst", Type::integer()},
+                               {"priority", Type::integer()}});
+  auto edge_type = Type::seq(Type::integer());  // <<before, after>>
+  auto dag_type = Type::record({{"id", Type::integer()},
+                                {"v", Type::set(op_type)},
+                                {"e", Type::set(edge_type)}});
+  auto topology_type = Type::record(
+      {{"Nodes", Type::set(Type::integer())},
+       {"Edges", Type::set(Type::seq(Type::integer()))}});
+  auto path_type = Type::seq(Type::integer());
+  auto drain_request_type = Type::record(
+      {{"topology", topology_type},
+       {"paths", Type::set(path_type)},
+       {"node", Type::integer()},
+       {"ops", Type::set(op_type)}});
+
+  // ---- initial DrainRequestQueue content -------------------------------------
+  ValueVec node_values;
+  for (std::size_t i = 0; i < scenario.nodes; ++i) {
+    node_values.push_back(Value::integer(static_cast<int>(i)));
+  }
+  ValueVec edge_values;
+  for (auto [a, b] : scenario.edges) {
+    edge_values.push_back(int_seq({a, b}));
+  }
+  Value topology = Value::record(
+      FieldMap{{"Nodes", Value::set(std::move(node_values))},
+               {"Edges", Value::set(std::move(edge_values))}});
+
+  ValueVec path_values;
+  ValueVec initial_ops;
+  int op_counter = 1;
+  for (const auto& path : scenario.paths) {
+    path_values.push_back(int_seq(path));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      initial_ops.push_back(op_object(op_counter++, path[i], path[i + 1],
+                                      path.back(), /*priority=*/1));
+    }
+  }
+  Value request = Value::record(
+      FieldMap{{"topology", topology},
+               {"paths", Value::set(std::move(path_values))},
+               {"node", Value::integer(scenario.node_to_drain)},
+               {"ops", Value::set(std::move(initial_ops))}});
+
+  // ---- globals (Listing 5) ---------------------------------------------------
+  spec.global("DAGEventQueue", Type::seq(dag_type), Value::seq({}),
+              /*persistent=*/true);
+  spec.global("DrainRequestQueue", Type::seq(drain_request_type),
+              scenario.empty_request_queue ? Value::seq({})
+                                           : Value::seq({request}),
+              /*persistent=*/true);
+  // AbstractCore state (§4): the set of DAG ids it has installed.
+  spec.global("InstalledDags", Type::set(Type::integer()), Value::set({}),
+              /*persistent=*/true);
+
+  // ---- drainer process (Listing 4) ------------------------------------------
+  nadir::Process drainer("drainer");
+  drainer.local("currentRequest", Type::nullable(drain_request_type),
+                Value::nil());
+  drainer.local("nodeToDrain", Type::nullable(Type::integer()), Value::nil());
+  drainer.local("endpoints", Type::set(Type::seq(Type::integer())),
+                Value::set({}));
+  drainer.local("pathsAfterDrain", Type::set(path_type), Value::set({}));
+  drainer.local("nextPriority", Type::nullable(Type::integer()), Value::nil());
+  drainer.local("newOPSet", Type::set(op_type), Value::set({}));
+  drainer.local("newDAGEdgeSet", Type::set(edge_type), Value::set({}));
+  drainer.local("drainedDAG", Type::nullable(dag_type), Value::nil());
+  drainer.local("nextDAGID", Type::integer(), Value::integer(1));
+  drainer.local("opIndex", Type::integer(), Value::integer(100));
+
+  bool crash_safe = scenario.crash_safe_queue;
+  drainer.step(nadir::Step{
+      "DrainLoop",
+      {"DrainRequestQueue"},
+      {"DrainRequestQueue"},
+      [crash_safe](StepContext& ctx) {
+        // Listing 4 line 13: FIFOGet. The crash-safe variant reads the head
+        // without consuming (AckQueueRead) and pops only after SubmitDAG.
+        Value request = crash_safe ? ctx.fifo_peek("DrainRequestQueue")
+                                   : ctx.fifo_get("DrainRequestQueue");
+        if (ctx.blocked()) return;  // AWAIT: no request pending
+        ctx.set_local("currentRequest", request);
+        ctx.set_local("nodeToDrain", request.field("node"));
+      }});
+
+  drainer.step(nadir::Step{
+      "ComputeDrain",
+      {},
+      {},
+      [](StepContext& ctx) {
+        const Value& request = ctx.local("currentRequest");
+        int drained = static_cast<int>(ctx.local("nodeToDrain").as_int());
+        // getPathSetEndpoints \ {nodeToDrain} (Listing 4 line 20).
+        ValueVec endpoint_pairs;
+        std::vector<std::pair<int, int>> pairs;
+        for (const Value& path : request.field("paths").as_set()) {
+          int src = static_cast<int>(path.at(0).as_int());
+          int dst = static_cast<int>(path.at(path.size() - 1).as_int());
+          if (src == drained || dst == drained) continue;
+          endpoint_pairs.push_back(int_seq({src, dst}));
+          pairs.emplace_back(src, dst);
+        }
+        ctx.set_local("endpoints", Value::set(std::move(endpoint_pairs)));
+        // ShortestPaths over (Nodes \ {node}, Edges without node).
+        const Value& topology = request.field("topology");
+        std::set<int> nodes;
+        for (const Value& n : topology.field("Nodes").as_set()) {
+          int node = static_cast<int>(n.as_int());
+          if (node != drained) nodes.insert(node);
+        }
+        std::set<std::pair<int, int>> edges;
+        for (const Value& e : topology.field("Edges").as_set()) {
+          int a = static_cast<int>(e.at(0).as_int());
+          int b = static_cast<int>(e.at(1).as_int());
+          if (a == drained || b == drained) continue;
+          edges.emplace(a, b);
+        }
+        ValueVec new_paths;
+        for (const auto& path : shortest_paths_int(nodes, edges, pairs)) {
+          std::vector<int> hops(path.begin(), path.end());
+          new_paths.push_back(int_seq(hops));
+        }
+        ctx.set_local("pathsAfterDrain", Value::set(std::move(new_paths)));
+      }});
+
+  drainer.step(nadir::Step{
+      "ComputePriority",
+      {},
+      {},
+      [](StepContext& ctx) {
+        // Listing 6 line 13: new OPs MUST outrank all previous ones.
+        const Value& request = ctx.local("currentRequest");
+        std::int64_t highest =
+            highest_priority_in_op_set(request.field("ops"));
+        ctx.set_local("nextPriority", Value::integer(highest + 1));
+      }});
+
+  drainer.step(nadir::Step{
+      "ComputeNewPathsDAG",
+      {},
+      {},
+      [](StepContext& ctx) {
+        // The Listing 6 while-loop; one path per step (CHOOSE + remove).
+        const Value& paths = ctx.local("pathsAfterDrain");
+        if (paths.size() == 0) return;  // fall through to CleanupPreviousOPs
+        const Value& path = nadir::choose(paths);
+        std::int64_t priority = ctx.local("nextPriority").as_int();
+        std::int64_t op_index = ctx.local("opIndex").as_int();
+        Value op_set = ctx.local("newOPSet");
+        Value edge_set = ctx.local("newDAGEdgeSet");
+        int dst = static_cast<int>(path.at(path.size() - 1).as_int());
+        std::vector<std::int64_t> new_ids;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          std::int64_t id = op_index++;
+          new_ids.push_back(id);
+          op_set = op_set.set_insert(op_object(
+              static_cast<int>(id), static_cast<int>(path.at(i).as_int()),
+              static_cast<int>(path.at(i + 1).as_int()), dst,
+              static_cast<int>(priority)));
+        }
+        // Downstream before upstream: edge <<ops[i+1], ops[i]>>.
+        for (std::size_t i = 0; i + 1 < new_ids.size(); ++i) {
+          edge_set = edge_set.set_insert(int_seq(
+              {static_cast<int>(new_ids[i + 1]), static_cast<int>(new_ids[i])}));
+        }
+        ctx.set_local("newOPSet", op_set);
+        ctx.set_local("newDAGEdgeSet", edge_set);
+        ctx.set_local("opIndex", Value::integer(op_index));
+        ctx.set_local("pathsAfterDrain", paths.set_erase(path));
+        ctx.jump("ComputeNewPathsDAG");  // while Cardinality(newPaths) > 0
+      }});
+
+  drainer.step(nadir::Step{
+      "CleanupPreviousOPs",
+      {},
+      {},
+      [](StepContext& ctx) {
+        // ExpandDAG with GetDeletionOPs(previousOPs): deletions attach after
+        // every leaf; in this record encoding they appear as OPs with
+        // negative ids referencing the deleted OP, ordered after all new
+        // OPs via edges from every new OP.
+        const Value& request = ctx.local("currentRequest");
+        Value op_set = ctx.local("newOPSet");
+        Value edge_set = ctx.local("newDAGEdgeSet");
+        ValueVec new_op_ids;
+        for (const Value& op : op_set.as_set()) {
+          new_op_ids.push_back(op.field("op"));
+        }
+        for (const Value& old_op : request.field("ops").as_set()) {
+          std::int64_t deletion_id = -old_op.field("op").as_int();
+          op_set = op_set.set_insert(op_object(
+              static_cast<int>(deletion_id),
+              static_cast<int>(old_op.field("sw").as_int()),
+              static_cast<int>(old_op.field("nh").as_int()),
+              static_cast<int>(old_op.field("dst").as_int()), 0));
+          for (const Value& new_id : new_op_ids) {
+            edge_set = edge_set.set_insert(
+                int_seq({static_cast<int>(new_id.as_int()),
+                         static_cast<int>(deletion_id)}));
+          }
+        }
+        Value dag = Value::record(
+            FieldMap{{"id", ctx.local("nextDAGID")},
+                     {"v", op_set},
+                     {"e", edge_set}});
+        ctx.set_local("drainedDAG", dag);
+      }});
+
+  drainer.step(nadir::Step{
+      "SubmitDAG",
+      {"DAGEventQueue", "DrainRequestQueue"},
+      {"DAGEventQueue", "DrainRequestQueue"},
+      [crash_safe](StepContext& ctx) {
+        // FIFOPut(DAGEventQueue, [id |-> nextDAGID, dag |-> drainedDAG]).
+        ctx.fifo_put("DAGEventQueue", ctx.local("drainedDAG"));
+        ctx.set_local("nextDAGID",
+                      Value::integer(ctx.local("nextDAGID").as_int() + 1));
+        ctx.set_local("newOPSet", Value::set({}));
+        ctx.set_local("newDAGEdgeSet", Value::set({}));
+        // Crash-safe variant: only now is the request's processing
+        // complete, so only now is it removed (AckQueuePop).
+        if (crash_safe) ctx.fifo_ack_pop("DrainRequestQueue");
+        ctx.jump("DrainLoop");
+      }});
+
+  spec.process(std::move(drainer));
+
+  // ---- AbstractCore (§4) -----------------------------------------------------
+  if (!scenario.include_abstract_core) return spec;
+  nadir::Process abstract_core("AbstractCore");
+  abstract_core.step(nadir::Step{
+      "CoreLoop",
+      {"DAGEventQueue", "InstalledDags"},
+      {"DAGEventQueue", "InstalledDags"},
+      [](StepContext& ctx) {
+        Value dag = ctx.fifo_get("DAGEventQueue");
+        if (ctx.blocked()) return;
+        ctx.set_global("InstalledDags",
+                       ctx.global("InstalledDags").set_insert(dag.field("id")));
+        ctx.jump("CoreLoop");
+      }});
+  spec.process(std::move(abstract_core));
+
+  return spec;
+}
+
+std::string check_no_traffic_via_drained(const nadir::Env& env,
+                                         int drained_node) {
+  const Value& queue = env.globals.at("DAGEventQueue");
+  auto check_dag = [&](const Value& dag) -> std::string {
+    for (const Value& op : dag.field("v").as_set()) {
+      if (op.field("op").as_int() < 0) continue;  // deletion op
+      if (op.field("sw").as_int() == drained_node ||
+          op.field("nh").as_int() == drained_node) {
+        return "DAG " + std::to_string(dag.field("id").as_int()) +
+               " routes via drained node through OP " +
+               std::to_string(op.field("op").as_int());
+      }
+    }
+    return "";
+  };
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    std::string err = check_dag(queue.at(i));
+    if (!err.empty()) return err;
+  }
+  const auto& drainer = env.procs.at("drainer");
+  const Value& pending = drainer.locals.at("drainedDAG");
+  if (!pending.is_nil()) {
+    return check_dag(pending);
+  }
+  return "";
+}
+
+bool drain_submitted(const nadir::Env& env) {
+  return env.globals.at("InstalledDags").size() >= 1;
+}
+
+}  // namespace zenith::apps

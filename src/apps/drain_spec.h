@@ -1,0 +1,60 @@
+// The drain application's NADIR specification (§E, Listings 4-8), written
+// in the spec IR.
+//
+// Layout mirrors the paper's PlusCal exactly:
+//   * globals: DAGEventQueue (to the core) and DrainRequestQueue (from
+//     management software), both NIB-resident FIFOs (Listing 5);
+//   * process `drainer` with labeled atomic steps DrainLoop, ComputeDrain,
+//     ComputeNewPathsDAG (the ComputeDrainDAG procedure is inlined as its
+//     own labels, as PlusCal procedures expand), CleanupPreviousOPs and
+//     SubmitDAG (Listing 4/6);
+//   * NADIR type annotations for every variable (Listing 8) — enforced by
+//     the interpreter after every step (TypeOK);
+//   * an AbstractCore process (§4): consumes DAGEventQueue and "installs"
+//     the DAG, so the app can be verified without the full core.
+//
+// The same Spec object serves three consumers: the conformance tests (spec
+// vs the hand-written DrainApp), the app-verification explorer (§6.3
+// timing), and the NADIR metrics (Table A.1 / Figure A.3).
+#pragma once
+
+#include "nadir/spec.h"
+
+namespace zenith::apps {
+
+/// A drain scenario: the model-checked instance.
+struct DrainSpecScenario {
+  /// Topology as adjacency pairs over nodes 0..n-1.
+  std::size_t nodes = 4;
+  std::vector<std::pair<int, int>> edges{{0, 1}, {1, 3}, {0, 2}, {2, 3}};
+  /// Active paths (flows) before the drain.
+  std::vector<std::vector<int>> paths{{0, 1, 3}};
+  /// Node being drained.
+  int node_to_drain = 1;
+  /// Listing 4 as published uses FIFOGet, which loses the in-flight request
+  /// if the drainer crashes mid-computation (§3.9's "event processing"
+  /// error class — crash exploration finds it). The crash-safe variant uses
+  /// the AckQueueRead/AckQueuePop discipline instead.
+  bool crash_safe_queue = false;
+  /// Include the AbstractCore consumer process (verification needs it; the
+  /// NADIR runtime omits it — the real ZENITH-core consumes the queue).
+  bool include_abstract_core = true;
+  /// Start with an empty DrainRequestQueue (the runtime pushes requests
+  /// dynamically; verification seeds one from the scenario fields above).
+  bool empty_request_queue = false;
+};
+
+/// Builds the annotated drain-app spec for a scenario.
+nadir::Spec build_drain_spec(const DrainSpecScenario& scenario);
+
+/// DAG-correctness invariant (§4): no OP in any submitted DAG routes
+/// through the drained node. Returns an empty string when the invariant
+/// holds, else a description of the violation.
+std::string check_no_traffic_via_drained(const nadir::Env& env,
+                                         int drained_node);
+
+/// App progress property: the drainer eventually submits exactly one DAG
+/// per request (checked at quiescence).
+bool drain_submitted(const nadir::Env& env);
+
+}  // namespace zenith::apps

@@ -1,0 +1,30 @@
+#include "apps/failover_app.h"
+
+namespace zenith::apps {
+
+FailoverApp::FailoverApp(ZenithController* controller)
+    : Component(controller->context().sim, "failover_app", micros(100)),
+      controller_(controller) {
+  requests_.set_wake_callback([this] { kick(); });
+}
+
+void FailoverApp::request_failover(bool drain_first) {
+  requests_.push(Request{sim()->now(), drain_first});
+}
+
+bool FailoverApp::try_step() {
+  if (in_flight_ || requests_.empty()) return false;
+  Request request = requests_.peek();
+  in_flight_ = true;
+  controller_->planned_ofc_failover(
+      [this, request](SimTime done_at) {
+        completions_.emplace_back(request.requested_at, done_at);
+        in_flight_ = false;
+        kick();  // next queued request, if any
+      },
+      request.drain_first);
+  requests_.ack_pop();
+  return true;
+}
+
+}  // namespace zenith::apps

@@ -1,0 +1,42 @@
+// The OFC planned-failover application (§4, Figure 15): management software
+// submits failover requests; the app drives them through ZENITH-core's
+// FailoverManager and reports per-request completion times.
+#pragma once
+
+#include <vector>
+
+#include "core/component.h"
+#include "core/controller.h"
+
+namespace zenith::apps {
+
+class FailoverApp : public Component {
+ public:
+  explicit FailoverApp(ZenithController* controller);
+
+  /// Requests one planned failover (drain-first unless overridden, which
+  /// models the PR behaviour of losing in-flight ACKs).
+  void request_failover(bool drain_first = true);
+
+  std::size_t completed() const { return completions_.size(); }
+  /// (request time, completion time) pairs.
+  const std::vector<std::pair<SimTime, SimTime>>& completions() const {
+    return completions_;
+  }
+
+ protected:
+  bool try_step() override;
+
+ private:
+  struct Request {
+    SimTime requested_at;
+    bool drain_first;
+  };
+
+  ZenithController* controller_;
+  NadirFifo<Request> requests_;
+  bool in_flight_ = false;
+  std::vector<std::pair<SimTime, SimTime>> completions_;
+};
+
+}  // namespace zenith::apps

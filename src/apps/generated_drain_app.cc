@@ -1,0 +1,158 @@
+#include "apps/generated_drain_app.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace zenith::apps {
+
+using nadir::FieldMap;
+using nadir::Value;
+using nadir::ValueVec;
+
+namespace {
+
+nadir::Spec runtime_spec() {
+  DrainSpecScenario scenario;
+  scenario.include_abstract_core = false;  // the real core is the consumer
+  scenario.empty_request_queue = true;     // requests arrive at runtime
+  scenario.crash_safe_queue = true;        // the verified, fixed discipline
+  return build_drain_spec(scenario);
+}
+
+Value int_seq_from_path(const Path& path) {
+  ValueVec items;
+  items.reserve(path.size());
+  for (SwitchId sw : path) {
+    items.push_back(Value::integer(static_cast<int>(sw.value())));
+  }
+  return Value::seq(std::move(items));
+}
+
+}  // namespace
+
+GeneratedDrainApp::GeneratedDrainApp(ZenithController* controller,
+                                     std::uint32_t first_dag_id)
+    : Component(controller->context().sim, "generated_drain_app",
+                micros(150)),
+      controller_(controller),
+      spec_(runtime_spec()),
+      next_dag_id_(first_dag_id) {
+  auto env = spec_.make_initial_env();
+  assert(env.ok() && "drain spec initial env failed annotations");
+  env_ = std::move(env).value();
+}
+
+void GeneratedDrainApp::submit(const DrainRequest& request) {
+  // Marshal the C++ request into STRUCT_SET_DRAIN_REQUEST (Listing 8).
+  ValueVec nodes;
+  for (SwitchId sw : request.topology.all_switches()) {
+    nodes.push_back(Value::integer(static_cast<int>(sw.value())));
+  }
+  ValueVec edges;
+  for (const Link& link : request.topology.links()) {
+    edges.push_back(Value::seq({Value::integer(static_cast<int>(link.a.value())),
+                                Value::integer(static_cast<int>(link.b.value()))}));
+  }
+  ValueVec paths;
+  flow_by_dst_.clear();
+  for (std::size_t i = 0; i < request.paths.size(); ++i) {
+    paths.push_back(int_seq_from_path(request.paths[i]));
+    if (!request.paths[i].empty() && i < request.flows.size()) {
+      flow_by_dst_[static_cast<int>(request.paths[i].back().value())] =
+          request.flows[i];
+    }
+  }
+  ValueVec ops;
+  original_op_ids_.clear();
+  for (const Op& op : request.ops) {
+    int id = static_cast<int>(op.id.value());
+    original_op_ids_[id] = op.id;
+    ops.push_back(Value::record(FieldMap{
+        {"op", Value::integer(id)},
+        {"sw", Value::integer(static_cast<int>(op.sw.value()))},
+        {"nh", Value::integer(static_cast<int>(op.rule.next_hop.value()))},
+        {"dst", Value::integer(static_cast<int>(op.rule.dst.value()))},
+        {"priority", Value::integer(op.rule.priority)}}));
+  }
+  Value record = Value::record(FieldMap{
+      {"topology",
+       Value::record(FieldMap{{"Nodes", Value::set(std::move(nodes))},
+                              {"Edges", Value::set(std::move(edges))}})},
+      {"paths", Value::set(std::move(paths))},
+      {"node", Value::integer(static_cast<int>(request.node_to_drain.value()))},
+      {"ops", Value::set(std::move(ops))}});
+  env_.globals["DrainRequestQueue"] =
+      env_.globals.at("DrainRequestQueue").append(std::move(record));
+  kick();
+}
+
+Dag GeneratedDrainApp::materialize(const nadir::Value& dag_record) {
+  Dag dag(DagId(next_dag_id_++));
+  std::unordered_map<int, OpId> id_map;
+  for (const Value& op_value : dag_record.field("v").as_set()) {
+    int spec_id = static_cast<int>(op_value.field("op").as_int());
+    Op op;
+    op.sw = SwitchId(
+        static_cast<std::uint32_t>(op_value.field("sw").as_int()));
+    if (spec_id < 0) {
+      // Deletion record: -spec_id names the original (real) OP id.
+      auto it = original_op_ids_.find(-spec_id);
+      if (it == original_op_ids_.end()) continue;  // unknown target: skip
+      op.id = controller_->op_ids().next();
+      op.type = OpType::kDeleteRule;
+      op.delete_target = it->second;
+    } else {
+      op.id = controller_->op_ids().next();
+      op.type = OpType::kInstallRule;
+      int dst = static_cast<int>(op_value.field("dst").as_int());
+      auto flow_it = flow_by_dst_.find(dst);
+      FlowId flow = flow_it == flow_by_dst_.end() ? FlowId(0xfffffeu)
+                                                  : flow_it->second;
+      op.rule = FlowRule{
+          flow, op.sw, SwitchId(static_cast<std::uint32_t>(dst)),
+          SwitchId(static_cast<std::uint32_t>(op_value.field("nh").as_int())),
+          static_cast<int>(op_value.field("priority").as_int())};
+    }
+    id_map[spec_id] = op.id;
+    (void)dag.add_op(op);
+  }
+  for (const Value& edge : dag_record.field("e").as_set()) {
+    auto before = id_map.find(static_cast<int>(edge.at(0).as_int()));
+    auto after = id_map.find(static_cast<int>(edge.at(1).as_int()));
+    if (before == id_map.end() || after == id_map.end()) continue;
+    (void)dag.add_edge(before->second, after->second);
+  }
+  return dag;
+}
+
+bool GeneratedDrainApp::try_step() {
+  // One interpreted labeled step per service interval — the generated
+  // code's execution granularity matches the spec's atomicity.
+  auto outcome = nadir::Interpreter::try_step(spec_, env_, "drainer",
+                                              /*check_types=*/true);
+  // Ship any DAG the spec produced.
+  Value& queue = env_.globals.at("DAGEventQueue");
+  while (queue.size() > 0) {
+    Value dag_record = queue.head();
+    queue = queue.tail();
+    Dag dag = materialize(dag_record);
+    if (!dag.empty()) {
+      ZLOG_DEBUG("generated drain app submitting dag%u (%zu ops)",
+                 dag.id().value(), dag.size());
+      controller_->submit_dag(std::move(dag));
+      ++dags_submitted_;
+    }
+  }
+  return outcome == nadir::StepOutcome::kExecuted;
+}
+
+void GeneratedDrainApp::on_crash() {
+  // §5 crash semantics: the process restarts from its first label with
+  // fresh locals; the NIB-backed globals (queues) survive in env_.
+  nadir::Interpreter::crash_process(spec_, env_, "drainer");
+}
+
+void GeneratedDrainApp::on_restart() { kick(); }
+
+}  // namespace zenith::apps

@@ -1,0 +1,59 @@
+// The NADIR-generated drain application (§5).
+//
+// The paper's NADIR emits Python whose behaviour is defined by the verified
+// PlusCal. Our equivalent: the *same verified Spec object* (drain_spec)
+// bound into the simulator through the NADIR runtime — the interpreter
+// executes the labeled steps, the runtime library marshals between spec
+// values and controller types:
+//   * DrainRequest (C++) -> the STRUCT_SET_DRAIN_REQUEST record pushed onto
+//     the spec's DrainRequestQueue;
+//   * the spec's produced DAG record -> a real Dag of OPs, with spec-local
+//     OP indices mapped to controller-allocated OpIds and deletion records
+//     (negative ids) resolved back to the original OpIds;
+// and submits the result to ZENITH-core. TypeOK is re-validated on every
+// interpreted step, exactly the §5 "generated code preserves the
+// specification's guarantees" contract.
+#pragma once
+
+#include "apps/drain_app.h"
+#include "apps/drain_spec.h"
+#include "core/component.h"
+#include "core/controller.h"
+#include "nadir/interpreter.h"
+
+namespace zenith::apps {
+
+class GeneratedDrainApp : public Component {
+ public:
+  GeneratedDrainApp(ZenithController* controller,
+                    std::uint32_t first_dag_id = 3000);
+
+  /// Marshals the request into the spec environment and wakes the
+  /// interpreter loop.
+  void submit(const DrainRequest& request);
+
+  std::size_t dags_submitted() const { return dags_submitted_; }
+  DagId last_dag() const { return DagId(next_dag_id_ - 1); }
+
+ protected:
+  bool try_step() override;
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  /// Converts the spec's DAG record into a real Dag: fresh OpIds for
+  /// installs, original OpIds for deletions, flow ids recovered from the
+  /// request's dst->flow mapping.
+  Dag materialize(const nadir::Value& dag_record);
+
+  ZenithController* controller_;
+  nadir::Spec spec_;
+  nadir::Env env_;
+  std::uint32_t next_dag_id_;
+  std::size_t dags_submitted_ = 0;
+  /// Marshalling state for the request being processed.
+  std::unordered_map<int, FlowId> flow_by_dst_;
+  std::unordered_map<int, OpId> original_op_ids_;
+};
+
+}  // namespace zenith::apps

@@ -1,0 +1,231 @@
+#include "apps/te_app.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zenith::apps {
+
+TrafficEngineeringApp::TrafficEngineeringApp(ZenithController* controller,
+                                             const Topology* topo,
+                                             const TrafficModel* telemetry,
+                                             std::uint32_t first_dag_id)
+    : Component(controller->context().sim, "te_app", micros(200)),
+      controller_(controller),
+      topo_(topo),
+      telemetry_(telemetry),
+      next_dag_id_(first_dag_id) {
+  events_.set_wake_callback([this] { kick(); });
+  controller_->register_app_sink(&events_);
+}
+
+DagId TrafficEngineeringApp::install_initial_paths(
+    std::vector<Demand> demands) {
+  demands_ = std::move(demands);
+  std::vector<Path> paths;
+  std::vector<FlowId> flows;
+  for (const Demand& d : demands_) {
+    auto path = shortest_path(*topo_, d.src, d.dst, known_down_);
+    if (!path) continue;
+    paths.push_back(*path);
+    flows.push_back(d.flow);
+  }
+  DagId id(next_dag_id_++);
+  auto dag = compile_replacement_dag(id, paths, flows, {},
+                                     controller_->op_ids());
+  if (!dag.ok()) return DagId();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    paths_[flows[i]] = paths[i];
+  }
+  for (const Op* op : dag.value().all_ops()) {
+    if (op->type == OpType::kInstallRule) {
+      ops_[op->rule.flow].push_back(*op);
+    }
+  }
+  controller_->submit_dag(std::move(dag).value());
+  return id;
+}
+
+void TrafficEngineeringApp::note_local_recovery(FlowId flow,
+                                                const Op& backup_op,
+                                                Path new_path) {
+  // The app now owns the backup rule's cleanup. The flow's *intended* path
+  // stays the primary one: protection switching is a data-plane bandage,
+  // and the app must still react to the failure with a proper reroute.
+  ops_[flow].push_back(backup_op);
+  (void)new_path;
+}
+
+void TrafficEngineeringApp::start_probe(SimTime period) {
+  probe_period_ = period;
+  if (probing_) return;
+  probing_ = true;
+  sim()->schedule(probe_period_, [this] { probe(); });
+}
+
+bool TrafficEngineeringApp::trigger_congestion_scan() {
+  // Congested flows: allocation below demand although delivered.
+  auto reports = telemetry_->evaluate(demands_);
+  std::vector<FlowId> congested;
+  for (const auto& r : reports) {
+    if (r.resolution.outcome == DeliveryOutcome::kDelivered &&
+        r.throughput_gbps < r.demand.rate_gbps * 0.9) {
+      congested.push_back(r.demand.flow);
+    }
+  }
+  if (congested.empty()) return false;
+  bool moved = reroute(congested, known_down_, /*congestion=*/true);
+  if (moved) {
+    ZLOG_DEBUG("TE congestion reroute of %zu flows", congested.size());
+  }
+  return moved;
+}
+
+void TrafficEngineeringApp::probe() {
+  if (!probing_ || !alive()) {
+    if (probing_) sim()->schedule(probe_period_, [this] { probe(); });
+    return;
+  }
+  (void)trigger_congestion_scan();
+  sim()->schedule(probe_period_, [this] { probe(); });
+}
+
+bool TrafficEngineeringApp::reroute(
+    const std::vector<FlowId>& flows,
+    const std::unordered_set<SwitchId>& avoid, bool congestion) {
+  // Current load per switch (coarse): how many paths traverse it. The TE
+  // objective here is spreading, not optimality — enough to exercise the
+  // overlapping-DAG scenario.
+  std::unordered_map<SwitchId, int> load;
+  for (const auto& [flow, path] : paths_) {
+    for (SwitchId sw : path) ++load[sw];
+  }
+  std::vector<Path> new_paths;
+  std::vector<FlowId> moved;
+  std::vector<Op> previous_ops;
+  for (FlowId flow : flows) {
+    auto demand_it =
+        std::find_if(demands_.begin(), demands_.end(),
+                     [&](const Demand& d) { return d.flow == flow; });
+    if (demand_it == demands_.end()) continue;
+    if (avoid.count(demand_it->src) || avoid.count(demand_it->dst)) continue;
+    auto alternatives =
+        k_alternative_paths(*topo_, demand_it->src, demand_it->dst, 3);
+    // Down links rule out any alternative crossing them; as a last resort
+    // compute a fresh path that avoids them explicitly.
+    if (auto detour = shortest_path_avoiding_links(
+            *topo_, demand_it->src, demand_it->dst, avoid, down_links_)) {
+      alternatives.push_back(std::move(*detour));
+    }
+    // Pick the least-loaded alternative that avoids dead switches/links and
+    // differs from the current path.
+    const Path* best = nullptr;
+    int best_load = std::numeric_limits<int>::max();
+    for (const Path& candidate : alternatives) {
+      bool usable = std::none_of(
+          candidate.begin(), candidate.end(),
+          [&](SwitchId sw) { return avoid.count(sw) > 0; });
+      for (std::size_t h = 0; usable && h + 1 < candidate.size(); ++h) {
+        auto link = topo_->link_between(candidate[h], candidate[h + 1]);
+        if (link.ok() && down_links_.count(link.value())) usable = false;
+      }
+      if (!usable) continue;
+      if (congestion && candidate == paths_[flow]) continue;
+      int path_load = 0;
+      for (SwitchId sw : candidate) path_load += load[sw];
+      if (path_load < best_load) {
+        best_load = path_load;
+        best = &candidate;
+      }
+    }
+    if (best == nullptr || *best == paths_[flow]) continue;
+    new_paths.push_back(*best);
+    moved.push_back(flow);
+    auto& old_ops = ops_[flow];
+    for (const Op& op : old_ops) {
+      if (avoid.count(op.sw)) continue;  // dead switch: nothing to delete
+      previous_ops.push_back(op);
+    }
+  }
+  if (moved.empty()) return false;
+
+  // Priority must clear everything currently installed.
+  std::vector<Op> all_ops;
+  for (const auto& [_, flow_ops] : ops_) {
+    all_ops.insert(all_ops.end(), flow_ops.begin(), flow_ops.end());
+  }
+  int priority = highest_priority(all_ops) + 1;
+
+  DagId id(next_dag_id_++);
+  Dag dag(id);
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    CompiledPath compiled =
+        compile_single_path(new_paths[i], moved[i], priority,
+                            controller_->op_ids());
+    for (const Op& op : compiled.ops) (void)dag.add_op(op);
+    for (auto [a, b] : compiled.edges) (void)dag.add_edge(a, b);
+    paths_[moved[i]] = new_paths[i];
+    ops_[moved[i]] = compiled.ops;
+  }
+  std::vector<Op> deletions =
+      deletion_ops(previous_ops, controller_->op_ids());
+  if (!deletions.empty()) (void)dag.expand_with(deletions);
+  controller_->submit_dag(std::move(dag));
+  if (congestion) {
+    ++congestion_dags_;
+  } else {
+    ++repair_dags_;
+  }
+  return true;
+}
+
+bool TrafficEngineeringApp::try_step() {
+  if (events_.empty()) return false;
+  NibEvent event = events_.peek();
+  if (event.type == NibEvent::Type::kTopologyChanged) {
+    // Port/link transition: move every flow whose path crosses the link.
+    if (event.link_up) {
+      down_links_.erase(event.link);
+    } else {
+      down_links_.insert(event.link);
+      std::vector<FlowId> impacted;
+      for (const auto& [flow, path] : paths_) {
+        for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+          auto link = topo_->link_between(path[h], path[h + 1]);
+          if (link.ok() && link.value() == event.link) {
+            impacted.push_back(flow);
+            break;
+          }
+        }
+      }
+      std::sort(impacted.begin(), impacted.end());
+      if (!impacted.empty()) {
+        reroute(impacted, known_down_, /*congestion=*/false);
+      }
+    }
+    events_.ack_pop();
+    return true;
+  }
+  if (event.type == NibEvent::Type::kSwitchHealthChanged) {
+    if (!event.sw_up) {
+      known_down_.insert(event.sw);
+      // Repair: move every flow whose path touches the failed switch.
+      std::vector<FlowId> impacted;
+      for (const auto& [flow, path] : paths_) {
+        if (std::find(path.begin(), path.end(), event.sw) != path.end()) {
+          impacted.push_back(flow);
+        }
+      }
+      std::sort(impacted.begin(), impacted.end());
+      if (!impacted.empty()) {
+        reroute(impacted, known_down_, /*congestion=*/false);
+      }
+    } else {
+      known_down_.erase(event.sw);
+    }
+  }
+  events_.ack_pop();
+  return true;
+}
+
+}  // namespace zenith::apps

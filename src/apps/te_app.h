@@ -1,0 +1,84 @@
+// The Traffic Engineering application (§4, Figure 14).
+//
+// The TE app owns a set of demands and their current paths. It reacts to
+// two signals:
+//  * switch-health events from ZENITH-core (§3.6 guarantees delivery):
+//    failed switches trigger repair DAGs that move impacted flows onto
+//    surviving paths;
+//  * congestion, observed through a periodic telemetry probe (the
+//    simulation's TrafficModel stands in for link-utilization telemetry):
+//    flows whose allocated rate falls below their demand are rerouted onto
+//    the least-loaded alternative.
+//
+// The Figure 14 scenario exercises the overlap: a failure-triggered repair
+// DAG is still installing when congestion triggers a second DAG. ZENITH's
+// DAG-transition handling keeps this consistent; PR corrupts state and
+// waits for reconciliation.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/component.h"
+#include "core/controller.h"
+#include "dag/compiler.h"
+#include "topo/paths.h"
+#include "traffic/traffic.h"
+
+namespace zenith::apps {
+
+class TrafficEngineeringApp : public Component {
+ public:
+  TrafficEngineeringApp(ZenithController* controller, const Topology* topo,
+                        const TrafficModel* telemetry,
+                        std::uint32_t first_dag_id = 2000);
+
+  /// Sets the demand matrix and returns the initial DAG (submit happens
+  /// inside; the returned id lets callers await convergence).
+  DagId install_initial_paths(std::vector<Demand> demands);
+
+  /// Starts the periodic congestion probe.
+  void start_probe(SimTime period);
+
+  /// One immediate congestion scan (telemetry tick): reroutes congested
+  /// flows onto least-loaded alternatives. Returns true when a DAG was
+  /// submitted.
+  bool trigger_congestion_scan();
+
+  /// Registers a data-plane local-recovery rule (protection switching) as
+  /// part of `flow`'s current state: the app now owns its cleanup when the
+  /// flow is next rerouted (Figure 14's backup-path activation at t=8).
+  void note_local_recovery(FlowId flow, const Op& backup_op, Path new_path);
+
+  const std::vector<Demand>& demands() const { return demands_; }
+  std::size_t repair_dags() const { return repair_dags_; }
+  std::size_t congestion_dags() const { return congestion_dags_; }
+  DagId last_dag() const { return DagId(next_dag_id_ - 1); }
+
+ protected:
+  bool try_step() override;
+
+ private:
+  void probe();
+  /// Recomputes paths for `flows`, avoiding `avoid`, spreading over k
+  /// alternatives by current load; submits the replacement DAG.
+  bool reroute(const std::vector<FlowId>& flows,
+               const std::unordered_set<SwitchId>& avoid, bool congestion);
+
+  ZenithController* controller_;
+  const Topology* topo_;
+  const TrafficModel* telemetry_;
+  NadirFifo<NibEvent> events_;
+  std::uint32_t next_dag_id_;
+  std::vector<Demand> demands_;
+  std::unordered_map<FlowId, Path> paths_;
+  std::unordered_map<FlowId, std::vector<Op>> ops_;
+  std::unordered_set<SwitchId> known_down_;
+  std::unordered_set<LinkId> down_links_;
+  std::size_t repair_dags_ = 0;
+  std::size_t congestion_dags_ = 0;
+  bool probing_ = false;
+  SimTime probe_period_ = seconds(1);
+};
+
+}  // namespace zenith::apps

@@ -1,0 +1,54 @@
+// Hashing utilities used by the model checker's state store and by
+// canonicalization (symmetry reduction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace zenith {
+
+/// 64-bit FNV-1a over a byte span. Stable across runs and platforms, which
+/// matters because model-checker results (state counts) are part of the
+/// reproduced tables.
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s) {
+  return fnv1a(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+/// boost-style hash_combine with 64-bit mixing.
+inline void hash_combine(std::uint64_t& seed, std::uint64_t value) {
+  value *= 0xff51afd7ed558ccdull;
+  value ^= value >> 33;
+  seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Incremental hasher for composite states.
+class Hasher {
+ public:
+  void add(std::uint64_t v) { hash_combine(h_, v); }
+  void add_bytes(std::span<const std::uint8_t> bytes) { add(fnv1a(bytes)); }
+  template <typename T>
+  void add_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add_bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)));
+  }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x84222325cbf29ce4ull;
+};
+
+}  // namespace zenith

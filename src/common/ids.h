@@ -1,0 +1,94 @@
+// Strong identifier types shared across the ZENITH reproduction.
+//
+// Every subsystem (topology, DAG engine, NIB, data plane) refers to entities
+// by small integer ids. Wrapping them in distinct types prevents the classic
+// "passed a switch id where an OP id was expected" family of bugs while
+// keeping the ids trivially copyable and hashable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace zenith {
+
+/// Simulated time in microseconds. Signed so that deltas are natural.
+using SimTime = std::int64_t;
+
+/// Converts seconds (as written in the paper: "30s reconciliation period")
+/// into the simulator's microsecond clock.
+constexpr SimTime seconds(double s) { return static_cast<SimTime>(s * 1e6); }
+constexpr SimTime millis(double ms) { return static_cast<SimTime>(ms * 1e3); }
+constexpr SimTime micros(std::int64_t us) { return us; }
+
+/// Converts a simulator timestamp back to (floating point) seconds.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+namespace detail {
+
+/// CRTP-free strong typedef over an integer. Tag makes each instantiation a
+/// distinct type. Comparisons and hashing work out of the box.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr StrongId invalid() { return StrongId(); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+}  // namespace detail
+
+struct SwitchIdTag {};
+struct PortIdTag {};
+struct LinkIdTag {};
+struct OpIdTag {};
+struct DagIdTag {};
+struct FlowIdTag {};
+struct RuleIdTag {};
+struct WorkerIdTag {};
+struct AppIdTag {};
+
+/// Identifies a switch in the topology.
+using SwitchId = detail::StrongId<SwitchIdTag>;
+/// Identifies a port on a switch.
+using PortId = detail::StrongId<PortIdTag>;
+/// Identifies a (directed) link between two switch ports.
+using LinkId = detail::StrongId<LinkIdTag>;
+/// Identifies a single protocol-agnostic operation (OP) in a DAG.
+using OpId = detail::StrongId<OpIdTag>;
+/// Identifies an application-submitted DAG.
+using DagId = detail::StrongId<DagIdTag>;
+/// Identifies an end-to-end traffic flow.
+using FlowId = detail::StrongId<FlowIdTag>;
+/// Identifies a flow-table rule installed on a switch.
+using RuleId = detail::StrongId<RuleIdTag>;
+/// Identifies one worker inside a worker pool.
+using WorkerId = detail::StrongId<WorkerIdTag>;
+/// Identifies an SDN application instance.
+using AppId = detail::StrongId<AppIdTag>;
+
+}  // namespace zenith
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<zenith::detail::StrongId<Tag, Rep>> {
+  size_t operator()(zenith::detail::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstring>
+#include <vector>
+
+namespace zenith {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void Logger::log(LogLevel level, const char* file, int line,
+                 std::string message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), basename_of(file),
+               line, message.c_str());
+}
+
+std::string log_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return "<format error>";
+  }
+  std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+  va_end(args_copy);
+  return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+}  // namespace zenith

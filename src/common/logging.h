@@ -1,0 +1,48 @@
+// Tiny leveled logger.
+//
+// The simulator and controllers log at TRACE level during debugging; the
+// benchmark harness raises the threshold to WARN so timing numbers are not
+// polluted by I/O. The logger is intentionally not thread-safe beyond what
+// stdio gives us: the simulation kernel is single-threaded by design
+// (determinism), and worker "concurrency" is logical, not OS threads.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace zenith {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const char* file, int line, std::string message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+std::string log_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace zenith
+
+#define ZLOG(level, ...)                                                     \
+  do {                                                                       \
+    if (::zenith::Logger::instance().enabled(level)) {                       \
+      ::zenith::Logger::instance().log(level, __FILE__, __LINE__,            \
+                                       ::zenith::log_format(__VA_ARGS__));   \
+    }                                                                        \
+  } while (0)
+
+#define ZLOG_TRACE(...) ZLOG(::zenith::LogLevel::kTrace, __VA_ARGS__)
+#define ZLOG_DEBUG(...) ZLOG(::zenith::LogLevel::kDebug, __VA_ARGS__)
+#define ZLOG_INFO(...) ZLOG(::zenith::LogLevel::kInfo, __VA_ARGS__)
+#define ZLOG_WARN(...) ZLOG(::zenith::LogLevel::kWarn, __VA_ARGS__)
+#define ZLOG_ERROR(...) ZLOG(::zenith::LogLevel::kError, __VA_ARGS__)

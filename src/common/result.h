@@ -1,0 +1,110 @@
+// A minimal expected-style Result<T> used at module boundaries.
+//
+// The codebase follows the Core Guidelines preference for exceptions only at
+// truly exceptional boundaries; routine recoverable failures (malformed DAG,
+// unknown switch, queue closed) travel as Result values so callers must
+// consider them.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zenith {
+
+/// Error payload: a stable code plus a human readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kFailedPrecondition,
+    kUnavailable,
+    kInternal,
+  };
+
+  Code code = Code::kInternal;
+  std::string message;
+
+  static Error invalid_argument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  static Error already_exists(std::string msg) {
+    return {Code::kAlreadyExists, std::move(msg)};
+  }
+  static Error failed_precondition(std::string msg) {
+    return {Code::kFailedPrecondition, std::move(msg)};
+  }
+  static Error unavailable(std::string msg) {
+    return {Code::kUnavailable, std::move(msg)};
+  }
+  static Error internal(std::string msg) {
+    return {Code::kInternal, std::move(msg)};
+  }
+};
+
+/// Result<T>: either a value or an Error. Result<void> carries only status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}       // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}   // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Returns the value or a fallback when in error state.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  static Result success() { return Result(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+using Status = Result<void>;
+
+}  // namespace zenith

@@ -1,0 +1,117 @@
+// Deterministic random number generation.
+//
+// Every experiment in the reproduction is seeded; two runs with the same
+// seed produce byte-identical results. We use xoshiro256** which is fast,
+// has a tiny state, and supports cheap fork() for giving independent streams
+// to sub-systems (failure injector, delay model, workload generator) so that
+// adding draws in one subsystem does not perturb another.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace zenith {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 to spread the seed across the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Raw 64 random bits (xoshiro256**).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for the bounds used here (topology sizes, queue picks).
+    return next_u64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + next_double() * (hi - lo); }
+
+  /// Exponential with the given mean (inter-arrival times, failure gaps).
+  double exponential(double mean) {
+    assert(mean > 0);
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Truncated normal via rejection; used for service-time jitter.
+  double normal(double mean, double stddev) {
+    // Box-Muller (one value per call keeps the stream simple to reason about).
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return mean + stddev * std::sqrt(-2.0 * std::log(u1)) *
+                      std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Forks an independent stream. The child is seeded from the parent's
+  /// output so sibling forks are decorrelated.
+  Rng fork() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples one element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[next_below(v.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace zenith

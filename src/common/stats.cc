@@ -1,0 +1,182 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace zenith {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_valid_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  assert(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  assert(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Summary::mean() const {
+  assert(!samples_.empty());
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  assert(!samples_.empty());
+  double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Summary::percentile(double p) const {
+  ensure_sorted();
+  assert(!sorted_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  if (sorted_.size() == 1) return sorted_.front();
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Summary::cdf() const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) /
+                                     static_cast<double>(sorted_.size()));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double sample) {
+  double clamped = std::clamp(sample, lo_, std::nexttoward(hi_, lo_));
+  auto bin = static_cast<std::size_t>((clamped - lo_) / (hi_ - lo_) *
+                                      static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::to_string(int width) const {
+  std::size_t max_count = 0;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    int bar = max_count == 0
+                  ? 0
+                  : static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(max_count) * width);
+    char line[64];
+    std::snprintf(line, sizeof(line), "[%7.1f,%7.1f) %6zu ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out << line << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+  }
+  return out.str();
+}
+
+void TimeSeries::record(SimTime t, double value) {
+  assert(t >= 0);
+  auto idx = static_cast<std::size_t>(t / step_);
+  if (idx >= values_.size()) values_.resize(idx + 1, 0.0);
+  values_[idx] = value;
+}
+
+void TimeSeries::accumulate(SimTime t, double value) {
+  assert(t >= 0);
+  auto idx = static_cast<std::size_t>(t / step_);
+  if (idx >= values_.size()) values_.resize(idx + 1, 0.0);
+  values_[idx] += value;
+}
+
+std::vector<std::pair<double, double>> TimeSeries::as_seconds_series() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out.emplace_back(to_seconds(time_at(i)), values_[i]);
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << " " << cells[i] << std::string(widths[i] - cells[i].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t w : widths) out << std::string(w + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace zenith

@@ -1,0 +1,108 @@
+// Statistics helpers for the evaluation harness: percentile summaries
+// (median / p99 as reported throughout §6), CDFs (Figures 10a, 15a),
+// histograms (Figure A.6), and throughput time series (Figures 14, 16, A.2).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace zenith {
+
+/// Collects samples and answers percentile queries. Samples are kept raw;
+/// experiments here are at most a few hundred thousand samples.
+class Summary {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// Percentile with linear interpolation; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Empirical CDF as (value, fraction<=value) pairs, for plotting.
+  std::vector<std::pair<double, double>> cdf() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bin histogram (Figure A.6 trace-length distribution).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+
+  std::string to_string(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Time series sampled on a fixed grid; used for throughput-vs-time figures.
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimTime step) : step_(step) {}
+
+  /// Records `value` for the bucket containing `t` (last write wins).
+  void record(SimTime t, double value);
+  /// Accumulates into the bucket containing `t`.
+  void accumulate(SimTime t, double value);
+
+  SimTime step() const { return step_; }
+  std::size_t size() const { return values_.size(); }
+  double value_at(std::size_t i) const { return values_.at(i); }
+  SimTime time_at(std::size_t i) const {
+    return static_cast<SimTime>(i) * step_;
+  }
+
+  std::vector<std::pair<double, double>> as_seconds_series() const;
+
+ private:
+  SimTime step_;
+  std::vector<double> values_;
+};
+
+/// Formats an ASCII table, used by the bench binaries to print the same rows
+/// the paper's tables/figure captions report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,30 @@
+#include "common/strings.h"
+
+#include <sstream>
+
+namespace zenith {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string current;
+  std::istringstream in(s);
+  while (std::getline(in, current, delim)) out.push_back(current);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace zenith

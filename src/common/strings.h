@@ -1,0 +1,14 @@
+// Small string helpers shared by the harness and bench printers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zenith {
+
+std::vector<std::string> split(const std::string& s, char delim);
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace zenith

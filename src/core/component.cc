@@ -1,0 +1,69 @@
+#include "core/component.h"
+
+#include "common/logging.h"
+
+namespace zenith {
+
+Component::Component(Simulator* sim, std::string name, SimTime service_time)
+    : sim_(sim), name_(std::move(name)), service_time_(service_time) {}
+
+void Component::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  busy_ = false;
+  ++epoch_;  // orphan any scheduled serve
+  ++crash_count_;
+  on_crash();
+  ZLOG_DEBUG("component %s crashed", name_.c_str());
+}
+
+void Component::restart() {
+  if (alive_) return;
+  alive_ = true;
+  on_restart();
+  ZLOG_DEBUG("component %s restarted", name_.c_str());
+  kick();
+}
+
+void Component::kick() {
+  if (!alive_ || busy_) return;
+  schedule_service();
+}
+
+void Component::schedule_service() {
+  busy_ = true;
+  std::uint64_t epoch = epoch_;
+  sim_->schedule(service_time_, [this, epoch] {
+    if (epoch != epoch_) return;  // crashed (and maybe restarted) meanwhile
+    serve();
+  });
+}
+
+void Component::serve() {
+  busy_ = false;
+  if (!alive_) return;
+  if (gate_) {
+    SimTime not_before = gate_();
+    if (sim_->now() < not_before) {
+      // NIB transaction in progress (PR reconciliation batch): defer.
+      busy_ = true;
+      std::uint64_t epoch = epoch_;
+      sim_->schedule_at(not_before, [this, epoch] {
+        if (epoch != epoch_) return;
+        serve();
+      });
+      return;
+    }
+  }
+  if (permit_ && !permit_()) {
+    // Orchestrated run: wait for the Trace Orchestrator's grant (it will
+    // kick() us).
+    return;
+  }
+  bool did_work = try_step();
+  ++steps_served_;
+  if (step_observer_) step_observer_(did_work);
+  if (did_work) schedule_service();  // more work may be pending
+}
+
+}  // namespace zenith

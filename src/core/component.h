@@ -1,0 +1,101 @@
+// Controller component framework.
+//
+// Every ZENITH-core sub-component (Sequencer, Worker, Monitoring Server,
+// Topo Event Handler, ...) is a Component: a logical thread that serves one
+// work item at a time with a configurable service delay. "Concurrency" is
+// logical interleaving on the simulation clock, exactly how the TLA+ spec
+// treats processes.
+//
+// Crash/restart protocol (§3.9, Table 3 "CP Partial"):
+//  * crash(): the component loses all local state and stops serving. Work
+//    items remain in their queues when the component followed the
+//    read-head/ack-pop discipline; anything held only in locals is gone.
+//  * restart(): invoked by the Watchdog; runs on_restart() so the component
+//    can re-derive its state from the NIB, then resumes serving.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/ids.h"
+#include "sim/simulator.h"
+
+namespace zenith {
+
+class Component {
+ public:
+  Component(Simulator* sim, std::string name, SimTime service_time);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool alive() const { return alive_; }
+  SimTime service_time() const { return service_time_; }
+
+  /// Kills the component: local state dropped, serving stops. Safe to call
+  /// on a dead component (no-op).
+  void crash();
+
+  /// Restarts a dead component (Watchdog). Runs recovery, then resumes.
+  void restart();
+
+  /// Wake hint: input might be available. Queues' wake callbacks call this.
+  void kick();
+
+  std::uint64_t crash_count() const { return crash_count_; }
+  std::uint64_t steps_served() const { return steps_served_; }
+
+  /// Held components are skipped by the Watchdog: used while a complete
+  /// microservice failure waits for its standby-instance takeover instead
+  /// of per-component restarts.
+  void set_held(bool held) { held_ = held; }
+  bool held() const { return held_; }
+
+  /// Optional admission gate: before serving a step the component waits
+  /// until the returned time. The PR baseline points this at the NIB
+  /// transaction lock; ZENITH leaves it unset.
+  void set_gate(std::function<SimTime()> gate) { gate_ = std::move(gate); }
+
+  /// Trace-orchestration hooks (§6 "Trace Orchestrator"): when a permit
+  /// function is installed, the component blocks before every step until it
+  /// returns true (the orchestrator kicks it when granting). The step
+  /// observer fires after each step with whether work was done.
+  void set_permit(std::function<bool()> permit) { permit_ = std::move(permit); }
+  void set_step_observer(std::function<void(bool)> observer) {
+    step_observer_ = std::move(observer);
+  }
+
+ protected:
+  /// Serve one work item if available. Return false when idle (nothing to
+  /// do); the component then sleeps until the next kick().
+  virtual bool try_step() = 0;
+
+  /// Drop all local (non-NIB) state. Called by crash().
+  virtual void on_crash() {}
+
+  /// Re-derive local state from the NIB. Called by restart().
+  virtual void on_restart() {}
+
+  Simulator* sim() { return sim_; }
+
+ private:
+  void schedule_service();
+  void serve();
+
+  Simulator* sim_;
+  std::string name_;
+  SimTime service_time_;
+  std::function<SimTime()> gate_;
+  std::function<bool()> permit_;
+  std::function<void(bool)> step_observer_;
+  bool alive_ = true;
+  bool busy_ = false;
+  bool held_ = false;
+  std::uint64_t epoch_ = 0;  // invalidates scheduled serves across crashes
+  std::uint64_t crash_count_ = 0;
+  std::uint64_t steps_served_ = 0;
+};
+
+}  // namespace zenith

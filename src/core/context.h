@@ -1,0 +1,132 @@
+// Shared state wiring for controller components.
+//
+// Queue placement mirrors the paper's architecture (Table 1, Figure 6):
+// queues that cross microservice boundaries live in the NIB and are
+// persistent (OPQueueNIB, the DAG request queue, the NIB event queue);
+// queues internal to one microservice are volatile and die with it
+// (Sequencer wake queue inside the DE; Topo Event Handler queues inside the
+// OFC). The fabric's reply/health streams model network sockets into the
+// OFC.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "dag/compiler.h"
+#include "dag/dag.h"
+#include "dataplane/fabric.h"
+#include "nib/nib.h"
+#include "sim/fifo.h"
+#include "sim/simulator.h"
+
+namespace zenith {
+
+/// App -> DAG Scheduler requests.
+struct DagRequest {
+  enum class Type : std::uint8_t { kInstall, kDelete };
+  Type type = Type::kInstall;
+  Dag dag;       // kInstall
+  DagId dag_id;  // kDelete
+};
+
+/// Deliberate specification-bug switches (§3.9 taxonomy; DESIGN.md §6).
+/// All false in a correct ZENITH build. The PR baseline and the trace
+/// generators turn individual knobs on to reproduce historical bugs.
+struct SpecBugs {
+  /// Listing 1: perform the action before recording it in the NIB.
+  bool send_before_record = false;
+  /// Dequeue events before fully processing them (event loss on crash).
+  bool pop_before_process = false;
+  /// Figure A.8 / §G: on recovery, mark the switch UP before resetting the
+  /// states of its OPs; the reset scan lands `deferred_reset_delay` later
+  /// (the Topo Event Handler "computing all the necessary changes" while
+  /// the rest of the controller races ahead).
+  bool mark_up_before_reset = false;
+  SimTime deferred_reset_delay = millis(50);
+  /// Skip the CLEAR_TCAM/reset pipeline entirely on switch recovery (PR's
+  /// optimistic recovery; inconsistencies are left for reconciliation).
+  bool skip_recovery_cleanup = false;
+  /// Bypass the Worker Pool and send CLEAR_TCAM directly from the Topo
+  /// Event Handler (races with in-flight OPs, violates P6).
+  bool direct_clear_tcam = false;
+  /// The ODL "incident 2" race (§1.1): when a DAG arrives while the
+  /// previous one is still installing, the two scheduling threads race on
+  /// the NIB and the later thread's state wins — OPs of the new DAG that
+  /// collide with in-flight work get recorded as installed without ever
+  /// being sent. The application then believes the correct routes are in
+  /// place even though they are not (resolved only by reconciliation).
+  bool overlap_nib_race = false;
+};
+
+struct CoreConfig {
+  std::size_t num_workers = 4;
+  std::size_t num_sequencers = 2;
+  /// Per-step service time of each component type.
+  SimTime worker_service = micros(30);
+  SimTime sequencer_service = micros(40);
+  SimTime monitoring_service = micros(20);
+  SimTime topo_handler_service = micros(40);
+  SimTime scheduler_service = micros(50);
+  SimTime nib_event_service = micros(15);
+  /// Watchdog scan period (detects and restarts dead components).
+  SimTime watchdog_period = millis(100);
+  /// Extra delay for a standby microservice instance to take over.
+  SimTime failover_takeover_delay = millis(200);
+  /// Directed reconciliation (ZENITH-DR, §3.9): on switch recovery, dump
+  /// and diff instead of wiping the TCAM.
+  bool directed_reconciliation = false;
+  SpecBugs bugs;
+};
+
+struct CoreContext {
+  Simulator* sim = nullptr;
+  Nib* nib = nullptr;
+  Fabric* fabric = nullptr;
+  CoreConfig config;
+  OpIdAllocator* op_ids = nullptr;
+
+  // -- NIB-resident (persistent) queues --------------------------------------
+  NadirFifo<DagRequest> dag_request_queue;          // apps -> DAG Scheduler
+  std::vector<std::unique_ptr<NadirFifo<OpId>>> op_queues;  // OPQueueNIB shards
+  NadirFifo<NibEvent> nib_event_queue;              // NIB -> DE event handler
+
+  // -- DE-internal (volatile) ---------------------------------------------------
+  std::vector<std::unique_ptr<NadirFifo<NibEvent>>> sequencer_wakeups;
+
+  // -- OFC-internal (volatile) --------------------------------------------------
+  NadirFifo<SwitchHealthEvent> topo_event_queue;
+  NadirFifo<SwitchReply> cleanup_reply_queue;  // CLEAR_TCAM acks + DR dumps
+  NadirFifo<SwitchReply> role_reply_queue;     // failover role acks
+  NadirFifo<SwitchReply> reconciler_reply_queue;  // PR periodic dumps
+
+  /// While a PR reconciliation batch is applying its NIB transaction, other
+  /// components' NIB-touching steps stall until this time (Figure 4b's
+  /// serialized-NIB-update bottleneck; zero for ZENITH, which never runs
+  /// periodic reconciliation).
+  SimTime nib_locked_until = 0;
+
+  /// Set during planned OFC failover: workers stop emitting new OPs so the
+  /// ACK stream can drain before the role handoff (Zenith's hitless drain;
+  /// the PR baseline skips this and loses in-flight ACKs).
+  bool workers_paused = false;
+  /// Current OFC master instance number (bumped by failover).
+  int ofc_master_instance = 0;
+  /// Wakes every worker (set by the controller); the failover manager uses
+  /// it when resuming the pool after a drain.
+  std::function<void()> kick_workers;
+
+  /// Worker shard that owns a switch: consistent sharding (P4).
+  std::size_t shard_of(SwitchId sw) const {
+    return sw.value() % config.num_workers;
+  }
+  NadirFifo<OpId>& op_queue_for(SwitchId sw) {
+    return *op_queues.at(shard_of(sw));
+  }
+  std::size_t sequencer_of(DagId dag) const {
+    return dag.value() % config.num_sequencers;
+  }
+};
+
+}  // namespace zenith

@@ -1,0 +1,161 @@
+#include "core/controller.h"
+
+#include "common/logging.h"
+
+namespace zenith {
+
+ZenithController::ZenithController(Simulator* sim, Fabric* fabric,
+                                   CoreConfig config) {
+  ctx_.sim = sim;
+  ctx_.nib = &nib_;
+  ctx_.fabric = fabric;
+  ctx_.config = config;
+  ctx_.op_ids = &op_ids_;
+
+  for (std::size_t i = 0; i < config.num_workers; ++i) {
+    ctx_.op_queues.push_back(std::make_unique<NadirFifo<OpId>>());
+  }
+  for (std::size_t i = 0; i < config.num_sequencers; ++i) {
+    ctx_.sequencer_wakeups.push_back(std::make_unique<NadirFifo<NibEvent>>());
+  }
+
+  nib_.subscribe(&ctx_.nib_event_queue);
+
+  dag_scheduler_ = std::make_unique<DagScheduler>(&ctx_);
+  for (std::size_t i = 0; i < config.num_sequencers; ++i) {
+    sequencers_.push_back(std::make_unique<Sequencer>(&ctx_, i));
+  }
+  nib_event_handler_ = std::make_unique<NibEventHandler>(&ctx_);
+  worker_pool_ = std::make_unique<WorkerPool>(&ctx_);
+  monitoring_ = std::make_unique<MonitoringServer>(&ctx_);
+  topo_handler_ = std::make_unique<TopoEventHandler>(&ctx_);
+  failover_ = std::make_unique<FailoverManager>(&ctx_);
+  ctx_.kick_workers = [this] { worker_pool_->kick_all(); };
+  watchdog_ = std::make_unique<Watchdog>(&ctx_);
+  for (Component* c : components()) watchdog_->watch(c);
+}
+
+void ZenithController::start() {
+  for (std::uint32_t i = 0; i < ctx_.fabric->switch_count(); ++i) {
+    nib_.register_switch(SwitchId(i));
+  }
+  watchdog_->start();
+}
+
+void ZenithController::submit_dag(Dag dag) {
+  DagRequest request;
+  request.type = DagRequest::Type::kInstall;
+  request.dag = std::move(dag);
+  ctx_.dag_request_queue.push(std::move(request));
+}
+
+void ZenithController::delete_dag(DagId id) {
+  DagRequest request;
+  request.type = DagRequest::Type::kDelete;
+  request.dag_id = id;
+  ctx_.dag_request_queue.push(std::move(request));
+}
+
+void ZenithController::register_app_sink(NadirFifo<NibEvent>* sink) {
+  nib_event_handler_->register_app_sink(sink);
+}
+
+std::vector<Component*> ZenithController::components() {
+  std::vector<Component*> out;
+  out.push_back(dag_scheduler_.get());
+  for (auto& s : sequencers_) out.push_back(s.get());
+  out.push_back(nib_event_handler_.get());
+  for (Component* w : worker_pool_->components()) out.push_back(w);
+  out.push_back(monitoring_.get());
+  out.push_back(topo_handler_.get());
+  out.push_back(failover_.get());
+  return out;
+}
+
+Component* ZenithController::component(const std::string& name) {
+  for (Component* c : components()) {
+    if (c->name() == name) return c;
+  }
+  return nullptr;
+}
+
+void ZenithController::crash_component(const std::string& name) {
+  Component* c = component(name);
+  if (c != nullptr) c->crash();
+}
+
+void ZenithController::crash_ofc() {
+  ZLOG_DEBUG("complete OFC failure injected");
+  // Every OFC component dies and is held for the standby instance.
+  std::vector<Component*> ofc = worker_pool_->components();
+  ofc.push_back(monitoring_.get());
+  ofc.push_back(topo_handler_.get());
+  ofc.push_back(failover_.get());
+  for (Component* c : ofc) {
+    c->crash();
+    c->set_held(true);
+  }
+  // Volatile OFC queues and controller-side sockets die with the instance.
+  ctx_.topo_event_queue.clear();
+  ctx_.cleanup_reply_queue.clear();
+  ctx_.role_reply_queue.clear();
+  ctx_.fabric->replies().clear();
+  ctx_.fabric->health_events().clear();
+  ctx_.workers_paused = false;
+  ctx_.sim->schedule(ctx_.config.failover_takeover_delay,
+                     [this] { ofc_takeover(); });
+}
+
+void ZenithController::ofc_takeover() {
+  ZLOG_DEBUG("standby OFC instance taking over");
+  std::vector<Component*> ofc = worker_pool_->components();
+  ofc.push_back(monitoring_.get());
+  ofc.push_back(topo_handler_.get());
+  ofc.push_back(failover_.get());
+  for (Component* c : ofc) {
+    c->set_held(false);
+    c->restart();  // MonitoringServer::on_restart re-syncs switch health
+  }
+  // OPs whose ACK was lost with the old instance sit in SENT forever unless
+  // re-issued; installs and deletes are idempotent by OP id, so the new
+  // instance re-sends all of them (§B's sanctioned duplicate case).
+  for (OpId id : nib_.ops_with_status(OpStatus::kSent)) {
+    const Op& op = nib_.op(id);
+    nib_.set_op_status(id, OpStatus::kScheduled);
+    ctx_.op_queue_for(op.sw).push(id);
+  }
+}
+
+void ZenithController::crash_de() {
+  ZLOG_DEBUG("complete DE failure injected");
+  std::vector<Component*> de;
+  de.push_back(dag_scheduler_.get());
+  for (auto& s : sequencers_) de.push_back(s.get());
+  de.push_back(nib_event_handler_.get());
+  for (Component* c : de) {
+    c->crash();
+    c->set_held(true);
+  }
+  for (auto& wakeup : ctx_.sequencer_wakeups) wakeup->clear();
+  ctx_.sim->schedule(ctx_.config.failover_takeover_delay,
+                     [this] { de_takeover(); });
+}
+
+void ZenithController::de_takeover() {
+  ZLOG_DEBUG("standby DE instance taking over");
+  std::vector<Component*> de;
+  de.push_back(dag_scheduler_.get());
+  for (auto& s : sequencers_) de.push_back(s.get());
+  de.push_back(nib_event_handler_.get());
+  for (Component* c : de) {
+    c->set_held(false);
+    c->restart();
+  }
+}
+
+void ZenithController::planned_ofc_failover(
+    std::function<void(SimTime)> on_done, bool drain_first) {
+  failover_->request_planned_failover(drain_first, std::move(on_done));
+}
+
+}  // namespace zenith

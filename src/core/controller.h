@@ -1,0 +1,91 @@
+// ZenithController: assembles ZENITH-core (Figure 6).
+//
+// Ownership: the controller owns the NIB, the shared context (queues), and
+// every component. The Fabric (data plane) and Simulator are owned by the
+// experiment, since baselines share them.
+//
+// The same class also hosts the failure-injection surface used throughout
+// §6: partial component crashes (Watchdog-recovered), complete OFC/DE
+// microservice failures (standby takeover), and planned OFC failover.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/dag_scheduler.h"
+#include "core/failover.h"
+#include "core/monitoring_server.h"
+#include "core/nib_event_handler.h"
+#include "core/sequencer.h"
+#include "core/topo_event_handler.h"
+#include "core/watchdog.h"
+#include "core/worker_pool.h"
+
+namespace zenith {
+
+class ZenithController {
+ public:
+  ZenithController(Simulator* sim, Fabric* fabric, CoreConfig config = {});
+
+  ZenithController(const ZenithController&) = delete;
+  ZenithController& operator=(const ZenithController&) = delete;
+
+  /// Registers all switches in the NIB and starts the Watchdog. Call once
+  /// before the simulation runs.
+  void start();
+
+  Nib& nib() { return nib_; }
+  const Nib& nib() const { return nib_; }
+  CoreContext& context() { return ctx_; }
+  OpIdAllocator& op_ids() { return op_ids_; }
+
+  // ---- application API -------------------------------------------------------
+
+  /// Submits a DAG (FIFOPut onto the DAG request queue, Listing 4 line 33).
+  void submit_dag(Dag dag);
+  void delete_dag(DagId id);
+  void register_app_sink(NadirFifo<NibEvent>* sink);
+
+  // ---- failure injection -------------------------------------------------------
+
+  std::vector<Component*> components();
+  Component* component(const std::string& name);
+  /// Partial CP failure: kill one component; the Watchdog revives it.
+  void crash_component(const std::string& name);
+
+  /// Complete OFC microservice failure: all OFC components die, their
+  /// volatile queues and the controller-side sockets are lost; a standby
+  /// instance takes over after config.failover_takeover_delay.
+  void crash_ofc();
+  /// Complete DE microservice failure, same pattern.
+  void crash_de();
+
+  /// Planned OFC failover (Figure 15).
+  void planned_ofc_failover(std::function<void(SimTime)> on_done,
+                            bool drain_first = true);
+
+  Watchdog& watchdog() { return *watchdog_; }
+  FailoverManager& failover_manager() { return *failover_; }
+
+ private:
+  void ofc_takeover();
+  void de_takeover();
+
+  Nib nib_;
+  OpIdAllocator op_ids_;
+  CoreContext ctx_;
+
+  std::unique_ptr<DagScheduler> dag_scheduler_;
+  std::vector<std::unique_ptr<Sequencer>> sequencers_;
+  std::unique_ptr<NibEventHandler> nib_event_handler_;
+  std::unique_ptr<WorkerPool> worker_pool_;
+  std::unique_ptr<MonitoringServer> monitoring_;
+  std::unique_ptr<TopoEventHandler> topo_handler_;
+  std::unique_ptr<FailoverManager> failover_;
+  std::unique_ptr<Watchdog> watchdog_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,143 @@
+#include "core/dag_scheduler.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace zenith {
+
+DagScheduler::DagScheduler(CoreContext* ctx)
+    : Component(ctx->sim, "dag_scheduler", ctx->config.scheduler_service),
+      ctx_(ctx) {
+  ctx_->dag_request_queue.set_wake_callback([this] { kick(); });
+}
+
+bool DagScheduler::try_step() {
+  NadirFifo<DagRequest>& queue = ctx_->dag_request_queue;
+  if (queue.empty()) return false;
+  // Read-head / process / ack-pop, same crash-safe discipline as workers.
+  DagRequest request = queue.peek();
+  if (request.type == DagRequest::Type::kInstall) {
+    admit(std::move(request.dag));
+  } else {
+    remove(request.dag_id);
+  }
+  queue.ack_pop();
+  return true;
+}
+
+std::vector<Op> DagScheduler::stale_deletions(const Dag& old_dag,
+                                              const Dag& incoming,
+                                              bool sweep_all_flows) {
+  Nib& nib = *ctx_->nib;
+  // What the incoming DAG already takes care of.
+  std::unordered_set<OpId> covered;
+  // Flows the incoming DAG re-programs. The §3.3 hazard ("A:B might be
+  // installed after the third DAG is complete, overwriting A:C") is an
+  // in-flight stale OP for a flow whose intent just changed; OPs of flows
+  // the new DAG does not touch remain intended and must not be swept.
+  std::unordered_set<FlowId> touched_flows;
+  for (const Op* op : incoming.all_ops()) {
+    if (op->type == OpType::kDeleteRule) covered.insert(op->delete_target);
+    covered.insert(op->id);
+    if (op->type == OpType::kInstallRule) {
+      touched_flows.insert(op->rule.flow);
+    }
+  }
+  std::vector<Op> deletions;
+  for (const Op* op : old_dag.all_ops()) {
+    if (op->type != OpType::kInstallRule) continue;
+    if (covered.count(op->id)) continue;
+    if (!sweep_all_flows && !touched_flows.count(op->rule.flow)) continue;
+    // A deletion on a non-UP switch could never be ACKed (P7) and would
+    // wedge the new DAG. Dead switches need no deletion anyway: recovery
+    // cleanup (CLEAR_TCAM / directed diff) handles whatever survives.
+    if (nib.switch_health(op->sw) != SwitchHealth::kUp) continue;
+    OpStatus status = nib.op_status(op->id);
+    // Possibly live: anywhere between "queued for a worker" and "installed".
+    // NONE OPs never left the controller and the sequencer will stop
+    // scheduling them the moment the current DAG flips.
+    if (status == OpStatus::kScheduled || status == OpStatus::kInFlight ||
+        status == OpStatus::kSent || status == OpStatus::kDone) {
+      Op del;
+      del.id = ctx_->op_ids->next();
+      del.type = OpType::kDeleteRule;
+      del.sw = op->sw;
+      del.delete_target = op->id;
+      deletions.push_back(del);
+    }
+  }
+  return deletions;
+}
+
+void DagScheduler::admit(Dag dag) {
+  Nib& nib = *ctx_->nib;
+  auto old_id = nib.current_dag();
+  bool old_incomplete =
+      old_id.has_value() && nib.has_dag(*old_id) && !nib.dag_is_done(*old_id);
+  if (old_id.has_value() && nib.has_dag(*old_id)) {
+    std::vector<Op> deletions = stale_deletions(nib.dag(*old_id), dag);
+    if (!deletions.empty()) {
+      auto st = dag.expand_with(deletions);
+      (void)st;
+      ZLOG_DEBUG("dag%u: appended %zu stale-OP deletions from dag%u",
+                 dag.id().value(), deletions.size(), old_id->value());
+    }
+  }
+  DagId id = dag.id();
+  nib.clear_dag_done(id);
+  nib.put_dag(std::move(dag));
+
+  if (ctx_->config.bugs.overlap_nib_race && old_incomplete) {
+    // ODL incident-2 race: the thread still installing the old DAG and the
+    // thread admitting this one write the NIB concurrently; for OPs whose
+    // switch has in-flight old work, the bookkeeping ends up claiming they
+    // are installed although nothing was ever sent.
+    const Dag& old_dag = nib.dag(*old_id);
+    std::unordered_set<SwitchId> racing;
+    for (const Op* op : old_dag.all_ops()) {
+      OpStatus status = nib.op_status(op->id);
+      if (status == OpStatus::kScheduled || status == OpStatus::kInFlight ||
+          status == OpStatus::kSent) {
+        racing.insert(op->sw);
+      }
+    }
+    const Dag& incoming = nib.dag(id);
+    for (const Op* op : incoming.all_ops()) {
+      if (op->type != OpType::kInstallRule || !racing.count(op->sw)) continue;
+      nib.set_op_status(op->id, OpStatus::kDone);
+      nib.view_add_installed(op->sw, op->id);
+      ZLOG_DEBUG("overlap race: op%u falsely recorded as installed",
+                 op->id.value());
+    }
+  }
+
+  nib.set_current_dag(id);
+  nib.publish_dag_accepted(id);
+}
+
+void DagScheduler::remove(DagId id) {
+  Nib& nib = *ctx_->nib;
+  if (!nib.has_dag(id)) return;
+  // Deleting the current DAG without a replacement: sweep its live OPs out
+  // of the data plane with an implicit cleanup DAG (the §3.6 guarantee that
+  // the data plane never retains a deleted DAG's routing state).
+  if (nib.current_dag() == id) {
+    Dag cleanup(DagId(0x40000000u + id.value()));
+    const Dag& old_dag = nib.dag(id);
+    for (const Op& del :
+         stale_deletions(old_dag, cleanup, /*sweep_all_flows=*/true)) {
+      (void)cleanup.add_op(del);
+    }
+    nib.remove_dag(id);
+    if (!cleanup.empty()) {
+      admit(std::move(cleanup));
+    } else {
+      nib.set_current_dag(std::nullopt);
+    }
+  } else {
+    nib.remove_dag(id);
+  }
+}
+
+}  // namespace zenith

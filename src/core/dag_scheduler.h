@@ -1,0 +1,37 @@
+// The DE DAG Scheduler (Table 1): admits application DAG requests, assigns
+// them to a Sequencer, and "ensures stale DAGs are deleted properly".
+//
+// The stale-OP sweep is the §3.3 requirement: when a new DAG replaces one
+// whose OPs are still in flight, any old install that the new DAG does not
+// itself delete or re-issue gets an explicit deletion appended after the new
+// DAG's leaves. Per-switch FIFO (P4) then guarantees the deletion lands
+// after the straggler install — the "A:B overwrites A:C after the third DAG
+// completes" hazard cannot occur.
+#pragma once
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class DagScheduler : public Component {
+ public:
+  explicit DagScheduler(CoreContext* ctx);
+
+ protected:
+  bool try_step() override;
+
+ private:
+  void admit(Dag dag);
+  void remove(DagId id);
+  /// Deletion OPs for every possibly-live install of `old_dag` that
+  /// `incoming` neither deletes nor re-issues. On a DAG *transition* only
+  /// flows the incoming DAG re-programs are swept (the §3.3 hazard); on an
+  /// explicit DAG *deletion* (`sweep_all_flows`) everything goes.
+  std::vector<Op> stale_deletions(const Dag& old_dag, const Dag& incoming,
+                                  bool sweep_all_flows = false);
+
+  CoreContext* ctx_;
+};
+
+}  // namespace zenith

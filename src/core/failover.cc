@@ -1,0 +1,108 @@
+#include "core/failover.h"
+
+#include "common/logging.h"
+
+namespace zenith {
+
+FailoverManager::FailoverManager(CoreContext* ctx)
+    : Component(ctx->sim, "failover_manager", ctx->config.topo_handler_service),
+      ctx_(ctx) {
+  ctx_->role_reply_queue.set_wake_callback([this] { kick(); });
+}
+
+void FailoverManager::request_planned_failover(
+    bool drain_first, std::function<void(SimTime)> on_done) {
+  if (in_progress()) return;
+  drain_first_ = drain_first;
+  on_done_ = std::move(on_done);
+  target_instance_ = ctx_->ofc_master_instance + 1;
+  acked_.clear();
+  if (drain_first_) {
+    ctx_->workers_paused = true;
+    phase_ = Phase::kDraining;
+  } else {
+    // PR-style immediate switchover: everything in flight toward the old
+    // instance is lost with its sockets.
+    ctx_->fabric->drop_all_in_flight_replies();
+    begin_role_change();
+  }
+  kick();
+}
+
+void FailoverManager::begin_role_change() {
+  phase_ = Phase::kAwaitingRoleAcks;
+  Nib& nib = *ctx_->nib;
+  for (SwitchId sw : nib.switches()) {
+    if (nib.switch_health(sw) == SwitchHealth::kDown) continue;
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kRoleChange;
+    request.role = target_instance_;
+    request.xid = static_cast<std::uint64_t>(target_instance_) << 32 |
+                  sw.value();
+    ctx_->fabric->send(sw, request);
+  }
+}
+
+bool FailoverManager::all_roles_acked() const {
+  Nib& nib = *ctx_->nib;
+  for (SwitchId sw : nib.switches()) {
+    if (nib.switch_health(sw) == SwitchHealth::kDown) continue;
+    if (!acked_.count(sw)) return false;
+  }
+  return true;
+}
+
+bool FailoverManager::try_step() {
+  switch (phase_) {
+    case Phase::kIdle:
+      // Drop stray role ACKs from completed handoffs.
+      while (!ctx_->role_reply_queue.empty()) ctx_->role_reply_queue.pop();
+      return false;
+    case Phase::kDraining: {
+      // Drained when no OP is stuck between "sent" and "ACK processed".
+      if (!ctx_->nib->ops_with_status(OpStatus::kSent).empty()) {
+        // Poll again shortly; ACK processing is what unblocks us.
+        sim()->schedule(millis(1), [this] { kick(); });
+        return false;
+      }
+      begin_role_change();
+      return true;
+    }
+    case Phase::kAwaitingRoleAcks: {
+      bool progressed = false;
+      while (!ctx_->role_reply_queue.empty()) {
+        SwitchReply reply = ctx_->role_reply_queue.pop();
+        if (reply.role == target_instance_) acked_.insert(reply.sw);
+        progressed = true;
+      }
+      if (all_roles_acked()) {
+        ctx_->ofc_master_instance = target_instance_;
+        ctx_->workers_paused = false;
+        if (ctx_->kick_workers) ctx_->kick_workers();  // resume the pool
+        phase_ = Phase::kIdle;
+        ZLOG_DEBUG("planned failover to instance %d complete",
+                   target_instance_);
+        if (on_done_) on_done_(sim()->now());
+        return true;
+      }
+      return progressed;
+    }
+  }
+  return false;
+}
+
+void FailoverManager::on_crash() {
+  // A failover-manager crash mid-handoff loses the collected ACK set (it is
+  // local state); the restart hook re-issues the role change.
+  acked_.clear();
+}
+
+void FailoverManager::on_restart() {
+  if (phase_ == Phase::kAwaitingRoleAcks) {
+    begin_role_change();  // idempotent: switches re-ACK the same role
+  } else if (phase_ == Phase::kDraining) {
+    kick();
+  }
+}
+
+}  // namespace zenith

@@ -1,0 +1,60 @@
+// OFC planned failover (Table 3 "MO Planned Failover", Figure 15).
+//
+// Zenith's verified procedure is hitless:
+//   1. pause the Worker Pool (no new OPs leave the controller);
+//   2. drain — wait until no OP is in the SENT state, i.e. every in-flight
+//      ACK has been processed, so no acknowledgment can be lost in the
+//      handoff;
+//   3. move the master role on every healthy switch to the standby instance
+//      (role-change requests, collected role ACKs);
+//   4. bump the master instance and resume the workers.
+//
+// The PR baseline (skip_drain) jumps straight to the role change and drops
+// whatever ACKs were in flight toward the old instance — those OPs are stuck
+// in SENT until a reconciliation or timeout notices, which is exactly the
+// tail Figure 15 shows.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class FailoverManager : public Component {
+ public:
+  explicit FailoverManager(CoreContext* ctx);
+
+  /// Begins a planned failover. `on_done(sim_time)` fires when the new
+  /// instance is master everywhere and the workers run again.
+  void request_planned_failover(bool drain_first,
+                                std::function<void(SimTime)> on_done);
+
+  bool in_progress() const { return phase_ != Phase::kIdle; }
+
+ protected:
+  bool try_step() override;
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kDraining,
+    kAwaitingRoleAcks,
+  };
+
+  void begin_role_change();
+  bool all_roles_acked() const;
+
+  CoreContext* ctx_;
+  Phase phase_ = Phase::kIdle;
+  bool drain_first_ = true;
+  int target_instance_ = 0;
+  std::unordered_set<SwitchId> acked_;
+  std::function<void(SimTime)> on_done_;
+};
+
+}  // namespace zenith

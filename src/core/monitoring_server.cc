@@ -1,0 +1,120 @@
+#include "core/monitoring_server.h"
+
+#include "common/logging.h"
+
+namespace zenith {
+
+MonitoringServer::MonitoringServer(CoreContext* ctx)
+    : Component(ctx->sim, "monitoring", ctx->config.monitoring_service),
+      ctx_(ctx) {
+  ctx_->fabric->replies().set_wake_callback([this] { kick(); });
+  ctx_->fabric->health_events().set_wake_callback([this] { kick(); });
+  ctx_->fabric->link_events().set_wake_callback([this] { kick(); });
+}
+
+bool MonitoringServer::try_step() {
+  // Health events first: a failure notification should not queue behind a
+  // burst of ACKs (the spec models them as separate processes).
+  if (process_health_event()) return true;
+  // Link/port transitions update the NIB's topology state directly (the
+  // Topo Event Handler owns only switch-level health, whose transitions
+  // gate OP scheduling).
+  NadirFifo<LinkHealthEvent>& links = ctx_->fabric->link_events();
+  if (!links.empty()) {
+    LinkHealthEvent event = links.peek();
+    ctx_->nib->set_link_up(event.link, event.up);
+    links.ack_pop();
+    return true;
+  }
+  return process_reply();
+}
+
+bool MonitoringServer::process_health_event() {
+  NadirFifo<SwitchHealthEvent>& events = ctx_->fabric->health_events();
+  if (events.empty()) return false;
+  SwitchHealthEvent event = events.peek();
+  // Forward to the Topo Event Handler's queue; it owns all health-state
+  // transitions in the NIB (P8: a single writer for switch health).
+  ctx_->topo_event_queue.push(event);
+  events.ack_pop();
+  return true;
+}
+
+bool MonitoringServer::process_reply() {
+  NadirFifo<SwitchReply>& replies = ctx_->fabric->replies();
+  if (replies.empty()) return false;
+  SwitchReply reply = replies.peek();
+  Nib& nib = *ctx_->nib;
+
+  switch (reply.type) {
+    case SwitchReply::Type::kAck: {
+      const Op& op = reply.op;
+      if (!nib.has_op(op.id)) {
+        // ACK for an OP this controller incarnation never registered (e.g.
+        // state installed by a previous master). Reconciliation owns such
+        // entries; recording a status for them would fabricate intent.
+        break;
+      }
+      switch (op.type) {
+        case OpType::kInstallRule:
+          // P3: always record the ACK.
+          nib.set_op_status(op.id, OpStatus::kDone);
+          nib.view_add_installed(reply.sw, op.id);
+          break;
+        case OpType::kDeleteRule:
+          nib.set_op_status(op.id, OpStatus::kDone);
+          nib.view_remove_installed(reply.sw, op.delete_target);
+          break;
+        case OpType::kClearTcam:
+          nib.set_op_status(op.id, OpStatus::kDone);
+          nib.view_clear_switch(reply.sw);
+          // The Topo Event Handler finalizes the recovery (reset OPs, mark
+          // UP) — Figure A.5 steps 6-8.
+          ctx_->cleanup_reply_queue.push(reply);
+          break;
+        case OpType::kDumpTable:
+          break;  // dumps arrive as kDumpReply, not kAck
+      }
+      break;
+    }
+    case SwitchReply::Type::kDumpReply:
+      if (reply.xid & kReconciliationXidFlag) {
+        // Periodic-reconciliation dump (PR baseline).
+        ctx_->reconciler_reply_queue.push(reply);
+      } else {
+        // Directed-reconciliation read — the Topo Event Handler diffs it.
+        ctx_->cleanup_reply_queue.push(reply);
+      }
+      break;
+    case SwitchReply::Type::kRoleAck:
+      ctx_->role_reply_queue.push(reply);
+      break;
+  }
+  replies.ack_pop();
+  return true;
+}
+
+void MonitoringServer::on_restart() {
+  // Keepalive re-establishment: after an OFC outage the monitoring server
+  // re-learns every switch's liveness and synthesizes the events the dead
+  // instance missed. Without this, a failure event lost with the old
+  // instance would leave the NIB permanently stale.
+  Nib& nib = *ctx_->nib;
+  for (SwitchId sw : nib.switches()) {
+    bool actually_up = ctx_->fabric->alive(sw);
+    SwitchHealth recorded = nib.switch_health(sw);
+    if (!actually_up && recorded != SwitchHealth::kDown) {
+      SwitchHealthEvent event;
+      event.type = SwitchHealthEvent::Type::kFailure;
+      event.sw = sw;
+      ctx_->topo_event_queue.push(event);
+    } else if (actually_up && recorded == SwitchHealth::kDown) {
+      SwitchHealthEvent event;
+      event.type = SwitchHealthEvent::Type::kRecovery;
+      event.sw = sw;
+      ctx_->topo_event_queue.push(event);
+    }
+  }
+}
+
+}  // namespace zenith

@@ -1,0 +1,36 @@
+// The OFC Monitoring Server (Table 1): terminates switch channels, collects
+// ACKs and health events, and updates the NIB.
+//
+// Verified-spec behaviours preserved:
+//  * P3: every ACK updates the NIB — an install ACK marks the OP DONE and
+//    adds it to the controller's routing view (R_c) no matter what state the
+//    OP was in (stale-state races are resolved by the recovery pipeline's
+//    ordering, not by dropping ACKs);
+//  * P4(2): ACKs from one switch are processed in arrival order (the fabric
+//    guarantees per-switch FIFO delivery, this component processes FIFO);
+//  * routing: CLEAR_TCAM ACKs and directed-reconciliation dumps are
+//    forwarded to the Topo Event Handler, role ACKs to the failover
+//    manager, and raw health events to the Topo Event Handler.
+#pragma once
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class MonitoringServer : public Component {
+ public:
+  explicit MonitoringServer(CoreContext* ctx);
+
+ protected:
+  bool try_step() override;
+  void on_restart() override;
+
+ private:
+  bool process_reply();
+  bool process_health_event();
+
+  CoreContext* ctx_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,34 @@
+#include "core/nib_event_handler.h"
+
+namespace zenith {
+
+NibEventHandler::NibEventHandler(CoreContext* ctx)
+    : Component(ctx->sim, "nib_event_handler", ctx->config.nib_event_service),
+      ctx_(ctx) {
+  ctx_->nib_event_queue.set_wake_callback([this] { kick(); });
+}
+
+void NibEventHandler::register_app_sink(NadirFifo<NibEvent>* sink) {
+  app_sinks_.push_back(sink);
+}
+
+bool NibEventHandler::try_step() {
+  NadirFifo<NibEvent>& queue = ctx_->nib_event_queue;
+  if (queue.empty()) return false;
+  NibEvent event = queue.peek();
+
+  // Sequencers: everything is a potential scheduling trigger.
+  for (auto& wakeup : ctx_->sequencer_wakeups) wakeup->push(event);
+
+  // Applications: health + DAG lifecycle (OP-level chatter stays internal).
+  bool app_relevant = event.type == NibEvent::Type::kSwitchHealthChanged ||
+                      event.type == NibEvent::Type::kDagDone ||
+                      event.type == NibEvent::Type::kTopologyChanged;
+  if (app_relevant) {
+    for (NadirFifo<NibEvent>* sink : app_sinks_) sink->push(event);
+  }
+  queue.ack_pop();
+  return true;
+}
+
+}  // namespace zenith

@@ -1,0 +1,35 @@
+// The DE NIB Event Handler (Table 1): "produces/consumes events for/from
+// the NIB and is familiar with NIB semantics".
+//
+// It drains the NIB's (persistent) event queue and fans events out to the
+// Sequencer wake queues and to registered application sinks. Sequencers
+// treat the events purely as wake hints and re-derive truth from the NIB, so
+// losing the volatile wake queues on a DE failure is harmless — the restart
+// rescan covers it.
+#pragma once
+
+#include <vector>
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class NibEventHandler : public Component {
+ public:
+  explicit NibEventHandler(CoreContext* ctx);
+
+  /// Registers an application's event sink; the app sees switch-health and
+  /// DAG lifecycle events (§3.6: "the controller correctly notifies
+  /// applications of data plane events").
+  void register_app_sink(NadirFifo<NibEvent>* sink);
+
+ protected:
+  bool try_step() override;
+
+ private:
+  CoreContext* ctx_;
+  std::vector<NadirFifo<NibEvent>*> app_sinks_;
+};
+
+}  // namespace zenith

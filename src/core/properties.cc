@@ -1,0 +1,159 @@
+#include "core/properties.h"
+
+#include <sstream>
+
+namespace zenith {
+
+void DagOrderChecker::attach(Fabric& fabric) {
+  fabric.set_install_observer(
+      [this](SwitchId sw, OpId op, SimTime t) { on_install(sw, op, t); });
+}
+
+void DagOrderChecker::register_dag(const Dag& dag) {
+  for (OpId id : dag.op_ids()) {
+    if (dag.op(id).type != OpType::kInstallRule) continue;
+    EdgeInfo info;
+    info.dag = dag.id();
+    for (OpId pred : dag.predecessors(id)) {
+      // Only install->install edges constrain data-plane order; a deletion
+      // predecessor completes in the controller's pipeline, not as an
+      // install event.
+      if (dag.op(pred).type == OpType::kInstallRule) {
+        info.predecessors.push_back(pred);
+      }
+    }
+    edges_[id] = std::move(info);
+  }
+}
+
+void DagOrderChecker::on_install(SwitchId sw, OpId op, SimTime t) {
+  ++installs_observed_;
+  ++install_count_[op];
+  if (!first_install_.count(op)) first_install_[op] = t;
+
+  auto it = edges_.find(op);
+  if (it == edges_.end()) return;
+  for (OpId pred : it->second.predecessors) {
+    auto pt = first_install_.find(pred);
+    if (pt == first_install_.end() || pt->second >= t) {
+      std::ostringstream msg;
+      msg << "CorrectDAGOrder violated: op" << op.value() << " installed on sw"
+          << sw.value() << " at t=" << to_seconds(t) << "s before predecessor op"
+          << pred.value()
+          << (pt == first_install_.end() ? " (never installed)" : "");
+      violations_.push_back(msg.str());
+    }
+  }
+}
+
+std::size_t DuplicateInstallMonitor::duplicate_installs() const {
+  std::size_t duplicates = 0;
+  for (const auto& [op, count] : checker_->install_count_) {
+    if (count > 1) duplicates += count - 1;
+  }
+  return duplicates;
+}
+
+ConsistencyReport ConsistencyChecker::check(std::optional<DagId> target) const {
+  ConsistencyReport report;
+  // ③ view vs data plane, per healthy switch (a failed switch's state is
+  // unobservable and the eventual-consistency claim is conditioned on
+  // recovery).
+  for (SwitchId sw : nib_->switches()) {
+    if (!fabric_->alive(sw)) continue;
+    const auto& view = nib_->view_installed(sw);
+    std::vector<OpId> actual = fabric_->at(sw).installed_ops();
+    for (OpId op : actual) {
+      if (!view.count(op)) {
+        report.view_consistent = false;
+        std::ostringstream msg;
+        msg << "hidden entry: op" << op.value() << " installed on sw"
+            << sw.value() << " but absent from NIB view";
+        report.diffs.push_back(msg.str());
+      }
+    }
+    for (OpId op : view) {
+      if (!fabric_->at(sw).has_entry(op)) {
+        report.view_consistent = false;
+        std::ostringstream msg;
+        msg << "phantom entry: NIB view claims op" << op.value() << " on sw"
+            << sw.value() << " but the switch does not have it";
+        report.diffs.push_back(msg.str());
+      }
+    }
+  }
+  // ② target DAG materialized in the data plane.
+  if (target.has_value() && nib_->has_dag(*target)) {
+    const Dag& dag = nib_->dag(*target);
+    for (const Op* op : dag.all_ops()) {
+      if (!fabric_->alive(op->sw)) continue;
+      if (op->type == OpType::kInstallRule &&
+          !fabric_->at(op->sw).has_entry(op->id)) {
+        report.dag_installed = false;
+        std::ostringstream msg;
+        msg << "dag" << target->value() << ": install op" << op->id.value()
+            << " missing on sw" << op->sw.value();
+        report.diffs.push_back(msg.str());
+      }
+      if (op->type == OpType::kDeleteRule &&
+          fabric_->at(op->sw).has_entry(op->delete_target)) {
+        report.dag_installed = false;
+        std::ostringstream msg;
+        msg << "dag" << target->value() << ": delete op" << op->id.value()
+            << " not effective: target op" << op->delete_target.value()
+            << " still on sw" << op->sw.value();
+        report.diffs.push_back(msg.str());
+      }
+    }
+  }
+  return report;
+}
+
+bool ConsistencyChecker::hidden_entry_signature() const {
+  for (SwitchId sw : nib_->switches()) {
+    if (!fabric_->alive(sw)) continue;
+    if (nib_->switch_health(sw) != SwitchHealth::kUp) continue;
+    for (OpId op : fabric_->at(sw).installed_ops()) {
+      if (nib_->has_op(op) && nib_->op_status(op) == OpStatus::kNone) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ConsistencyChecker::converged(DagId target) const {
+  if (!nib_->dag_is_done(target)) return false;
+  ConsistencyReport report = check(target);
+  return report.view_consistent && report.dag_installed;
+}
+
+bool ConsistencyChecker::converged_scoped(DagId target) const {
+  if (!nib_->dag_is_done(target)) return false;
+  if (!nib_->has_dag(target)) return false;
+  const Dag& dag = nib_->dag(target);
+  for (const Op* op : dag.all_ops()) {
+    if (!fabric_->alive(op->sw)) continue;
+    if (op->type == OpType::kInstallRule &&
+        !fabric_->at(op->sw).has_entry(op->id)) {
+      return false;
+    }
+    if (op->type == OpType::kDeleteRule &&
+        fabric_->at(op->sw).has_entry(op->delete_target)) {
+      return false;
+    }
+  }
+  // View agreement on touched switches. Cardinality comparison: with the
+  // DAG's own entries verified above, a view/table size mismatch is the
+  // remaining signature of divergence (hidden or phantom entries), and it
+  // avoids scanning thousands of preloaded background entries per poll.
+  for (SwitchId sw : dag.touched_switches()) {
+    if (!fabric_->alive(sw)) continue;
+    if (nib_->view_installed(sw).size() != fabric_->at(sw).table_size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace zenith

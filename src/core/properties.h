@@ -1,0 +1,111 @@
+// Runtime monitors for the paper's correctness conditions (§3.3) and the
+// auxiliary safety checks of §B.
+//
+// The TLAPS proof (Appendix F) establishes these for the specification; the
+// monitors enforce them dynamically over every simulated execution, which is
+// this reproduction's substitute for machine-checked proofs (DESIGN.md §2).
+//
+//  ① CorrectDAGOrder      — DagOrderChecker (safety, checked online)
+//  ② CorrectDAGInstalled  — ConsistencyChecker::dag_installed (checked at
+//                            quiescence — the "eventually always" part)
+//  ③ CorrectRoutingState  — ConsistencyChecker::view_consistent
+//  §B duplicate installs  — DuplicateInstallMonitor (counts; duplicates are
+//                            legal only under switch-failure uncertainty)
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "dag/dag.h"
+#include "dataplane/fabric.h"
+#include "nib/nib.h"
+
+namespace zenith {
+
+/// Checks condition ①: for every DAG edge (r1, r2), the first install of r2
+/// happens after the first install of r1.
+class DagOrderChecker {
+ public:
+  /// Hooks the fabric's install observer. Call once, before running.
+  void attach(Fabric& fabric);
+
+  /// Registers a DAG whose edges must be respected (call for every DAG the
+  /// experiment submits).
+  void register_dag(const Dag& dag);
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+  std::size_t installs_observed() const { return installs_observed_; }
+
+ private:
+  void on_install(SwitchId sw, OpId op, SimTime t);
+
+  struct EdgeInfo {
+    std::vector<OpId> predecessors;
+    DagId dag;
+  };
+  std::unordered_map<OpId, EdgeInfo> edges_;
+  std::unordered_map<OpId, SimTime> first_install_;
+  std::unordered_map<OpId, std::size_t> install_count_;
+  std::vector<std::string> violations_;
+  std::size_t installs_observed_ = 0;
+
+  friend class DuplicateInstallMonitor;
+};
+
+/// §B: "the controller installs an OP at most once" — relaxed to "at most
+/// once unless switch-failure uncertainty forced a re-send". The monitor
+/// reports the duplicate count so experiments can assert it is zero in
+/// failure-free runs.
+class DuplicateInstallMonitor {
+ public:
+  explicit DuplicateInstallMonitor(const DagOrderChecker* checker)
+      : checker_(checker) {}
+
+  std::size_t duplicate_installs() const;
+
+ private:
+  const DagOrderChecker* checker_;
+};
+
+struct ConsistencyReport {
+  bool view_consistent = true;   // ③: R_c == G_d on healthy switches
+  bool dag_installed = true;     // ②: target DAG's installs present in G_d
+  std::vector<std::string> diffs;
+};
+
+/// Ground-truth comparison between the NIB and the actual data plane. The
+/// harness uses it both to validate Zenith (must hold at quiescence) and to
+/// detect PR's windows of inconsistency.
+class ConsistencyChecker {
+ public:
+  ConsistencyChecker(const Nib* nib, const Fabric* fabric)
+      : nib_(nib), fabric_(fabric) {}
+
+  /// Full report; `target` adds the condition-② check for that DAG.
+  ConsistencyReport check(std::optional<DagId> target) const;
+
+  /// Convergence predicate used by the evaluation: the controller certified
+  /// the DAG in the NIB *and* the ground truth agrees.
+  bool converged(DagId target) const;
+
+  /// Like converged(), but ground truth is checked only on the switches the
+  /// DAG touches. Equivalent for convergence purposes (the DAG's fate is
+  /// decided there) and O(DAG) instead of O(network) — the probe the
+  /// large-topology benchmarks poll at millisecond granularity.
+  bool converged_scoped(DagId target) const;
+
+  /// The §G hidden-entry signature: a rule present on a healthy (and
+  /// NIB-believed-UP) switch whose OP the NIB records as never installed
+  /// (status NONE). Unlike transient in-flight divergence, this state means
+  /// the controller has no record of the rule at all — the Figure 2 hazard.
+  bool hidden_entry_signature() const;
+
+ private:
+  const Nib* nib_;
+  const Fabric* fabric_;
+};
+
+}  // namespace zenith

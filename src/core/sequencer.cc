@@ -1,0 +1,78 @@
+#include "core/sequencer.h"
+
+#include "common/logging.h"
+
+namespace zenith {
+
+Sequencer::Sequencer(CoreContext* ctx, std::size_t index)
+    : Component(ctx->sim, "sequencer" + std::to_string(index),
+                ctx->config.sequencer_service),
+      ctx_(ctx),
+      index_(index) {
+  ctx_->sequencer_wakeups.at(index)->set_wake_callback([this] { kick(); });
+}
+
+bool Sequencer::owns_current_dag() const {
+  auto current = ctx_->nib->current_dag();
+  return current.has_value() && ctx_->sequencer_of(*current) == index_;
+}
+
+bool Sequencer::try_step() {
+  // Drain wake hints; all truth lives in the NIB.
+  NadirFifo<NibEvent>& wakeups = *ctx_->sequencer_wakeups.at(index_);
+  bool had_events = !wakeups.empty();
+  while (!wakeups.empty()) wakeups.pop();
+
+  if (!owns_current_dag()) return had_events;
+  Nib& nib = *ctx_->nib;
+  const Dag& dag = nib.dag(*nib.current_dag());
+
+  std::size_t scheduled = schedule_ready_ops(dag);
+
+  if (dag_complete(dag) && !nib.dag_is_done(dag.id())) {
+    // The controller certifies in the NIB that the data plane converged to
+    // this DAG (§6 "Metrics" — this is the convergence endpoint).
+    nib.mark_dag_done(dag.id());
+    nib.publish_dag_done(dag.id());
+    ZLOG_DEBUG("dag%u certified done", dag.id().value());
+    return true;
+  }
+  return had_events || scheduled > 0;
+}
+
+std::size_t Sequencer::schedule_ready_ops(const Dag& dag) {
+  Nib& nib = *ctx_->nib;
+  std::size_t scheduled = 0;
+  for (OpId id : dag.op_ids()) {
+    if (nib.op_status(id) != OpStatus::kNone) continue;
+    bool ready = true;
+    for (OpId pred : dag.predecessors(id)) {
+      if (nib.op_status(pred) != OpStatus::kDone) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+    const Op& op = nib.op(id);
+    if (nib.switch_health(op.sw) != SwitchHealth::kUp) continue;  // P7 gate
+    nib.set_op_status(id, OpStatus::kScheduled);
+    ctx_->op_queue_for(op.sw).push(id);
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+bool Sequencer::dag_complete(const Dag& dag) const {
+  for (OpId id : dag.op_ids()) {
+    if (ctx_->nib->op_status(id) != OpStatus::kDone) return false;
+  }
+  return true;
+}
+
+void Sequencer::on_restart() {
+  // Nothing to rebuild: the rescan in try_step derives everything from the
+  // NIB. (This is the paper's "state recording and crash recovery" fix —
+  // the initial buggy design cached scheduling progress locally.)
+}
+
+}  // namespace zenith

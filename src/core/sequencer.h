@@ -1,0 +1,40 @@
+// The DE Sequencer (Table 1): "a set of workers that ensure OPs are
+// installed in the order the DAG enforces".
+//
+// Scheduling predicate (the verbatim P2 condition from §F): an OP is
+// schedulable iff it (a) belongs to the current DAG, (b) has status NONE
+// (not in progress, not installed), (c) every DAG predecessor is DONE, and
+// (d) its switch is UP in the NIB (P7: nothing is sent to a failed switch
+// until its cleanup completes; the Worker Pool re-checks, this is the
+// fast-path gate).
+//
+// The sequencer keeps no durable state: the current DAG and all OP statuses
+// live in the NIB, so a crash + restart (or DE failover) resumes scheduling
+// exactly where the NIB says things stand (Theorem F.4's no-deadlock
+// argument relies on this rescan).
+#pragma once
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class Sequencer : public Component {
+ public:
+  Sequencer(CoreContext* ctx, std::size_t index);
+
+ protected:
+  bool try_step() override;
+  void on_restart() override;
+
+ private:
+  bool owns_current_dag() const;
+  /// Schedules every currently-ready OP; returns how many were scheduled.
+  std::size_t schedule_ready_ops(const Dag& dag);
+  bool dag_complete(const Dag& dag) const;
+
+  CoreContext* ctx_;
+  std::size_t index_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,56 @@
+// The OFC Topo Event Handler: owns every switch-health transition in the
+// NIB and orchestrates the switch-recovery pipeline of Figure A.5:
+//
+//   failure  -> mark the switch DOWN immediately (P8(1)); leave OP states
+//               untouched (P7 freeze-on-failure);
+//   recovery -> mark RECOVERING, issue CLEAR_TCAM *through the Worker Pool*
+//               (P6 — bypassing it would race in-flight OPs), and only when
+//               the CLEAR ACK arrives: first reset all of the switch's OP
+//               states, then mark the switch UP (P8(2); the §G / Figure A.8
+//               counterexample is exactly this ordering reversed, available
+//               behind SpecBugs::mark_up_before_reset).
+//
+// ZENITH-DR (§3.9 "Directed Reconciliation") replaces the wipe with a
+// targeted dump-and-diff of just the recovered switch.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class TopoEventHandler : public Component {
+ public:
+  explicit TopoEventHandler(CoreContext* ctx);
+
+ protected:
+  bool try_step() override;
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  bool process_health_event();
+  bool process_cleanup_reply();
+  bool process_deferred_reset();
+
+  void handle_failure(SwitchId sw);
+  void handle_recovery(SwitchId sw);
+  void issue_cleanup(SwitchId sw);
+  /// Reset all OP state for `sw` and mark it UP (the order depends on the
+  /// mark_up_before_reset bug knob).
+  void finalize_recovery(SwitchId sw);
+  void reset_switch_ops(SwitchId sw);
+  void apply_directed_diff(const SwitchReply& dump);
+  /// True when a newer cleanup OP for `sw` is still outstanding.
+  bool newer_cleanup_pending(SwitchId sw, OpId acked) const;
+
+  CoreContext* ctx_;
+  /// Bug-mode only: switches whose OP reset was deferred past the UP write,
+  /// with the time the (slow) reset computation completes.
+  std::vector<std::pair<SwitchId, SimTime>> deferred_resets_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,29 @@
+#include "core/watchdog.h"
+
+#include "common/logging.h"
+
+namespace zenith {
+
+Watchdog::Watchdog(CoreContext* ctx) : ctx_(ctx) {}
+
+void Watchdog::watch(Component* component) { watched_.push_back(component); }
+
+void Watchdog::start() {
+  if (running_) return;
+  running_ = true;
+  scan();
+}
+
+void Watchdog::scan() {
+  if (!running_) return;
+  for (Component* c : watched_) {
+    if (!c->alive() && !c->held()) {
+      ZLOG_DEBUG("watchdog restarting %s", c->name().c_str());
+      c->restart();
+      ++restarts_;
+    }
+  }
+  ctx_->sim->schedule(ctx_->config.watchdog_period, [this] { scan(); });
+}
+
+}  // namespace zenith

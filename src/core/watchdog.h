@@ -1,0 +1,37 @@
+// The Watchdog (Table 1): "monitors all the submodules and restarts them if
+// they fail". Partial control-plane failures (Table 3, CP Partial) are
+// survivable precisely because every component keeps its durable state in
+// the NIB and its work items in ack-pop queues; the Watchdog just has to
+// notice and restart.
+#pragma once
+
+#include <vector>
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class Watchdog {
+ public:
+  Watchdog(CoreContext* ctx);
+
+  /// Registers a component for supervision.
+  void watch(Component* component);
+
+  /// Starts the periodic scan.
+  void start();
+  void stop() { running_ = false; }
+
+  std::uint64_t restarts() const { return restarts_; }
+
+ private:
+  void scan();
+
+  CoreContext* ctx_;
+  std::vector<Component*> watched_;
+  bool running_ = false;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace zenith

@@ -1,0 +1,140 @@
+#include "core/worker_pool.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace zenith {
+
+Worker::Worker(CoreContext* ctx, WorkerId id)
+    : Component(ctx->sim, "worker" + std::to_string(id.value()),
+                ctx->config.worker_service),
+      ctx_(ctx),
+      id_(id) {
+  ctx_->op_queues.at(id.value())->set_wake_callback([this] { kick(); });
+}
+
+void Worker::forward(const Op& op) {
+  SwitchRequest request;
+  request.op = op;
+  request.xid = op.id.value();
+  switch (op.type) {
+    case OpType::kInstallRule:
+      request.type = SwitchRequest::Type::kInstall;
+      break;
+    case OpType::kDeleteRule:
+      request.type = SwitchRequest::Type::kDelete;
+      break;
+    case OpType::kClearTcam:
+      request.type = SwitchRequest::Type::kClearTcam;
+      break;
+    case OpType::kDumpTable:
+      request.type = SwitchRequest::Type::kDumpTable;
+      break;
+  }
+  ctx_->fabric->send(op.sw, request);
+}
+
+bool Worker::try_step() {
+  if (ctx_->workers_paused) return false;
+  const SpecBugs& bugs = ctx_->config.bugs;
+  NadirFifo<OpId>& queue = *ctx_->op_queues.at(id_.value());
+
+  if (bugs.pop_before_process) {
+    // Buggy two-phase discipline: dequeue now, process on the next step.
+    // The OP is held only in volatile local state in between — a crash in
+    // that window silently drops it (no NIB record, no queue entry).
+    if (popped_op_.has_value()) {
+      OpId op_id = *popped_op_;
+      popped_op_.reset();
+      process(op_id);
+      return true;
+    }
+    if (queue.empty()) return false;
+    popped_op_ = queue.pop();
+    return true;
+  }
+
+  if (queue.empty()) return false;
+  process(queue.peek());  // AckQueueRead
+  return true;
+}
+
+void Worker::process(OpId op_id) {
+  NadirFifo<OpId>& queue = *ctx_->op_queues.at(id_.value());
+  Nib& nib = *ctx_->nib;
+  const SpecBugs& bugs = ctx_->config.bugs;
+  const Op& op = nib.op(op_id);
+
+  // Record in-progress state first (Listing 3 line 7) so crash recovery can
+  // see a half-processed OP.
+  nib.set_worker_state(id_, op_id);
+
+  // CLEAR_TCAM (and DR dumps) are exempt from the health gate: P7 "the
+  // instruction to clear a switch is an exception".
+  bool health_exempt =
+      op.type == OpType::kClearTcam || op.type == OpType::kDumpTable;
+  if (health_exempt || nib.switch_up(op.sw)) {
+    if (bugs.send_before_record) {
+      // Listing 1 ordering: ForwardOP before UpdateNIBSend. A crash (or a
+      // fast ACK) between the two lines leaves the NIB stale.
+      forward(op);
+      nib.set_op_status(op_id, OpStatus::kSent);
+    } else {
+      // Listing 3 ordering: UpdateNIBSend, then ForwardOP.
+      nib.set_op_status(op_id, OpStatus::kSent);
+      forward(op);
+    }
+  } else {
+    // Report failure if switch is dead (UpdateNIBFail).
+    nib.set_op_status(op_id, OpStatus::kFailedSwitch);
+  }
+
+  // Clear the in-progress slot, then drop the queue entry (RemoveOPFromQueue).
+  nib.set_worker_state(id_, std::nullopt);
+  if (!bugs.pop_before_process) queue.ack_pop();
+}
+
+void Worker::on_crash() { popped_op_.reset(); }
+
+void Worker::on_restart() {
+  // WorkerPoolStateRecovery (Listing 3 line 4): if the in-progress slot is
+  // set we crashed mid-item. The item is still at the head of our queue
+  // (ack-pop never ran), so normal processing re-handles it; re-sending an
+  // already-sent OP is safe because installs and deletes are idempotent by
+  // OP id (§B relaxes at-most-once delivery in exactly this case).
+  auto pending = ctx_->nib->worker_state(id_);
+  if (pending.has_value()) {
+    ZLOG_DEBUG("worker%u recovery: op%u was in progress", id_.value(),
+               pending->value());
+    ctx_->nib->set_worker_state(id_, std::nullopt);
+  }
+}
+
+WorkerPool::WorkerPool(CoreContext* ctx) {
+  for (std::size_t i = 0; i < ctx->config.num_workers; ++i) {
+    workers_.push_back(
+        std::make_unique<Worker>(ctx, WorkerId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+void WorkerPool::kick_all() {
+  for (auto& w : workers_) w->kick();
+}
+
+void WorkerPool::crash_all() {
+  for (auto& w : workers_) w->crash();
+}
+
+void WorkerPool::restart_all() {
+  for (auto& w : workers_) w->restart();
+}
+
+std::vector<Component*> WorkerPool::components() {
+  std::vector<Component*> out;
+  out.reserve(workers_.size());
+  for (auto& w : workers_) out.push_back(w.get());
+  return out;
+}
+
+}  // namespace zenith

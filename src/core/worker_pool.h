@@ -1,0 +1,69 @@
+// The OFC Worker Pool (Table 1): workers translate OPs into protocol
+// messages and forward them to switches.
+//
+// Correctness machinery carried over from the verified spec (Listing 3):
+//  * consistent sharding — each switch is owned by exactly one worker, so
+//    per-switch OP order is preserved end to end (P4) and no two workers
+//    ever process the same task (§B concurrency-violation safety);
+//  * crash-safe event processing — AckQueueRead / process / AckQueuePop: a
+//    crash mid-item re-delivers it on restart;
+//  * record-before-act — the worker writes its in-progress slot and the
+//    OP's SENT status into the NIB *before* emitting the message (P3);
+//    Listing 1's send-before-record bug is available behind a SpecBugs knob.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/component.h"
+#include "core/context.h"
+
+namespace zenith {
+
+class Worker : public Component {
+ public:
+  Worker(CoreContext* ctx, WorkerId id);
+
+  WorkerId worker_id() const { return id_; }
+
+  /// Test observability: true while the (buggy) two-phase discipline holds
+  /// a dequeued OP in volatile local state.
+  bool holding_popped_op() const { return popped_op_.has_value(); }
+
+ protected:
+  bool try_step() override;
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  void forward(const Op& op);
+  void process(OpId op_id);
+
+  CoreContext* ctx_;
+  WorkerId id_;
+  /// pop-before-process bug only: the dequeued-but-unprocessed OP lives in
+  /// volatile local state for one service step — a crash in that window
+  /// loses it (the §3.9 "event processing" error class).
+  std::optional<OpId> popped_op_;
+};
+
+/// Owns the workers and offers pool-level crash/restart (partial CP failure
+/// kills one worker; complete OFC failure kills all of them).
+class WorkerPool {
+ public:
+  explicit WorkerPool(CoreContext* ctx);
+
+  std::size_t size() const { return workers_.size(); }
+  Worker& worker(std::size_t i) { return *workers_.at(i); }
+
+  void kick_all();
+  void crash_all();
+  void restart_all();
+  std::vector<Component*> components();
+
+ private:
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace zenith

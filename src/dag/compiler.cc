@@ -1,0 +1,89 @@
+#include "dag/compiler.h"
+
+#include <cassert>
+
+namespace zenith {
+
+int highest_priority(std::span<const Op> ops) {
+  int best = 0;
+  for (const Op& op : ops) {
+    if (op.type == OpType::kInstallRule) {
+      best = std::max(best, op.rule.priority);
+    }
+  }
+  return best;
+}
+
+CompiledPath compile_single_path(const Path& path, FlowId flow, int priority,
+                                 OpIdAllocator& ids) {
+  CompiledPath out;
+  assert(path.size() >= 2);
+  SwitchId dst = path.back();
+  // One install OP per forwarding hop (the destination switch itself needs
+  // no rule).
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Op op;
+    op.id = ids.next();
+    op.type = OpType::kInstallRule;
+    op.sw = path[i];
+    op.rule = FlowRule{flow, path[i], dst, path[i + 1], priority};
+    out.ops.push_back(op);
+  }
+  // Downstream before upstream: the hop closer to the destination must be
+  // installed first, so edges run from ops[i+1] (downstream) to ops[i].
+  for (std::size_t i = 0; i + 1 < out.ops.size(); ++i) {
+    out.edges.emplace_back(out.ops[i + 1].id, out.ops[i].id);
+  }
+  return out;
+}
+
+std::vector<Op> deletion_ops(std::span<const Op> ops, OpIdAllocator& ids) {
+  std::vector<Op> out;
+  for (const Op& op : ops) {
+    if (op.type != OpType::kInstallRule) continue;
+    Op del;
+    del.id = ids.next();
+    del.type = OpType::kDeleteRule;
+    del.sw = op.sw;
+    del.delete_target = op.id;
+    out.push_back(del);
+  }
+  return out;
+}
+
+Result<Dag> compile_replacement_dag(DagId dag_id,
+                                    const std::vector<Path>& new_paths,
+                                    const std::vector<FlowId>& flow_of_path,
+                                    std::span<const Op> previous_ops,
+                                    OpIdAllocator& ids) {
+  if (new_paths.size() != flow_of_path.size()) {
+    return Error::invalid_argument("paths/flows size mismatch");
+  }
+  Dag dag(dag_id);
+  int priority = highest_priority(previous_ops) + 1;
+  for (std::size_t i = 0; i < new_paths.size(); ++i) {
+    if (new_paths[i].size() < 2) {
+      return Error::invalid_argument("path must have at least two hops");
+    }
+    CompiledPath compiled =
+        compile_single_path(new_paths[i], flow_of_path[i], priority, ids);
+    for (const Op& op : compiled.ops) {
+      auto st = dag.add_op(op);
+      if (!st.ok()) return st.error();
+    }
+    for (auto [before, after] : compiled.edges) {
+      auto st = dag.add_edge(before, after);
+      if (!st.ok()) return st.error();
+    }
+  }
+  std::vector<Op> deletions = deletion_ops(previous_ops, ids);
+  if (!deletions.empty()) {
+    auto st = dag.expand_with(deletions);
+    if (!st.ok()) return st.error();
+  }
+  auto topo = dag.topological_order();
+  if (!topo.ok()) return topo.error();
+  return dag;
+}
+
+}  // namespace zenith

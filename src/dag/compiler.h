@@ -1,0 +1,56 @@
+// Compiling routing intents (sets of paths) into OP DAGs.
+//
+// This is the C++ analogue of the drain app's ComputeDrainDAG procedure
+// (Listing 6): new-path install OPs are ordered downstream-before-upstream
+// within each path, carry a priority strictly above every OP they replace,
+// and deletion OPs for the replaced rules are attached after all leaves so
+// the update is hitless.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dag/dag.h"
+#include "topo/paths.h"
+
+namespace zenith {
+
+/// Monotonically increasing OP id source. DAG transitions must never reuse
+/// ids: the NIB keys OP state by id, and id reuse would resurrect stale
+/// state (one of the §3.9 state-management pitfalls).
+class OpIdAllocator {
+ public:
+  OpId next() { return OpId(next_++); }
+
+ private:
+  std::uint32_t next_ = 1;
+};
+
+/// Equivalent of Listing 7's HighestPriorityInOPSet.
+int highest_priority(std::span<const Op> ops);
+
+struct CompiledPath {
+  std::vector<Op> ops;                       // one install per hop
+  std::vector<std::pair<OpId, OpId>> edges;  // downstream -> upstream order
+};
+
+/// Install OPs for one path at the given priority: hop i forwards flow
+/// traffic for path.back() to hop i+1. Edges order each hop after its
+/// downstream successor (ComputeSinglePathDAG).
+CompiledPath compile_single_path(const Path& path, FlowId flow, int priority,
+                                 OpIdAllocator& ids);
+
+/// Builds the full replacement DAG: installs all `new_paths` at a priority
+/// above everything in `previous_ops`, then deletes `previous_ops`' install
+/// rules after all installs complete. `flow_of_path[i]` names the flow path
+/// i carries (one flow may have one path).
+Result<Dag> compile_replacement_dag(DagId dag_id,
+                                    const std::vector<Path>& new_paths,
+                                    const std::vector<FlowId>& flow_of_path,
+                                    std::span<const Op> previous_ops,
+                                    OpIdAllocator& ids);
+
+/// Deletion OPs for every install OP in `ops` (GetDeletionOPs).
+std::vector<Op> deletion_ops(std::span<const Op> ops, OpIdAllocator& ids);
+
+}  // namespace zenith

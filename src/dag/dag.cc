@@ -1,0 +1,156 @@
+#include "dag/dag.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace zenith {
+
+const std::vector<OpId> Dag::kNoEdges;
+
+const char* to_string(OpType t) {
+  switch (t) {
+    case OpType::kInstallRule: return "install";
+    case OpType::kDeleteRule: return "delete";
+    case OpType::kClearTcam: return "clear_tcam";
+    case OpType::kDumpTable: return "dump";
+  }
+  return "?";
+}
+
+const char* to_string(OpStatus s) {
+  switch (s) {
+    case OpStatus::kNone: return "NONE";
+    case OpStatus::kScheduled: return "SCHEDULED";
+    case OpStatus::kInFlight: return "IN_FLIGHT";
+    case OpStatus::kSent: return "SENT";
+    case OpStatus::kDone: return "DONE";
+    case OpStatus::kFailedSwitch: return "FAILED_SW";
+  }
+  return "?";
+}
+
+std::string to_string(const Op& op) {
+  std::ostringstream out;
+  out << "op" << op.id.value() << "(" << to_string(op.type) << " sw"
+      << op.sw.value();
+  if (op.type == OpType::kInstallRule) {
+    out << " dst=sw" << op.rule.dst.value() << " nh=sw"
+        << op.rule.next_hop.value() << " prio=" << op.rule.priority;
+  } else if (op.type == OpType::kDeleteRule) {
+    out << " target=op" << op.delete_target.value();
+  }
+  out << ")";
+  return out.str();
+}
+
+Status Dag::add_op(Op op) {
+  if (!op.id.valid()) return Error::invalid_argument("op id invalid");
+  if (ops_.count(op.id)) return Error::already_exists("duplicate op id");
+  order_.push_back(op.id);
+  ops_.emplace(op.id, std::move(op));
+  return Status::success();
+}
+
+Status Dag::add_edge(OpId before, OpId after) {
+  if (before == after) return Error::invalid_argument("self edge");
+  if (!contains(before) || !contains(after)) {
+    return Error::invalid_argument("edge endpoint not a node");
+  }
+  auto& succs = succ_[before];
+  if (std::find(succs.begin(), succs.end(), after) != succs.end()) {
+    return Error::already_exists("duplicate edge");
+  }
+  succs.push_back(after);
+  pred_[after].push_back(before);
+  ++edge_count_;
+  return Status::success();
+}
+
+std::vector<const Op*> Dag::all_ops() const {
+  std::vector<const Op*> out;
+  out.reserve(order_.size());
+  for (OpId id : order_) out.push_back(&ops_.at(id));
+  return out;
+}
+
+const std::vector<OpId>& Dag::successors(OpId id) const {
+  auto it = succ_.find(id);
+  return it == succ_.end() ? kNoEdges : it->second;
+}
+
+const std::vector<OpId>& Dag::predecessors(OpId id) const {
+  auto it = pred_.find(id);
+  return it == pred_.end() ? kNoEdges : it->second;
+}
+
+std::vector<OpId> Dag::roots() const {
+  std::vector<OpId> out;
+  for (OpId id : order_) {
+    if (predecessors(id).empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<OpId> Dag::leaves() const {
+  std::vector<OpId> out;
+  for (OpId id : order_) {
+    if (successors(id).empty()) out.push_back(id);
+  }
+  return out;
+}
+
+Result<std::vector<OpId>> Dag::topological_order() const {
+  std::unordered_map<OpId, std::size_t> indegree;
+  for (OpId id : order_) indegree[id] = predecessors(id).size();
+  std::deque<OpId> ready;
+  for (OpId id : order_) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  std::vector<OpId> out;
+  out.reserve(order_.size());
+  while (!ready.empty()) {
+    OpId cur = ready.front();
+    ready.pop_front();
+    out.push_back(cur);
+    for (OpId next : successors(cur)) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (out.size() != order_.size()) {
+    return Error::invalid_argument("DAG contains a cycle");
+  }
+  return out;
+}
+
+Status Dag::expand_with(std::span<const Op> tail) {
+  std::vector<OpId> old_leaves = leaves();
+  for (const Op& op : tail) {
+    auto st = add_op(op);
+    if (!st.ok()) return st;
+  }
+  for (OpId leaf : old_leaves) {
+    for (const Op& op : tail) {
+      auto st = add_edge(leaf, op.id);
+      if (!st.ok()) return st;
+    }
+  }
+  return Status::success();
+}
+
+std::vector<std::pair<OpId, OpId>> Dag::edges() const {
+  std::vector<std::pair<OpId, OpId>> out;
+  out.reserve(edge_count_);
+  for (OpId id : order_) {
+    for (OpId next : successors(id)) out.emplace_back(id, next);
+  }
+  return out;
+}
+
+std::unordered_set<SwitchId> Dag::touched_switches() const {
+  std::unordered_set<SwitchId> out;
+  for (OpId id : order_) out.insert(ops_.at(id).sw);
+  return out;
+}
+
+}  // namespace zenith

@@ -1,0 +1,77 @@
+// The DAG abstraction (§3.1): a directed acyclic graph of OPs whose edges
+// are install-order dependencies. "C:D before A:C" — the downstream rule
+// must exist before traffic is steered onto it, making updates hitless.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "dag/op.h"
+
+namespace zenith {
+
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(DagId id) : id_(id) {}
+
+  DagId id() const { return id_; }
+  void set_id(DagId id) { id_ = id; }
+
+  /// Adds an OP node. Rejects duplicate ids.
+  Status add_op(Op op);
+
+  /// Adds a dependency edge: `before` must be installed before `after`.
+  /// Both must already be nodes; rejects self-edges and duplicates.
+  Status add_edge(OpId before, OpId after);
+
+  bool contains(OpId id) const { return ops_.count(id) > 0; }
+  const Op& op(OpId id) const { return ops_.at(id); }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// All OP ids (deterministic: insertion order).
+  const std::vector<OpId>& op_ids() const { return order_; }
+  std::vector<const Op*> all_ops() const;
+
+  const std::vector<OpId>& successors(OpId id) const;
+  const std::vector<OpId>& predecessors(OpId id) const;
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// OPs with no predecessors.
+  std::vector<OpId> roots() const;
+  /// OPs with no successors.
+  std::vector<OpId> leaves() const;
+
+  /// Validates acyclicity and edge endpoints; returns a topological order on
+  /// success (stable w.r.t. insertion order among independent nodes).
+  Result<std::vector<OpId>> topological_order() const;
+  bool is_acyclic() const { return topological_order().ok(); }
+
+  /// Attaches every OP in `tail` after all current leaves (Listing 6's
+  /// ExpandDAG: cleanup deletions run only after the whole new DAG is in).
+  Status expand_with(std::span<const Op> tail);
+
+  /// Edge list as (before, after) pairs, for checkers.
+  std::vector<std::pair<OpId, OpId>> edges() const;
+
+  /// Set of switches touched by this DAG.
+  std::unordered_set<SwitchId> touched_switches() const;
+
+ private:
+  DagId id_;
+  std::unordered_map<OpId, Op> ops_;
+  std::vector<OpId> order_;  // insertion order of nodes
+  std::unordered_map<OpId, std::vector<OpId>> succ_;
+  std::unordered_map<OpId, std::vector<OpId>> pred_;
+  std::size_t edge_count_ = 0;
+
+  static const std::vector<OpId> kNoEdges;
+};
+
+}  // namespace zenith

@@ -1,0 +1,64 @@
+// Protocol-agnostic operations (OPs) — the unit of intent in ZENITH (§3.1).
+//
+// An OP either installs a flow rule, deletes a previously installed rule, or
+// clears a switch's entire TCAM (the recovery cleanup instruction of §F,
+// Figure A.5). Applications never speak OpenFlow; the Worker Pool translates
+// OPs into protocol messages (§3.2).
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+
+namespace zenith {
+
+enum class OpType : std::uint8_t {
+  kInstallRule,
+  kDeleteRule,
+  kClearTcam,
+  /// Directed-reconciliation read (§3.9): dump one switch's table through
+  /// the normal OP pipeline so it serializes behind in-flight OPs (P4).
+  kDumpTable,
+};
+
+/// A match-action entry: traffic for `dst` (belonging to `flow`) at switch
+/// `sw` is forwarded to `next_hop`. Higher `priority` wins (Figure 2's
+/// hidden-entry example depends on priority shadowing).
+struct FlowRule {
+  FlowId flow;
+  SwitchId sw;
+  SwitchId dst;
+  SwitchId next_hop;
+  int priority = 0;
+
+  friend bool operator==(const FlowRule&, const FlowRule&) = default;
+};
+
+struct Op {
+  OpId id;
+  OpType type = OpType::kInstallRule;
+  SwitchId sw;           // target switch (also rule.sw for installs)
+  FlowRule rule;         // valid for kInstallRule
+  OpId delete_target;    // valid for kDeleteRule: install-OP to remove
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// NIB-tracked lifecycle of an OP (§3.9 "state machine design"). The
+/// transitional states exist precisely because of the "accounting for delays
+/// in operations" class of specification errors: the controller must
+/// distinguish "I decided to send" from "I sent" from "switch confirmed".
+enum class OpStatus : std::uint8_t {
+  kNone,        // not yet scheduled (or reset after switch recovery)
+  kScheduled,   // Sequencer enqueued it for the Worker Pool
+  kInFlight,    // Worker recorded intent-to-send in the NIB (pre-send, P3)
+  kSent,        // Worker handed it to the switch channel
+  kDone,        // Monitoring Server observed the ACK
+  kFailedSwitch // target switch known dead when the worker processed it
+};
+
+const char* to_string(OpType t);
+const char* to_string(OpStatus s);
+std::string to_string(const Op& op);
+
+}  // namespace zenith

@@ -1,0 +1,162 @@
+#include "dataplane/abstract_switch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace zenith {
+
+AbstractSwitch::AbstractSwitch(Simulator* sim, SwitchId id, Rng rng,
+                               SwitchTimings timings)
+    : sim_(sim), id_(id), rng_(std::move(rng)), timings_(timings) {
+  in_queue_.set_wake_callback([this] { schedule_service(); });
+}
+
+void AbstractSwitch::schedule_service() {
+  if (busy_ || !healthy_ || in_queue_.empty()) return;
+  busy_ = true;
+  // Service time: dump cost scales with table size, everything else is the
+  // per-op service constant (plus a little jitter so runs are not lockstep).
+  const SwitchRequest& head = in_queue_.peek();
+  SimTime service = head.type == SwitchRequest::Type::kDumpTable
+                        ? timings_.dump_cost(table_.size())
+                        : timings_.op_service;
+  service += static_cast<SimTime>(
+      rng_.next_below(static_cast<std::uint64_t>(timings_.op_service / 4 + 1)));
+  sim_->schedule(service, [this] { service_one(); });
+}
+
+void AbstractSwitch::service_one() {
+  busy_ = false;
+  if (!healthy_ || in_queue_.empty()) return;
+  // Pop-then-apply is safe here (unlike in the controller): per A3 a switch
+  // failure legitimately loses requests, so there is no crash-recovery
+  // obligation on this queue.
+  SwitchRequest request = in_queue_.pop();
+  apply(request);
+  schedule_service();
+}
+
+void AbstractSwitch::apply(const SwitchRequest& request) {
+  SwitchReply reply;
+  reply.sw = id_;
+  reply.xid = request.xid;
+  reply.op = request.op;
+  switch (request.type) {
+    case SwitchRequest::Type::kInstall: {
+      assert(request.op.type == OpType::kInstallRule);
+      // Re-install of the same OP id overwrites in place (idempotent).
+      auto it = std::find_if(table_.begin(), table_.end(),
+                             [&](const TableEntry& e) {
+                               return e.installed_by == request.op.id;
+                             });
+      if (it == table_.end()) {
+        table_.push_back(TableEntry{request.op.id, request.op.rule});
+      } else {
+        it->rule = request.op.rule;
+      }
+      if (!first_install_time_.count(request.op.id)) {
+        first_install_time_[request.op.id] = sim_->now();
+        if (install_observer_) {
+          install_observer_(id_, request.op.id, sim_->now());
+        }
+      }
+      reply.type = SwitchReply::Type::kAck;
+      break;
+    }
+    case SwitchRequest::Type::kDelete: {
+      auto it = std::find_if(table_.begin(), table_.end(),
+                             [&](const TableEntry& e) {
+                               return e.installed_by == request.op.delete_target;
+                             });
+      if (it != table_.end()) table_.erase(it);
+      // Deleting an absent rule still ACKs: the post-state ("rule not
+      // present") holds either way, and OpenFlow delete is idempotent.
+      reply.type = SwitchReply::Type::kAck;
+      break;
+    }
+    case SwitchRequest::Type::kClearTcam: {
+      table_.clear();
+      reply.type = SwitchReply::Type::kAck;
+      break;
+    }
+    case SwitchRequest::Type::kDumpTable: {
+      reply.type = SwitchReply::Type::kDumpReply;
+      reply.table.reserve(table_.size());
+      for (const TableEntry& e : table_) {
+        reply.table.push_back(DumpedEntry{e.installed_by, e.rule});
+      }
+      break;
+    }
+    case SwitchRequest::Type::kRoleChange: {
+      controller_role_ = request.role;
+      reply.type = SwitchReply::Type::kRoleAck;
+      reply.role = request.role;
+      break;
+    }
+  }
+  // A3: the ACK is emitted only after the state change above took effect.
+  if (reply_sink_) reply_sink_(reply);
+}
+
+bool AbstractSwitch::has_entry(OpId op) const {
+  return std::any_of(table_.begin(), table_.end(), [&](const TableEntry& e) {
+    return e.installed_by == op;
+  });
+}
+
+std::optional<AbstractSwitch::TableEntry> AbstractSwitch::lookup(
+    SwitchId dst) const {
+  std::optional<TableEntry> best;
+  for (const TableEntry& e : table_) {
+    if (e.rule.dst != dst) continue;
+    // Ties broken by table position: later installs shadow earlier ones at
+    // equal priority, matching typical switch behaviour.
+    if (!best || e.rule.priority >= best->rule.priority) best = e;
+  }
+  return best;
+}
+
+std::vector<OpId> AbstractSwitch::installed_ops() const {
+  std::vector<OpId> out;
+  out.reserve(table_.size());
+  for (const TableEntry& e : table_) out.push_back(e.installed_by);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AbstractSwitch::preload_entry(const Op& op) {
+  assert(op.type == OpType::kInstallRule);
+  if (!has_entry(op.id)) {
+    table_.push_back(TableEntry{op.id, op.rule});
+    first_install_time_.emplace(op.id, 0);
+  }
+}
+
+void AbstractSwitch::fail(FailureMode mode) {
+  if (!healthy_) return;
+  healthy_ = false;
+  switch (mode) {
+    case FailureMode::kCompletePermanent:
+    case FailureMode::kCompleteTransient:
+      table_.clear();
+      in_queue_.clear();
+      break;
+    case FailureMode::kPartialTransient:
+      // TCAM survives; ongoing requests are lost (§3.5).
+      in_queue_.clear();
+      break;
+  }
+  ZLOG_DEBUG("sw%u failed (mode=%d, table wiped=%d)", id_.value(),
+             static_cast<int>(mode), table_.empty());
+}
+
+void AbstractSwitch::recover() {
+  if (healthy_) return;
+  healthy_ = true;
+  ZLOG_DEBUG("sw%u recovered (table entries=%zu)", id_.value(), table_.size());
+  schedule_service();
+}
+
+}  // namespace zenith

@@ -1,0 +1,130 @@
+// AbstractSwitch: the simulated data-plane element (paper §3.5, Listing 2).
+//
+// Semantics preserved from the paper's AbstractSW model:
+//  * OpenFlow-like interface: install, delete, dump, role change, plus the
+//    CLEAR_TCAM recovery instruction.
+//  * Non-Byzantine (A3): a switch ACKs an OP if and only if it applied it,
+//    one request at a time, in arrival order; CLEAR_TCAM wipes the table
+//    completely and correctly.
+//  * Failure model along two axes — state loss (none / partial / complete)
+//    and duration (transient / permanent). A complete failure loses the
+//    routing table *and* every in-flight request; a partial one keeps the
+//    TCAM but drops queued requests.
+//  * Delays: request service time per message, dump cost growing with table
+//    size (calibrated to the Cumulus SN2100 measurements of Figure 4a).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "dag/op.h"
+#include "dataplane/messages.h"
+#include "sim/fifo.h"
+#include "sim/simulator.h"
+
+namespace zenith {
+
+/// How much state a failure destroys (§3.5 "State loss").
+enum class FailureMode : std::uint8_t {
+  kCompletePermanent,  // table + queues lost; never recovers
+  kCompleteTransient,  // table + queues lost; recovers later
+  kPartialTransient,   // TCAM survives; queued/in-flight requests lost
+};
+
+struct SwitchTimings {
+  /// Service time for install/delete/clear messages.
+  SimTime op_service = micros(50);
+  /// Dump cost: linear + mild quadratic term, calibrated so that a 512-entry
+  /// dump costs ~13 ms and a 4096-entry dump ~117 ms (Figure 4a).
+  double dump_linear_us = 24.94;
+  double dump_quadratic_us = 8.856e-4;
+
+  SimTime dump_cost(std::size_t entries) const {
+    double us = dump_linear_us * static_cast<double>(entries) +
+                dump_quadratic_us * static_cast<double>(entries) *
+                    static_cast<double>(entries);
+    return static_cast<SimTime>(us);
+  }
+};
+
+class AbstractSwitch {
+ public:
+  struct TableEntry {
+    OpId installed_by;
+    FlowRule rule;
+  };
+
+  /// Callback observing every *first* successful install, used by the
+  /// harness to check CorrectDAGOrder (correctness condition ①).
+  using InstallObserver = std::function<void(SwitchId, OpId, SimTime)>;
+
+  AbstractSwitch(Simulator* sim, SwitchId id, Rng rng,
+                 SwitchTimings timings = {});
+
+  SwitchId id() const { return id_; }
+  bool healthy() const { return healthy_; }
+
+  /// Queue carrying controller requests into the switch (the paper's SWInQ).
+  NadirFifo<SwitchRequest>& in_queue() { return in_queue_; }
+
+  /// The switch writes replies through this callback (SWOutQ is owned by the
+  /// fabric, which models the reverse channel's delay).
+  void set_reply_sink(std::function<void(SwitchReply)> sink) {
+    reply_sink_ = std::move(sink);
+  }
+  void set_install_observer(InstallObserver observer) {
+    install_observer_ = std::move(observer);
+  }
+
+  // ---- data plane inspection (used by the traffic model & checkers) -------
+
+  const std::vector<TableEntry>& table() const { return table_; }
+  bool has_entry(OpId op) const;
+  /// Highest-priority entry matching `dst`; ties broken by newest install.
+  std::optional<TableEntry> lookup(SwitchId dst) const;
+  std::size_t table_size() const { return table_.size(); }
+
+  /// Installed OP ids (G_d restricted to this switch, Table 2).
+  std::vector<OpId> installed_ops() const;
+
+  // ---- failure injection ----------------------------------------------------
+
+  /// Applies a failure. Complete modes wipe the table and pending queue;
+  /// partial keeps the table but loses queued requests. While down, the
+  /// switch processes nothing.
+  void fail(FailureMode mode);
+  /// Brings the switch back (invalid for permanent failures — the injector
+  /// never calls it in that case).
+  void recover();
+
+  /// The current master controller role (failover experiments).
+  int controller_role() const { return controller_role_; }
+
+  /// Test/experiment hook: place an entry directly in the table without the
+  /// request/ACK round trip (pre-existing state, hidden entries).
+  void preload_entry(const Op& op);
+
+ private:
+  void schedule_service();
+  void service_one();
+  void apply(const SwitchRequest& request);
+
+  Simulator* sim_;
+  SwitchId id_;
+  Rng rng_;
+  SwitchTimings timings_;
+  bool healthy_ = true;
+  bool busy_ = false;
+  int controller_role_ = 0;
+  NadirFifo<SwitchRequest> in_queue_;
+  std::function<void(SwitchReply)> reply_sink_;
+  InstallObserver install_observer_;
+  std::vector<TableEntry> table_;
+  std::unordered_map<OpId, SimTime> first_install_time_;
+};
+
+}  // namespace zenith

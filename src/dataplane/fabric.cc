@@ -1,0 +1,121 @@
+#include "dataplane/fabric.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace zenith {
+
+Fabric::Fabric(Simulator* sim, const Topology& topo, Rng rng,
+               FabricConfig config)
+    : sim_(sim), topo_(topo), rng_(std::move(rng)), config_(config) {
+  std::size_t n = topo_.switch_count();
+  switches_.reserve(n);
+  to_switch_.reserve(n);
+  reply_generation_.assign(n, 0);
+  reply_last_delivery_.assign(n, 0);
+  health_last_delivery_.assign(n, 0);
+  link_up_.assign(topo_.link_count(), true);
+  last_failure_mode_.assign(n, FailureMode::kPartialTransient);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sw_id = SwitchId(static_cast<std::uint32_t>(i));
+    switches_.push_back(std::make_unique<AbstractSwitch>(
+        sim_, sw_id, rng_.fork(), config_.timings));
+    to_switch_.push_back(std::make_unique<DelayedChannel<SwitchRequest>>(
+        sim_, rng_.fork(), config_.ctrl_to_sw));
+    // Bridge the channel sink into the switch's in-queue.
+    auto* channel = to_switch_.back().get();
+    auto* sw = switches_.back().get();
+    channel->sink().set_wake_callback([channel, sw] {
+      while (!channel->sink().empty()) {
+        sw->in_queue().push(channel->sink().pop());
+      }
+    });
+    // Reply path: sample a delay, deliver into the merged stream unless the
+    // switch's reply generation was bumped by a complete failure.
+    sw->set_reply_sink([this, i](SwitchReply reply) {
+      std::uint64_t generation = reply_generation_[i];
+      SimTime delay = config_.sw_to_ctrl.sample(rng_);
+      SimTime deliver_at =
+          std::max(sim_->now() + delay, reply_last_delivery_[i]);
+      reply_last_delivery_[i] = deliver_at;
+      sim_->schedule_at(deliver_at,
+                        [this, i, generation, r = std::move(reply)] {
+        if (reply_generation_[i] == generation) replies_.push(r);
+      });
+    });
+  }
+}
+
+void Fabric::send(SwitchId sw, SwitchRequest request) {
+  assert(sw.value() < switches_.size());
+  to_switch_[sw.value()]->send(std::move(request));
+}
+
+void Fabric::inject_failure(SwitchId sw, FailureMode mode) {
+  AbstractSwitch& target = at(sw);
+  if (!target.healthy()) return;
+  last_failure_mode_[sw.value()] = mode;
+  bool complete = mode != FailureMode::kPartialTransient;
+  target.fail(mode);
+  if (complete) {
+    // The switch lost its ingress queue and anything it had produced that
+    // was not yet on the wire; in-flight requests die with the channel.
+    to_switch_[sw.value()]->drop_in_flight();
+    ++reply_generation_[sw.value()];
+  }
+  SwitchHealthEvent event;
+  event.type = SwitchHealthEvent::Type::kFailure;
+  event.sw = sw;
+  event.state_lost = complete;
+  SimTime deliver_at =
+      std::max(sim_->now() + config_.failure_detection_delay,
+               health_last_delivery_[sw.value()]);
+  health_last_delivery_[sw.value()] = deliver_at;
+  sim_->schedule_at(deliver_at, [this, event] { health_events_.push(event); });
+}
+
+void Fabric::inject_recovery(SwitchId sw) {
+  AbstractSwitch& target = at(sw);
+  if (target.healthy()) return;
+  assert(last_failure_mode_[sw.value()] != FailureMode::kCompletePermanent &&
+         "permanent failures do not recover");
+  target.recover();
+  SwitchHealthEvent event;
+  event.type = SwitchHealthEvent::Type::kRecovery;
+  event.sw = sw;
+  event.state_lost =
+      last_failure_mode_[sw.value()] == FailureMode::kCompleteTransient;
+  SimTime deliver_at =
+      std::max(sim_->now() + config_.recovery_detection_delay,
+               health_last_delivery_[sw.value()]);
+  health_last_delivery_[sw.value()] = deliver_at;
+  sim_->schedule_at(deliver_at, [this, event] { health_events_.push(event); });
+}
+
+void Fabric::inject_link_failure(LinkId link) {
+  if (!link_up_.at(link.value())) return;
+  link_up_[link.value()] = false;
+  LinkHealthEvent event{link, false};
+  sim_->schedule(config_.failure_detection_delay,
+                 [this, event] { link_events_.push(event); });
+}
+
+void Fabric::inject_link_recovery(LinkId link) {
+  if (link_up_.at(link.value())) return;
+  link_up_[link.value()] = true;
+  LinkHealthEvent event{link, true};
+  sim_->schedule(config_.recovery_detection_delay,
+                 [this, event] { link_events_.push(event); });
+}
+
+void Fabric::drop_all_in_flight_replies() {
+  for (auto& generation : reply_generation_) ++generation;
+  replies_.clear();
+}
+
+void Fabric::set_install_observer(AbstractSwitch::InstallObserver observer) {
+  for (auto& sw : switches_) sw->set_install_observer(observer);
+}
+
+}  // namespace zenith

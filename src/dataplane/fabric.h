@@ -1,0 +1,109 @@
+// The switch fabric: every AbstractSwitch plus the controller-facing
+// channels and the failure injector.
+//
+// Responsibilities:
+//  * one delayed, ordered channel into each switch (SWInQ) and a merged,
+//    delayed reply stream back to the controller (SWOutQ terminated at the
+//    Monitoring Server);
+//  * keepalive-style health detection: a failure/recovery becomes visible to
+//    the controller only after a detection delay (the ODL-like baseline of
+//    Figure A.2 uses a larger one);
+//  * failure injection per the paper's two-axis model (§3.5, Table 3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "dataplane/abstract_switch.h"
+#include "dataplane/messages.h"
+#include "sim/fifo.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace zenith {
+
+struct FabricConfig {
+  DelayModel ctrl_to_sw{millis(0.5), millis(0.5)};
+  DelayModel sw_to_ctrl{millis(0.5), millis(0.5)};
+  /// Keepalive loss / resume detection latency.
+  SimTime failure_detection_delay = millis(30);
+  SimTime recovery_detection_delay = millis(30);
+  SwitchTimings timings{};
+};
+
+class Fabric {
+ public:
+  Fabric(Simulator* sim, const Topology& topo, Rng rng,
+         FabricConfig config = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  std::size_t switch_count() const { return switches_.size(); }
+  AbstractSwitch& at(SwitchId sw) { return *switches_.at(sw.value()); }
+  const AbstractSwitch& at(SwitchId sw) const {
+    return *switches_.at(sw.value());
+  }
+  const Topology& topology() const { return topo_; }
+
+  /// Sends a request toward a switch (delivered after channel delay; lost if
+  /// the switch suffers a complete failure first).
+  void send(SwitchId sw, SwitchRequest request);
+
+  /// Merged reply stream (install/delete/clear ACKs, dumps, role ACKs).
+  NadirFifo<SwitchReply>& replies() { return replies_; }
+
+  /// Health event stream (failure/recovery after detection delay).
+  NadirFifo<SwitchHealthEvent>& health_events() { return health_events_; }
+
+  /// Drops every reply currently queued or in flight toward the controller
+  /// (an abrupt controller-instance switchover loses its sockets' buffers).
+  void drop_all_in_flight_replies();
+
+  // ---- failure injection -----------------------------------------------------
+
+  void inject_failure(SwitchId sw, FailureMode mode);
+  void inject_recovery(SwitchId sw);
+  bool alive(SwitchId sw) const { return at(sw).healthy(); }
+
+  /// Port/link failures: the link stops carrying traffic, both endpoint
+  /// switches stay up. The controller learns via link_events().
+  void inject_link_failure(LinkId link);
+  void inject_link_recovery(LinkId link);
+  bool link_alive(LinkId link) const { return link_up_.at(link.value()); }
+  NadirFifo<LinkHealthEvent>& link_events() { return link_events_; }
+
+  /// Observer invoked on every first install anywhere (hooked to each
+  /// switch; used by the DAG-order checker).
+  void set_install_observer(AbstractSwitch::InstallObserver observer);
+
+ private:
+  Simulator* sim_;
+  Topology topo_;
+  Rng rng_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<AbstractSwitch>> switches_;
+  std::vector<std::unique_ptr<DelayedChannel<SwitchRequest>>> to_switch_;
+  /// Per-switch generation counters: bumping one drops that switch's
+  /// in-flight replies (complete failures lose them with the rest of the
+  /// switch state).
+  std::vector<std::uint64_t> reply_generation_;
+  /// Per-switch monotone delivery clock: replies from one switch never
+  /// overtake each other (P4(2) depends on in-order ACK delivery, which TCP
+  /// provides in real deployments).
+  std::vector<SimTime> reply_last_delivery_;
+  /// Same for health events: a recovery notification must not overtake the
+  /// failure it resolves (the ODL incident-1 race of §1.1 happens when a
+  /// controller processes them out of order; the keepalive stream itself is
+  /// ordered).
+  std::vector<SimTime> health_last_delivery_;
+  std::vector<FailureMode> last_failure_mode_;
+  NadirFifo<SwitchReply> replies_;
+  NadirFifo<SwitchHealthEvent> health_events_;
+  NadirFifo<LinkHealthEvent> link_events_;
+  std::vector<bool> link_up_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,81 @@
+// Controller <-> switch protocol messages.
+//
+// The interface is OpenFlow-like at the granularity the paper's AbstractSW
+// exports (§3.5): install a rule, delete a rule, clear the whole table
+// (CLEAR_TCAM, §F Figure A.5), dump the routing table (reconciliation), and
+// change the controller role (planned failover). Switches ACK each OP after
+// applying it — never before (assumption A3) — and emit failure/recovery
+// events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "dag/op.h"
+
+namespace zenith {
+
+/// xid flag marking a table dump issued by a periodic reconciler (routed to
+/// the reconciler, not the recovery pipeline).
+inline constexpr std::uint64_t kReconciliationXidFlag = 1ull << 63;
+
+/// Controller -> switch.
+struct SwitchRequest {
+  enum class Type : std::uint8_t {
+    kInstall,
+    kDelete,
+    kClearTcam,
+    kDumpTable,
+    kRoleChange,
+  };
+
+  Type type = Type::kInstall;
+  std::uint64_t xid = 0;  // request id echoed in the reply
+  Op op;                  // kInstall / kDelete (and ClearTcam carries op.id)
+  int role = 0;           // kRoleChange: the new master controller instance
+};
+
+/// One entry of a table dump.
+struct DumpedEntry {
+  OpId installed_by;
+  FlowRule rule;
+};
+
+/// Switch -> controller.
+struct SwitchReply {
+  enum class Type : std::uint8_t {
+    kAck,         // OP applied (install/delete/clear)
+    kDumpReply,
+    kRoleAck,
+  };
+
+  Type type = Type::kAck;
+  std::uint64_t xid = 0;
+  SwitchId sw;
+  Op op;                            // the acknowledged OP
+  std::vector<DumpedEntry> table;   // kDumpReply
+  int role = 0;
+};
+
+/// Out-of-band health notifications (keepalive-loss / keepalive-resume as
+/// seen by the Monitoring Server after its detection delay).
+struct SwitchHealthEvent {
+  enum class Type : std::uint8_t { kFailure, kRecovery };
+  Type type = Type::kFailure;
+  SwitchId sw;
+  /// True when the failure wiped the TCAM (complete failures). The
+  /// controller does NOT see this bit — it is carried for test/metric
+  /// introspection only; controllers must treat state loss as unknown (§3.9
+  /// "Directed Reconciliation").
+  bool state_lost = false;
+};
+
+/// Port/link health notifications (§3.1: OPs and events at port
+/// granularity). Links fail without taking their switches down.
+struct LinkHealthEvent {
+  LinkId link;
+  bool up = false;
+};
+
+}  // namespace zenith

@@ -1,0 +1,109 @@
+#include "harness/experiment.h"
+
+#include <cassert>
+
+namespace zenith {
+
+const char* to_string(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::kZenithNR: return "Zenith-NR";
+    case ControllerKind::kZenithDR: return "Zenith-DR";
+    case ControllerKind::kPr: return "PR";
+    case ControllerKind::kPrUp: return "PRUp";
+    case ControllerKind::kPrNoReconcile: return "PR-NoRecon";
+    case ControllerKind::kOdlLike: return "ODL-like";
+  }
+  return "?";
+}
+
+bool is_pr_variant(ControllerKind kind) {
+  return kind == ControllerKind::kPr || kind == ControllerKind::kPrUp ||
+         kind == ControllerKind::kPrNoReconcile ||
+         kind == ControllerKind::kOdlLike;
+}
+
+Experiment::Experiment(Topology topo, ExperimentConfig config)
+    : config_(config), rng_(config.seed) {
+  FabricConfig fabric_config = config_.fabric;
+  if (config_.kind == ControllerKind::kOdlLike) {
+    // ODL reacts noticeably slower to data-plane health changes (§D.1:
+    // "ZENITH's failure detection time is set to match that of ODL" — here
+    // we model ODL's own slower default).
+    fabric_config.failure_detection_delay = seconds(1);
+    fabric_config.recovery_detection_delay = seconds(1);
+  }
+  fabric_ = std::make_unique<Fabric>(&sim_, std::move(topo), rng_.fork(),
+                                     fabric_config);
+  switch (config_.kind) {
+    case ControllerKind::kZenithNR:
+      zenith_ = std::make_unique<ZenithController>(&sim_, fabric_.get(),
+                                                   config_.core);
+      break;
+    case ControllerKind::kZenithDR: {
+      CoreConfig core = config_.core;
+      core.directed_reconciliation = true;
+      zenith_ = std::make_unique<ZenithController>(&sim_, fabric_.get(), core);
+      break;
+    }
+    case ControllerKind::kPr:
+    case ControllerKind::kOdlLike: {
+      PrConfig pr = config_.kind == ControllerKind::kOdlLike
+                        ? make_odl_like_config()
+                        : make_pr_config(config_.reconciliation_period);
+      pr.core = config_.core;
+      pr.recon.period = config_.reconciliation_period;
+      pr_ = std::make_unique<PrController>(&sim_, fabric_.get(), pr);
+      break;
+    }
+    case ControllerKind::kPrUp: {
+      PrConfig pr = make_prup_config(config_.reconciliation_period);
+      pr.core = config_.core;
+      pr_ = std::make_unique<PrController>(&sim_, fabric_.get(), pr);
+      break;
+    }
+    case ControllerKind::kPrNoReconcile: {
+      PrConfig pr = make_pr_noreconcile_config();
+      pr.core = config_.core;
+      pr_ = std::make_unique<PrController>(&sim_, fabric_.get(), pr);
+      break;
+    }
+  }
+  checker_ = std::make_unique<ConsistencyChecker>(&nib(), fabric_.get());
+  order_checker_.attach(*fabric_);
+}
+
+ZenithController& Experiment::controller() {
+  return pr_ ? pr_->core() : *zenith_;
+}
+
+void Experiment::start() {
+  if (pr_) {
+    pr_->start();
+  } else {
+    zenith_->start();
+  }
+}
+
+std::optional<SimTime> Experiment::install_and_wait(Dag dag, SimTime timeout) {
+  DagId id = dag.id();
+  order_checker_.register_dag(dag);
+  controller().submit_dag(std::move(dag));
+  if (config_.scoped_convergence) {
+    return run_until([this, id] { return checker_->converged_scoped(id); },
+                     timeout);
+  }
+  return run_until([this, id] { return checker_->converged(id); }, timeout);
+}
+
+std::optional<SimTime> Experiment::run_until(
+    const std::function<bool()>& pred, SimTime timeout) {
+  SimTime started = sim_.now();
+  SimTime deadline = started + timeout;
+  while (sim_.now() < deadline) {
+    if (pred()) return sim_.now() - started;
+    sim_.run_until(std::min(deadline, sim_.now() + config_.poll_interval));
+  }
+  return pred() ? std::optional<SimTime>(sim_.now() - started) : std::nullopt;
+}
+
+}  // namespace zenith

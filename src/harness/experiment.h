@@ -1,0 +1,92 @@
+// Experiment harness: one simulated deployment — topology + fabric + one
+// controller variant — plus the convergence probe used by every figure.
+//
+// Convergence time (§6 "Metrics"): "the time between when DAG installation
+// commences and when the controller certifies in the NIB that the data
+// plane has converged to the state corresponding to the DAG". The probe
+// additionally requires ground truth to agree (ConsistencyChecker), so a
+// controller that certifies a lie (PR during an inconsistency window) is
+// only credited when reconciliation actually fixes the data plane.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/controller.h"
+#include "core/properties.h"
+#include "pr/pr_controller.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace zenith {
+
+enum class ControllerKind {
+  kZenithNR,     // ZENITH, no reconciliation of any kind (the default)
+  kZenithDR,     // ZENITH with directed reconciliation on switch recovery
+  kPr,           // periodic reconciliation baseline
+  kPrUp,         // PR + reconcile-on-switch-up
+  kPrNoReconcile,  // PR with reconciliation disabled (Fig. 11 ablation)
+  kOdlLike,      // PR with ODL-like sluggish detection (Fig. A.2)
+};
+
+const char* to_string(ControllerKind kind);
+bool is_pr_variant(ControllerKind kind);
+
+struct ExperimentConfig {
+  std::uint64_t seed = 1;
+  ControllerKind kind = ControllerKind::kZenithNR;
+  FabricConfig fabric;
+  CoreConfig core;
+  SimTime reconciliation_period = seconds(30);
+  /// Convergence probe granularity.
+  SimTime poll_interval = millis(1);
+  /// Use the O(DAG) scoped convergence probe (large-topology benches) in
+  /// install_and_wait instead of the full-network check.
+  bool scoped_convergence = false;
+};
+
+class Experiment {
+ public:
+  Experiment(Topology topo, ExperimentConfig config);
+
+  Simulator& sim() { return sim_; }
+  Fabric& fabric() { return *fabric_; }
+  const Topology& topology() const { return fabric_->topology(); }
+  ExperimentConfig& config() { return config_; }
+  Rng& rng() { return rng_; }
+
+  /// The underlying core (valid for every kind; PR wraps one).
+  ZenithController& controller();
+  PrController* pr() { return pr_.get(); }
+  Nib& nib() { return controller().nib(); }
+  OpIdAllocator& op_ids() { return controller().op_ids(); }
+  ConsistencyChecker& checker() { return *checker_; }
+  DagOrderChecker& order_checker() { return order_checker_; }
+
+  /// Starts the controller (and reconciler for PR variants).
+  void start();
+
+  /// Submits `dag` and runs the simulation until converged or `timeout`
+  /// elapses. Returns the convergence latency, or nullopt on timeout (the
+  /// "fails to converge" outcome of Figure 11).
+  std::optional<SimTime> install_and_wait(Dag dag, SimTime timeout);
+
+  /// Runs until `pred()` or timeout; returns elapsed time on success.
+  std::optional<SimTime> run_until(const std::function<bool()>& pred,
+                                   SimTime timeout);
+
+  /// Advances the clock unconditionally.
+  void run_for(SimTime duration) { sim_.run_until(sim_.now() + duration); }
+
+ private:
+  ExperimentConfig config_;
+  Rng rng_;
+  Simulator sim_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<ZenithController> zenith_;  // used for Zenith kinds
+  std::unique_ptr<PrController> pr_;          // used for PR kinds
+  std::unique_ptr<ConsistencyChecker> checker_;
+  DagOrderChecker order_checker_;
+};
+
+}  // namespace zenith

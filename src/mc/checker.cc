@@ -1,0 +1,121 @@
+#include "mc/checker.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace zenith::mc {
+
+namespace {
+
+struct FingerprintHash {
+  std::size_t operator()(
+      const std::pair<std::uint64_t, std::uint64_t>& fp) const noexcept {
+    return fp.first ^ (fp.second * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+struct Node {
+  State state;
+  std::size_t depth;
+  std::int64_t trace_parent;  // index into trace node pool, -1 for root
+};
+
+struct TraceNode {
+  std::int64_t parent;
+  Action action;
+};
+
+}  // namespace
+
+CheckResult check(const PipelineModel& model, CheckerOptions options) {
+  auto started = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
+
+  CheckResult result;
+  bool symmetry = model.config().opt_symmetry;
+
+  std::unordered_set<std::pair<std::uint64_t, std::uint64_t>, FingerprintHash>
+      visited;
+  std::deque<Node> frontier;
+  std::vector<TraceNode> trace_pool;
+
+  State initial = model.initial_state();
+  visited.insert(initial.fingerprint(symmetry));
+  frontier.push_back(Node{initial, 0, -1});
+  result.distinct_states = 1;
+
+  auto build_trace = [&](std::int64_t leaf) {
+    std::vector<TraceEvent> trace;
+    for (std::int64_t at = leaf; at >= 0; at = trace_pool[at].parent) {
+      trace.push_back(
+          TraceEvent{trace_pool[at].action, trace_pool[at].action.label()});
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  while (!frontier.empty()) {
+    if (result.distinct_states >= options.max_states ||
+        elapsed() > options.time_limit_seconds) {
+      result.capped = true;
+      break;
+    }
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+    result.diameter = std::max(result.diameter, node.depth);
+
+    std::vector<Action> actions = model.enabled_actions(node.state);
+
+    if (model.quiescent(node.state)) {
+      ++result.quiescent_states;
+      if (options.check_liveness) {
+        std::string violation =
+            model.check_quiescent_consistency(node.state);
+        if (!violation.empty()) {
+          result.ok = false;
+          result.violation = violation;
+          if (options.record_traces) {
+            result.trace = build_trace(node.trace_parent);
+          }
+          break;
+        }
+      }
+    }
+
+    for (const Action& action : actions) {
+      State next = node.state;
+      std::string violation = model.apply(next, action);
+      ++result.transitions;
+      std::int64_t trace_index = -1;
+      if (options.record_traces) {
+        trace_pool.push_back(TraceNode{node.trace_parent, action});
+        trace_index = static_cast<std::int64_t>(trace_pool.size()) - 1;
+      }
+      if (!violation.empty()) {
+        result.ok = false;
+        result.violation = violation;
+        if (options.record_traces) result.trace = build_trace(trace_index);
+        result.seconds = elapsed();
+        return result;
+      }
+      auto fp = next.fingerprint(symmetry);
+      if (visited.insert(fp).second) {
+        ++result.distinct_states;
+        frontier.push_back(Node{std::move(next), node.depth + 1, trace_index});
+      }
+    }
+  }
+
+  result.seconds = elapsed();
+  return result;
+}
+
+}  // namespace zenith::mc

@@ -1,0 +1,46 @@
+// The explicit-state checker (TLC stand-in): breadth-first exploration of a
+// PipelineModel with safety checking on every transition and
+// quiescent-consistency (liveness surrogate) checking on every terminal
+// state. Reports the statistics Table 4 tracks: wall time, distinct states,
+// and diameter (depth of the deepest state).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/pipeline_model.h"
+
+namespace zenith::mc {
+
+struct TraceEvent {
+  Action action;
+  std::string label;
+};
+
+struct CheckerOptions {
+  std::size_t max_states = 3'000'000;
+  double time_limit_seconds = 120.0;
+  /// Record parent pointers so violations yield a full counterexample
+  /// trace (costs memory; keep off for the Table 4 measurement runs).
+  bool record_traces = false;
+  /// Check ②/③ at quiescent states.
+  bool check_liveness = true;
+};
+
+struct CheckResult {
+  bool ok = true;
+  bool capped = false;  // hit max_states / time limit before exhausting
+  std::string violation;
+  std::size_t distinct_states = 0;
+  std::size_t transitions = 0;
+  std::size_t quiescent_states = 0;
+  std::size_t diameter = 0;
+  double seconds = 0.0;
+  /// Counterexample (record_traces only): actions from the initial state.
+  std::vector<TraceEvent> trace;
+};
+
+CheckResult check(const PipelineModel& model, CheckerOptions options = {});
+
+}  // namespace zenith::mc

@@ -1,0 +1,493 @@
+#include "mc/core_spec.h"
+
+#include <string>
+
+namespace zenith::mc {
+
+using nadir::FieldMap;
+using nadir::Spec;
+using nadir::StepContext;
+using nadir::Type;
+using nadir::Value;
+using nadir::ValueVec;
+
+CoreSpecScenario CoreSpecScenario::stage(int n) {
+  CoreSpecScenario s;
+  switch (n) {
+    case 1: s.handle_switch_partial = true; break;
+    case 2: s.handle_cp_partial = true; break;
+    case 3:
+      s.handle_switch_partial = true;
+      s.handle_cp_partial = true;
+      break;
+    case 4:
+      s.handle_switch_partial = true;
+      s.handle_cp_partial = true;
+      s.handle_switch_complete_permanent = true;
+      break;
+    case 5:
+      s.handle_switch_partial = true;
+      s.handle_cp_partial = true;
+      s.handle_switch_complete_permanent = true;
+      s.handle_switch_complete_transient = true;
+      break;
+    case 6:
+      s.handle_switch_partial = true;
+      s.handle_cp_partial = true;
+      s.handle_switch_complete_permanent = true;
+      s.handle_switch_complete_transient = true;
+      s.directed_reconciliation = true;
+      break;
+    default: break;
+  }
+  return s;
+}
+
+std::string CoreSpecScenario::name() const {
+  if (directed_reconciliation) return "SW CT (DR)";
+  if (handle_switch_complete_transient) return "SW CT";
+  if (handle_switch_complete_permanent) return "SW CP";
+  if (handle_switch_partial && handle_cp_partial) return "SW+CP PT";
+  if (handle_cp_partial) return "CP PT";
+  if (handle_switch_partial) return "SW PT";
+  return "no-failure";
+}
+
+namespace {
+
+// Edge-based predecessor check: b is a predecessor of id if <<b, id>> in e.
+bool preds_installed(const Value& dag, const Value& installed,
+                     std::int64_t id) {
+  for (const Value& edge : dag.field("e").as_set()) {
+    if (edge.at(1).as_int() != id) continue;
+    if (!installed.set_contains(edge.at(0))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
+                            int num_switches) {
+  (void)num_switches;  // kept for interface symmetry; the model uses one
+                       // shared ingress queue with switch ids in op records
+  Spec spec("ZenithCoreSpec-" + scenario.name());
+
+  auto op_type = Type::record({{"op", Type::integer()},
+                               {"sw", Type::integer()},
+                               {"nh", Type::integer()},
+                               {"dst", Type::integer()},
+                               {"priority", Type::integer()}});
+  auto edge_type = Type::seq(Type::integer());
+  auto dag_type = Type::record({{"id", Type::integer()},
+                                {"v", Type::set(op_type)},
+                                {"e", Type::set(edge_type)}});
+
+  if (spec.find_global("DAGEventQueue") == nullptr) {
+    spec.global("DAGEventQueue", Type::seq(dag_type), Value::seq({}), true);
+  }
+  spec.global("CurrentDag", Type::nullable(dag_type), Value::nil(), true);
+  spec.global("PendingOps", Type::set(op_type), Value::set({}), true);
+  spec.global("OPQueue", Type::seq(op_type), Value::seq({}), true);
+  spec.global("SWInQ", Type::seq(op_type), Value::seq({}), true);
+  spec.global("FromSW", Type::seq(Type::integer()), Value::seq({}), true);
+  spec.global("SwTable", Type::set(op_type), Value::set({}), true);
+  spec.global("InstalledIds", Type::set(Type::integer()), Value::set({}),
+              true);
+  spec.global("InstalledDags", Type::set(Type::integer()), Value::set({}),
+              true);
+  if (scenario.handle_cp_partial) {
+    // Worker crash-recovery slot (Listing 3's workerPoolState).
+    spec.global("WorkerState", Type::nullable(op_type), Value::nil(), true);
+  }
+  if (scenario.handle_switch_partial ||
+      scenario.handle_switch_complete_transient) {
+    spec.global("SwitchHealth", Type::enumeration({"UP", "DOWN", "RECOVER"}),
+                Value::string("UP"), true);
+    spec.global("HealthEvents", Type::seq(Type::string()), Value::seq({}),
+                true);
+    spec.global("FailureBudget", Type::integer(), Value::integer(1), true);
+  }
+  if (scenario.handle_switch_complete_transient) {
+    spec.global("FlowAcks", Type::set(Type::integer()), Value::set({}), true);
+  }
+  if (scenario.directed_reconciliation) {
+    spec.global("DumpResult", Type::nullable(Type::set(op_type)),
+                Value::nil(), true);
+  }
+
+  // ---- DAG Scheduler ----------------------------------------------------------
+  {
+    nadir::Process scheduler("DagScheduler");
+    scheduler.step(nadir::Step{
+        "SchedLoop",
+        {"DAGEventQueue", "CurrentDag", "PendingOps"},
+        {"DAGEventQueue", "CurrentDag", "PendingOps"},
+        [](StepContext& ctx) {
+          ctx.await(ctx.global("CurrentDag").is_nil());
+          if (ctx.blocked()) return;
+          Value dag = ctx.fifo_get("DAGEventQueue");
+          if (ctx.blocked()) return;
+          ctx.set_global("PendingOps", dag.field("v"));
+          ctx.set_global("CurrentDag", std::move(dag));
+          ctx.jump("SchedLoop");
+        }});
+    if (scenario.handle_switch_complete_permanent) {
+      // DAG-transition hardening: stale-OP sweep before the switch (§3.3's
+      // in-flight A:B hazard). Modeled as an extra step that prunes
+      // pending OPs targeting dead switches.
+      scheduler.step(nadir::Step{
+          "StaleSweep",
+          {"PendingOps", "SwitchHealth"},
+          {"PendingOps"},
+          [](StepContext& ctx) {
+            ctx.await(false);  // hardening logic engaged only on transition
+          }});
+    }
+    spec.process(std::move(scheduler));
+  }
+
+  // ---- Sequencer ---------------------------------------------------------------
+  {
+    nadir::Process sequencer("Sequencer");
+    sequencer.step(nadir::Step{
+        "SeqLoop",
+        {"CurrentDag", "PendingOps", "InstalledIds", "OPQueue",
+         "InstalledDags"},
+        {"PendingOps", "OPQueue", "CurrentDag", "InstalledDags"},
+        [](StepContext& ctx) {
+          const Value& current = ctx.global("CurrentDag");
+          ctx.await(!current.is_nil());
+          if (ctx.blocked()) return;
+          const Value& pending = ctx.global("PendingOps");
+          const Value& installed = ctx.global("InstalledIds");
+          // CHOOSE a schedulable OP (deterministic: least element first).
+          for (const Value& op : pending.as_set()) {
+            if (!preds_installed(current, installed, op.field("op").as_int())) {
+              continue;
+            }
+            ctx.set_global("PendingOps", pending.set_erase(op));
+            ctx.fifo_put("OPQueue", op);
+            ctx.jump("SeqLoop");
+            return;
+          }
+          // Nothing schedulable: certify if everything installed.
+          if (pending.size() == 0) {
+            bool all_done = true;
+            for (const Value& op : current.field("v").as_set()) {
+              if (!installed.set_contains(op.field("op"))) {
+                all_done = false;
+                break;
+              }
+            }
+            if (all_done) {
+              ctx.set_global(
+                  "InstalledDags",
+                  ctx.global("InstalledDags").set_insert(current.field("id")));
+              ctx.set_global("CurrentDag", Value::nil());
+              ctx.jump("SeqLoop");
+              return;
+            }
+          }
+          ctx.await(false);  // wait for more ACKs
+        }});
+    if (scenario.handle_switch_complete_permanent) {
+      // Undo machinery for abandoned DAGs (the paper: "Sequencer complexity
+      // increases significantly after verifying switch complete permanent
+      // failures").
+      sequencer.step(nadir::Step{
+          "UndoDag",
+          {"CurrentDag", "SwitchHealth", "PendingOps", "OPQueue"},
+          {"PendingOps", "OPQueue", "CurrentDag"},
+          [](StepContext& ctx) { ctx.await(false); }});
+      sequencer.step(nadir::Step{
+          "RescheduleAfterReset",
+          {"InstalledIds", "PendingOps", "CurrentDag"},
+          {"PendingOps"},
+          [](StepContext& ctx) { ctx.await(false); }});
+    }
+    spec.process(std::move(sequencer));
+  }
+
+  // ---- Worker Pool ----------------------------------------------------------------
+  {
+    nadir::Process worker("WorkerPool");
+    if (scenario.handle_cp_partial) {
+      worker.step(nadir::Step{
+          "StateRecovery",
+          {"WorkerState", "SWInQ"},
+          {"WorkerState", "SWInQ"},
+          [](StepContext& ctx) {
+            // WorkerPoolStateRecovery (Listing 3 line 4): a crash left an
+            // in-progress OP? Re-forward it (idempotent).
+            const Value& slot = ctx.global("WorkerState");
+            if (!slot.is_nil()) {
+              ctx.fifo_put("SWInQ", slot);
+              ctx.set_global("WorkerState", Value::nil());
+            }
+          }});
+      worker.step(nadir::Step{
+          "ControllerThread",
+          {"OPQueue", "SWInQ", "WorkerState"},
+          {"OPQueue", "SWInQ", "WorkerState"},
+          [](StepContext& ctx) {
+            Value op = ctx.fifo_peek("OPQueue");
+            if (ctx.blocked()) return;
+            ctx.set_global("WorkerState", op);       // record (Listing 3 l.7)
+            ctx.fifo_put("SWInQ", op);               // ForwardOP
+            ctx.set_global("WorkerState", Value::nil());
+            ctx.fifo_ack_pop("OPQueue");             // RemoveOPFromQueue
+            ctx.jump("ControllerThread");
+          }});
+    } else {
+      worker.step(nadir::Step{
+          "ControllerThread",
+          {"OPQueue", "SWInQ"},
+          {"OPQueue", "SWInQ"},
+          [](StepContext& ctx) {
+            Value op = ctx.fifo_get("OPQueue");
+            if (ctx.blocked()) return;
+            ctx.fifo_put("SWInQ", op);
+            ctx.jump("ControllerThread");
+          }});
+    }
+    spec.process(std::move(worker));
+  }
+
+  // ---- AbstractSW -------------------------------------------------------------------
+  {
+    nadir::Process sw("AbstractSW");
+    bool health_gated = scenario.handle_switch_partial ||
+                        scenario.handle_switch_complete_transient;
+    nadir::Step main_step;
+    main_step.label = "SwitchSimpleProcess";
+    main_step.reads = {"SWInQ", "SwTable", "FromSW"};
+    main_step.writes = {"SWInQ", "SwTable", "FromSW"};
+    if (health_gated) {
+      main_step.reads.push_back("SwitchHealth");
+    }
+    main_step.fn = [health_gated](StepContext& ctx) {
+      if (health_gated) {
+        ctx.await(ctx.global("SwitchHealth").as_string() == "UP");
+        if (ctx.blocked()) return;
+      }
+      Value op = ctx.fifo_get("SWInQ");
+      if (ctx.blocked()) return;
+      std::int64_t id = op.field("op").as_int();
+      Value table = ctx.global("SwTable");
+      if (id < 0) {
+        // Deletion OP: remove the install whose id it negates.
+        for (const Value& entry : table.as_set()) {
+          if (entry.field("op").as_int() == -id) {
+            table = table.set_erase(entry);
+            break;
+          }
+        }
+      } else {
+        table = table.set_insert(op);
+      }
+      ctx.set_global("SwTable", table);
+      ctx.fifo_put("FromSW", Value::integer(id));  // ACK after apply (A3)
+      ctx.jump("SwitchSimpleProcess");
+    };
+    sw.step(std::move(main_step));
+    spec.process(std::move(sw));
+
+    if (health_gated) {
+      // Unfair failure/recovery processes (Listing 2): guarded by a budget
+      // so exploration terminates.
+      nadir::Process failure("SwFailure", /*fair=*/false);
+      bool complete = scenario.handle_switch_complete_transient;
+      failure.step(nadir::Step{
+          "SwitchFailureProcess",
+          {"SwitchHealth", "FailureBudget", "SwTable", "SWInQ",
+           "HealthEvents"},
+          {"SwitchHealth", "FailureBudget", "SwTable", "SWInQ",
+           "HealthEvents"},
+          [complete](StepContext& ctx) {
+            ctx.await(ctx.global("SwitchHealth").as_string() == "UP" &&
+                      ctx.global("FailureBudget").as_int() > 0);
+            if (ctx.blocked()) return;
+            ctx.set_global("FailureBudget",
+                           Value::integer(
+                               ctx.global("FailureBudget").as_int() - 1));
+            ctx.set_global("SwitchHealth", Value::string("DOWN"));
+            if (complete) {
+              ctx.set_global("SwTable", Value::set({}));   // TCAM lost
+              ctx.set_global("SWInQ", Value::seq({}));     // requests lost
+            }
+            ctx.fifo_put("HealthEvents", Value::string("down"));
+            ctx.jump("SwitchFailureProcess");
+          }});
+      spec.process(std::move(failure));
+
+      nadir::Process recovery("SwRecovery", /*fair=*/false);
+      recovery.step(nadir::Step{
+          "SwitchResolveFailureProcess",
+          {"SwitchHealth", "HealthEvents"},
+          {"SwitchHealth", "HealthEvents"},
+          [](StepContext& ctx) {
+            ctx.await(ctx.global("SwitchHealth").as_string() == "DOWN");
+            if (ctx.blocked()) return;
+            ctx.set_global("SwitchHealth", Value::string("UP"));
+            ctx.fifo_put("HealthEvents", Value::string("up"));
+            ctx.jump("SwitchResolveFailureProcess");
+          }});
+      spec.process(std::move(recovery));
+    }
+  }
+
+  // ---- Monitoring Server -------------------------------------------------------------
+  {
+    nadir::Process monitoring("MonitoringServer");
+    nadir::Step ack_step;
+    ack_step.label = "ProcessACK";
+    ack_step.reads = {"FromSW", "InstalledIds"};
+    ack_step.writes = {"FromSW", "InstalledIds"};
+    bool flow_tracking = scenario.handle_switch_complete_transient;
+    if (flow_tracking) {
+      ack_step.reads.push_back("FlowAcks");
+      ack_step.writes.push_back("FlowAcks");
+    }
+    ack_step.fn = [flow_tracking](StepContext& ctx) {
+      Value ack = ctx.fifo_get("FromSW");
+      if (ctx.blocked()) return;
+      ctx.set_global("InstalledIds",
+                     ctx.global("InstalledIds").set_insert(ack));
+      if (flow_tracking) {
+        // Flow-granularity ACK bookkeeping (§D.2: complete-transient
+        // failures force the Monitoring Server to track actions, not just
+        // OPs).
+        ctx.set_global("FlowAcks", ctx.global("FlowAcks").set_insert(ack));
+      }
+      ctx.jump("ProcessACK");
+    };
+    monitoring.step(std::move(ack_step));
+    if (flow_tracking) {
+      // §D.2: "Monitoring Server needs to check acknowledgments at the
+      // granularity of flows instead of OPs ... we not only need to keep
+      // track of the OPs but also their actions." A reconciliation step
+      // over the per-flow ledger, consumed by the Topo Event Handler's
+      // cleanup decisions.
+      monitoring.step(nadir::Step{
+          "ReconcileFlowLedger",
+          {"FlowAcks", "InstalledIds", "SwitchHealth"},
+          {"FlowAcks"},
+          [](StepContext& ctx) { ctx.await(false); }});
+    }
+    spec.process(std::move(monitoring));
+  }
+
+  // ---- Topo Event Handler -------------------------------------------------------------
+  if (scenario.handle_switch_partial ||
+      scenario.handle_switch_complete_transient) {
+    nadir::Process topo("TopoEventHandler");
+    bool cleanup = scenario.handle_switch_complete_transient;
+    bool dr = scenario.directed_reconciliation;
+    nadir::Step health_step;
+    health_step.label = "HealthEvent";
+    health_step.reads = {"HealthEvents", "SwitchHealth", "InstalledIds"};
+    health_step.writes = {"HealthEvents", "InstalledIds"};
+    if (cleanup) {
+      health_step.reads.push_back("OPQueue");
+      health_step.writes.push_back("OPQueue");
+      // Complete-transient cleanup consults the flow-granularity ledger to
+      // decide which post-recovery ACKs belong to pre-failure actions.
+      health_step.reads.push_back("FlowAcks");
+    }
+    if (dr) {
+      health_step.reads.push_back("DumpResult");
+      health_step.writes.push_back("DumpResult");
+      health_step.reads.push_back("SwTable");
+    }
+    health_step.fn = [cleanup, dr](StepContext& ctx) {
+      Value event = ctx.fifo_get("HealthEvents");
+      if (ctx.blocked()) return;
+      if (event.as_string() == "up") {
+        if (dr) {
+          // Directed reconciliation: read the surviving table and adopt it.
+          ctx.set_global("DumpResult", ctx.global("SwTable"));
+        } else if (cleanup) {
+          // NR: reset the controller's record of installs — OPs must be
+          // re-proven by fresh ACKs after the wipe.
+          ctx.set_global("InstalledIds", Value::set({}));
+        }
+      }
+      ctx.jump("HealthEvent");
+    };
+    topo.step(std::move(health_step));
+    if (dr) {
+      topo.step(nadir::Step{
+          "ApplyDiff",
+          {"DumpResult", "InstalledIds"},
+          {"DumpResult", "InstalledIds"},
+          [](StepContext& ctx) {
+            const Value& dump = ctx.global("DumpResult");
+            ctx.await(!dump.is_nil());
+            if (ctx.blocked()) return;
+            Value installed = Value::set({});
+            for (const Value& entry : dump.as_set()) {
+              installed = installed.set_insert(entry.field("op"));
+            }
+            ctx.set_global("InstalledIds", installed);
+            ctx.set_global("DumpResult", Value::nil());
+            ctx.jump("ApplyDiff");
+          }});
+    }
+    spec.process(std::move(topo));
+  }
+
+  return spec;
+}
+
+nadir::Spec compose_app_with_core(const nadir::Spec& app,
+                                  const CoreSpecScenario& scenario,
+                                  int num_switches) {
+  nadir::Spec core = build_core_spec(scenario, num_switches);
+  nadir::Spec composed("(" + app.name() + ")x(" + core.name() + ")");
+  for (const nadir::VariableDecl& g : app.globals()) {
+    composed.global(g.name, g.type, g.initial, g.persistent);
+  }
+  for (const nadir::VariableDecl& g : core.globals()) {
+    if (composed.find_global(g.name) != nullptr) continue;  // shared queue
+    composed.global(g.name, g.type, g.initial, g.persistent);
+  }
+  for (const nadir::Process& p : app.processes()) {
+    if (p.name() == "AbstractCore") continue;  // replaced by the real core
+    composed.process(p);
+  }
+  for (const nadir::Process& p : core.processes()) {
+    composed.process(p);
+  }
+  return composed;
+}
+
+std::string check_core_installed_dags(const nadir::Env& env) {
+  auto dags_it = env.globals.find("InstalledDags");
+  auto table_it = env.globals.find("SwTable");
+  if (dags_it == env.globals.end() || table_it == env.globals.end()) {
+    return "";
+  }
+  // A switch failure legitimately wipes installed state after
+  // certification (eventual consistency then demands re-installation,
+  // which this bounded instance does not model end-to-end), so the
+  // certified-implies-installed check applies to failure-free behaviours.
+  auto budget_it = env.globals.find("FailureBudget");
+  if (budget_it != env.globals.end() && budget_it->second.as_int() < 1) {
+    return "";
+  }
+  auto health_it = env.globals.find("SwitchHealth");
+  if (health_it != env.globals.end() &&
+      health_it->second.as_string() != "UP") {
+    return "";
+  }
+  // Certified DAGs must have their installs present (unless a later DAG
+  // deleted them — this simple instance checks the single-DAG case).
+  if (dags_it->second.size() == 0) return "";
+  if (table_it->second.size() == 0) {
+    return "certified DAG has no OPs installed on the switch";
+  }
+  return "";
+}
+
+}  // namespace zenith::mc

@@ -1,0 +1,52 @@
+// A NADIR-IR specification of the ZENITH-core pipeline, used for:
+//  * the §6.3 verification-time comparison — verifying an app against this
+//    full multi-component core spec vs against the one-step AbstractCore
+//    (the paper reports >100x; the ratio emerges from the product of
+//    component state spaces);
+//  * the Figure A.3 complexity study — per-component Henry-Kafura metrics
+//    after verifying the spec under each failure scenario (the scenario
+//    flags below add the handling steps that verification forced the
+//    authors to add, growing length and information flow);
+//  * Table A.1-style size reporting of our own specs.
+//
+// The instance is deliberately small (the paper's own model-checked
+// instances are too); its components and queue topology mirror Figure A.4:
+// DAGEventQueue -> DagScheduler -> Sequencer -> OPQueue -> WorkerPool ->
+// SWInQ -> AbstractSW -> FromSW -> MonitoringServer, plus TopoEventHandler
+// on the health path.
+#pragma once
+
+#include "nadir/spec.h"
+
+namespace zenith::mc {
+
+/// Which failure classes the spec handles (cumulative hardening mirrors
+/// §D.2's six verification stages).
+struct CoreSpecScenario {
+  bool handle_switch_partial = false;     // (1)
+  bool handle_cp_partial = false;         // (2)  [component crash recovery]
+  bool handle_switch_complete_permanent = false;  // (4) [DAG transitions]
+  bool handle_switch_complete_transient = false;  // (5) [cleanup pipeline]
+  bool directed_reconciliation = false;   // (6) [ZENITH-DR tracking]
+
+  static CoreSpecScenario stage(int n);  // 1..6 per Figure A.3's x-axis
+  std::string name() const;
+};
+
+/// Builds the executable core spec. It consumes DAG records (the same
+/// encoding the drain app produces) from "DAGEventQueue" and installs them
+/// on model switches.
+nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
+                            int num_switches = 2);
+
+/// Composes an app spec with the full core: the app's AbstractCore process
+/// is replaced by the core spec's processes (shared "DAGEventQueue").
+nadir::Spec compose_app_with_core(const nadir::Spec& app,
+                                  const CoreSpecScenario& scenario,
+                                  int num_switches = 2);
+
+/// End-to-end invariant for the composed spec: every DAG the core finished
+/// has all its (non-deletion) OPs on the switches. Returns "" when OK.
+std::string check_core_installed_dags(const nadir::Env& env);
+
+}  // namespace zenith::mc

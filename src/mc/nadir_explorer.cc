@@ -1,0 +1,121 @@
+#include "mc/nadir_explorer.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_set>
+
+namespace zenith::mc {
+
+namespace {
+
+struct EnvNode {
+  nadir::Env env;
+  std::size_t depth;
+  std::size_t crashes_used;
+};
+
+}  // namespace
+
+NadirCheckResult explore(const nadir::Spec& spec,
+                         NadirCheckerOptions options) {
+  auto started = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
+
+  NadirCheckResult result;
+  auto initial = spec.make_initial_env();
+  if (!initial.ok()) {
+    result.ok = false;
+    result.violation = initial.error().message;
+    return result;
+  }
+
+  // The crash budget is part of the state (same env with budget left can
+  // reach more states), so fold it into the fingerprint.
+  auto fingerprint = [](const nadir::Env& env, std::size_t crashes) {
+    return env.hash() * 1099511628211ull + crashes;
+  };
+
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<EnvNode> frontier;
+  visited.insert(fingerprint(initial.value(), 0));
+  frontier.push_back(EnvNode{std::move(initial).value(), 0, 0});
+  result.distinct_states = 1;
+
+  auto fail = [&](std::string violation) {
+    result.ok = false;
+    result.violation = std::move(violation);
+    result.seconds = elapsed();
+  };
+
+  while (!frontier.empty()) {
+    if (result.distinct_states >= options.max_states ||
+        elapsed() > options.time_limit_seconds) {
+      result.capped = true;
+      break;
+    }
+    EnvNode node = std::move(frontier.front());
+    frontier.pop_front();
+    result.diameter = std::max(result.diameter, node.depth);
+
+    bool any_executed = false;
+    for (const nadir::Process& process : spec.processes()) {
+      nadir::Env next = node.env;
+      auto outcome = nadir::Interpreter::try_step(spec, next, process.name());
+      if (outcome != nadir::StepOutcome::kExecuted) continue;
+      any_executed = true;
+      ++result.transitions;
+      // TypeOK after every step — the NADIR annotation invariant.
+      auto types = spec.check_types(next);
+      if (!types.ok()) {
+        fail(types.error().message);
+        return result;
+      }
+      if (options.invariant) {
+        std::string violation = options.invariant(next);
+        if (!violation.empty()) {
+          fail(std::move(violation));
+          return result;
+        }
+      }
+      std::uint64_t fp = fingerprint(next, node.crashes_used);
+      if (visited.insert(fp).second) {
+        ++result.distinct_states;
+        frontier.push_back(
+            EnvNode{std::move(next), node.depth + 1, node.crashes_used});
+      }
+    }
+
+    // Crash injection (unfair transitions).
+    if (node.crashes_used < options.max_crashes) {
+      for (const std::string& name : options.crashable) {
+        nadir::Env next = node.env;
+        nadir::Interpreter::crash_process(spec, next, name);
+        ++result.transitions;
+        std::uint64_t fp = fingerprint(next, node.crashes_used + 1);
+        if (visited.insert(fp).second) {
+          ++result.distinct_states;
+          frontier.push_back(
+              EnvNode{std::move(next), node.depth + 1,
+                      node.crashes_used + 1});
+        }
+      }
+    }
+
+    if (!any_executed && options.quiescence) {
+      std::string violation = options.quiescence(node.env);
+      if (!violation.empty()) {
+        fail(std::move(violation));
+        return result;
+      }
+    }
+  }
+
+  result.seconds = elapsed();
+  return result;
+}
+
+}  // namespace zenith::mc

@@ -1,0 +1,42 @@
+// Explicit-state exploration over NADIR specs (the app-verification engine
+// of §4/§6.3): enumerates process interleavings of a Spec, checking a
+// user-supplied invariant on every state and an optional quiescence
+// condition on terminal states. TypeOK (the NADIR annotations) is enforced
+// on every transition.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nadir/interpreter.h"
+#include "nadir/spec.h"
+
+namespace zenith::mc {
+
+struct NadirCheckerOptions {
+  std::size_t max_states = 1'000'000;
+  double time_limit_seconds = 300.0;
+  /// Returns "" when the state is fine, else a violation description.
+  std::function<std::string(const nadir::Env&)> invariant;
+  /// Checked on states where every process is blocked or done.
+  std::function<std::string(const nadir::Env&)> quiescence;
+  /// Crash/restart exploration: processes whose crash (pc/local reset) the
+  /// checker may inject, at most `max_crashes` times total.
+  std::vector<std::string> crashable;
+  std::size_t max_crashes = 0;
+};
+
+struct NadirCheckResult {
+  bool ok = true;
+  bool capped = false;
+  std::string violation;
+  std::size_t distinct_states = 0;
+  std::size_t transitions = 0;
+  std::size_t diameter = 0;
+  double seconds = 0.0;
+};
+
+NadirCheckResult explore(const nadir::Spec& spec,
+                         NadirCheckerOptions options = {});
+
+}  // namespace zenith::mc

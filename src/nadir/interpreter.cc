@@ -1,0 +1,82 @@
+#include "nadir/interpreter.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace zenith::nadir {
+
+StepOutcome Interpreter::try_step(const Spec& spec, Env& env,
+                                  const std::string& proc, bool check_types) {
+  const Process* process = spec.find_process(proc);
+  assert(process != nullptr && "unknown process");
+  Env::ProcState& state = env.procs.at(proc);
+  if (state.pc == kPcDone) return StepOutcome::kDone;
+
+  const Step* step = process->find_step(state.pc);
+  assert(step != nullptr && "pc points at unknown label");
+
+  // Execute against a working copy so a blocked step leaves no trace.
+  Env working = env;
+  StepContext ctx(spec, *process, working);
+  ctx.step_ = step;
+  ctx.next_pc_ = process->next_label(state.pc);
+  step->fn(ctx);
+  if (ctx.blocked()) return StepOutcome::kBlocked;
+
+  working.procs.at(proc).pc = ctx.next_pc_;
+  env = std::move(working);
+
+  if (check_types) {
+    auto st = spec.check_types(env);
+    if (!st.ok()) {
+      ZLOG_ERROR("TypeOK violated after %s.%s: %s", proc.c_str(),
+                 step->label.c_str(), st.error().message.c_str());
+      assert(false && "TypeOK violated");
+    }
+  }
+  return StepOutcome::kExecuted;
+}
+
+std::size_t Interpreter::run_to_quiescence(const Spec& spec, Env& env,
+                                           std::size_t max_steps) {
+  std::size_t executed = 0;
+  bool progress = true;
+  while (progress && executed < max_steps) {
+    progress = false;
+    for (const Process& p : spec.processes()) {
+      if (try_step(spec, env, p.name()) == StepOutcome::kExecuted) {
+        ++executed;
+        progress = true;
+        if (executed >= max_steps) break;
+      }
+    }
+  }
+  return executed;
+}
+
+void Interpreter::crash_process(const Spec& spec, Env& env,
+                                const std::string& proc) {
+  const Process* process = spec.find_process(proc);
+  assert(process != nullptr);
+  Env::ProcState& state = env.procs.at(proc);
+  state.pc = process->initial_pc();
+  state.locals.clear();
+  for (const VariableDecl& l : process->locals()) {
+    state.locals[l.name] = l.initial;
+  }
+  // Globals survive: per §5 "global variables are fully persistent and must
+  // survive failures; local variables have no persistence" — NADIR stores
+  // them in the NIB.
+}
+
+bool Interpreter::quiescent(const Spec& spec, const Env& env) {
+  for (const Process& p : spec.processes()) {
+    Env copy = env;
+    StepOutcome out = try_step(spec, copy, p.name());
+    if (out == StepOutcome::kExecuted) return false;
+  }
+  return true;
+}
+
+}  // namespace zenith::nadir

@@ -1,0 +1,56 @@
+// The NADIR runtime interpreter.
+//
+// Executes labeled atomic steps of a Spec over an Env. This single engine
+// serves three roles in the reproduction:
+//   1. generated-code runtime: the simulator drives app components whose
+//      behaviour comes from their spec (the paper's NADIR-generated code);
+//   2. verification backend: the app-verification explorer (§4, §6.3)
+//      enumerates interleavings by calling try_step on cloned Envs;
+//   3. conformance oracle: tests replay the same scenario through a
+//      hand-written C++ component and the interpreted spec and compare.
+//
+// Crash semantics (§5): component failure resets a process's pc to its
+// first label and wipes its *locals*; globals are NIB-backed and survive
+// ("global variables are fully persistent ... local variables have no
+// persistence").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nadir/spec.h"
+
+namespace zenith::nadir {
+
+enum class StepOutcome {
+  kExecuted,  // step ran; env mutated; pc advanced
+  kBlocked,   // guard/await failed; env unchanged
+  kDone,      // process already terminated
+};
+
+class Interpreter {
+ public:
+  /// Attempts the step at `proc`'s current pc. Mutates env only when the
+  /// step executes. `check_types` re-validates annotations after the step
+  /// (the generated-code runtime check of §5).
+  static StepOutcome try_step(const Spec& spec, Env& env,
+                              const std::string& proc,
+                              bool check_types = false);
+
+  /// Round-robin scheduler: repeatedly steps every process until all are
+  /// blocked or done, or `max_steps` executions happen. Deterministic.
+  /// Returns executed step count.
+  static std::size_t run_to_quiescence(const Spec& spec, Env& env,
+                                       std::size_t max_steps = 100000);
+
+  /// Crash a process per NADIR semantics (see file comment).
+  static void crash_process(const Spec& spec, Env& env,
+                            const std::string& proc);
+
+  /// True when every process is blocked or done.
+  static bool quiescent(const Spec& spec, const Env& env);
+};
+
+}  // namespace zenith::nadir

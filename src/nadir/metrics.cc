@@ -1,0 +1,57 @@
+#include "nadir/metrics.h"
+
+#include <set>
+
+namespace zenith::nadir {
+
+SpecMetrics measure(const Spec& spec) {
+  SpecMetrics m;
+  m.global_count = spec.globals().size();
+  m.process_count = spec.processes().size();
+
+  // Per-process read/write sets over globals.
+  std::map<std::string, std::set<std::string>> reads;
+  std::map<std::string, std::set<std::string>> writes;
+  for (const Process& p : spec.processes()) {
+    m.step_count += p.steps().size();
+    m.local_count += p.locals().size();
+    for (const Step& s : p.steps()) {
+      reads[p.name()].insert(s.reads.begin(), s.reads.end());
+      // A write implies potential read-modify-write; count both directions
+      // the way information-flow analysis does.
+      reads[p.name()].insert(s.writes.begin(), s.writes.end());
+      writes[p.name()].insert(s.writes.begin(), s.writes.end());
+    }
+  }
+
+  for (const Process& p : spec.processes()) {
+    ProcessComplexity c;
+    c.length = p.steps().size();
+    for (const std::string& g : reads[p.name()]) {
+      for (const Process& other : spec.processes()) {
+        if (other.name() == p.name()) continue;
+        if (writes[other.name()].count(g)) {
+          ++c.fanin;
+          break;  // count each global once
+        }
+      }
+    }
+    for (const std::string& g : writes[p.name()]) {
+      for (const Process& other : spec.processes()) {
+        if (other.name() == p.name()) continue;
+        if (reads[other.name()].count(g)) {
+          ++c.fanout;
+          break;
+        }
+      }
+    }
+    std::uint64_t flow = static_cast<std::uint64_t>(c.fanin) *
+                         static_cast<std::uint64_t>(c.fanout);
+    c.henry_kafura = static_cast<std::uint64_t>(c.length) * flow * flow;
+    m.total_henry_kafura += c.henry_kafura;
+    m.per_process[p.name()] = c;
+  }
+  return m;
+}
+
+}  // namespace zenith::nadir

@@ -1,0 +1,253 @@
+#include "nadir/spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace zenith::nadir {
+
+std::uint64_t Env::hash() const {
+  Hasher h;
+  for (const auto& [name, v] : globals) {
+    h.add(fnv1a(name));
+    h.add(v.hash());
+  }
+  for (const auto& [name, proc] : procs) {
+    h.add(fnv1a(name));
+    h.add(fnv1a(proc.pc));
+    for (const auto& [lname, lv] : proc.locals) {
+      h.add(fnv1a(lname));
+      h.add(lv.hash());
+    }
+  }
+  return h.digest();
+}
+
+std::string Env::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : globals) {
+    out << name << " = " << v.to_string() << "\n";
+  }
+  for (const auto& [name, proc] : procs) {
+    out << name << "@" << proc.pc;
+    for (const auto& [lname, lv] : proc.locals) {
+      out << " " << lname << "=" << lv.to_string();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Process& Process::local(std::string name, TypePtr type, Value initial) {
+  locals_.push_back(VariableDecl{std::move(name), std::move(type),
+                                 std::move(initial), false});
+  return *this;
+}
+
+Process& Process::step(Step step) {
+  assert(find_step(step.label) == nullptr && "duplicate step label");
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+const Step* Process::find_step(const std::string& label) const {
+  for (const Step& s : steps_) {
+    if (s.label == label) return &s;
+  }
+  return nullptr;
+}
+
+const std::string& Process::next_label(const std::string& label) const {
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].label == label) {
+      return i + 1 < steps_.size() ? steps_[i + 1].label : kPcDone;
+    }
+  }
+  assert(false && "label not found");
+  return kPcDone;
+}
+
+const std::string& Process::initial_pc() const {
+  assert(!steps_.empty());
+  return steps_.front().label;
+}
+
+Spec& Spec::global(std::string name, TypePtr type, Value initial,
+                   bool persistent) {
+  assert(find_global(name) == nullptr && "duplicate global");
+  globals_.push_back(
+      VariableDecl{std::move(name), std::move(type), std::move(initial),
+                   persistent});
+  return *this;
+}
+
+Spec& Spec::process(Process process) {
+  assert(find_process(process.name()) == nullptr && "duplicate process");
+  processes_.push_back(std::move(process));
+  return *this;
+}
+
+const Process* Spec::find_process(const std::string& name) const {
+  for (const Process& p : processes_) {
+    if (p.name() == name) return &p;
+  }
+  return nullptr;
+}
+
+const VariableDecl* Spec::find_global(const std::string& name) const {
+  for (const VariableDecl& g : globals_) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+Result<Env> Spec::make_initial_env() const {
+  Env env;
+  for (const VariableDecl& g : globals_) {
+    if (!g.type->check(g.initial)) {
+      return Error::invalid_argument("initial value of global '" + g.name +
+                                     "' fails annotation " +
+                                     g.type->to_string());
+    }
+    env.globals[g.name] = g.initial;
+  }
+  for (const Process& p : processes_) {
+    Env::ProcState state;
+    state.pc = p.initial_pc();
+    for (const VariableDecl& l : p.locals()) {
+      if (!l.type->check(l.initial)) {
+        return Error::invalid_argument("initial value of local '" + p.name() +
+                                       "." + l.name + "' fails annotation");
+      }
+      state.locals[l.name] = l.initial;
+    }
+    env.procs[p.name()] = std::move(state);
+  }
+  return env;
+}
+
+Status Spec::check_types(const Env& env) const {
+  for (const VariableDecl& g : globals_) {
+    auto it = env.globals.find(g.name);
+    if (it == env.globals.end()) {
+      return Error::internal("global '" + g.name + "' missing from env");
+    }
+    if (!g.type->check(it->second)) {
+      return Error::failed_precondition(
+          "TypeOK violation: global '" + g.name + "' = " +
+          it->second.to_string() + " does not satisfy " +
+          g.type->to_string());
+    }
+  }
+  for (const Process& p : processes_) {
+    auto pit = env.procs.find(p.name());
+    if (pit == env.procs.end()) {
+      return Error::internal("process '" + p.name() + "' missing from env");
+    }
+    for (const VariableDecl& l : p.locals()) {
+      auto lit = pit->second.locals.find(l.name);
+      if (lit == pit->second.locals.end()) {
+        return Error::internal("local '" + l.name + "' missing");
+      }
+      if (!l.type->check(lit->second)) {
+        return Error::failed_precondition(
+            "TypeOK violation: local '" + p.name() + "." + l.name + "' = " +
+            lit->second.to_string() + " does not satisfy " +
+            l.type->to_string());
+      }
+    }
+  }
+  return Status::success();
+}
+
+StepContext::StepContext(const Spec& spec, const Process& process, Env& env)
+    : spec_(spec), process_(process), env_(env) {}
+
+void StepContext::check_read(const std::string& name) const {
+  assert(step_ != nullptr);
+  bool allowed =
+      std::find(step_->reads.begin(), step_->reads.end(), name) !=
+          step_->reads.end() ||
+      std::find(step_->writes.begin(), step_->writes.end(), name) !=
+          step_->writes.end();
+  (void)allowed;
+  assert(allowed && "step reads a global outside its annotation");
+}
+
+void StepContext::check_write(const std::string& name) const {
+  assert(step_ != nullptr);
+  bool allowed = std::find(step_->writes.begin(), step_->writes.end(), name) !=
+                 step_->writes.end();
+  (void)allowed;
+  assert(allowed && "step writes a global outside its annotation");
+}
+
+const Value& StepContext::global(const std::string& name) const {
+  check_read(name);
+  auto it = env_.globals.find(name);
+  assert(it != env_.globals.end() && "unknown global");
+  return it->second;
+}
+
+void StepContext::set_global(const std::string& name, Value v) {
+  check_write(name);
+  auto it = env_.globals.find(name);
+  assert(it != env_.globals.end() && "unknown global");
+  it->second = std::move(v);
+}
+
+const Value& StepContext::local(const std::string& name) const {
+  auto& locals = env_.procs.at(process_.name()).locals;
+  auto it = locals.find(name);
+  assert(it != locals.end() && "unknown local");
+  return it->second;
+}
+
+void StepContext::set_local(const std::string& name, Value v) {
+  auto& locals = env_.procs.at(process_.name()).locals;
+  auto it = locals.find(name);
+  assert(it != locals.end() && "unknown local");
+  it->second = std::move(v);
+}
+
+void StepContext::jump(const std::string& label) {
+  assert(label == kPcDone || process_.find_step(label) != nullptr);
+  next_pc_ = label;
+}
+
+bool StepContext::fifo_empty(const std::string& name) const {
+  return global(name).size() == 0;
+}
+
+void StepContext::fifo_put(const std::string& name, Value v) {
+  set_global(name, global(name).append(std::move(v)));
+}
+
+Value StepContext::fifo_get(const std::string& name) {
+  const Value& q = global(name);
+  if (q.size() == 0) {
+    blocked_ = true;
+    return Value::nil();
+  }
+  Value head = q.head();
+  set_global(name, q.tail());
+  return head;
+}
+
+Value StepContext::fifo_peek(const std::string& name) {
+  const Value& q = global(name);
+  if (q.size() == 0) {
+    blocked_ = true;
+    return Value::nil();
+  }
+  return q.head();
+}
+
+void StepContext::fifo_ack_pop(const std::string& name) {
+  const Value& q = global(name);
+  assert(q.size() > 0 && "AckQueuePop on empty queue");
+  set_global(name, q.tail());
+}
+
+}  // namespace zenith::nadir

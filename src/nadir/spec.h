@@ -1,0 +1,176 @@
+// NADIR specification IR.
+//
+// A Spec is the machine-readable equivalent of an annotated PlusCal module:
+//   * global variables — typed, optionally persistent. Persistent globals
+//     are the paper's NIB-resident state: they survive component failures
+//     (§5 "all persistent state is in the NIB").
+//   * processes — independent threads of execution, each a list of *labeled
+//     atomic steps* (a PlusCal label delimits one atomic transition).
+//   * per-step access annotations — which globals a step may read/write.
+//     These feed the Henry-Kafura complexity metric (Figure A.3), drive the
+//     partial-order analysis, and are enforced at runtime (an access outside
+//     the annotation aborts, the analogue of NADIR rejecting a spec whose
+//     annotations don't match its body).
+//
+// Steps are written as C++ lambdas over a StepContext rather than parsed
+// PlusCal text; the structure (labels, atomicity, FIFO macros, CHOOSE,
+// AWAIT-as-block) is preserved exactly.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nadir/type.h"
+#include "nadir/value.h"
+
+namespace zenith::nadir {
+
+struct VariableDecl {
+  std::string name;
+  TypePtr type;
+  Value initial;
+  bool persistent = false;  // globals only: survives crash (NIB-backed)
+};
+
+/// Snapshot of all spec state: globals plus per-process (pc, locals).
+class Env {
+ public:
+  struct ProcState {
+    std::string pc;
+    std::map<std::string, Value> locals;
+    bool operator==(const ProcState&) const = default;
+  };
+
+  std::map<std::string, Value> globals;
+  std::map<std::string, ProcState> procs;
+
+  bool operator==(const Env&) const = default;
+  std::uint64_t hash() const;
+  std::string to_string() const;
+};
+
+class StepContext;
+using StepFn = std::function<void(StepContext&)>;
+
+struct Step {
+  std::string label;
+  std::vector<std::string> reads;   // globals this step may read
+  std::vector<std::string> writes;  // globals this step may write
+  StepFn fn;
+};
+
+/// Sentinel pc meaning the process has terminated.
+inline const std::string kPcDone = "__done";
+
+class Process {
+ public:
+  Process(std::string name, bool fair = true)
+      : name_(std::move(name)), fair_(fair) {}
+
+  const std::string& name() const { return name_; }
+  bool fair() const { return fair_; }
+
+  Process& local(std::string name, TypePtr type, Value initial);
+  Process& step(Step step);
+
+  const std::vector<VariableDecl>& locals() const { return locals_; }
+  const std::vector<Step>& steps() const { return steps_; }
+
+  const Step* find_step(const std::string& label) const;
+  /// Label of the step after `label` in declaration order (or kPcDone).
+  const std::string& next_label(const std::string& label) const;
+  const std::string& initial_pc() const;
+
+ private:
+  std::string name_;
+  bool fair_;
+  std::vector<VariableDecl> locals_;
+  std::vector<Step> steps_;
+};
+
+class Spec {
+ public:
+  explicit Spec(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Spec& global(std::string name, TypePtr type, Value initial,
+               bool persistent = false);
+  Spec& process(Process process);
+
+  const std::vector<VariableDecl>& globals() const { return globals_; }
+  const std::vector<Process>& processes() const { return processes_; }
+  const Process* find_process(const std::string& name) const;
+  const VariableDecl* find_global(const std::string& name) const;
+
+  /// Builds the initial environment and type-checks it.
+  Result<Env> make_initial_env() const;
+
+  /// TypeOK over a full environment: every global and local matches its
+  /// annotation.
+  Status check_types(const Env& env) const;
+
+ private:
+  std::string name_;
+  std::vector<VariableDecl> globals_;
+  std::vector<Process> processes_;
+};
+
+/// Execution context handed to a step body. All mutations buffer against a
+/// working copy; the interpreter commits only if the step was not blocked.
+class StepContext {
+ public:
+  StepContext(const Spec& spec, const Process& process, Env& env);
+
+  // -- global access (annotation-enforced) ---------------------------------
+  const Value& global(const std::string& name) const;
+  void set_global(const std::string& name, Value v);
+
+  // -- locals ----------------------------------------------------------------
+  const Value& local(const std::string& name) const;
+  void set_local(const std::string& name, Value v);
+
+  // -- control flow -----------------------------------------------------------
+  /// goto another label of this process; default is fallthrough to the next
+  /// declared step.
+  void jump(const std::string& label);
+  /// Marks the process finished after this step.
+  void finish() { jump(kPcDone); }
+
+  /// AWAIT guard: when `cond` is false the step blocks — no state change,
+  /// pc unchanged, to be retried later.
+  void await(bool cond) {
+    if (!cond) blocked_ = true;
+  }
+  bool blocked() const { return blocked_; }
+
+  // -- FIFO macros over Seq-valued globals (FIFOPut / FIFOGet /
+  //    AckQueueRead / AckQueuePop) -------------------------------------------
+  bool fifo_empty(const std::string& name) const;
+  void fifo_put(const std::string& name, Value v);
+  /// FIFOGet with AWAIT semantics: blocks the step when empty.
+  Value fifo_get(const std::string& name);
+  /// AckQueueRead: copy of head, element remains queued; blocks when empty.
+  Value fifo_peek(const std::string& name);
+  /// AckQueuePop: drops the head read earlier.
+  void fifo_ack_pop(const std::string& name);
+
+ private:
+  friend class Interpreter;
+
+  void check_read(const std::string& name) const;
+  void check_write(const std::string& name) const;
+
+  const Spec& spec_;
+  const Process& process_;
+  Env& env_;  // working copy owned by the interpreter
+  const Step* step_ = nullptr;
+  std::string next_pc_;
+  bool blocked_ = false;
+};
+
+}  // namespace zenith::nadir

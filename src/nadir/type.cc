@@ -1,0 +1,129 @@
+#include "nadir/type.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace zenith::nadir {
+
+TypePtr Type::integer() {
+  return TypePtr(new Type(Tag::kInt));
+}
+
+TypePtr Type::boolean() {
+  return TypePtr(new Type(Tag::kBool));
+}
+
+TypePtr Type::string() {
+  return TypePtr(new Type(Tag::kString));
+}
+
+TypePtr Type::enumeration(std::vector<std::string> members) {
+  auto* t = new Type(Tag::kEnum);
+  t->enum_members_ = std::move(members);
+  return TypePtr(t);
+}
+
+TypePtr Type::seq(TypePtr element) {
+  auto* t = new Type(Tag::kSeq);
+  t->element_ = std::move(element);
+  return TypePtr(t);
+}
+
+TypePtr Type::set(TypePtr element) {
+  auto* t = new Type(Tag::kSet);
+  t->element_ = std::move(element);
+  return TypePtr(t);
+}
+
+TypePtr Type::record(std::vector<std::pair<std::string, TypePtr>> fields) {
+  auto* t = new Type(Tag::kRecord);
+  t->fields_ = std::move(fields);
+  return TypePtr(t);
+}
+
+TypePtr Type::nullable(TypePtr inner) {
+  auto* t = new Type(Tag::kNullable);
+  t->element_ = std::move(inner);
+  return TypePtr(t);
+}
+
+bool Type::check(const Value& v) const {
+  switch (tag_) {
+    case Tag::kInt:
+      return v.kind() == Kind::kInt;
+    case Tag::kBool:
+      return v.kind() == Kind::kBool;
+    case Tag::kString:
+      return v.kind() == Kind::kString;
+    case Tag::kEnum:
+      return v.kind() == Kind::kString &&
+             std::find(enum_members_.begin(), enum_members_.end(),
+                       v.as_string()) != enum_members_.end();
+    case Tag::kSeq:
+      if (v.kind() != Kind::kSeq) return false;
+      return std::all_of(v.as_seq().begin(), v.as_seq().end(),
+                         [&](const Value& e) { return element_->check(e); });
+    case Tag::kSet:
+      if (v.kind() != Kind::kSet) return false;
+      return std::all_of(v.as_set().begin(), v.as_set().end(),
+                         [&](const Value& e) { return element_->check(e); });
+    case Tag::kRecord: {
+      if (v.kind() != Kind::kRecord) return false;
+      const auto& fields = v.as_record();
+      if (fields.size() != fields_.size()) return false;
+      for (const auto& [name, type] : fields_) {
+        auto it = fields.find(name);
+        if (it == fields.end() || !type->check(it->second)) return false;
+      }
+      return true;
+    }
+    case Tag::kNullable:
+      return v.is_nil() || element_->check(v);
+  }
+  return false;
+}
+
+std::string Type::to_string() const {
+  std::ostringstream out;
+  switch (tag_) {
+    case Tag::kInt:
+      out << "Nat";
+      break;
+    case Tag::kBool:
+      out << "BOOLEAN";
+      break;
+    case Tag::kString:
+      out << "STRING";
+      break;
+    case Tag::kEnum: {
+      out << "{";
+      for (std::size_t i = 0; i < enum_members_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << '"' << enum_members_[i] << '"';
+      }
+      out << "}";
+      break;
+    }
+    case Tag::kSeq:
+      out << "Seq(" << element_->to_string() << ")";
+      break;
+    case Tag::kSet:
+      out << "SUBSET " << element_->to_string();
+      break;
+    case Tag::kRecord: {
+      out << "[";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << fields_[i].first << ": " << fields_[i].second->to_string();
+      }
+      out << "]";
+      break;
+    }
+    case Tag::kNullable:
+      out << "NadirNullable(" << element_->to_string() << ")";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace zenith::nadir

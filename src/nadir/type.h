@@ -1,0 +1,60 @@
+// NADIR type annotations (§5, Listing 8).
+//
+// PlusCal is untyped; NADIR requires developers to annotate every variable
+// before code generation. Here a NadirType is a structural descriptor with a
+// runtime check(value) predicate — the exact role the paper's TypeOK
+// invariant plays: annotations double as a model-checked invariant, and the
+// generated runtime re-validates them at every step boundary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nadir/value.h"
+
+namespace zenith::nadir {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+class Type {
+ public:
+  enum class Tag {
+    kInt,       // Nat / Int
+    kBool,
+    kString,
+    kEnum,      // finite string constants, e.g. OP status names
+    kSeq,       // Seq(T)
+    kSet,       // SUBSET T
+    kRecord,    // [f1: T1, ..., fn: Tn]
+    kNullable,  // NadirNullable(T): T or NADIR_NULL
+  };
+
+  static TypePtr integer();
+  static TypePtr boolean();
+  static TypePtr string();
+  static TypePtr enumeration(std::vector<std::string> members);
+  static TypePtr seq(TypePtr element);
+  static TypePtr set(TypePtr element);
+  static TypePtr record(std::vector<std::pair<std::string, TypePtr>> fields);
+  static TypePtr nullable(TypePtr inner);
+
+  Tag tag() const { return tag_; }
+
+  /// Structural membership test — the runtime TypeOK.
+  bool check(const Value& v) const;
+
+  /// TLA+-ish rendering, e.g. "Seq([sw: Nat, op: Nat])".
+  std::string to_string() const;
+
+ private:
+  explicit Type(Tag tag) : tag_(tag) {}
+
+  Tag tag_;
+  std::vector<std::string> enum_members_;
+  TypePtr element_;
+  std::vector<std::pair<std::string, TypePtr>> fields_;
+};
+
+}  // namespace zenith::nadir

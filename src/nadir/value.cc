@@ -1,0 +1,277 @@
+#include "nadir/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace zenith::nadir {
+
+Value Value::integer(std::int64_t v) {
+  Value out;
+  out.kind_ = Kind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::boolean(bool v) {
+  Value out;
+  out.kind_ = Kind::kBool;
+  out.int_ = v ? 1 : 0;
+  return out;
+}
+
+Value Value::string(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::make_shared<const std::string>(std::move(v));
+  return out;
+}
+
+Value Value::seq(ValueVec items) {
+  Value out;
+  out.kind_ = Kind::kSeq;
+  out.items_ = std::make_shared<const ValueVec>(std::move(items));
+  return out;
+}
+
+Value Value::set(ValueVec items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  Value out;
+  out.kind_ = Kind::kSet;
+  out.items_ = std::make_shared<const ValueVec>(std::move(items));
+  return out;
+}
+
+Value Value::record(FieldMap fields) {
+  Value out;
+  out.kind_ = Kind::kRecord;
+  out.fields_ = std::make_shared<const FieldMap>(std::move(fields));
+  return out;
+}
+
+std::int64_t Value::as_int() const {
+  assert(kind_ == Kind::kInt);
+  return int_;
+}
+
+bool Value::as_bool() const {
+  assert(kind_ == Kind::kBool);
+  return int_ != 0;
+}
+
+const std::string& Value::as_string() const {
+  assert(kind_ == Kind::kString);
+  return *str_;
+}
+
+const ValueVec& Value::as_seq() const {
+  assert(kind_ == Kind::kSeq);
+  return *items_;
+}
+
+const ValueVec& Value::as_set() const {
+  assert(kind_ == Kind::kSet);
+  return *items_;
+}
+
+const FieldMap& Value::as_record() const {
+  assert(kind_ == Kind::kRecord);
+  return *fields_;
+}
+
+const Value& Value::field(const std::string& name) const {
+  const auto& fields = as_record();
+  auto it = fields.find(name);
+  assert(it != fields.end() && "record field missing");
+  return it->second;
+}
+
+Value Value::with_field(const std::string& name, Value v) const {
+  FieldMap fields = as_record();
+  fields[name] = std::move(v);
+  return record(std::move(fields));
+}
+
+std::size_t Value::size() const {
+  assert(kind_ == Kind::kSeq || kind_ == Kind::kSet);
+  return items_->size();
+}
+
+const Value& Value::at(std::size_t i) const {
+  assert(kind_ == Kind::kSeq || kind_ == Kind::kSet);
+  assert(i < items_->size());
+  return (*items_)[i];
+}
+
+Value Value::append(Value v) const {
+  ValueVec items = as_seq();
+  items.push_back(std::move(v));
+  return seq(std::move(items));
+}
+
+Value Value::tail() const {
+  const auto& items = as_seq();
+  assert(!items.empty());
+  return seq(ValueVec(items.begin() + 1, items.end()));
+}
+
+const Value& Value::head() const {
+  const auto& items = as_seq();
+  assert(!items.empty());
+  return items.front();
+}
+
+bool Value::set_contains(const Value& v) const {
+  const auto& items = as_set();
+  return std::binary_search(items.begin(), items.end(), v);
+}
+
+Value Value::set_insert(Value v) const {
+  ValueVec items = as_set();
+  auto it = std::lower_bound(items.begin(), items.end(), v);
+  if (it != items.end() && *it == v) return *this;
+  items.insert(it, std::move(v));
+  Value out;
+  out.kind_ = Kind::kSet;
+  out.items_ = std::make_shared<const ValueVec>(std::move(items));
+  return out;
+}
+
+Value Value::set_erase(const Value& v) const {
+  ValueVec items = as_set();
+  auto it = std::lower_bound(items.begin(), items.end(), v);
+  if (it == items.end() || !(*it == v)) return *this;
+  items.erase(it);
+  Value out;
+  out.kind_ = Kind::kSet;
+  out.items_ = std::make_shared<const ValueVec>(std::move(items));
+  return out;
+}
+
+int Value::compare(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) {
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_) ? -1 : 1;
+  }
+  switch (a.kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kInt:
+    case Kind::kBool:
+      if (a.int_ != b.int_) return a.int_ < b.int_ ? -1 : 1;
+      return 0;
+    case Kind::kString:
+      return a.str_->compare(*b.str_);
+    case Kind::kSeq:
+    case Kind::kSet: {
+      const auto& av = *a.items_;
+      const auto& bv = *b.items_;
+      for (std::size_t i = 0; i < std::min(av.size(), bv.size()); ++i) {
+        int c = compare(av[i], bv[i]);
+        if (c != 0) return c;
+      }
+      if (av.size() != bv.size()) return av.size() < bv.size() ? -1 : 1;
+      return 0;
+    }
+    case Kind::kRecord: {
+      const auto& af = *a.fields_;
+      const auto& bf = *b.fields_;
+      auto ai = af.begin();
+      auto bi = bf.begin();
+      for (; ai != af.end() && bi != bf.end(); ++ai, ++bi) {
+        int c = ai->first.compare(bi->first);
+        if (c != 0) return c;
+        c = compare(ai->second, bi->second);
+        if (c != 0) return c;
+      }
+      if (af.size() != bf.size()) return af.size() < bf.size() ? -1 : 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t Value::hash() const {
+  Hasher h;
+  h.add(static_cast<std::uint64_t>(kind_));
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kInt:
+    case Kind::kBool:
+      h.add(static_cast<std::uint64_t>(int_));
+      break;
+    case Kind::kString:
+      h.add(fnv1a(*str_));
+      break;
+    case Kind::kSeq:
+    case Kind::kSet:
+      for (const Value& v : *items_) h.add(v.hash());
+      break;
+    case Kind::kRecord:
+      for (const auto& [name, v] : *fields_) {
+        h.add(fnv1a(name));
+        h.add(v.hash());
+      }
+      break;
+  }
+  return h.digest();
+}
+
+std::string Value::to_string() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kNull:
+      out << "NADIR_NULL";
+      break;
+    case Kind::kInt:
+      out << int_;
+      break;
+    case Kind::kBool:
+      out << (int_ != 0 ? "TRUE" : "FALSE");
+      break;
+    case Kind::kString:
+      out << '"' << *str_ << '"';
+      break;
+    case Kind::kSeq: {
+      out << "<<";
+      for (std::size_t i = 0; i < items_->size(); ++i) {
+        if (i > 0) out << ", ";
+        out << (*items_)[i].to_string();
+      }
+      out << ">>";
+      break;
+    }
+    case Kind::kSet: {
+      out << "{";
+      for (std::size_t i = 0; i < items_->size(); ++i) {
+        if (i > 0) out << ", ";
+        out << (*items_)[i].to_string();
+      }
+      out << "}";
+      break;
+    }
+    case Kind::kRecord: {
+      out << "[";
+      bool first = true;
+      for (const auto& [name, v] : *fields_) {
+        if (!first) out << ", ";
+        first = false;
+        out << name << " |-> " << v.to_string();
+      }
+      out << "]";
+      break;
+    }
+  }
+  return out.str();
+}
+
+const Value& choose(const Value& set) {
+  const auto& items = set.as_set();
+  assert(!items.empty() && "CHOOSE from empty set");
+  return items.front();
+}
+
+}  // namespace zenith::nadir

@@ -1,0 +1,100 @@
+// NadirValue: the dynamic value universe of NADIR specifications.
+//
+// NADIR (§5) consumes PlusCal specifications whose variables hold TLA+
+// values: naturals, booleans, strings, sequences, sets and records. This is
+// the C++ analogue: an immutable, structurally-shared variant. Immutability
+// matters because the app-verification explorer snapshots whole environments
+// per state; sharing makes snapshots cheap.
+//
+// NADIR_NULL from the paper is the distinguished nil value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zenith::nadir {
+
+class Value;
+
+using ValueVec = std::vector<Value>;
+using FieldMap = std::map<std::string, Value>;  // ordered: canonical records
+
+enum class Kind : std::uint8_t {
+  kNull,
+  kInt,
+  kBool,
+  kString,
+  kSeq,     // ordered sequence <<...>>
+  kSet,     // canonical sorted unique elements
+  kRecord,  // [field |-> value]
+};
+
+class Value {
+ public:
+  /// NADIR_NULL.
+  Value() : kind_(Kind::kNull) {}
+
+  static Value nil() { return Value(); }
+  static Value integer(std::int64_t v);
+  static Value boolean(bool v);
+  static Value string(std::string v);
+  static Value seq(ValueVec items);
+  static Value set(ValueVec items);  // sorts + dedups
+  static Value record(FieldMap fields);
+
+  Kind kind() const { return kind_; }
+  bool is_nil() const { return kind_ == Kind::kNull; }
+
+  std::int64_t as_int() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+  const ValueVec& as_seq() const;
+  const ValueVec& as_set() const;  // sorted
+  const FieldMap& as_record() const;
+
+  /// Record field access; dies on missing field (type annotations are
+  /// supposed to rule that out — mirrors TLC's behaviour).
+  const Value& field(const std::string& name) const;
+  /// Functional record update.
+  Value with_field(const std::string& name, Value v) const;
+
+  // Sequence helpers (FIFO macros build on these).
+  std::size_t size() const;
+  const Value& at(std::size_t i) const;
+  Value append(Value v) const;   // Append(seq, v)
+  Value tail() const;            // Tail(seq)
+  const Value& head() const;     // Head(seq)
+
+  // Set helpers.
+  bool set_contains(const Value& v) const;
+  Value set_insert(Value v) const;
+  Value set_erase(const Value& v) const;
+
+  /// Total order over all values (kind-major), giving canonical set layout
+  /// and deterministic CHOOSE.
+  static int compare(const Value& a, const Value& b);
+  friend bool operator==(const Value& a, const Value& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return compare(a, b) < 0;
+  }
+
+  std::uint64_t hash() const;
+  std::string to_string() const;
+
+ private:
+  Kind kind_;
+  std::int64_t int_ = 0;  // also holds bool
+  std::shared_ptr<const std::string> str_;
+  std::shared_ptr<const ValueVec> items_;   // seq or set
+  std::shared_ptr<const FieldMap> fields_;  // record
+};
+
+/// Deterministic CHOOSE x \in set: TRUE — returns the least element.
+const Value& choose(const Value& set);
+
+}  // namespace zenith::nadir

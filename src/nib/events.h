@@ -1,0 +1,30 @@
+// Events published by the NIB to its subscribers (§3.2: "the NIB Event
+// Handler generates updates about the status of OPs for both Sequencer and
+// other applications").
+#pragma once
+
+#include "common/ids.h"
+#include "dag/op.h"
+
+namespace zenith {
+
+struct NibEvent {
+  enum class Type : std::uint8_t {
+    kOpStatusChanged,
+    kSwitchHealthChanged,
+    kDagAccepted,      // DAG scheduler admitted a DAG
+    kDagDone,          // every OP of the DAG is DONE
+    kTopologyChanged,  // link/port level change folded into switch health here
+  };
+
+  Type type = Type::kOpStatusChanged;
+  OpId op;
+  OpStatus op_status = OpStatus::kNone;
+  SwitchId sw;
+  bool sw_up = false;
+  DagId dag;
+  LinkId link;          // kTopologyChanged
+  bool link_up = false; // kTopologyChanged
+};
+
+}  // namespace zenith

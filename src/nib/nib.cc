@@ -1,0 +1,223 @@
+#include "nib/nib.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zenith {
+
+const std::unordered_set<OpId> Nib::kEmptyView;
+
+const char* to_string(SwitchHealth h) {
+  switch (h) {
+    case SwitchHealth::kUp: return "UP";
+    case SwitchHealth::kDown: return "DOWN";
+    case SwitchHealth::kRecovering: return "RECOVERING";
+  }
+  return "?";
+}
+
+void Nib::publish(const NibEvent& event) {
+  for (EventSink sink : sinks_) sink->push(event);
+}
+
+void Nib::put_op(const Op& op) {
+  assert(op.id.valid());
+  auto [it, inserted] = ops_.emplace(op.id, op);
+  if (inserted) {
+    op_status_[op.id] = OpStatus::kNone;
+    ++write_count_;
+  } else {
+    assert(it->second == op && "op id reused with different payload");
+  }
+}
+
+OpStatus Nib::op_status(OpId id) const {
+  auto it = op_status_.find(id);
+  return it == op_status_.end() ? OpStatus::kNone : it->second;
+}
+
+void Nib::set_op_status(OpId id, OpStatus status) {
+  assert(ops_.count(id) && "status write for unregistered op");
+  ++write_count_;
+  OpStatus& slot = op_status_[id];
+  if (slot == status) return;
+  slot = status;
+  NibEvent event;
+  event.type = NibEvent::Type::kOpStatusChanged;
+  event.op = id;
+  event.op_status = status;
+  event.sw = ops_.at(id).sw;
+  publish(event);
+}
+
+std::vector<OpId> Nib::ops_on_switch(
+    SwitchId sw, std::initializer_list<OpStatus> filter) const {
+  std::vector<OpId> out;
+  for (const auto& [id, op] : ops_) {
+    if (op.sw != sw) continue;
+    OpStatus status = op_status(id);
+    for (OpStatus wanted : filter) {
+      if (status == wanted) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  // Deterministic order for the callers that iterate (unordered_map order is
+  // not stable across platforms).
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Nib::preload_op(const Op& op, OpStatus status, bool in_view) {
+  ops_.emplace(op.id, op);
+  op_status_[op.id] = status;
+  if (in_view) view_[op.sw].insert(op.id);
+  ++write_count_;
+}
+
+std::vector<OpId> Nib::ops_with_status(OpStatus status) const {
+  std::vector<OpId> out;
+  for (const auto& [id, s] : op_status_) {
+    if (s == status) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Nib::register_switch(SwitchId sw) {
+  switch_health_.emplace(sw, SwitchHealth::kUp);
+  view_.emplace(sw, std::unordered_set<OpId>{});
+  ++write_count_;
+}
+
+SwitchHealth Nib::switch_health(SwitchId sw) const {
+  auto it = switch_health_.find(sw);
+  assert(it != switch_health_.end() && "unregistered switch");
+  return it->second;
+}
+
+void Nib::set_switch_health(SwitchId sw, SwitchHealth health) {
+  auto it = switch_health_.find(sw);
+  assert(it != switch_health_.end() && "unregistered switch");
+  ++write_count_;
+  if (it->second == health) return;
+  bool was_up = it->second == SwitchHealth::kUp;
+  it->second = health;
+  bool is_up = health == SwitchHealth::kUp;
+  if (was_up != is_up) {
+    NibEvent event;
+    event.type = NibEvent::Type::kSwitchHealthChanged;
+    event.sw = sw;
+    event.sw_up = is_up;
+    publish(event);
+  }
+}
+
+void Nib::set_link_up(LinkId link, bool up) {
+  ++write_count_;
+  bool was_up = !down_links_.count(link);
+  if (was_up == up) return;
+  if (up) {
+    down_links_.erase(link);
+  } else {
+    down_links_.insert(link);
+  }
+  NibEvent event;
+  event.type = NibEvent::Type::kTopologyChanged;
+  event.link = link;
+  event.link_up = up;
+  publish(event);
+}
+
+std::vector<SwitchId> Nib::switches() const {
+  std::vector<SwitchId> out;
+  out.reserve(switch_health_.size());
+  for (const auto& [sw, _] : switch_health_) out.push_back(sw);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Nib::view_add_installed(SwitchId sw, OpId op) {
+  view_[sw].insert(op);
+  ++write_count_;
+}
+
+void Nib::view_remove_installed(SwitchId sw, OpId op) {
+  view_[sw].erase(op);
+  ++write_count_;
+}
+
+void Nib::view_clear_switch(SwitchId sw) {
+  view_[sw].clear();
+  ++write_count_;
+}
+
+const std::unordered_set<OpId>& Nib::view_installed(SwitchId sw) const {
+  auto it = view_.find(sw);
+  return it == view_.end() ? kEmptyView : it->second;
+}
+
+void Nib::put_dag(Dag dag) {
+  DagId id = dag.id();
+  assert(id.valid());
+  for (const Op* op : dag.all_ops()) put_op(*op);
+  dags_[id] = std::move(dag);
+  ++write_count_;
+}
+
+void Nib::remove_dag(DagId id) {
+  dags_.erase(id);
+  ++write_count_;
+  if (current_dag_ == id) current_dag_.reset();
+}
+
+void Nib::publish_dag_done(DagId id) {
+  NibEvent event;
+  event.type = NibEvent::Type::kDagDone;
+  event.dag = id;
+  publish(event);
+}
+
+void Nib::mark_dag_done(DagId id) {
+  done_dags_.insert(id);
+  ++write_count_;
+}
+
+void Nib::clear_dag_done(DagId id) {
+  done_dags_.erase(id);
+  ++write_count_;
+}
+
+void Nib::publish_dag_accepted(DagId id) {
+  NibEvent event;
+  event.type = NibEvent::Type::kDagAccepted;
+  event.dag = id;
+  publish(event);
+}
+
+void Nib::set_worker_state(WorkerId worker, std::optional<OpId> op) {
+  ++write_count_;
+  if (op.has_value()) {
+    // §B safety: "no two workers can work on the same task at the same
+    // time". Consistent sharding makes this structural; the NIB asserts it
+    // anyway so a future regression cannot slip by silently.
+    for (const auto& [other, held] : worker_state_) {
+      assert((other == worker || held != *op) &&
+             "concurrency violation: two workers hold the same OP");
+      (void)other;
+      (void)held;
+    }
+    worker_state_[worker] = *op;
+  } else {
+    worker_state_.erase(worker);
+  }
+}
+
+std::optional<OpId> Nib::worker_state(WorkerId worker) const {
+  auto it = worker_state_.find(worker);
+  if (it == worker_state_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace zenith

@@ -1,0 +1,148 @@
+// The Network Information Base.
+//
+// "A logically centralized in-memory database that stores the network state,
+// shares the state with different components, and is a central point for
+// communication between microservices" (Table 1). Per assumption A2 the NIB
+// is atomic, consistent and never fails; a production deployment would back
+// it with a replicated database (the paper cites MongoDB). In the simulator
+// every NIB call is a synchronous method on this object, which models
+// exactly that assumption.
+//
+// All durable controller state lives here: OP payloads and lifecycle status,
+// per-switch health, DAG bookkeeping, worker in-progress markers (the
+// Listing 3 crash-recovery slots), and the controller's view of each
+// switch's routing state (R_c in Table 2). Components keep *no* durable
+// state of their own — that is what makes component crash + Watchdog restart
+// recoverable (§3.9 "state recording and crash recovery").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "dag/dag.h"
+#include "nib/events.h"
+#include "sim/fifo.h"
+
+namespace zenith {
+
+enum class SwitchHealth : std::uint8_t {
+  kUp,
+  kDown,
+  kRecovering,  // recovery observed; cleanup (CLEAR_TCAM) still in progress
+};
+
+const char* to_string(SwitchHealth h);
+
+class Nib {
+ public:
+  using EventSink = NadirFifo<NibEvent>*;
+
+  /// Registers a subscriber queue that receives every published event.
+  void subscribe(EventSink sink) { sinks_.push_back(sink); }
+
+  // ---- OP table ------------------------------------------------------------
+
+  /// Registers the OP payload (idempotent for identical payloads).
+  void put_op(const Op& op);
+  bool has_op(OpId id) const { return ops_.count(id) > 0; }
+  const Op& op(OpId id) const { return ops_.at(id); }
+
+  OpStatus op_status(OpId id) const;
+  /// Writes the status and publishes kOpStatusChanged if it changed.
+  void set_op_status(OpId id, OpStatus status);
+
+  /// All OPs targeting `sw` whose status is in `filter`.
+  std::vector<OpId> ops_on_switch(SwitchId sw,
+                                  std::initializer_list<OpStatus> filter) const;
+
+  /// All OPs (any switch) currently in `status`, sorted by id.
+  std::vector<OpId> ops_with_status(OpStatus status) const;
+
+  /// Bulk-load pre-existing state without publishing events (used to set up
+  /// experiments with populated tables; a real deployment would inherit
+  /// this state from the database, not generate events for it).
+  void preload_op(const Op& op, OpStatus status, bool in_view);
+
+  // ---- switch health -------------------------------------------------------
+
+  void register_switch(SwitchId sw);
+  SwitchHealth switch_health(SwitchId sw) const;
+  bool switch_up(SwitchId sw) const {
+    return switch_health(sw) == SwitchHealth::kUp;
+  }
+  /// Writes health and publishes kSwitchHealthChanged on transitions into or
+  /// out of kUp (components care about usability, not the recovering
+  /// sub-state).
+  void set_switch_health(SwitchId sw, SwitchHealth health);
+  std::vector<SwitchId> switches() const;
+
+  // ---- link/port health (topology state T_c, Table 2) -----------------------
+
+  /// Records a link transition and publishes kTopologyChanged.
+  void set_link_up(LinkId link, bool up);
+  bool link_up(LinkId link) const { return !down_links_.count(link); }
+  const std::unordered_set<LinkId>& down_links() const { return down_links_; }
+
+  // ---- controller's routing view (R_c) --------------------------------------
+
+  /// Marks `op` as installed on its switch in the controller view.
+  void view_add_installed(SwitchId sw, OpId op);
+  void view_remove_installed(SwitchId sw, OpId op);
+  void view_clear_switch(SwitchId sw);
+  const std::unordered_set<OpId>& view_installed(SwitchId sw) const;
+
+  // ---- DAG table ------------------------------------------------------------
+
+  void put_dag(Dag dag);
+  bool has_dag(DagId id) const { return dags_.count(id) > 0; }
+  const Dag& dag(DagId id) const { return dags_.at(id); }
+  void remove_dag(DagId id);
+  /// The most recently accepted DAG (the controller's current target).
+  std::optional<DagId> current_dag() const { return current_dag_; }
+  void set_current_dag(std::optional<DagId> id) { current_dag_ = id; }
+
+  /// Publishes kDagDone (used by apps and the harness's convergence probe).
+  void publish_dag_done(DagId id);
+  void publish_dag_accepted(DagId id);
+
+  /// Durable "controller certified this DAG as converged" flag.
+  void mark_dag_done(DagId id);
+  void clear_dag_done(DagId id);
+  bool dag_is_done(DagId id) const { return done_dags_.count(id) > 0; }
+
+  // ---- worker crash-recovery slots (Listing 3) ------------------------------
+
+  void set_worker_state(WorkerId worker, std::optional<OpId> op);
+  std::optional<OpId> worker_state(WorkerId worker) const;
+
+  // ---- write accounting ------------------------------------------------------
+
+  /// Number of NIB writes performed; reconciliation's NIB-update bottleneck
+  /// (Figure 4b) is modeled by charging simulated time per write in the PR
+  /// reconciler, and tests use the counter to verify write volumes.
+  std::uint64_t write_count() const { return write_count_; }
+
+ private:
+  void publish(const NibEvent& event);
+
+  std::unordered_map<OpId, Op> ops_;
+  std::unordered_map<OpId, OpStatus> op_status_;
+  std::unordered_map<SwitchId, SwitchHealth> switch_health_;
+  std::unordered_set<LinkId> down_links_;
+  std::unordered_map<SwitchId, std::unordered_set<OpId>> view_;
+  std::unordered_map<DagId, Dag> dags_;
+  std::unordered_set<DagId> done_dags_;
+  std::optional<DagId> current_dag_;
+  std::unordered_map<WorkerId, OpId> worker_state_;
+  std::vector<EventSink> sinks_;
+  std::uint64_t write_count_ = 0;
+
+  static const std::unordered_set<OpId> kEmptyView;
+};
+
+}  // namespace zenith

@@ -1,0 +1,109 @@
+#include "pr/pr_controller.h"
+
+#include "common/logging.h"
+
+namespace zenith {
+
+PrController::PrController(Simulator* sim, Fabric* fabric, PrConfig config)
+    : sim_(sim), config_(config) {
+  // PR is ZENITH-core minus the verification-driven fixes.
+  config_.core.bugs.send_before_record = true;
+  config_.core.bugs.pop_before_process = true;
+  config_.core.bugs.skip_recovery_cleanup = true;
+  config_.core.bugs.overlap_nib_race = true;
+  config_.core.directed_reconciliation = false;
+
+  core_ = std::make_unique<ZenithController>(sim, fabric, config_.core);
+  reconciler_ = std::make_unique<Reconciler>(&core_->context(), config_.recon);
+
+  // All controller components contend on the shared NIB with the
+  // reconciler's batch transactions.
+  CoreContext* ctx = &core_->context();
+  for (Component* c : core_->components()) {
+    c->set_gate([ctx] { return ctx->nib_locked_until; });
+  }
+
+  // Track OP status transitions for deadlock detection.
+  nib().subscribe(&op_watch_sink_);
+
+  if (config_.recon.reconcile_on_switch_up) watch_health_events();
+}
+
+void PrController::watch_health_events() {
+  core_->register_app_sink(&health_sink_);
+  health_sink_.set_wake_callback([this] {
+    while (!health_sink_.empty()) {
+      NibEvent event = health_sink_.pop();
+      if (event.type == NibEvent::Type::kSwitchHealthChanged && event.sw_up) {
+        // PRUp: preemptively reconcile a switch the moment it comes up.
+        reconciler_->reconcile_switch(event.sw);
+      }
+    }
+  });
+}
+
+void PrController::start() {
+  core_->start();
+  reconciler_->start();
+  sim_->schedule(config_.deadlock_scan_period, [this] { deadlock_scan(); });
+}
+
+void PrController::deadlock_scan() {
+  // Record (coarse) transition times from the event stream.
+  while (!op_watch_sink_.empty()) {
+    NibEvent event = op_watch_sink_.pop();
+    if (event.type == NibEvent::Type::kOpStatusChanged) {
+      last_transition_[event.op] = sim_->now();
+    }
+  }
+  Nib& n = nib();
+  CoreContext& ctx = core_->context();
+  for (OpStatus stuck : {OpStatus::kScheduled, OpStatus::kSent}) {
+    for (OpId id : n.ops_with_status(stuck)) {
+      auto it = last_transition_.find(id);
+      SimTime last = it == last_transition_.end() ? 0 : it->second;
+      if (sim_->now() - last < config_.deadlock_timeout) continue;
+      const Op& op = n.op(id);
+      if (n.switch_health(op.sw) != SwitchHealth::kUp) continue;
+      // Stuck OP: the event carrying it was lost (component crash) or its
+      // ACK never arrived. Re-issue through the pipeline; installs/deletes
+      // are idempotent by OP id.
+      ZLOG_DEBUG("PR deadlock timeout: re-issuing op%u", id.value());
+      last_transition_[id] = sim_->now();
+      n.set_op_status(id, OpStatus::kScheduled);
+      ctx.op_queue_for(op.sw).push(id);
+      ++deadlock_resolutions_;
+    }
+  }
+  sim_->schedule(config_.deadlock_scan_period, [this] { deadlock_scan(); });
+}
+
+PrConfig make_pr_config(SimTime reconciliation_period) {
+  PrConfig config;
+  config.recon.period = reconciliation_period;
+  return config;
+}
+
+PrConfig make_prup_config(SimTime reconciliation_period) {
+  PrConfig config = make_pr_config(reconciliation_period);
+  config.recon.reconcile_on_switch_up = true;
+  return config;
+}
+
+PrConfig make_pr_noreconcile_config() {
+  PrConfig config;
+  config.recon.enabled = false;
+  return config;
+}
+
+PrConfig make_odl_like_config() {
+  // ODL (Figure A.2): same reconciliation strategy, but slower to react —
+  // bigger deadlock timeout and (at the fabric level, set by the
+  // experiment) a larger failure-detection delay.
+  PrConfig config;
+  config.deadlock_timeout = seconds(4);
+  config.deadlock_scan_period = seconds(2);
+  return config;
+}
+
+}  // namespace zenith

@@ -1,0 +1,76 @@
+// The PR baseline controller (§6 "Comparison Baselines"): "a simplified
+// version of ZENITH-core that is robust to concurrency errors but relies on
+// periodic reconciliation to be correct under switch or component failures."
+//
+// Concretely, PR is ZENITH-core with the historically common shortcuts that
+// the verification process eliminated (§3.9):
+//   * send-before-record (Listing 1's ordering),
+//   * pop-before-process event handling (events lost on component crash),
+//   * optimistic switch recovery (mark UP, skip the CLEAR/reset pipeline),
+// plus two recovery crutches real PR controllers carry:
+//   * the periodic Reconciler,
+//   * a deadlock timeout "much shorter than the PR interval" that re-issues
+//     OPs stuck between states (§6.1).
+//
+// Variants:
+//   PR      — the default;
+//   PRUp    — additionally reconciles a switch the moment it comes up;
+//   PR-NR   — reconciliation disabled (the Figure 11 ablation; NOT robust);
+//   ODL-like— PR with slow failure detection, approximating the
+//             OpenDaylight behaviour of Figure A.2.
+#pragma once
+
+#include <memory>
+
+#include "core/controller.h"
+#include "pr/reconciler.h"
+
+namespace zenith {
+
+struct PrConfig {
+  CoreConfig core;          // bug knobs are forced on in the constructor
+  ReconcilerConfig recon;
+  /// Stuck-OP resend timeout (resolves deadlocks from lost events).
+  SimTime deadlock_timeout = seconds(2);
+  SimTime deadlock_scan_period = seconds(1);
+};
+
+class PrController {
+ public:
+  PrController(Simulator* sim, Fabric* fabric, PrConfig config = {});
+
+  void start();
+
+  ZenithController& core() { return *core_; }
+  Nib& nib() { return core_->nib(); }
+  Reconciler& reconciler() { return *reconciler_; }
+
+  void submit_dag(Dag dag) { core_->submit_dag(std::move(dag)); }
+  void delete_dag(DagId id) { core_->delete_dag(id); }
+  OpIdAllocator& op_ids() { return core_->op_ids(); }
+
+  std::uint64_t deadlock_resolutions() const { return deadlock_resolutions_; }
+
+ private:
+  void deadlock_scan();
+  void watch_health_events();
+
+  Simulator* sim_;
+  PrConfig config_;
+  std::unique_ptr<ZenithController> core_;
+  std::unique_ptr<Reconciler> reconciler_;
+  /// App-style sink used to spot switch-up events for PRUp.
+  NadirFifo<NibEvent> health_sink_;
+  /// op id -> sim time of last observed status change (deadlock detection).
+  std::unordered_map<OpId, SimTime> last_transition_;
+  NadirFifo<NibEvent> op_watch_sink_;
+  std::uint64_t deadlock_resolutions_ = 0;
+};
+
+/// Convenience factories for the §6 baselines.
+PrConfig make_pr_config(SimTime reconciliation_period = seconds(30));
+PrConfig make_prup_config(SimTime reconciliation_period = seconds(30));
+PrConfig make_pr_noreconcile_config();
+PrConfig make_odl_like_config();
+
+}  // namespace zenith

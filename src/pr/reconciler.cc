@@ -1,0 +1,193 @@
+#include "pr/reconciler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zenith {
+
+Reconciler::Reconciler(CoreContext* ctx, ReconcilerConfig config)
+    : Component(ctx->sim, "reconciler", micros(50)),
+      ctx_(ctx),
+      config_(config) {
+  ctx_->reconciler_reply_queue.set_wake_callback([this] { kick(); });
+}
+
+void Reconciler::start() {
+  if (!config_.enabled) return;
+  sim()->schedule(config_.period, [this] { begin_cycle(); });
+}
+
+void Reconciler::begin_cycle() {
+  if (!config_.enabled) return;
+  // Fixed-rate cycles, Orion style: the next cycle fires one period from
+  // this one's start whether or not this one's work has drained. When a
+  // cycle's serialized NIB work exceeds the period, the pending-dump queue
+  // and the NIB lock horizon grow without bound — the saturation collapse
+  // behind Figure 11's ">500 nodes fails to converge" and Figure 3's
+  // small-period blow-up.
+  sim()->schedule(config_.period, [this] { begin_cycle(); });
+
+  cycle_started_ = sim()->now();
+  cycle_active_ = true;
+  Nib& nib = *ctx_->nib;
+  for (SwitchId sw : nib.switches()) {
+    if (nib.switch_health(sw) != SwitchHealth::kUp) continue;
+    pending_dumps_.push_back(sw);
+  }
+  ++cycles_completed_;
+  ZLOG_DEBUG("reconciliation cycle started: %zu dumps queued",
+             pending_dumps_.size());
+  issue_next_dumps();
+}
+
+void Reconciler::issue_next_dumps() {
+  Nib& nib = *ctx_->nib;
+  while (outstanding_dumps_ < config_.max_outstanding_dumps &&
+         !pending_dumps_.empty()) {
+    SwitchId sw = pending_dumps_.front();
+    pending_dumps_.pop_front();
+    if (nib.switch_health(sw) != SwitchHealth::kUp) continue;
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kDumpTable;
+    request.xid = kReconciliationXidFlag | sw.value();
+    ctx_->fabric->send(sw, request);
+    ++outstanding_dumps_;
+  }
+}
+
+void Reconciler::reconcile_switch(SwitchId sw) {
+  if (ctx_->nib->switch_health(sw) != SwitchHealth::kUp) return;
+  SwitchRequest request;
+  request.type = SwitchRequest::Type::kDumpTable;
+  request.xid = kReconciliationXidFlag | sw.value();
+  ctx_->fabric->send(sw, request);
+  // Not counted toward the periodic cycle's outstanding set: directed
+  // passes (PRUp) are fire-and-forget; the reply handler below treats every
+  // reconciliation dump identically.
+}
+
+std::unordered_set<OpId> Reconciler::desired_on_switch(SwitchId sw) const {
+  // Desired = what the controller believes installed (the view, which
+  // includes long-lived background state) plus the current DAG's installs,
+  // minus everything the current DAG deletes.
+  Nib& nib = *ctx_->nib;
+  std::unordered_set<OpId> desired = nib.view_installed(sw);
+  auto current = nib.current_dag();
+  if (current.has_value() && nib.has_dag(*current)) {
+    const Dag& dag = nib.dag(*current);
+    for (const Op* op : dag.all_ops()) {
+      if (op->type == OpType::kInstallRule && op->sw == sw) {
+        desired.insert(op->id);
+      }
+    }
+    for (const Op* op : dag.all_ops()) {
+      if (op->type == OpType::kDeleteRule) desired.erase(op->delete_target);
+    }
+  }
+  return desired;
+}
+
+void Reconciler::process_dump(const SwitchReply& reply) {
+  SwitchId sw = reply.sw;
+
+  // Charge the serialized NIB transaction: every component stalls on NIB
+  // access until this batch's commit. Batches are admitted one at a time
+  // (try_step defers while a commit is pending) with a courtesy gap in
+  // between, so regular OP processing interleaves between batches — the
+  // per-access penalty is bounded by one batch, and the *fraction* of time
+  // reconciliation holds the NIB grows with n x table size.
+  double entries = static_cast<double>(reply.table.size());
+  SimTime batch_cost = static_cast<SimTime>(
+      entries * config_.nib_per_entry_us +
+      entries * entries * config_.nib_quadratic_us);
+  SimTime commit_at = sim()->now() + batch_cost;
+  ctx_->nib_locked_until = commit_at;
+
+  // The diff itself applies at commit time.
+  std::vector<DumpedEntry> table = reply.table;
+  sim()->schedule_at(commit_at, [this, sw, table = std::move(table)] {
+    Nib& nib = *ctx_->nib;
+    if (nib.switch_health(sw) != SwitchHealth::kUp) return;
+    std::unordered_set<OpId> desired = desired_on_switch(sw);
+    std::unordered_set<OpId> present;
+    for (const DumpedEntry& e : table) present.insert(e.installed_by);
+
+    // Unintended entries (hidden or stale): delete directly.
+    for (const DumpedEntry& e : table) {
+      if (desired.count(e.installed_by)) continue;
+      Op del;
+      del.id = ctx_->op_ids->next();
+      del.type = OpType::kDeleteRule;
+      del.sw = sw;
+      del.delete_target = e.installed_by;
+      nib.put_op(del);
+      nib.set_op_status(del.id, OpStatus::kSent);
+      SwitchRequest request;
+      request.type = SwitchRequest::Type::kDelete;
+      request.op = del;
+      request.xid = del.id.value();
+      ctx_->fabric->send(sw, request);
+      ++fixes_applied_;
+    }
+    // Intended-but-missing entries: re-install directly.
+    auto current = nib.current_dag();
+    for (OpId id : desired) {
+      if (present.count(id)) continue;
+      const Op& op = nib.op(id);
+      // Reset the view: whatever the NIB believed, the switch disagrees.
+      nib.view_remove_installed(sw, id);
+      nib.set_op_status(id, OpStatus::kSent);
+      if (current.has_value() && nib.has_dag(*current) &&
+          nib.dag(*current).contains(id)) {
+        nib.clear_dag_done(*current);
+      }
+      SwitchRequest request;
+      request.type = SwitchRequest::Type::kInstall;
+      request.op = op;
+      request.xid = id.value();
+      ctx_->fabric->send(sw, request);
+      ++fixes_applied_;
+    }
+    // View entries the dump disproves (phantoms) without a desired intent:
+    // just erase them from the view.
+    std::vector<OpId> phantom;
+    for (OpId id : nib.view_installed(sw)) {
+      if (!present.count(id)) phantom.push_back(id);
+    }
+    for (OpId id : phantom) nib.view_remove_installed(sw, id);
+    // Hidden entries that ARE desired: adopt.
+    for (OpId id : present) {
+      if (desired.count(id) && !nib.view_installed(sw).count(id)) {
+        nib.view_add_installed(sw, id);
+        nib.set_op_status(id, OpStatus::kDone);
+      }
+    }
+  });
+}
+
+bool Reconciler::try_step() {
+  NadirFifo<SwitchReply>& queue = ctx_->reconciler_reply_queue;
+  if (queue.empty()) return false;
+  // Batch admission control: wait for the previous batch's commit plus a
+  // courtesy gap that lets NIB-gated components take their deferred steps.
+  SimTime not_before = ctx_->nib_locked_until + millis(2);
+  if (sim()->now() < not_before) {
+    sim()->schedule_at(not_before, [this] { kick(); });
+    return false;
+  }
+  SwitchReply reply = queue.pop();
+  process_dump(reply);
+  if (outstanding_dumps_ > 0) --outstanding_dumps_;
+  if (pending_dumps_.empty() && outstanding_dumps_ == 0 && cycle_active_) {
+    cycle_active_ = false;
+    last_cycle_duration_ =
+        std::max(ctx_->nib_locked_until, sim()->now()) - cycle_started_;
+    ZLOG_DEBUG("reconciliation cycle drained in %.3fs",
+               to_seconds(last_cycle_duration_));
+  }
+  issue_next_dumps();
+  return true;
+}
+
+}  // namespace zenith

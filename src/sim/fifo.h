@@ -1,0 +1,136 @@
+// FIFO queues used for all inter-component communication.
+//
+// Two flavours mirror the paper's NADIR runtime primitives:
+//  * NadirFifo<T>      — FIFOPut / FIFOGet plus the crash-safe
+//                        AckQueueRead / AckQueuePop discipline (§3.9,
+//                        Listing 3): a consumer reads the head without
+//                        removing it, processes, then acknowledges. A crash
+//                        between read and ack re-delivers the element.
+//  * DelayedChannel<T> — a NadirFifo fed through a propagation delay, used
+//                        for controller<->switch links (§3.5 SWInQ/SWOutQ).
+//                        The delay models the "non-deterministic
+//                        communication latency" the TLC model checker
+//                        explores; in simulation it is drawn from a seeded
+//                        distribution.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace zenith {
+
+template <typename T>
+class NadirFifo {
+ public:
+  using WakeCallback = std::function<void()>;
+
+  /// Registers a callback fired whenever the queue transitions from empty to
+  /// non-empty; consumers use it to schedule their service step.
+  void set_wake_callback(WakeCallback cb) { wake_ = std::move(cb); }
+
+  /// FIFOPut.
+  void push(T item) {
+    bool was_empty = items_.empty();
+    items_.push_back(std::move(item));
+    if (was_empty && wake_) wake_();
+  }
+
+  /// FIFOGet: removes and returns the head. Caller must check empty() first.
+  T pop() {
+    assert(!items_.empty());
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// AckQueueRead: returns a copy of the head without removing it.
+  const T& peek() const {
+    assert(!items_.empty());
+    return items_.front();
+  }
+
+  /// AckQueuePop: removes the head previously obtained via peek().
+  void ack_pop() {
+    assert(!items_.empty());
+    items_.pop_front();
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  void clear() { items_.clear(); }
+
+  /// Iteration support (used by reconciliation and by tests to inspect
+  /// in-flight contents; the real systems equivalent is a queue dump).
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::deque<T> items_;
+  WakeCallback wake_;
+};
+
+/// Distribution of one-way message latencies on a channel.
+struct DelayModel {
+  SimTime base = millis(0.5);
+  SimTime jitter = millis(0.5);  // uniform in [0, jitter)
+
+  SimTime sample(Rng& rng) const {
+    if (jitter <= 0) return base;
+    return base + static_cast<SimTime>(
+                      rng.next_below(static_cast<std::uint64_t>(jitter)));
+  }
+};
+
+/// A unidirectional channel: send() delivers into the destination fifo after
+/// a sampled delay. Messages in flight when the channel is dropped (e.g.
+/// destination switch lost power) can be flushed.
+template <typename T>
+class DelayedChannel {
+ public:
+  DelayedChannel(Simulator* sim, Rng rng, DelayModel delay)
+      : sim_(sim), rng_(std::move(rng)), delay_(delay) {}
+
+  NadirFifo<T>& sink() { return sink_; }
+  const NadirFifo<T>& sink() const { return sink_; }
+
+  /// Sends a message; it appears in sink() after the sampled delay unless
+  /// the channel generation is bumped (drop_in_flight) first.
+  void send(T msg) {
+    SimTime delay = delay_.sample(rng_);
+    // Enforce FIFO per channel even with jittered delays: a message may not
+    // overtake a previously sent one (models TCP-like ordered delivery that
+    // OpenFlow relies on; property P4 part (1) depends on this).
+    SimTime deliver_at = std::max(sim_->now() + delay, last_delivery_);
+    last_delivery_ = deliver_at;
+    std::uint64_t generation = generation_;
+    sim_->schedule_at(deliver_at, [this, generation, m = std::move(msg)]() mutable {
+      if (generation == generation_) sink_.push(std::move(m));
+    });
+  }
+
+  /// Drops every message currently in flight (and any queued in the sink).
+  /// Used when a switch fails completely: its inbound queue contents are
+  /// part of the state it loses (§3.5 "State loss").
+  void drop_in_flight() {
+    ++generation_;
+    sink_.clear();
+    last_delivery_ = sim_->now();
+  }
+
+ private:
+  Simulator* sim_;
+  Rng rng_;
+  DelayModel delay_;
+  NadirFifo<T> sink_;
+  SimTime last_delivery_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace zenith

@@ -1,0 +1,51 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace zenith {
+
+Simulator::EventHandle Simulator::schedule_at(SimTime when, Action action) {
+  assert(when >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(action), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // priority_queue::top() is const; move out via const_cast of a copy-free
+    // pattern: take a copy of the small members and move the action.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    if (!*ev.cancelled) {
+      ev.action();
+      ++executed;
+      ++executed_;
+    }
+  }
+  if (queue_.empty() || queue_.top().when > deadline) {
+    now_ = std::max(now_, deadline);
+  }
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    if (!*ev.cancelled) {
+      ev.action();
+      ++executed;
+      ++executed_;
+    }
+  }
+  return executed;
+}
+
+}  // namespace zenith

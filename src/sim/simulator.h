@@ -1,0 +1,86 @@
+// Deterministic discrete-event simulation kernel.
+//
+// This is the substrate that stands in for the paper's Sphere testbed: all
+// switches, channels, controller components, failure injectors and traffic
+// probes run as events on a single logical clock. Determinism comes from
+// (time, sequence-number) ordering of events; two runs with equal seeds are
+// identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace zenith {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+  /// Token that can cancel a scheduled event.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    bool valid() const { return cancel_flag_ != nullptr; }
+    /// Cancels the event if it has not fired yet. Safe to call repeatedly.
+    void cancel() {
+      if (cancel_flag_) *cancel_flag_ = true;
+    }
+
+   private:
+    friend class Simulator;
+    explicit EventHandle(std::shared_ptr<bool> flag)
+        : cancel_flag_(std::move(flag)) {}
+    std::shared_ptr<bool> cancel_flag_;
+  };
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` after the current time.
+  EventHandle schedule(SimTime delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at an absolute time (>= now).
+  EventHandle schedule_at(SimTime when, Action action);
+
+  /// Runs events until the queue is empty or the clock passes `deadline`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs until the event queue drains entirely.
+  std::size_t run();
+
+  /// True when no future events remain.
+  bool idle() const { return queue_.empty(); }
+
+  std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> cancelled;
+
+    // Min-heap by (when, seq): FIFO among simultaneous events.
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,30 @@
+// Trace library generation: convert model-checker counterexamples (found on
+// §3.9-buggy spec variants) into orchestration traces.
+//
+// This mirrors the paper's workflow: "we run ZENITH and each baseline on
+// the set of TLA+ traces obtained during the process of developing the
+// ZENITH-core specification" (§6). Our during-development stand-ins are the
+// bug knobs of SpecBugs: each (bug, instance, failure-mode) combination
+// that produces a violation yields one trace.
+#pragma once
+
+#include <vector>
+
+#include "mc/checker.h"
+#include "to/trace.h"
+
+namespace zenith::to {
+
+/// Converts one counterexample into an orchestration schedule. Model
+/// component steps become kAllow grants; model failure transitions become
+/// fabric injections. `num_workers` must match the replay experiment's
+/// worker count.
+Trace from_counterexample(const mc::CheckResult& result,
+                          const mc::ModelConfig& config, std::string name,
+                          std::size_t num_workers = 2);
+
+/// Runs the checker over the bug/instance matrix and returns up to `count`
+/// violation traces (the paper's 17).
+std::vector<Trace> build_trace_library(std::size_t count = 17);
+
+}  // namespace zenith::to

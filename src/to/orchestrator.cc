@@ -1,0 +1,66 @@
+#include "to/orchestrator.h"
+
+#include "common/logging.h"
+
+namespace zenith::to {
+
+TraceOrchestrator::TraceOrchestrator(Experiment* experiment)
+    : experiment_(experiment) {
+  orchestrating_ = true;  // gates engage at construction
+  for (Component* c : experiment_->controller().components()) {
+    const std::string name = c->name();
+    budget_[name] = 0;
+    effective_steps_[name] = 0;
+    c->set_permit([this, name] {
+      return !orchestrating_ || budget_.at(name) > 0;
+    });
+    c->set_step_observer([this, name](bool did_work) {
+      if (!orchestrating_ || !did_work) return;
+      ++effective_steps_[name];
+      if (budget_[name] > 0) --budget_[name];
+    });
+  }
+}
+
+TraceOrchestrator::~TraceOrchestrator() { release(); }
+
+void TraceOrchestrator::replay(const Trace& trace, SimTime grant_timeout) {
+  for (const TraceStep& step : trace.steps) {
+    switch (step.type) {
+      case TraceStep::Type::kAllow: {
+        auto it = budget_.find(step.component);
+        if (it == budget_.end()) break;  // unknown component: skip
+        it->second += step.count;
+        Component* c = experiment_->controller().component(step.component);
+        if (c != nullptr) c->kick();
+        // Wait until the grant is consumed (or lapse on timeout: the
+        // component may have nothing to do at this point of the schedule).
+        auto consumed = experiment_->run_until(
+            [&] { return budget_.at(step.component) == 0; }, grant_timeout);
+        if (!consumed.has_value()) {
+          budget_[step.component] = 0;
+          ++grants_lapsed_;
+        }
+        break;
+      }
+      case TraceStep::Type::kCrashComponent:
+        experiment_->controller().crash_component(step.component);
+        break;
+      case TraceStep::Type::kSwitchFail:
+        experiment_->fabric().inject_failure(step.sw, step.mode);
+        break;
+      case TraceStep::Type::kSwitchRecover:
+        experiment_->fabric().inject_recovery(step.sw);
+        break;
+    }
+  }
+  release();
+}
+
+void TraceOrchestrator::release() {
+  if (!orchestrating_) return;
+  orchestrating_ = false;
+  for (Component* c : experiment_->controller().components()) c->kick();
+}
+
+}  // namespace zenith::to

@@ -1,0 +1,41 @@
+// Trace replay on a live simulated deployment.
+//
+// While orchestrated, every controller component blocks before each step
+// until the orchestrator grants it. The orchestrator walks the trace: a
+// kAllow step grants the named component budget for `count` effective steps
+// and waits (bounded) for it to consume them; injections fire immediately.
+// After the trace is exhausted the orchestrator releases all components and
+// the run continues freely — convergence is then measured as usual.
+#pragma once
+
+#include <unordered_map>
+
+#include "harness/experiment.h"
+#include "to/trace.h"
+
+namespace zenith::to {
+
+class TraceOrchestrator {
+ public:
+  explicit TraceOrchestrator(Experiment* experiment);
+  ~TraceOrchestrator();
+
+  /// Replays the trace. Each kAllow waits at most `grant_timeout` sim time
+  /// for the component to use its budget (a component with an empty input
+  /// queue may legitimately have nothing to do; the budget then lapses).
+  void replay(const Trace& trace, SimTime grant_timeout = millis(50));
+
+  /// Removes all gates; components run freely afterwards.
+  void release();
+
+  std::size_t grants_lapsed() const { return grants_lapsed_; }
+
+ private:
+  Experiment* experiment_;
+  std::unordered_map<std::string, int> budget_;
+  std::unordered_map<std::string, std::uint64_t> effective_steps_;
+  bool orchestrating_ = false;
+  std::size_t grants_lapsed_ = 0;
+};
+
+}  // namespace zenith::to

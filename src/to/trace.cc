@@ -1,0 +1,39 @@
+#include "to/trace.h"
+
+#include <sstream>
+
+namespace zenith::to {
+
+std::string TraceStep::to_string() const {
+  std::ostringstream out;
+  switch (type) {
+    case Type::kAllow:
+      out << "allow " << component << " x" << count;
+      break;
+    case Type::kCrashComponent:
+      out << "crash " << component;
+      break;
+    case Type::kSwitchFail:
+      out << "fail sw" << sw.value()
+          << (mode == FailureMode::kPartialTransient ? " (partial)"
+                                                     : " (complete)");
+      break;
+    case Type::kSwitchRecover:
+      out << "recover sw" << sw.value();
+      break;
+  }
+  return out.str();
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream out;
+  out << "trace '" << name << "' (" << steps.size() << " steps";
+  if (!violation.empty()) out << "; demonstrates: " << violation;
+  out << ")\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    out << "  " << i << ": " << steps[i].to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace zenith::to

@@ -1,0 +1,48 @@
+// Orchestration traces (§6 "Trace Replay"): "We developed a Trace
+// Orchestrator (TO) which enforces the execution of a trace by blocking
+// modules from proceeding until the trace demands it. It enforces which
+// blocked module should be allowed to take a step in the trace and which
+// failure to be injected into which component at what step."
+//
+// A Trace is a sequence of steps: either a grant ("let component X take one
+// effective step") or an injection (switch failure/recovery, component
+// crash). Traces are produced from model-checker counterexamples
+// (library.h) and replayed on the simulator (orchestrator.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "dataplane/abstract_switch.h"
+
+namespace zenith::to {
+
+struct TraceStep {
+  enum class Type : std::uint8_t {
+    kAllow,            // let `component` take `count` effective steps
+    kCrashComponent,   // kill `component` (Watchdog restarts it later)
+    kSwitchFail,
+    kSwitchRecover,
+  };
+
+  Type type = Type::kAllow;
+  std::string component;  // kAllow / kCrashComponent
+  int count = 1;          // kAllow
+  SwitchId sw;            // switch injections
+  FailureMode mode = FailureMode::kCompleteTransient;
+
+  std::string to_string() const;
+};
+
+struct Trace {
+  std::string name;
+  /// Which model-checker violation this trace demonstrates.
+  std::string violation;
+  std::vector<TraceStep> steps;
+
+  std::size_t length() const { return steps.size(); }
+  std::string to_string() const;
+};
+
+}  // namespace zenith::to

@@ -1,0 +1,181 @@
+#include "topo/generators.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace zenith::gen {
+
+Topology linear(std::size_t n) {
+  Topology t;
+  std::vector<SwitchId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(t.add_switch());
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    auto r = t.add_link(ids[i], ids[i + 1]);
+    assert(r.ok());
+    (void)r;
+  }
+  return t;
+}
+
+Topology ring(std::size_t n) {
+  Topology t = linear(n);
+  if (n >= 3) {
+    auto r = t.add_link(SwitchId(0), SwitchId(static_cast<std::uint32_t>(n - 1)));
+    assert(r.ok());
+    (void)r;
+  }
+  return t;
+}
+
+Topology figure2_diamond() {
+  Topology t;
+  SwitchId a = t.add_switch("A");
+  SwitchId b = t.add_switch("B");
+  SwitchId c = t.add_switch("C");
+  SwitchId d = t.add_switch("D");
+  (void)t.add_link(a, b);
+  (void)t.add_link(b, d);
+  (void)t.add_link(a, c);
+  (void)t.add_link(c, d);
+  return t;
+}
+
+Topology b4() {
+  // 12 sites; edges follow the B4 site-level connectivity diagram.
+  Topology t;
+  for (int i = 0; i < 12; ++i) t.add_switch("b4-" + std::to_string(i));
+  const std::pair<int, int> edges[] = {
+      {0, 1},  {0, 2},  {1, 2},  {1, 3},  {2, 4},  {3, 4},
+      {3, 5},  {4, 6},  {5, 6},  {5, 7},  {6, 8},  {7, 8},
+      {7, 9},  {8, 10}, {9, 10}, {9, 11}, {10, 11}, {2, 3},
+      {6, 7},
+  };
+  for (auto [x, y] : edges) {
+    auto r = t.add_link(SwitchId(static_cast<std::uint32_t>(x)),
+                        SwitchId(static_cast<std::uint32_t>(y)));
+    assert(r.ok());
+    (void)r;
+  }
+  return t;
+}
+
+FatTreeIndex fat_tree_index(std::size_t k) {
+  assert(k % 2 == 0);
+  FatTreeIndex idx{};
+  idx.k = k;
+  std::size_t core = (k / 2) * (k / 2);
+  std::size_t agg = k * k / 2;
+  idx.core_begin = 0;
+  idx.core_end = core;
+  idx.agg_begin = core;
+  idx.agg_end = core + agg;
+  idx.edge_begin = core + agg;
+  idx.edge_end = core + agg + agg;
+  return idx;
+}
+
+Topology fat_tree(std::size_t k) {
+  assert(k % 2 == 0);
+  auto idx = fat_tree_index(k);
+  Topology t;
+  for (std::size_t i = idx.core_begin; i < idx.core_end; ++i)
+    t.add_switch("core" + std::to_string(i));
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t a = 0; a < k / 2; ++a)
+      t.add_switch("agg" + std::to_string(p) + "_" + std::to_string(a));
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t e = 0; e < k / 2; ++e)
+      t.add_switch("edge" + std::to_string(p) + "_" + std::to_string(e));
+
+  auto agg_id = [&](std::size_t pod, std::size_t i) {
+    return SwitchId(
+        static_cast<std::uint32_t>(idx.agg_begin + pod * (k / 2) + i));
+  };
+  auto edge_id = [&](std::size_t pod, std::size_t i) {
+    return SwitchId(
+        static_cast<std::uint32_t>(idx.edge_begin + pod * (k / 2) + i));
+  };
+  auto core_id = [&](std::size_t i) {
+    return SwitchId(static_cast<std::uint32_t>(idx.core_begin + i));
+  };
+
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    // edge <-> agg full bipartite inside the pod
+    for (std::size_t e = 0; e < k / 2; ++e) {
+      for (std::size_t a = 0; a < k / 2; ++a) {
+        auto r = t.add_link(edge_id(pod, e), agg_id(pod, a), 40.0);
+        assert(r.ok());
+        (void)r;
+      }
+    }
+    // agg i connects to core group i
+    for (std::size_t a = 0; a < k / 2; ++a) {
+      for (std::size_t c = 0; c < k / 2; ++c) {
+        auto r = t.add_link(agg_id(pod, a), core_id(a * (k / 2) + c), 40.0);
+        assert(r.ok());
+        (void)r;
+      }
+    }
+  }
+  return t;
+}
+
+Topology random_connected(std::size_t n, std::size_t extra_edges,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Topology t;
+  std::vector<SwitchId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(t.add_switch());
+  // Random spanning tree: attach node i to a uniformly random earlier node.
+  for (std::size_t i = 1; i < n; ++i) {
+    auto j = rng.next_below(i);
+    auto r = t.add_link(ids[i], ids[j]);
+    assert(r.ok());
+    (void)r;
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra_edges && attempts < extra_edges * 20 + 100) {
+    ++attempts;
+    auto a = rng.next_below(n);
+    auto b = rng.next_below(n);
+    if (a == b) continue;
+    if (t.add_link(ids[a], ids[b]).ok()) ++added;
+  }
+  return t;
+}
+
+Topology kdl_like(std::size_t n, std::uint64_t seed) {
+  // KDL (Topology Zoo) is chain-heavy: long access chains hanging off a
+  // sparse core. Build a preferential chain: each new node attaches to the
+  // previous node with probability 0.7 (chain growth) or to a random earlier
+  // node otherwise; then add ~10% shortcut edges.
+  Rng rng(seed ^ 0x6b646cull /* "kdl" */);
+  Topology t;
+  std::vector<SwitchId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(t.add_switch());
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t parent =
+        rng.bernoulli(0.7) ? i - 1 : static_cast<std::size_t>(rng.next_below(i));
+    auto r = t.add_link(ids[i], ids[parent]);
+    assert(r.ok());
+    (void)r;
+  }
+  std::size_t shortcuts = n / 10;
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < shortcuts && attempts < shortcuts * 30 + 100) {
+    ++attempts;
+    auto a = rng.next_below(n);
+    auto b = rng.next_below(n);
+    if (a == b) continue;
+    if (t.add_link(ids[a], ids[b]).ok()) ++added;
+  }
+  return t;
+}
+
+}  // namespace zenith::gen

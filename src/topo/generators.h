@@ -1,0 +1,49 @@
+// Topology generators for the paper's evaluation scenarios.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "topo/topology.h"
+
+namespace zenith::gen {
+
+/// A chain: sw0 - sw1 - ... - sw(n-1).
+Topology linear(std::size_t n);
+
+/// A cycle.
+Topology ring(std::size_t n);
+
+/// The 4-switch example of Figure 2: A-B, B-D, A-C, C-D (A reaches D via B
+/// primarily, via C as backup).
+Topology figure2_diamond();
+
+/// The B4-like 12-node WAN (Figure 14). Connectivity follows the published
+/// B4 site graph [Jain et al., SIGCOMM'13] at site granularity.
+Topology b4();
+
+/// k-ary fat-tree: (5/4)k^2 switches (k pods). k must be even.
+/// Hosts are not modeled; traffic endpoints are edge switches.
+Topology fat_tree(std::size_t k);
+
+struct FatTreeIndex {
+  std::size_t k;
+  /// Switch-id ranges; edge/agg are ordered pod-major.
+  std::size_t core_begin, core_end;   // [begin, end)
+  std::size_t agg_begin, agg_end;
+  std::size_t edge_begin, edge_end;
+};
+FatTreeIndex fat_tree_index(std::size_t k);
+
+/// KDL-like sparse WAN graph of `n` nodes: the Topology Zoo's KDL graph is a
+/// 754-node access/aggregation network dominated by degree-2/3 nodes with a
+/// sparse mesh core. We synthesize the same character: a random spanning
+/// tree (chain-heavy) plus ~15% extra shortcut edges. Deterministic in seed.
+Topology kdl_like(std::size_t n, std::uint64_t seed);
+
+/// Erdos-Renyi G(n, m)-style random connected graph (spanning tree + extra
+/// random edges).
+Topology random_connected(std::size_t n, std::size_t extra_edges,
+                          std::uint64_t seed);
+
+}  // namespace zenith::gen

@@ -1,0 +1,113 @@
+#include "topo/paths.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace zenith {
+
+std::optional<Path> shortest_path(
+    const Topology& topo, SwitchId src, SwitchId dst,
+    const std::unordered_set<SwitchId>& excluded) {
+  if (!topo.has_switch(src) || !topo.has_switch(dst)) return std::nullopt;
+  if (excluded.count(src) || excluded.count(dst)) return std::nullopt;
+  if (src == dst) return Path{src};
+
+  std::unordered_map<SwitchId, SwitchId> parent;
+  std::deque<SwitchId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty()) {
+    SwitchId cur = frontier.front();
+    frontier.pop_front();
+    for (SwitchId next : topo.neighbors(cur)) {
+      if (excluded.count(next) || parent.count(next)) continue;
+      parent[next] = cur;
+      if (next == dst) {
+        Path path{dst};
+        SwitchId hop = dst;
+        while (hop != src) {
+          hop = parent[hop];
+          path.push_back(hop);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> shortest_path_avoiding_links(
+    const Topology& topo, SwitchId src, SwitchId dst,
+    const std::unordered_set<SwitchId>& excluded_switches,
+    const std::unordered_set<LinkId>& excluded_links) {
+  if (!topo.has_switch(src) || !topo.has_switch(dst)) return std::nullopt;
+  if (excluded_switches.count(src) || excluded_switches.count(dst)) {
+    return std::nullopt;
+  }
+  if (src == dst) return Path{src};
+  std::unordered_map<SwitchId, SwitchId> parent;
+  std::deque<SwitchId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty()) {
+    SwitchId cur = frontier.front();
+    frontier.pop_front();
+    for (SwitchId next : topo.neighbors(cur)) {
+      if (excluded_switches.count(next) || parent.count(next)) continue;
+      auto link = topo.link_between(cur, next);
+      if (link.ok() && excluded_links.count(link.value())) continue;
+      parent[next] = cur;
+      if (next == dst) {
+        Path path{dst};
+        SwitchId hop = dst;
+        while (hop != src) {
+          hop = parent[hop];
+          path.push_back(hop);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Path> shortest_paths(
+    const Topology& topo, const std::vector<std::pair<SwitchId, SwitchId>>& pairs,
+    const std::unordered_set<SwitchId>& excluded) {
+  std::vector<Path> out;
+  out.reserve(pairs.size());
+  for (auto [src, dst] : pairs) {
+    if (auto p = shortest_path(topo, src, dst, excluded)) {
+      out.push_back(std::move(*p));
+    }
+  }
+  return out;
+}
+
+std::vector<Path> k_alternative_paths(const Topology& topo, SwitchId src,
+                                      SwitchId dst, std::size_t k) {
+  std::vector<Path> out;
+  std::unordered_set<SwitchId> excluded;
+  for (std::size_t i = 0; i < k; ++i) {
+    auto p = shortest_path(topo, src, dst, excluded);
+    if (!p) break;
+    out.push_back(*p);
+    // Remove interior nodes so the next path is node-disjoint from this one.
+    for (std::size_t j = 1; j + 1 < p->size(); ++j) excluded.insert((*p)[j]);
+    if (p->size() <= 2) break;  // direct link: no disjoint alternative via interior removal
+  }
+  return out;
+}
+
+bool valid_path(const Topology& topo, const Path& path) {
+  if (path.empty()) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!topo.has_link(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace zenith

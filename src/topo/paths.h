@@ -1,0 +1,47 @@
+// Path computation over topologies.
+//
+// Used by the apps: the drain app recomputes shortest paths with the drained
+// node removed (Listing 4, §E), the TE app picks least-loaded alternatives,
+// and the traffic model resolves realized paths hop by hop.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace zenith {
+
+/// A path as an ordered switch sequence, src first, dst last.
+using Path = std::vector<SwitchId>;
+
+/// BFS shortest path from src to dst avoiding `excluded` switches.
+/// Neighbor exploration order is deterministic (insertion order), so results
+/// are stable. Returns nullopt when disconnected.
+std::optional<Path> shortest_path(
+    const Topology& topo, SwitchId src, SwitchId dst,
+    const std::unordered_set<SwitchId>& excluded = {});
+
+/// Shortest path additionally avoiding the given links (port failures).
+std::optional<Path> shortest_path_avoiding_links(
+    const Topology& topo, SwitchId src, SwitchId dst,
+    const std::unordered_set<SwitchId>& excluded_switches,
+    const std::unordered_set<LinkId>& excluded_links);
+
+/// Shortest paths for every (src, dst) pair in `pairs`; entries that become
+/// disconnected are omitted.
+std::vector<Path> shortest_paths(
+    const Topology& topo, const std::vector<std::pair<SwitchId, SwitchId>>& pairs,
+    const std::unordered_set<SwitchId>& excluded = {});
+
+/// Up to k edge-disjoint-ish alternatives (successive shortest paths, each
+/// iteration removing the previous path's interior nodes). Used as TE
+/// candidate sets and local-recovery backup paths (Figure 14).
+std::vector<Path> k_alternative_paths(const Topology& topo, SwitchId src,
+                                      SwitchId dst, std::size_t k);
+
+/// True if `path` is a valid adjacent-hop path in `topo`.
+bool valid_path(const Topology& topo, const Path& path);
+
+}  // namespace zenith

@@ -1,0 +1,81 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace zenith {
+
+SwitchId Topology::add_switch(std::string name) {
+  auto id = SwitchId(static_cast<std::uint32_t>(switch_names_.size()));
+  if (name.empty()) name = "sw" + std::to_string(id.value());
+  switch_names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return id;
+}
+
+std::uint64_t Topology::key(SwitchId a, SwitchId b) {
+  auto lo = std::min(a.value(), b.value());
+  auto hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+Result<LinkId> Topology::add_link(SwitchId a, SwitchId b,
+                                  double capacity_gbps) {
+  if (!has_switch(a) || !has_switch(b)) {
+    return Error::invalid_argument("link endpoint does not exist");
+  }
+  if (a == b) return Error::invalid_argument("self-loop link");
+  if (has_link(a, b)) return Error::already_exists("duplicate link");
+  auto id = LinkId(static_cast<std::uint32_t>(links_.size()));
+  links_.push_back(Link{id, a, b, capacity_gbps});
+  adjacency_[a.value()].push_back(b);
+  adjacency_[b.value()].push_back(a);
+  link_index_[key(a, b)] = id.value();
+  return id;
+}
+
+bool Topology::has_link(SwitchId a, SwitchId b) const {
+  return link_index_.count(key(a, b)) > 0;
+}
+
+Result<LinkId> Topology::link_between(SwitchId a, SwitchId b) const {
+  auto it = link_index_.find(key(a, b));
+  if (it == link_index_.end()) return Error::not_found("no such link");
+  return LinkId(it->second);
+}
+
+std::vector<SwitchId> Topology::all_switches() const {
+  std::vector<SwitchId> out;
+  out.reserve(switch_count());
+  for (std::uint32_t i = 0; i < switch_count(); ++i) out.push_back(SwitchId(i));
+  return out;
+}
+
+std::vector<std::size_t> Topology::degree_histogram() const {
+  std::size_t max_degree = 0;
+  for (const auto& adj : adjacency_) max_degree = std::max(max_degree, adj.size());
+  std::vector<std::size_t> hist(max_degree + 1, 0);
+  for (const auto& adj : adjacency_) ++hist[adj.size()];
+  return hist;
+}
+
+bool Topology::connected_subgraph(
+    const std::unordered_set<SwitchId>& alive) const {
+  if (alive.empty()) return true;
+  std::unordered_set<SwitchId> seen;
+  std::deque<SwitchId> frontier{*alive.begin()};
+  seen.insert(*alive.begin());
+  while (!frontier.empty()) {
+    SwitchId cur = frontier.front();
+    frontier.pop_front();
+    for (SwitchId next : neighbors(cur)) {
+      if (alive.count(next) && !seen.count(next)) {
+        seen.insert(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return seen.size() == alive.size();
+}
+
+}  // namespace zenith

@@ -1,0 +1,80 @@
+// Network topology model: switches, ports and links.
+//
+// Evaluation topologies from the paper: KDL-like WAN graphs (Figure 11/12/13
+// scaling experiments), the 12-node B4 WAN (Figure 14), fat-trees (Figure
+// 16), plus the small didactic 4-switch example of Figure 2. Generators live
+// in generators.h; path computations in paths.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace zenith {
+
+struct Link {
+  LinkId id;
+  SwitchId a;
+  SwitchId b;
+  double capacity_gbps = 100.0;
+
+  SwitchId other(SwitchId s) const { return s == a ? b : a; }
+  bool connects(SwitchId s) const { return s == a || s == b; }
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Adds a switch; ids are dense, starting at 0.
+  SwitchId add_switch(std::string name = {});
+
+  /// Adds an undirected link; rejects self-loops and duplicates.
+  Result<LinkId> add_link(SwitchId a, SwitchId b,
+                          double capacity_gbps = 100.0);
+
+  std::size_t switch_count() const { return switch_names_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  bool has_switch(SwitchId s) const {
+    return s.valid() && s.value() < switch_names_.size();
+  }
+  bool has_link(SwitchId a, SwitchId b) const;
+  Result<LinkId> link_between(SwitchId a, SwitchId b) const;
+  const Link& link(LinkId id) const { return links_.at(id.value()); }
+  const std::vector<Link>& links() const { return links_; }
+
+  const std::string& switch_name(SwitchId s) const {
+    return switch_names_.at(s.value());
+  }
+
+  /// Neighbors of `s` over all links.
+  const std::vector<SwitchId>& neighbors(SwitchId s) const {
+    return adjacency_.at(s.value());
+  }
+
+  std::vector<SwitchId> all_switches() const;
+
+  /// Degree distribution, used by tests to validate the KDL-like generator.
+  std::vector<std::size_t> degree_histogram() const;
+
+  /// True when the graph restricted to `alive` switches is connected over
+  /// the switches in `alive` (used by drain safety checks).
+  bool connected_subgraph(const std::unordered_set<SwitchId>& alive) const;
+
+ private:
+  std::vector<std::string> switch_names_;
+  std::vector<Link> links_;
+  std::vector<std::vector<SwitchId>> adjacency_;
+  // (a << 32 | b) with a < b -> link index
+  std::unordered_map<std::uint64_t, std::uint32_t> link_index_;
+
+  static std::uint64_t key(SwitchId a, SwitchId b);
+};
+
+}  // namespace zenith

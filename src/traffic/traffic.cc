@@ -1,0 +1,156 @@
+#include "traffic/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace zenith {
+
+Resolution TrafficModel::resolve(const Demand& demand) const {
+  Resolution out;
+  const Topology& topo = fabric_->topology();
+  SwitchId cur = demand.src;
+  std::unordered_set<SwitchId> visited;
+  out.path.push_back(cur);
+  // Generous hop cap: any simple path fits.
+  std::size_t max_hops = topo.switch_count() + 1;
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    if (!fabric_->alive(cur)) {
+      out.outcome = DeliveryOutcome::kDeadSwitch;
+      return out;
+    }
+    if (cur == demand.dst) {
+      out.outcome = DeliveryOutcome::kDelivered;
+      return out;
+    }
+    if (visited.count(cur)) {
+      out.outcome = DeliveryOutcome::kLoop;
+      return out;
+    }
+    visited.insert(cur);
+    auto entry = fabric_->at(cur).lookup(demand.dst);
+    if (!entry) {
+      out.outcome = DeliveryOutcome::kNoRule;
+      return out;
+    }
+    SwitchId next = entry->rule.next_hop;
+    auto link = topo.link_between(cur, next);
+    if (!link.ok() || !fabric_->link_alive(link.value())) {
+      out.outcome = DeliveryOutcome::kBrokenLink;
+      return out;
+    }
+    out.path.push_back(next);
+    cur = next;
+  }
+  out.outcome = DeliveryOutcome::kLoop;
+  return out;
+}
+
+std::vector<TrafficModel::FlowReport> TrafficModel::evaluate(
+    const std::vector<Demand>& demands) const {
+  const Topology& topo = fabric_->topology();
+  std::vector<FlowReport> reports;
+  reports.reserve(demands.size());
+  for (const Demand& d : demands) {
+    FlowReport r;
+    r.demand = d;
+    r.resolution = resolve(d);
+    reports.push_back(std::move(r));
+  }
+
+  // Progressive filling (max-min fairness). Flows are capped by their demand
+  // rate; links by capacity.
+  struct LinkState {
+    double residual;
+    std::vector<std::size_t> flows;  // indices into reports
+  };
+  std::unordered_map<std::uint32_t, LinkState> links;
+  std::vector<double> allocation(reports.size(), 0.0);
+  std::vector<bool> frozen(reports.size(), true);
+  std::vector<std::vector<std::uint32_t>> flow_links(reports.size());
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    if (r.resolution.outcome != DeliveryOutcome::kDelivered) continue;
+    frozen[i] = false;
+    const Path& path = r.resolution.path;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      auto link = topo.link_between(path[h], path[h + 1]);
+      // resolve() already validated adjacency.
+      std::uint32_t lid = link.value().value();
+      auto [it, inserted] = links.emplace(lid, LinkState{});
+      if (inserted) it->second.residual = topo.link(LinkId(lid)).capacity_gbps;
+      it->second.flows.push_back(i);
+      flow_links[i].push_back(lid);
+    }
+  }
+
+  // Iterate: raise all unfrozen flows equally until a link saturates or a
+  // flow reaches its demand.
+  while (true) {
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (!frozen[i]) ++active;
+    }
+    if (active == 0) break;
+
+    double limit = std::numeric_limits<double>::infinity();
+    // Link bottleneck: residual split among its unfrozen flows.
+    for (auto& [lid, state] : links) {
+      std::size_t unfrozen = 0;
+      for (std::size_t f : state.flows) {
+        if (!frozen[f]) ++unfrozen;
+      }
+      if (unfrozen > 0) {
+        limit = std::min(limit, state.residual / static_cast<double>(unfrozen));
+      }
+    }
+    // Demand caps.
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (!frozen[i]) {
+        limit = std::min(limit, reports[i].demand.rate_gbps - allocation[i]);
+      }
+    }
+    if (!std::isfinite(limit) || limit <= 1e-12) limit = 0.0;
+
+    // Apply the increment.
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (frozen[i]) continue;
+      allocation[i] += limit;
+      for (std::uint32_t lid : flow_links[i]) links[lid].residual -= limit;
+    }
+    // Freeze saturated flows.
+    bool froze_any = false;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (frozen[i]) continue;
+      bool at_demand = allocation[i] >= reports[i].demand.rate_gbps - 1e-9;
+      bool at_link = false;
+      for (std::uint32_t lid : flow_links[i]) {
+        if (links[lid].residual <= 1e-9) {
+          at_link = true;
+          break;
+        }
+      }
+      if (at_demand || at_link || limit == 0.0) {
+        frozen[i] = true;
+        froze_any = true;
+      }
+    }
+    if (!froze_any) break;  // numerical safety
+  }
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    reports[i].throughput_gbps = allocation[i];
+  }
+  return reports;
+}
+
+double TrafficModel::total_throughput(const std::vector<Demand>& demands) const {
+  double total = 0.0;
+  for (const FlowReport& r : evaluate(demands)) total += r.throughput_gbps;
+  return total;
+}
+
+}  // namespace zenith

@@ -1,0 +1,63 @@
+// Flow-level traffic model.
+//
+// Reproduces the throughput figures (2, 14, 16, A.2): given the *actual*
+// flow tables installed on switches, resolve each demand's realized path by
+// walking lookup results hop by hop, detect blackholes (no matching rule, or
+// a dead switch on the path — the Figure 2 hidden-entry scenario), and share
+// link capacity max-min fairly among delivered flows.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "dataplane/fabric.h"
+#include "topo/paths.h"
+#include "topo/topology.h"
+
+namespace zenith {
+
+struct Demand {
+  FlowId flow;
+  SwitchId src;
+  SwitchId dst;
+  double rate_gbps = 1.0;
+};
+
+enum class DeliveryOutcome : std::uint8_t {
+  kDelivered,
+  kNoRule,        // some switch had no entry for the destination
+  kDeadSwitch,    // path traverses a failed switch
+  kLoop,          // forwarding loop detected
+  kBrokenLink,    // rule points at a non-adjacent next hop
+};
+
+struct Resolution {
+  DeliveryOutcome outcome = DeliveryOutcome::kNoRule;
+  Path path;  // hops actually traversed (src..dst when delivered)
+};
+
+class TrafficModel {
+ public:
+  explicit TrafficModel(const Fabric* fabric) : fabric_(fabric) {}
+
+  /// Walks flow tables from src toward dst.
+  Resolution resolve(const Demand& demand) const;
+
+  struct FlowReport {
+    Demand demand;
+    Resolution resolution;
+    double throughput_gbps = 0.0;  // 0 for undelivered flows
+  };
+
+  /// Max-min fair allocation (progressive filling) of delivered flows over
+  /// link capacities; undelivered flows get zero.
+  std::vector<FlowReport> evaluate(const std::vector<Demand>& demands) const;
+
+  /// Sum of allocated throughput across all demands.
+  double total_throughput(const std::vector<Demand>& demands) const;
+
+ private:
+  const Fabric* fabric_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,143 @@
+// Verification tests for the TE and planned-failover NADIR specs (§4):
+// both verify against their abstract environments, and deliberately broken
+// variants are caught.
+#include <gtest/gtest.h>
+
+#include "apps/app_specs.h"
+#include "mc/nadir_explorer.h"
+#include "nadir/interpreter.h"
+#include "nadir/metrics.h"
+
+namespace zenith::apps {
+namespace {
+
+TEST(TeSpec, VerifiesOnDiamondSingleFailure) {
+  TeSpecScenario scenario;
+  nadir::Spec spec = build_te_spec(scenario);
+  mc::NadirCheckerOptions options;
+  options.invariant = [&](const nadir::Env& env) {
+    return check_te_avoids_failed(env, scenario);
+  };
+  options.quiescence = [&](const nadir::Env& env) {
+    return te_all_events_handled(env, scenario) ? "" : "event unhandled";
+  };
+  mc::NadirCheckResult result = mc::explore(spec, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_FALSE(result.capped);
+}
+
+TEST(TeSpec, VerifiesWithMultipleFailures) {
+  TeSpecScenario scenario;
+  // Node 1 then node 2 fail: after both, 0 and 3 are disconnected, so the
+  // final DAG is legitimately empty — the invariant still must hold.
+  scenario.failure_events = {1, 2};
+  nadir::Spec spec = build_te_spec(scenario);
+  mc::NadirCheckerOptions options;
+  options.invariant = [&](const nadir::Env& env) {
+    return check_te_avoids_failed(env, scenario);
+  };
+  mc::NadirCheckResult result = mc::explore(spec, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(TeSpec, InterpreterRunProducesAvoidingDag) {
+  TeSpecScenario scenario;
+  nadir::Spec spec = build_te_spec(scenario);
+  auto env = spec.make_initial_env();
+  ASSERT_TRUE(env.ok());
+  nadir::Interpreter::run_to_quiescence(spec, env.value());
+  EXPECT_TRUE(te_all_events_handled(env.value(), scenario));
+  EXPECT_EQ(check_te_avoids_failed(env.value(), scenario), "");
+  // The replacement path avoids node 1: ops route via node 2.
+  ASSERT_TRUE(spec.check_types(env.value()).ok());
+}
+
+TEST(FailoverSpec, VerifiesHitlessHandover) {
+  FailoverSpecScenario scenario;
+  nadir::Spec spec = build_failover_spec(scenario);
+  mc::NadirCheckerOptions options;
+  options.invariant = [](const nadir::Env& env) {
+    return check_failover_drained(env);
+  };
+  options.quiescence = [&](const nadir::Env& env) {
+    return failover_completed(env, scenario) ? "" : "failover incomplete";
+  };
+  mc::NadirCheckResult result = mc::explore(spec, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_FALSE(result.capped);
+  // Interleavings: the ack drainer and manager race; more than a handful of
+  // states must have been explored.
+  EXPECT_GT(result.distinct_states, 5u);
+}
+
+TEST(FailoverSpec, ScalesWithSwitchesAndInFlightOps) {
+  for (int switches : {1, 3, 5}) {
+    for (int ops : {0, 2, 4}) {
+      FailoverSpecScenario scenario;
+      scenario.switches = switches;
+      scenario.in_flight_ops = ops;
+      nadir::Spec spec = build_failover_spec(scenario);
+      mc::NadirCheckerOptions options;
+      options.invariant = [](const nadir::Env& env) {
+        return check_failover_drained(env);
+      };
+      options.quiescence = [&](const nadir::Env& env) {
+        return failover_completed(env, scenario) ? "" : "incomplete";
+      };
+      mc::NadirCheckResult result = mc::explore(spec, options);
+      EXPECT_TRUE(result.ok)
+          << "switches=" << switches << " ops=" << ops << ": "
+          << result.violation;
+    }
+  }
+}
+
+TEST(FailoverSpec, BuggyNoDrainVariantIsCaught) {
+  // Break the spec the way PR behaves: skip the drain await. The checker
+  // must find the interleaving where the role moves with ACKs in flight.
+  FailoverSpecScenario scenario;
+  nadir::Spec spec = build_failover_spec(scenario);
+  // Rebuild with the drain guard removed by monkey-patching the scenario:
+  // simplest honest variant — zero drain means the invariant can only
+  // trip if in-flight ops exist when ROLE_CHANGE begins; we simulate the
+  // buggy controller by exploring with the drain step's await weakened via
+  // a custom spec here.
+  nadir::Spec buggy("PlannedFailoverApp-NoDrain");
+  for (const auto& g : spec.globals()) {
+    buggy.global(g.name, g.type, g.initial, g.persistent);
+  }
+  nadir::Process manager("FailoverManager");
+  manager.step(nadir::Step{
+      "AwaitRequest",
+      {"FailoverRequests", "Phase", "Target"},
+      {"FailoverRequests", "Phase", "Target"},
+      [](nadir::StepContext& ctx) {
+        nadir::Value request = ctx.fifo_get("FailoverRequests");
+        if (ctx.blocked()) return;
+        ctx.set_global("Target", request);
+        // BUG: jump straight to ROLE_CHANGE without draining.
+        ctx.set_global("Phase", nadir::Value::string("ROLE_CHANGE"));
+      }});
+  buggy.process(std::move(manager));
+  for (const auto& p : spec.processes()) {
+    if (p.name() == "AckDrainer") buggy.process(p);
+  }
+  mc::NadirCheckerOptions options;
+  options.invariant = [](const nadir::Env& env) {
+    return check_failover_drained(env);
+  };
+  mc::NadirCheckResult result = mc::explore(buggy, options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("not hitless"), std::string::npos);
+}
+
+TEST(AppSpecMetrics, AllThreeAppsReportSizes) {
+  nadir::SpecMetrics te = nadir::measure(build_te_spec({}));
+  nadir::SpecMetrics failover = nadir::measure(build_failover_spec({}));
+  EXPECT_GE(te.process_count, 2u);
+  EXPECT_GE(failover.process_count, 2u);
+  EXPECT_GT(failover.step_count, te.step_count);  // failover has phases
+}
+
+}  // namespace
+}  // namespace zenith::apps

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace zenith {
+namespace {
+
+TEST(Ids, StrongIdsAreDistinctTypesWithValueSemantics) {
+  SwitchId a(3);
+  SwitchId b(3);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(SwitchId().valid());
+  EXPECT_LT(SwitchId(1), SwitchId(2));
+  static_assert(!std::is_convertible_v<SwitchId, OpId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, SwitchId>);
+}
+
+TEST(Ids, TimeConversions) {
+  EXPECT_EQ(seconds(1.5), 1500000);
+  EXPECT_EQ(millis(2), 2000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(30)), 30.0);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // Drawing from the child must not perturb the parent relative to a
+  // reference that forked and never used the child.
+  Rng parent2(42);
+  (void)parent2.fork();
+  for (int i = 0; i < 10; ++i) (void)child.next_u64();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.15);
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok = 5;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> bad = Error::not_found("missing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Error::Code::kNotFound);
+  EXPECT_EQ(bad.value_or(9), 9);
+  Status st = Status::success();
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 0.05);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Stats, CdfIsMonotone) {
+  Summary s;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) s.add(rng.next_double());
+  auto cdf = s.cdf();
+  ASSERT_EQ(cdf.size(), 500u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(-1);   // clamps into first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25);   // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+}
+
+TEST(Stats, TimeSeriesBuckets) {
+  TimeSeries ts(seconds(1));
+  ts.record(millis(100), 5.0);
+  ts.record(millis(900), 7.0);  // same bucket: last write wins
+  ts.accumulate(seconds(2.5), 1.0);
+  ts.accumulate(seconds(2.6), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0), 7.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(2), 3.0);
+}
+
+TEST(Hash, Fnv1aStable) {
+  EXPECT_EQ(fnv1a("hello"), fnv1a("hello"));
+  EXPECT_NE(fnv1a("hello"), fnv1a("hellp"));
+}
+
+TEST(Hash, HasherOrderSensitive) {
+  Hasher a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Strings, SplitAndJoin) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+  EXPECT_TRUE(starts_with("zenith-core", "zenith"));
+  EXPECT_FALSE(starts_with("z", "zen"));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.50"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zenith

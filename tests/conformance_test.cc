@@ -1,0 +1,99 @@
+// NADIR conformance (§5): the generated runtime must match the verified
+// specification. We drive the same scenario through (a) the interpreted
+// core spec (mc/core_spec) and (b) the hand-written simulator controller,
+// and compare the externally observable outcome: which OPs end up
+// installed, and which DAGs are certified.
+#include <gtest/gtest.h>
+
+#include "apps/drain_app.h"
+#include "apps/drain_spec.h"
+#include "harness/experiment.h"
+#include "mc/core_spec.h"
+#include "nadir/interpreter.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+TEST(Conformance, DrainSpecComposedWithCoreMatchesSimulatedController) {
+  // (a) Spec side: drain app + interpreted core pipeline to quiescence.
+  apps::DrainSpecScenario scenario;  // diamond, drain sw1, flow 0-1-3
+  nadir::Spec composed = mc::compose_app_with_core(
+      apps::build_drain_spec(scenario), mc::CoreSpecScenario{});
+  auto env = composed.make_initial_env();
+  ASSERT_TRUE(env.ok());
+  nadir::Interpreter::run_to_quiescence(composed, env.value());
+  ASSERT_TRUE(composed.check_types(env.value()).ok());
+
+  // Spec outcome: set of (sw, nh) pairs installed after the drain.
+  std::set<std::pair<int, int>> spec_rules;
+  for (const nadir::Value& op :
+       env.value().globals.at("SwTable").as_set()) {
+    spec_rules.emplace(static_cast<int>(op.field("sw").as_int()),
+                       static_cast<int>(op.field("nh").as_int()));
+  }
+  EXPECT_EQ(env.value().globals.at("InstalledDags").size(), 1u);
+
+  // (b) Runtime side: the same drain through the simulated controller.
+  ExperimentConfig config;
+  config.seed = 5;
+  config.kind = ControllerKind::kZenithNR;
+  Experiment exp(gen::figure2_diamond(), config);
+  exp.start();
+  CompiledPath initial_path = compile_single_path(
+      {SwitchId(0), SwitchId(1), SwitchId(3)}, FlowId(1), 1, exp.op_ids());
+  Dag initial(DagId(1));
+  for (const Op& op : initial_path.ops) ASSERT_TRUE(initial.add_op(op).ok());
+  for (auto [a, b] : initial_path.edges) {
+    ASSERT_TRUE(initial.add_edge(a, b).ok());
+  }
+  ASSERT_TRUE(exp.install_and_wait(std::move(initial), seconds(10)).has_value());
+
+  apps::DrainRequest request;
+  request.topology = gen::figure2_diamond();
+  request.paths = {{SwitchId(0), SwitchId(1), SwitchId(3)}};
+  request.flows = {FlowId(1)};
+  request.ops = initial_path.ops;
+  request.node_to_drain = SwitchId(1);
+  auto result = apps::compute_drain_dag(request, DagId(2), exp.op_ids());
+  ASSERT_TRUE(result.ok());
+  Dag drain_dag = result.value().dag;
+  ASSERT_TRUE(
+      exp.install_and_wait(std::move(drain_dag), seconds(10)).has_value());
+
+  std::set<std::pair<int, int>> runtime_rules;
+  for (SwitchId sw : exp.nib().switches()) {
+    for (const auto& entry : exp.fabric().at(sw).table()) {
+      runtime_rules.emplace(static_cast<int>(sw.value()),
+                            static_cast<int>(entry.rule.next_hop.value()));
+    }
+  }
+
+  // Conformance: identical final forwarding state (A->C, C->D).
+  EXPECT_EQ(spec_rules, runtime_rules);
+  EXPECT_EQ(spec_rules,
+            (std::set<std::pair<int, int>>{{0, 2}, {2, 3}}));
+}
+
+TEST(Conformance, CoreSpecCertifiesExactlyWhatItInstalled) {
+  // Property over the interpreted core: at quiescence, certified DAG ids
+  // equal consumed DAG ids, and every non-deletion OP of a certified DAG is
+  // in SwTable (matching the simulator's Sequencer certification rule).
+  apps::DrainSpecScenario scenario;
+  nadir::Spec composed = mc::compose_app_with_core(
+      apps::build_drain_spec(scenario), mc::CoreSpecScenario{});
+  auto env = composed.make_initial_env();
+  ASSERT_TRUE(env.ok());
+  nadir::Interpreter::run_to_quiescence(composed, env.value());
+  const nadir::Value& certified = env.value().globals.at("InstalledDags");
+  ASSERT_EQ(certified.size(), 1u);
+  const nadir::Value& table = env.value().globals.at("SwTable");
+  const nadir::Value& installed_ids = env.value().globals.at("InstalledIds");
+  for (const nadir::Value& op : table.as_set()) {
+    EXPECT_TRUE(installed_ids.set_contains(op.field("op")))
+        << "installed entry not acknowledged in the NIB view";
+  }
+}
+
+}  // namespace
+}  // namespace zenith

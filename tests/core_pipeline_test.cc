@@ -1,0 +1,158 @@
+// End-to-end tests of the ZENITH-core pipeline in the absence of failures:
+// DAG admission -> Sequencer -> Worker Pool -> switches -> ACKs -> NIB, and
+// the §3.3 correctness conditions at quiescence.
+#include <gtest/gtest.h>
+
+#include "dag/compiler.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+ExperimentConfig zenith_config(std::uint64_t seed = 7) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.kind = ControllerKind::kZenithNR;
+  return config;
+}
+
+TEST(CorePipeline, SingleOpDagInstallsAndCertifies) {
+  Experiment exp(gen::linear(2), zenith_config());
+  exp.start();
+
+  Dag dag(DagId(1));
+  Op op;
+  op.id = exp.op_ids().next();
+  op.type = OpType::kInstallRule;
+  op.sw = SwitchId(0);
+  op.rule = FlowRule{FlowId(1), SwitchId(0), SwitchId(1), SwitchId(1), 1};
+  ASSERT_TRUE(dag.add_op(op).ok());
+
+  auto latency = exp.install_and_wait(std::move(dag), seconds(10));
+  ASSERT_TRUE(latency.has_value()) << "pipeline did not converge";
+  EXPECT_GT(*latency, 0);
+  EXPECT_LT(*latency, seconds(1));
+
+  // Ground truth: rule on switch, NIB view agrees, status DONE.
+  EXPECT_TRUE(exp.fabric().at(SwitchId(0)).has_entry(op.id));
+  EXPECT_TRUE(exp.nib().view_installed(SwitchId(0)).count(op.id));
+  EXPECT_EQ(exp.nib().op_status(op.id), OpStatus::kDone);
+}
+
+TEST(CorePipeline, ChainDagRespectsDependencyOrder) {
+  // Figure 5's drain example shape: C:D must be installed before A:C.
+  Experiment exp(gen::figure2_diamond(), zenith_config());
+  exp.start();
+
+  OpIdAllocator& ids = exp.op_ids();
+  // Path A -> C -> D for flow 1: install (C:D) then (A:C).
+  Path path{SwitchId(0), SwitchId(2), SwitchId(3)};
+  CompiledPath compiled = compile_single_path(path, FlowId(1), 1, ids);
+  ASSERT_EQ(compiled.ops.size(), 2u);
+  ASSERT_EQ(compiled.edges.size(), 1u);
+  // Edge runs downstream -> upstream.
+  EXPECT_EQ(compiled.edges[0].first, compiled.ops[1].id);
+  EXPECT_EQ(compiled.edges[0].second, compiled.ops[0].id);
+
+  Dag dag(DagId(1));
+  for (const Op& op : compiled.ops) ASSERT_TRUE(dag.add_op(op).ok());
+  for (auto [a, b] : compiled.edges) ASSERT_TRUE(dag.add_edge(a, b).ok());
+
+  auto latency = exp.install_and_wait(std::move(dag), seconds(10));
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_TRUE(exp.order_checker().ok())
+      << exp.order_checker().violations().front();
+  EXPECT_GE(exp.order_checker().installs_observed(), 2u);
+}
+
+TEST(CorePipeline, WideDagAcrossManySwitches) {
+  Experiment exp(gen::kdl_like(40, 3), zenith_config());
+  exp.start();
+  Workload workload(&exp, 11);
+  Dag dag = workload.initial_dag(15);
+  ASSERT_GT(dag.size(), 0u);
+  auto latency = exp.install_and_wait(std::move(dag), seconds(30));
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_TRUE(exp.order_checker().ok());
+  auto report = exp.checker().check(std::nullopt);
+  EXPECT_TRUE(report.view_consistent)
+      << (report.diffs.empty() ? "" : report.diffs.front());
+}
+
+TEST(CorePipeline, DagTransitionRemovesStaleOps) {
+  Experiment exp(gen::figure2_diamond(), zenith_config());
+  exp.start();
+  Workload workload(&exp, 5);
+  // Flow A (sw0) -> D (sw3); initial shortest path.
+  Dag first = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+  ASSERT_TRUE(exp.install_and_wait(std::move(first), seconds(10)).has_value());
+
+  // Reroute; the replacement DAG deletes the previous path's ops.
+  auto second = workload.reroute_dag();
+  ASSERT_TRUE(second.has_value());
+  DagId second_id = second->id();
+  ASSERT_TRUE(exp.install_and_wait(std::move(*second), seconds(10)).has_value());
+
+  // Only the new path's ops remain anywhere in the data plane.
+  std::vector<Op> intent = workload.all_flow_ops();
+  std::size_t installed = 0;
+  for (SwitchId sw : exp.nib().switches()) {
+    installed += exp.fabric().at(sw).table_size();
+  }
+  EXPECT_EQ(installed, intent.size());
+  EXPECT_TRUE(exp.checker().converged(second_id));
+}
+
+TEST(CorePipeline, BackToBackRerouteConvergences) {
+  Experiment exp(gen::kdl_like(30, 9), zenith_config());
+  exp.start();
+  Workload workload(&exp, 21);
+  Dag initial = workload.initial_dag(8);
+  ASSERT_TRUE(exp.install_and_wait(std::move(initial), seconds(30)).has_value());
+  for (int i = 0; i < 10; ++i) {
+    auto dag = workload.reroute_dag();
+    if (!dag.has_value()) continue;
+    auto latency = exp.install_and_wait(std::move(*dag), seconds(30));
+    ASSERT_TRUE(latency.has_value()) << "reroute " << i << " did not converge";
+  }
+  EXPECT_TRUE(exp.order_checker().ok());
+  auto report = exp.checker().check(std::nullopt);
+  EXPECT_TRUE(report.view_consistent);
+}
+
+TEST(CorePipeline, DeleteCurrentDagSweepsDataPlane) {
+  Experiment exp(gen::linear(4), zenith_config());
+  exp.start();
+  Workload workload(&exp, 3);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+  DagId id = dag.id();
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(10)).has_value());
+
+  exp.controller().delete_dag(id);
+  auto cleaned = exp.run_until(
+      [&] {
+        for (SwitchId sw : exp.nib().switches()) {
+          if (exp.fabric().at(sw).table_size() != 0) return false;
+        }
+        return true;
+      },
+      seconds(10));
+  EXPECT_TRUE(cleaned.has_value())
+      << "deleted DAG's routing state was not removed (§3.6)";
+}
+
+TEST(CorePipeline, NoDuplicateInstallsWithoutFailures) {
+  Experiment exp(gen::kdl_like(25, 4), zenith_config());
+  exp.start();
+  Workload workload(&exp, 8);
+  Dag dag = workload.initial_dag(10);
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(30)).has_value());
+  DuplicateInstallMonitor dup(&exp.order_checker());
+  EXPECT_EQ(dup.duplicate_installs(), 0u)
+      << "§B: at-most-once install must hold in failure-free runs";
+}
+
+}  // namespace
+}  // namespace zenith

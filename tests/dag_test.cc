@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "dag/compiler.h"
+#include "dag/dag.h"
+
+namespace zenith {
+namespace {
+
+Op install_op(std::uint32_t id, std::uint32_t sw, int priority = 1) {
+  Op op;
+  op.id = OpId(id);
+  op.type = OpType::kInstallRule;
+  op.sw = SwitchId(sw);
+  op.rule = FlowRule{FlowId(1), SwitchId(sw), SwitchId(99), SwitchId(sw + 1),
+                     priority};
+  return op;
+}
+
+TEST(DagTest, AddOpsAndEdges) {
+  Dag dag(DagId(1));
+  ASSERT_TRUE(dag.add_op(install_op(1, 0)).ok());
+  ASSERT_TRUE(dag.add_op(install_op(2, 1)).ok());
+  ASSERT_TRUE(dag.add_edge(OpId(1), OpId(2)).ok());
+  EXPECT_EQ(dag.size(), 2u);
+  EXPECT_EQ(dag.edge_count(), 1u);
+  EXPECT_EQ(dag.successors(OpId(1)).size(), 1u);
+  EXPECT_EQ(dag.predecessors(OpId(2)).size(), 1u);
+  EXPECT_EQ(dag.roots(), std::vector<OpId>{OpId(1)});
+  EXPECT_EQ(dag.leaves(), std::vector<OpId>{OpId(2)});
+}
+
+TEST(DagTest, RejectsDuplicatesAndBadEdges) {
+  Dag dag(DagId(1));
+  ASSERT_TRUE(dag.add_op(install_op(1, 0)).ok());
+  EXPECT_FALSE(dag.add_op(install_op(1, 2)).ok());           // dup id
+  EXPECT_FALSE(dag.add_edge(OpId(1), OpId(1)).ok());         // self edge
+  EXPECT_FALSE(dag.add_edge(OpId(1), OpId(7)).ok());         // unknown node
+  ASSERT_TRUE(dag.add_op(install_op(2, 1)).ok());
+  ASSERT_TRUE(dag.add_edge(OpId(1), OpId(2)).ok());
+  EXPECT_FALSE(dag.add_edge(OpId(1), OpId(2)).ok());         // dup edge
+}
+
+TEST(DagTest, TopologicalOrderDetectsCycles) {
+  Dag dag(DagId(1));
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(dag.add_op(install_op(i, i)).ok());
+  }
+  ASSERT_TRUE(dag.add_edge(OpId(1), OpId(2)).ok());
+  ASSERT_TRUE(dag.add_edge(OpId(2), OpId(3)).ok());
+  auto order = dag.topological_order();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<OpId>{OpId(1), OpId(2), OpId(3)}));
+  ASSERT_TRUE(dag.add_edge(OpId(3), OpId(1)).ok());  // closes a cycle
+  EXPECT_FALSE(dag.topological_order().ok());
+  EXPECT_FALSE(dag.is_acyclic());
+}
+
+TEST(DagTest, ExpandWithAttachesAfterAllLeaves) {
+  Dag dag(DagId(1));
+  ASSERT_TRUE(dag.add_op(install_op(1, 0)).ok());
+  ASSERT_TRUE(dag.add_op(install_op(2, 1)).ok());  // two independent leaves
+  Op tail = install_op(3, 2);
+  ASSERT_TRUE(dag.expand_with(std::span<const Op>(&tail, 1)).ok());
+  EXPECT_EQ(dag.predecessors(OpId(3)).size(), 2u);
+  EXPECT_EQ(dag.leaves(), std::vector<OpId>{OpId(3)});
+}
+
+TEST(Compiler, HighestPriority) {
+  std::vector<Op> ops{install_op(1, 0, 3), install_op(2, 1, 7)};
+  EXPECT_EQ(highest_priority(ops), 7);
+  EXPECT_EQ(highest_priority({}), 0);
+}
+
+TEST(Compiler, SinglePathDownstreamFirst) {
+  OpIdAllocator ids;
+  Path path{SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3)};
+  CompiledPath c = compile_single_path(path, FlowId(5), 4, ids);
+  ASSERT_EQ(c.ops.size(), 3u);  // one per forwarding hop
+  ASSERT_EQ(c.edges.size(), 2u);
+  // Every op routes toward the path destination at the given priority.
+  for (const Op& op : c.ops) {
+    EXPECT_EQ(op.rule.dst, SwitchId(3));
+    EXPECT_EQ(op.rule.priority, 4);
+    EXPECT_EQ(op.rule.flow, FlowId(5));
+  }
+  // Edges run downstream -> upstream: last hop first.
+  EXPECT_EQ(c.edges[0].first, c.ops[1].id);
+  EXPECT_EQ(c.edges[0].second, c.ops[0].id);
+  EXPECT_EQ(c.edges[1].first, c.ops[2].id);
+  EXPECT_EQ(c.edges[1].second, c.ops[1].id);
+}
+
+TEST(Compiler, ReplacementDagDeletesOldOpsAfterInstalls) {
+  OpIdAllocator ids;
+  Path old_path{SwitchId(0), SwitchId(1), SwitchId(3)};
+  CompiledPath old_compiled = compile_single_path(old_path, FlowId(1), 1, ids);
+
+  Path new_path{SwitchId(0), SwitchId(2), SwitchId(3)};
+  auto dag = compile_replacement_dag(DagId(2), {new_path}, {FlowId(1)},
+                                     old_compiled.ops, ids);
+  ASSERT_TRUE(dag.ok());
+  const Dag& d = dag.value();
+  // 2 installs + 2 deletes.
+  EXPECT_EQ(d.size(), 4u);
+  // New installs outrank the old priority 1.
+  int installs = 0, deletes = 0;
+  for (const Op* op : d.all_ops()) {
+    if (op->type == OpType::kInstallRule) {
+      ++installs;
+      EXPECT_EQ(op->rule.priority, 2);
+    } else {
+      ++deletes;
+      // Deletions are leaves-only descendants: they have predecessors.
+      EXPECT_FALSE(d.predecessors(op->id).empty());
+    }
+  }
+  EXPECT_EQ(installs, 2);
+  EXPECT_EQ(deletes, 2);
+  ASSERT_TRUE(d.topological_order().ok());
+}
+
+TEST(Compiler, RejectsDegeneratePaths) {
+  OpIdAllocator ids;
+  auto bad = compile_replacement_dag(DagId(1), {Path{SwitchId(0)}},
+                                     {FlowId(1)}, {}, ids);
+  EXPECT_FALSE(bad.ok());
+  auto mismatch =
+      compile_replacement_dag(DagId(1), {}, {FlowId(1)}, {}, ids);
+  EXPECT_FALSE(mismatch.ok());
+}
+
+TEST(Compiler, DeletionOpsTargetInstallsOnly) {
+  OpIdAllocator ids;
+  Op install = install_op(100, 0);
+  Op del;
+  del.id = OpId(101);
+  del.type = OpType::kDeleteRule;
+  del.sw = SwitchId(0);
+  del.delete_target = OpId(100);
+  std::vector<Op> ops{install, del};
+  auto deletions = deletion_ops(ops, ids);
+  ASSERT_EQ(deletions.size(), 1u);  // the delete op itself is not deleted
+  EXPECT_EQ(deletions[0].delete_target, OpId(100));
+}
+
+}  // namespace
+}  // namespace zenith

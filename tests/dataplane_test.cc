@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/fabric.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+SwitchRequest install(std::uint32_t op_id, std::uint32_t sw,
+                      std::uint32_t dst, std::uint32_t nh, int priority = 1) {
+  SwitchRequest r;
+  r.type = SwitchRequest::Type::kInstall;
+  r.op.id = OpId(op_id);
+  r.op.type = OpType::kInstallRule;
+  r.op.sw = SwitchId(sw);
+  r.op.rule = FlowRule{FlowId(1), SwitchId(sw), SwitchId(dst), SwitchId(nh),
+                       priority};
+  r.xid = op_id;
+  return r;
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : fabric_(&sim_, gen::linear(3), Rng(1)) {}
+
+  Simulator sim_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, InstallAckRoundTrip) {
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  sim_.run();
+  EXPECT_TRUE(fabric_.at(SwitchId(0)).has_entry(OpId(1)));
+  ASSERT_EQ(fabric_.replies().size(), 1u);
+  SwitchReply reply = fabric_.replies().pop();
+  EXPECT_EQ(reply.type, SwitchReply::Type::kAck);
+  EXPECT_EQ(reply.sw, SwitchId(0));
+  EXPECT_EQ(reply.op.id, OpId(1));
+}
+
+TEST_F(FabricTest, DeleteRemovesEntryAndAcks) {
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  SwitchRequest del;
+  del.type = SwitchRequest::Type::kDelete;
+  del.op.id = OpId(2);
+  del.op.type = OpType::kDeleteRule;
+  del.op.sw = SwitchId(0);
+  del.op.delete_target = OpId(1);
+  fabric_.send(SwitchId(0), del);
+  sim_.run();
+  EXPECT_FALSE(fabric_.at(SwitchId(0)).has_entry(OpId(1)));
+  EXPECT_EQ(fabric_.replies().size(), 2u);
+}
+
+TEST_F(FabricTest, LookupPrefersHighPriority) {
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1, /*priority=*/1));
+  fabric_.send(SwitchId(0), install(2, 0, 2, 2, /*priority=*/5));
+  sim_.run();
+  auto entry = fabric_.at(SwitchId(0)).lookup(SwitchId(2));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->installed_by, OpId(2));
+  EXPECT_EQ(entry->rule.next_hop, SwitchId(2));
+}
+
+TEST_F(FabricTest, ClearTcamWipesTable) {
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  sim_.run();
+  SwitchRequest clear;
+  clear.type = SwitchRequest::Type::kClearTcam;
+  clear.op.id = OpId(3);
+  clear.op.type = OpType::kClearTcam;
+  clear.op.sw = SwitchId(0);
+  fabric_.send(SwitchId(0), clear);
+  sim_.run();
+  EXPECT_EQ(fabric_.at(SwitchId(0)).table_size(), 0u);
+}
+
+TEST_F(FabricTest, DumpReturnsFullTable) {
+  fabric_.send(SwitchId(1), install(1, 1, 2, 2));
+  fabric_.send(SwitchId(1), install(2, 1, 0, 0));
+  SwitchRequest dump;
+  dump.type = SwitchRequest::Type::kDumpTable;
+  dump.xid = 77;
+  fabric_.send(SwitchId(1), dump);
+  sim_.run();
+  // install acks + dump reply
+  SwitchReply last;
+  while (!fabric_.replies().empty()) last = fabric_.replies().pop();
+  EXPECT_EQ(last.type, SwitchReply::Type::kDumpReply);
+  EXPECT_EQ(last.xid, 77u);
+  EXPECT_EQ(last.table.size(), 2u);
+}
+
+TEST_F(FabricTest, DumpCostGrowsWithTableSize) {
+  SwitchTimings timings;
+  // Figure 4a calibration: ~13ms at 512 entries, ~117ms at 4096 (9x for 8x).
+  SimTime small = timings.dump_cost(512);
+  SimTime large = timings.dump_cost(4096);
+  EXPECT_NEAR(to_seconds(small), 0.013, 0.002);
+  EXPECT_NEAR(to_seconds(large), 0.117, 0.010);
+  double ratio = static_cast<double>(large) / static_cast<double>(small);
+  EXPECT_GT(ratio, 8.0);  // superlinear
+}
+
+TEST_F(FabricTest, CompleteFailureLosesStateAndInFlight) {
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  sim_.run();
+  fabric_.send(SwitchId(0), install(2, 0, 1, 1));  // will be in flight
+  fabric_.inject_failure(SwitchId(0), FailureMode::kCompleteTransient);
+  sim_.run();
+  EXPECT_FALSE(fabric_.alive(SwitchId(0)));
+  EXPECT_EQ(fabric_.at(SwitchId(0)).table_size(), 0u);
+  // Health event delivered after the detection delay.
+  ASSERT_GE(fabric_.health_events().size(), 1u);
+  SwitchHealthEvent event = fabric_.health_events().pop();
+  EXPECT_EQ(event.type, SwitchHealthEvent::Type::kFailure);
+  EXPECT_TRUE(event.state_lost);
+}
+
+TEST_F(FabricTest, PartialFailureKeepsTcam) {
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  sim_.run();
+  fabric_.inject_failure(SwitchId(0), FailureMode::kPartialTransient);
+  sim_.run();
+  EXPECT_EQ(fabric_.at(SwitchId(0)).table_size(), 1u);
+  fabric_.inject_recovery(SwitchId(0));
+  sim_.run();
+  EXPECT_TRUE(fabric_.alive(SwitchId(0)));
+  // Two health events: failure then recovery.
+  EXPECT_EQ(fabric_.health_events().size(), 2u);
+}
+
+TEST_F(FabricTest, DeadSwitchProcessesNothing) {
+  fabric_.inject_failure(SwitchId(0), FailureMode::kPartialTransient);
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  sim_.run();
+  EXPECT_FALSE(fabric_.at(SwitchId(0)).has_entry(OpId(1)));
+  // Message queued in the switch; processed on recovery.
+  fabric_.inject_recovery(SwitchId(0));
+  sim_.run();
+  EXPECT_TRUE(fabric_.at(SwitchId(0)).has_entry(OpId(1)));
+}
+
+TEST_F(FabricTest, RepliesAreFifoPerSwitch) {
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    fabric_.send(SwitchId(0), install(i, 0, 2, 1));
+  }
+  sim_.run();
+  std::uint32_t expected = 1;
+  while (!fabric_.replies().empty()) {
+    SwitchReply reply = fabric_.replies().pop();
+    EXPECT_EQ(reply.op.id, OpId(expected++));
+  }
+  EXPECT_EQ(expected, 21u);
+}
+
+TEST_F(FabricTest, RoleChangeAcked) {
+  SwitchRequest role;
+  role.type = SwitchRequest::Type::kRoleChange;
+  role.role = 2;
+  fabric_.send(SwitchId(2), role);
+  sim_.run();
+  EXPECT_EQ(fabric_.at(SwitchId(2)).controller_role(), 2);
+  ASSERT_EQ(fabric_.replies().size(), 1u);
+  EXPECT_EQ(fabric_.replies().pop().type, SwitchReply::Type::kRoleAck);
+}
+
+TEST_F(FabricTest, LinkFailureKeepsSwitchesUp) {
+  auto link = fabric_.topology().link_between(SwitchId(0), SwitchId(1));
+  ASSERT_TRUE(link.ok());
+  fabric_.inject_link_failure(link.value());
+  sim_.run();
+  EXPECT_FALSE(fabric_.link_alive(link.value()));
+  EXPECT_TRUE(fabric_.alive(SwitchId(0)));
+  EXPECT_TRUE(fabric_.alive(SwitchId(1)));
+  // One link-down event delivered after the detection delay.
+  ASSERT_EQ(fabric_.link_events().size(), 1u);
+  LinkHealthEvent event = fabric_.link_events().pop();
+  EXPECT_EQ(event.link, link.value());
+  EXPECT_FALSE(event.up);
+  fabric_.inject_link_recovery(link.value());
+  sim_.run();
+  EXPECT_TRUE(fabric_.link_alive(link.value()));
+  EXPECT_EQ(fabric_.link_events().size(), 1u);
+}
+
+TEST_F(FabricTest, ReinstallSameOpIsIdempotent) {
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  fabric_.send(SwitchId(0), install(1, 0, 2, 1));
+  sim_.run();
+  EXPECT_EQ(fabric_.at(SwitchId(0)).table_size(), 1u);
+  EXPECT_EQ(fabric_.replies().size(), 2u);  // both ACKed (A3)
+}
+
+}  // namespace
+}  // namespace zenith

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "nadir/interpreter.h"
+#include "nadir/metrics.h"
+#include "nadir/spec.h"
+#include "nadir/type.h"
+#include "nadir/value.h"
+
+namespace zenith::nadir {
+namespace {
+
+TEST(Value, ScalarsAndEquality) {
+  EXPECT_TRUE(Value::nil().is_nil());
+  EXPECT_EQ(Value::integer(5).as_int(), 5);
+  EXPECT_TRUE(Value::boolean(true).as_bool());
+  EXPECT_EQ(Value::string("x").as_string(), "x");
+  EXPECT_EQ(Value::integer(5), Value::integer(5));
+  EXPECT_NE(Value::integer(5).hash(), Value::integer(6).hash());
+}
+
+TEST(Value, SetsAreCanonical) {
+  Value a = Value::set({Value::integer(3), Value::integer(1),
+                        Value::integer(3), Value::integer(2)});
+  Value b = Value::set({Value::integer(1), Value::integer(2),
+                        Value::integer(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.set_contains(Value::integer(2)));
+  EXPECT_FALSE(a.set_contains(Value::integer(9)));
+  EXPECT_EQ(a.set_erase(Value::integer(2)).size(), 2u);
+  EXPECT_EQ(a.set_insert(Value::integer(2)), a);  // idempotent
+}
+
+TEST(Value, SequencesAndFifoOps) {
+  Value q = Value::seq({});
+  q = q.append(Value::integer(1)).append(Value::integer(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.head().as_int(), 1);
+  EXPECT_EQ(q.tail().size(), 1u);
+  EXPECT_EQ(q.tail().head().as_int(), 2);
+}
+
+TEST(Value, RecordsAndFunctionalUpdate) {
+  Value r = Value::record({{"a", Value::integer(1)}, {"b", Value::nil()}});
+  EXPECT_EQ(r.field("a").as_int(), 1);
+  Value r2 = r.with_field("a", Value::integer(9));
+  EXPECT_EQ(r.field("a").as_int(), 1);  // original untouched (immutability)
+  EXPECT_EQ(r2.field("a").as_int(), 9);
+}
+
+TEST(Value, ChooseIsDeterministicLeastElement) {
+  Value s = Value::set({Value::integer(7), Value::integer(3)});
+  EXPECT_EQ(choose(s).as_int(), 3);
+}
+
+TEST(TypeCheck, ScalarAndCompositeAnnotations) {
+  EXPECT_TRUE(Type::integer()->check(Value::integer(1)));
+  EXPECT_FALSE(Type::integer()->check(Value::boolean(true)));
+  auto status = Type::enumeration({"NONE", "DONE"});
+  EXPECT_TRUE(status->check(Value::string("DONE")));
+  EXPECT_FALSE(status->check(Value::string("BOGUS")));
+  auto seq_int = Type::seq(Type::integer());
+  EXPECT_TRUE(seq_int->check(Value::seq({Value::integer(1)})));
+  EXPECT_FALSE(seq_int->check(Value::seq({Value::string("no")})));
+  auto rec = Type::record({{"sw", Type::integer()}});
+  EXPECT_TRUE(rec->check(Value::record({{"sw", Value::integer(0)}})));
+  EXPECT_FALSE(rec->check(Value::record({{"sw", Value::integer(0)},
+                                         {"extra", Value::nil()}})));
+  auto nullable = Type::nullable(Type::integer());
+  EXPECT_TRUE(nullable->check(Value::nil()));
+  EXPECT_TRUE(nullable->check(Value::integer(2)));
+}
+
+Spec counter_spec() {
+  Spec spec("counter");
+  spec.global("Total", Type::integer(), Value::integer(0), true);
+  spec.global("Queue", Type::seq(Type::integer()),
+              Value::seq({Value::integer(2), Value::integer(3)}), true);
+  Process consumer("consumer");
+  consumer.local("item", Type::nullable(Type::integer()), Value::nil());
+  consumer.step(Step{
+      "Loop",
+      {"Queue", "Total"},
+      {"Queue", "Total"},
+      [](StepContext& ctx) {
+        Value item = ctx.fifo_get("Queue");
+        if (ctx.blocked()) return;
+        ctx.set_local("item", item);
+        ctx.set_global("Total", Value::integer(ctx.global("Total").as_int() +
+                                               item.as_int()));
+        ctx.jump("Loop");
+      }});
+  spec.process(std::move(consumer));
+  return spec;
+}
+
+TEST(Interpreter, RunsToQuiescence) {
+  Spec spec = counter_spec();
+  auto env = spec.make_initial_env();
+  ASSERT_TRUE(env.ok());
+  std::size_t executed =
+      Interpreter::run_to_quiescence(spec, env.value());
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(env.value().globals.at("Total").as_int(), 5);
+  EXPECT_TRUE(Interpreter::quiescent(spec, env.value()));
+}
+
+TEST(Interpreter, BlockedStepLeavesEnvUntouched) {
+  Spec spec = counter_spec();
+  auto env = spec.make_initial_env();
+  ASSERT_TRUE(env.ok());
+  Interpreter::run_to_quiescence(spec, env.value());
+  Env before = env.value();
+  EXPECT_EQ(Interpreter::try_step(spec, env.value(), "consumer"),
+            StepOutcome::kBlocked);
+  EXPECT_EQ(env.value(), before);
+}
+
+TEST(Interpreter, CrashResetsLocalsButKeepsGlobals) {
+  Spec spec = counter_spec();
+  auto env = spec.make_initial_env();
+  ASSERT_TRUE(env.ok());
+  Interpreter::run_to_quiescence(spec, env.value());
+  EXPECT_FALSE(env.value().procs.at("consumer").locals.at("item").is_nil());
+  Interpreter::crash_process(spec, env.value(), "consumer");
+  // §5 semantics: locals lost, globals (NIB) survive.
+  EXPECT_TRUE(env.value().procs.at("consumer").locals.at("item").is_nil());
+  EXPECT_EQ(env.value().globals.at("Total").as_int(), 5);
+}
+
+TEST(Interpreter, TypeOkValidatedWhenRequested) {
+  Spec spec("badtype");
+  spec.global("X", Type::integer(), Value::integer(0), true);
+  Process p("writer");
+  p.step(Step{"W",
+              {"X"},
+              {"X"},
+              [](StepContext& ctx) {
+                ctx.set_global("X", Value::string("oops"));
+                ctx.finish();
+              }});
+  spec.process(std::move(p));
+  auto env = spec.make_initial_env();
+  ASSERT_TRUE(env.ok());
+  // try_step without checking succeeds; the explicit check catches it.
+  Interpreter::try_step(spec, env.value(), "writer");
+  EXPECT_FALSE(spec.check_types(env.value()).ok());
+}
+
+TEST(EnvTest, HashDistinguishesStates) {
+  Spec spec = counter_spec();
+  auto a = spec.make_initial_env();
+  auto b = spec.make_initial_env();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().hash(), b.value().hash());
+  Interpreter::try_step(spec, b.value(), "consumer");
+  EXPECT_NE(a.value().hash(), b.value().hash());
+}
+
+TEST(Metrics, HenryKafuraReflectsInformationFlow) {
+  Spec spec("flows");
+  spec.global("A", Type::integer(), Value::integer(0), true);
+  spec.global("B", Type::integer(), Value::integer(0), true);
+  Process producer("producer");
+  producer.step(Step{"P", {"A", "B"}, {"A"}, [](StepContext& ctx) {
+                       ctx.set_global("A", Value::integer(1));
+                       ctx.finish();
+                     }});
+  Process consumer("consumer");
+  consumer.step(Step{"C1", {"A", "B"}, {"B"}, [](StepContext&) {}});
+  consumer.step(Step{"C2", {"B"}, {"B"}, [](StepContext&) {}});
+  spec.process(std::move(producer));
+  spec.process(std::move(consumer));
+
+  SpecMetrics m = measure(spec);
+  EXPECT_EQ(m.process_count, 2u);
+  EXPECT_EQ(m.step_count, 3u);
+  const auto& cons = m.per_process.at("consumer");
+  EXPECT_EQ(cons.length, 2u);
+  EXPECT_GE(cons.fanin, 1u);   // reads A written by producer
+  const auto& prod = m.per_process.at("producer");
+  EXPECT_GE(prod.fanout, 1u);  // writes A read by consumer
+  // Henry-Kafura: length * (fanin * fanout)^2; both components have
+  // bidirectional flow here, so the total is positive.
+  EXPECT_GT(m.total_henry_kafura, 0u);
+}
+
+}  // namespace
+}  // namespace zenith::nadir

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "nib/nib.h"
+
+namespace zenith {
+namespace {
+
+Op make_op(std::uint32_t id, std::uint32_t sw) {
+  Op op;
+  op.id = OpId(id);
+  op.type = OpType::kInstallRule;
+  op.sw = SwitchId(sw);
+  op.rule = FlowRule{FlowId(1), SwitchId(sw), SwitchId(9), SwitchId(sw + 1), 1};
+  return op;
+}
+
+TEST(NibTest, OpLifecycle) {
+  Nib nib;
+  Op op = make_op(1, 0);
+  nib.put_op(op);
+  EXPECT_TRUE(nib.has_op(OpId(1)));
+  EXPECT_EQ(nib.op_status(OpId(1)), OpStatus::kNone);
+  nib.set_op_status(OpId(1), OpStatus::kScheduled);
+  nib.set_op_status(OpId(1), OpStatus::kSent);
+  nib.set_op_status(OpId(1), OpStatus::kDone);
+  EXPECT_EQ(nib.op_status(OpId(1)), OpStatus::kDone);
+}
+
+TEST(NibTest, PutOpIsIdempotentForIdenticalPayload) {
+  Nib nib;
+  Op op = make_op(1, 0);
+  nib.put_op(op);
+  nib.set_op_status(OpId(1), OpStatus::kDone);
+  nib.put_op(op);  // re-put must not reset status
+  EXPECT_EQ(nib.op_status(OpId(1)), OpStatus::kDone);
+}
+
+TEST(NibTest, EventsPublishedToAllSubscribers) {
+  Nib nib;
+  NadirFifo<NibEvent> a, b;
+  nib.subscribe(&a);
+  nib.subscribe(&b);
+  nib.put_op(make_op(1, 0));
+  nib.set_op_status(OpId(1), OpStatus::kScheduled);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  NibEvent event = a.pop();
+  EXPECT_EQ(event.type, NibEvent::Type::kOpStatusChanged);
+  EXPECT_EQ(event.op, OpId(1));
+  EXPECT_EQ(event.op_status, OpStatus::kScheduled);
+}
+
+TEST(NibTest, NoEventOnIdenticalStatusWrite) {
+  Nib nib;
+  NadirFifo<NibEvent> sink;
+  nib.subscribe(&sink);
+  nib.put_op(make_op(1, 0));
+  nib.set_op_status(OpId(1), OpStatus::kScheduled);
+  nib.set_op_status(OpId(1), OpStatus::kScheduled);
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(NibTest, SwitchHealthTransitions) {
+  Nib nib;
+  NadirFifo<NibEvent> sink;
+  nib.subscribe(&sink);
+  nib.register_switch(SwitchId(0));
+  EXPECT_TRUE(nib.switch_up(SwitchId(0)));
+  nib.set_switch_health(SwitchId(0), SwitchHealth::kDown);
+  EXPECT_FALSE(nib.switch_up(SwitchId(0)));
+  // Down -> Recovering: still not "up", no up-transition event.
+  nib.set_switch_health(SwitchId(0), SwitchHealth::kRecovering);
+  nib.set_switch_health(SwitchId(0), SwitchHealth::kUp);
+  int health_events = 0;
+  while (!sink.empty()) {
+    if (sink.pop().type == NibEvent::Type::kSwitchHealthChanged) {
+      ++health_events;
+    }
+  }
+  EXPECT_EQ(health_events, 2);  // up->down, recovering->up
+}
+
+TEST(NibTest, OpsOnSwitchFiltersByStatus) {
+  Nib nib;
+  nib.put_op(make_op(1, 0));
+  nib.put_op(make_op(2, 0));
+  nib.put_op(make_op(3, 1));
+  nib.set_op_status(OpId(1), OpStatus::kSent);
+  nib.set_op_status(OpId(2), OpStatus::kDone);
+  nib.set_op_status(OpId(3), OpStatus::kSent);
+  auto sent_on_0 = nib.ops_on_switch(SwitchId(0), {OpStatus::kSent});
+  EXPECT_EQ(sent_on_0, std::vector<OpId>{OpId(1)});
+  auto both = nib.ops_on_switch(SwitchId(0), {OpStatus::kSent, OpStatus::kDone});
+  EXPECT_EQ(both.size(), 2u);
+  EXPECT_EQ(nib.ops_with_status(OpStatus::kSent).size(), 2u);
+}
+
+TEST(NibTest, ViewTracksInstalledOps) {
+  Nib nib;
+  nib.register_switch(SwitchId(0));
+  nib.view_add_installed(SwitchId(0), OpId(1));
+  nib.view_add_installed(SwitchId(0), OpId(2));
+  EXPECT_EQ(nib.view_installed(SwitchId(0)).size(), 2u);
+  nib.view_remove_installed(SwitchId(0), OpId(1));
+  EXPECT_EQ(nib.view_installed(SwitchId(0)).size(), 1u);
+  nib.view_clear_switch(SwitchId(0));
+  EXPECT_TRUE(nib.view_installed(SwitchId(0)).empty());
+}
+
+TEST(NibTest, DagTableAndDoneFlags) {
+  Nib nib;
+  Dag dag(DagId(7));
+  ASSERT_TRUE(dag.add_op(make_op(1, 0)).ok());
+  nib.put_dag(dag);
+  EXPECT_TRUE(nib.has_dag(DagId(7)));
+  EXPECT_TRUE(nib.has_op(OpId(1)));  // ops registered alongside
+  nib.set_current_dag(DagId(7));
+  EXPECT_EQ(nib.current_dag(), DagId(7));
+  EXPECT_FALSE(nib.dag_is_done(DagId(7)));
+  nib.mark_dag_done(DagId(7));
+  EXPECT_TRUE(nib.dag_is_done(DagId(7)));
+  nib.clear_dag_done(DagId(7));
+  EXPECT_FALSE(nib.dag_is_done(DagId(7)));
+  nib.remove_dag(DagId(7));
+  EXPECT_FALSE(nib.has_dag(DagId(7)));
+  EXPECT_FALSE(nib.current_dag().has_value());
+}
+
+TEST(NibTest, WorkerStateSlots) {
+  Nib nib;
+  EXPECT_FALSE(nib.worker_state(WorkerId(0)).has_value());
+  nib.set_worker_state(WorkerId(0), OpId(5));
+  EXPECT_EQ(nib.worker_state(WorkerId(0)), OpId(5));
+  nib.set_worker_state(WorkerId(0), std::nullopt);
+  EXPECT_FALSE(nib.worker_state(WorkerId(0)).has_value());
+}
+
+TEST(NibTest, LinkHealthTableAndTopologyEvents) {
+  Nib nib;
+  NadirFifo<NibEvent> sink;
+  nib.subscribe(&sink);
+  EXPECT_TRUE(nib.link_up(LinkId(0)));
+  nib.set_link_up(LinkId(0), false);
+  EXPECT_FALSE(nib.link_up(LinkId(0)));
+  EXPECT_EQ(nib.down_links().size(), 1u);
+  nib.set_link_up(LinkId(0), false);  // idempotent: no second event
+  nib.set_link_up(LinkId(0), true);
+  EXPECT_TRUE(nib.link_up(LinkId(0)));
+  int topology_events = 0;
+  while (!sink.empty()) {
+    NibEvent event = sink.pop();
+    if (event.type == NibEvent::Type::kTopologyChanged) ++topology_events;
+  }
+  EXPECT_EQ(topology_events, 2);  // down, up
+}
+
+TEST(NibTest, PreloadDoesNotPublishEvents) {
+  Nib nib;
+  NadirFifo<NibEvent> sink;
+  nib.subscribe(&sink);
+  nib.register_switch(SwitchId(0));
+  sink.clear();
+  Op op = make_op(1, 0);
+  nib.preload_op(op, OpStatus::kDone, /*in_view=*/true);
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(nib.op_status(OpId(1)), OpStatus::kDone);
+  EXPECT_TRUE(nib.view_installed(SwitchId(0)).count(OpId(1)));
+}
+
+TEST(NibTest, WriteCountAccounting) {
+  Nib nib;
+  auto before = nib.write_count();
+  nib.put_op(make_op(1, 0));
+  nib.set_op_status(OpId(1), OpStatus::kDone);
+  EXPECT_GT(nib.write_count(), before);
+}
+
+}  // namespace
+}  // namespace zenith

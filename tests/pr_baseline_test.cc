@@ -1,0 +1,191 @@
+// The PR baseline: its reconciliation must eventually repair the
+// inconsistencies its shortcuts create, and those repairs must be slower
+// than ZENITH's by roughly a reconciliation period (the §6.1 comparison).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+ExperimentConfig pr_config(std::uint64_t seed, SimTime period = seconds(10)) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.kind = ControllerKind::kPr;
+  config.reconciliation_period = period;
+  return config;
+}
+
+TEST(PrBaseline, FailureFreeInstallConverges) {
+  Experiment exp(gen::kdl_like(30, 2), pr_config(7));
+  exp.start();
+  Workload workload(&exp, 3);
+  Dag dag = workload.initial_dag(8);
+  auto latency = exp.install_and_wait(std::move(dag), seconds(30));
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_LT(*latency, seconds(5));
+}
+
+TEST(PrBaseline, TransientSwitchFailureNeedsReconciliation) {
+  Experiment exp(gen::figure2_diamond(), pr_config(11));
+  exp.start();
+  Workload workload(&exp, 5);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+  DagId id = dag.id();
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(30)).has_value());
+
+  // Complete transient failure wipes B's table; PR marks B UP again without
+  // any cleanup, so the NIB claims rules that are not on the switch.
+  exp.fabric().inject_failure(SwitchId(1), FailureMode::kCompleteTransient);
+  exp.run_for(seconds(1));
+  exp.fabric().inject_recovery(SwitchId(1));
+  exp.run_for(millis(200));
+
+  auto report = exp.checker().check(id);
+  EXPECT_FALSE(report.view_consistent && report.dag_installed)
+      << "PR should be inconsistent immediately after optimistic recovery";
+
+  // Reconciliation eventually repairs it.
+  auto fixed = exp.run_until(
+      [&] { return exp.checker().converged(id); }, seconds(40));
+  ASSERT_TRUE(fixed.has_value());
+  // The repair had to wait for a reconciliation cycle — it cannot have been
+  // much faster than the period.
+  EXPECT_GT(*fixed, seconds(1));
+}
+
+TEST(PrBaseline, ZenithBeatsPrOnTransientFailure) {
+  auto run = [](ControllerKind kind) {
+    ExperimentConfig config;
+    config.seed = 31;
+    config.kind = kind;
+    config.reconciliation_period = seconds(10);
+    Experiment exp(gen::figure2_diamond(), config);
+    exp.start();
+    Workload workload(&exp, 5);
+    Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+    DagId id = dag.id();
+    (void)exp.install_and_wait(std::move(dag), seconds(30));
+    exp.fabric().inject_failure(SwitchId(1), FailureMode::kCompleteTransient);
+    exp.run_for(seconds(1));
+    exp.fabric().inject_recovery(SwitchId(1));
+    SimTime start = exp.sim().now();
+    auto fixed = exp.run_until(
+        [&] { return exp.checker().converged(id); }, seconds(60));
+    EXPECT_TRUE(fixed.has_value());
+    (void)start;
+    return fixed.value_or(seconds(60));
+  };
+  SimTime zenith = run(ControllerKind::kZenithNR);
+  SimTime pr = run(ControllerKind::kPr);
+  EXPECT_LT(zenith * 2, pr)
+      << "Zenith should reconverge well before PR's reconciliation";
+}
+
+TEST(PrBaseline, PrUpReconcilesOnRecoveryFasterThanPr) {
+  auto run = [](ControllerKind kind) {
+    ExperimentConfig config;
+    config.seed = 37;
+    config.kind = kind;
+    config.reconciliation_period = seconds(20);
+    Experiment exp(gen::figure2_diamond(), config);
+    exp.start();
+    Workload workload(&exp, 5);
+    Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+    DagId id = dag.id();
+    (void)exp.install_and_wait(std::move(dag), seconds(30));
+    exp.run_for(seconds(1));  // settle well inside the reconciliation period
+    exp.fabric().inject_failure(SwitchId(1), FailureMode::kCompleteTransient);
+    exp.run_for(seconds(1));
+    exp.fabric().inject_recovery(SwitchId(1));
+    auto fixed = exp.run_until(
+        [&] { return exp.checker().converged(id); }, seconds(60));
+    EXPECT_TRUE(fixed.has_value()) << to_string(kind);
+    return fixed.value_or(seconds(60));
+  };
+  SimTime pr = run(ControllerKind::kPr);
+  SimTime prup = run(ControllerKind::kPrUp);
+  EXPECT_LT(prup, pr);
+}
+
+TEST(PrBaseline, DeadlockTimeoutResolvesLostEvents) {
+  // Crash a worker exactly while its (buggy two-phase) local state holds a
+  // dequeued OP: the event is gone for good. The deadlock timeout must
+  // notice the stuck SCHEDULED status and re-issue the OP.
+  ExperimentConfig config = pr_config(41);
+  Experiment exp(gen::linear(5), config);
+  exp.start();
+  Workload workload(&exp, 43);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(4)}});
+  DagId id = dag.id();
+  exp.controller().submit_dag(std::move(dag));
+
+  // Wait for any worker to enter the vulnerable window, then kill it.
+  auto* controller = &exp.controller();
+  auto vulnerable_worker = [&]() -> Component* {
+    for (Component* c : controller->components()) {
+      auto* worker = dynamic_cast<Worker*>(c);
+      if (worker != nullptr && worker->holding_popped_op()) return worker;
+    }
+    return nullptr;
+  };
+  exp.config().poll_interval = micros(5);  // the window is ~one service step
+  auto window = exp.run_until(
+      [&] { return vulnerable_worker() != nullptr; }, seconds(10));
+  ASSERT_TRUE(window.has_value()) << "two-phase window never observed";
+  vulnerable_worker()->crash();
+  exp.config().poll_interval = millis(5);
+
+  auto converged =
+      exp.run_until([&] { return exp.checker().converged(id); }, seconds(60));
+  ASSERT_TRUE(converged.has_value());
+  EXPECT_GT(exp.pr()->deadlock_resolutions(), 0u);
+}
+
+TEST(PrBaseline, ReconcilerRemovesHiddenEntries) {
+  // Plant a hidden entry directly (rule on switch, absent from NIB view);
+  // the reconciler must delete it within one cycle (the Figure 2 fix).
+  Experiment exp(gen::figure2_diamond(), pr_config(47, seconds(5)));
+  exp.start();
+  SwitchRequest hidden;
+  hidden.type = SwitchRequest::Type::kInstall;
+  hidden.op.id = OpId(0x7fffffff);
+  hidden.op.type = OpType::kInstallRule;
+  hidden.op.sw = SwitchId(0);
+  hidden.op.rule = FlowRule{FlowId(9), SwitchId(0), SwitchId(3), SwitchId(1), 9};
+  exp.fabric().at(SwitchId(0)).in_queue().push(hidden);
+  exp.run_for(millis(100));
+  ASSERT_TRUE(exp.fabric().at(SwitchId(0)).has_entry(OpId(0x7fffffff)));
+  auto removed = exp.run_until(
+      [&] { return !exp.fabric().at(SwitchId(0)).has_entry(OpId(0x7fffffff)); },
+      seconds(30));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_GT(exp.pr()->reconciler().cycles_completed(), 0u);
+}
+
+TEST(PrBaseline, NoReconcileVariantStaysBrokenAfterStateLoss) {
+  Experiment exp(gen::figure2_diamond(), [&] {
+    ExperimentConfig config;
+    config.seed = 51;
+    config.kind = ControllerKind::kPrNoReconcile;
+    return config;
+  }());
+  exp.start();
+  Workload workload(&exp, 53);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+  DagId id = dag.id();
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(30)).has_value());
+  exp.fabric().inject_failure(SwitchId(1), FailureMode::kCompleteTransient);
+  exp.run_for(seconds(1));
+  exp.fabric().inject_recovery(SwitchId(1));
+  // Without reconciliation (and without Zenith's recovery pipeline) the
+  // wiped rules never come back.
+  auto fixed = exp.run_until(
+      [&] { return exp.checker().converged(id); }, seconds(20));
+  EXPECT_FALSE(fixed.has_value());
+}
+
+}  // namespace
+}  // namespace zenith

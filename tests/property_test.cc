@@ -1,0 +1,260 @@
+// Property-based sweeps: the §3.3 correctness conditions and the §F
+// properties, checked across a grid of topologies, seeds, failure modes and
+// controller variants (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+struct SweepCase {
+  const char* topo_name;
+  std::size_t topo_arg;
+  std::uint64_t seed;
+  FailureMode mode;
+
+  Topology make_topology() const {
+    std::string name = topo_name;
+    if (name == "diamond") return gen::figure2_diamond();
+    if (name == "linear") return gen::linear(topo_arg);
+    if (name == "b4") return gen::b4();
+    if (name == "kdl") return gen::kdl_like(topo_arg, 3);
+    if (name == "fattree") return gen::fat_tree(topo_arg);
+    return gen::ring(topo_arg);
+  }
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string mode;
+  switch (info.param.mode) {
+    case FailureMode::kCompleteTransient: mode = "CompleteTransient"; break;
+    case FailureMode::kCompletePermanent: mode = "CompletePermanent"; break;
+    case FailureMode::kPartialTransient: mode = "PartialTransient"; break;
+  }
+  return std::string(info.param.topo_name) +
+         std::to_string(info.param.topo_arg) + "_s" +
+         std::to_string(info.param.seed) + "_" + mode;
+}
+
+class ZenithInvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+// Condition ①②③ + P8 after a full failure/recovery cycle on every switch
+// of the installed paths, on every sweep point.
+TEST_P(ZenithInvariantSweep, EventualConsistencyUnderFailureCycle) {
+  const SweepCase& param = GetParam();
+  ExperimentConfig config;
+  config.seed = param.seed;
+  config.kind = ControllerKind::kZenithNR;
+  Experiment exp(param.make_topology(), config);
+  exp.start();
+  Workload workload(&exp, param.seed * 7 + 3);
+  Dag dag = workload.initial_dag(6);
+  DagId id = dag.id();
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(60)).has_value());
+
+  // Fail a switch that actually carries state.
+  SwitchId victim;
+  for (SwitchId sw : exp.nib().switches()) {
+    if (exp.fabric().at(sw).table_size() > 0) {
+      victim = sw;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  exp.fabric().inject_failure(victim, param.mode);
+  exp.run_for(millis(500));
+
+  if (param.mode == FailureMode::kCompletePermanent) {
+    // The app replaces the DAG (§F Remark); converge on the repair.
+    auto repair = workload.repair_dag({victim});
+    if (repair.has_value()) {
+      id = repair->id();
+      ASSERT_TRUE(
+          exp.install_and_wait(std::move(*repair), seconds(60)).has_value());
+    }
+  } else {
+    exp.fabric().inject_recovery(victim);
+    auto recovered = exp.run_until(
+        [&] { return exp.checker().converged(id); }, seconds(60));
+    ASSERT_TRUE(recovered.has_value()) << "did not reconverge";
+  }
+
+  // ① No DAG-order violation anywhere in the run.
+  EXPECT_TRUE(exp.order_checker().ok())
+      << exp.order_checker().violations().front();
+  // ③ View == data plane on healthy switches; no §G hidden entries.
+  auto report = exp.checker().check(std::nullopt);
+  EXPECT_TRUE(report.view_consistent)
+      << (report.diffs.empty() ? "" : report.diffs.front());
+  EXPECT_FALSE(exp.checker().hidden_entry_signature());
+  // P8 is an *eventual* property: convergence of the DAG can precede the
+  // health bookkeeping (the recovery pipeline may still be finalizing), so
+  // let the controller settle first.
+  auto settled = exp.run_until(
+      [&] {
+        for (SwitchId sw : exp.nib().switches()) {
+          bool up = exp.fabric().alive(sw);
+          if (up && exp.nib().switch_health(sw) != SwitchHealth::kUp) {
+            return false;
+          }
+          if (!up && exp.nib().switch_health(sw) == SwitchHealth::kUp) {
+            return false;
+          }
+        }
+        return true;
+      },
+      seconds(10));
+  EXPECT_TRUE(settled.has_value()) << "P8 never settled";
+  for (SwitchId sw : exp.nib().switches()) {
+    bool up = exp.fabric().alive(sw);
+    if (up) {
+      EXPECT_EQ(exp.nib().switch_health(sw), SwitchHealth::kUp)
+          << "sw" << sw.value();
+    } else {
+      EXPECT_NE(exp.nib().switch_health(sw), SwitchHealth::kUp)
+          << "sw" << sw.value();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZenithInvariantSweep,
+    ::testing::Values(
+        SweepCase{"diamond", 0, 1, FailureMode::kCompleteTransient},
+        SweepCase{"diamond", 0, 2, FailureMode::kPartialTransient},
+        SweepCase{"diamond", 0, 3, FailureMode::kCompletePermanent},
+        SweepCase{"linear", 6, 4, FailureMode::kCompleteTransient},
+        SweepCase{"linear", 6, 5, FailureMode::kPartialTransient},
+        SweepCase{"b4", 0, 6, FailureMode::kCompleteTransient},
+        SweepCase{"b4", 0, 7, FailureMode::kCompletePermanent},
+        SweepCase{"kdl", 25, 8, FailureMode::kCompleteTransient},
+        SweepCase{"kdl", 25, 9, FailureMode::kPartialTransient},
+        SweepCase{"kdl", 40, 10, FailureMode::kCompleteTransient},
+        SweepCase{"fattree", 4, 11, FailureMode::kCompleteTransient},
+        SweepCase{"fattree", 4, 12, FailureMode::kPartialTransient},
+        SweepCase{"ring", 8, 13, FailureMode::kCompleteTransient},
+        SweepCase{"ring", 8, 14, FailureMode::kCompletePermanent}),
+    case_name);
+
+// The same sweep for ZENITH-DR: directed reconciliation must preserve all
+// invariants (it is the same controller with a different recovery read).
+class ZenithDrSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ZenithDrSweep, DirectedReconciliationConsistency) {
+  const SweepCase& param = GetParam();
+  ExperimentConfig config;
+  config.seed = param.seed;
+  config.kind = ControllerKind::kZenithDR;
+  Experiment exp(param.make_topology(), config);
+  exp.start();
+  Workload workload(&exp, param.seed * 11 + 1);
+  Dag dag = workload.initial_dag(5);
+  DagId id = dag.id();
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(60)).has_value());
+  SwitchId victim;
+  for (SwitchId sw : exp.nib().switches()) {
+    if (exp.fabric().at(sw).table_size() > 0) {
+      victim = sw;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  exp.fabric().inject_failure(victim, param.mode);
+  exp.run_for(millis(300));
+  exp.fabric().inject_recovery(victim);
+  auto recovered = exp.run_until(
+      [&] { return exp.checker().converged(id); }, seconds(60));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(exp.order_checker().ok());
+  EXPECT_TRUE(exp.checker().check(std::nullopt).view_consistent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZenithDrSweep,
+    ::testing::Values(
+        SweepCase{"diamond", 0, 21, FailureMode::kPartialTransient},
+        SweepCase{"diamond", 0, 22, FailureMode::kCompleteTransient},
+        SweepCase{"linear", 6, 23, FailureMode::kPartialTransient},
+        SweepCase{"b4", 0, 24, FailureMode::kPartialTransient},
+        SweepCase{"kdl", 25, 25, FailureMode::kCompleteTransient},
+        SweepCase{"fattree", 4, 26, FailureMode::kPartialTransient}),
+    case_name);
+
+// PR liveness: with reconciliation enabled, PR also eventually converges on
+// every sweep point (it is slow, not wrong — §1.2).
+class PrEventualConsistencySweep : public ::testing::TestWithParam<SweepCase> {
+};
+
+TEST_P(PrEventualConsistencySweep, ReconciliationEventuallyRepairs) {
+  const SweepCase& param = GetParam();
+  ExperimentConfig config;
+  config.seed = param.seed;
+  config.kind = ControllerKind::kPr;
+  config.reconciliation_period = seconds(8);
+  Experiment exp(param.make_topology(), config);
+  exp.start();
+  Workload workload(&exp, param.seed * 13 + 5);
+  Dag dag = workload.initial_dag(5);
+  DagId id = dag.id();
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(60)).has_value());
+  SwitchId victim;
+  for (SwitchId sw : exp.nib().switches()) {
+    if (exp.fabric().at(sw).table_size() > 0) {
+      victim = sw;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  exp.fabric().inject_failure(victim, param.mode);
+  exp.run_for(millis(400));
+  exp.fabric().inject_recovery(victim);
+  auto recovered = exp.run_until(
+      [&] { return exp.checker().converged(id); }, seconds(90));
+  EXPECT_TRUE(recovered.has_value())
+      << "PR with reconciliation must eventually converge";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrEventualConsistencySweep,
+    ::testing::Values(
+        SweepCase{"diamond", 0, 31, FailureMode::kCompleteTransient},
+        SweepCase{"linear", 6, 32, FailureMode::kCompleteTransient},
+        SweepCase{"b4", 0, 33, FailureMode::kPartialTransient},
+        SweepCase{"kdl", 25, 34, FailureMode::kCompleteTransient}),
+    case_name);
+
+// §B at-most-once: duplicate installs never happen without failures, on any
+// topology/seed.
+class NoFailureDuplicateSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NoFailureDuplicateSweep, AtMostOnceInstall) {
+  auto [n, seed] = GetParam();
+  ExperimentConfig config;
+  config.seed = static_cast<std::uint64_t>(seed);
+  config.kind = ControllerKind::kZenithNR;
+  Experiment exp(gen::kdl_like(static_cast<std::size_t>(n), 3), config);
+  exp.start();
+  Workload workload(&exp, static_cast<std::uint64_t>(seed) * 3 + 1);
+  Dag dag = workload.initial_dag(8);
+  ASSERT_TRUE(exp.install_and_wait(std::move(dag), seconds(60)).has_value());
+  for (int i = 0; i < 5; ++i) {
+    auto update = workload.next_update_dag();
+    if (!update.has_value()) break;
+    ASSERT_TRUE(
+        exp.install_and_wait(std::move(*update), seconds(60)).has_value());
+  }
+  DuplicateInstallMonitor dup(&exp.order_checker());
+  EXPECT_EQ(dup.duplicate_installs(), 0u);
+  EXPECT_TRUE(exp.order_checker().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NoFailureDuplicateSweep,
+                         ::testing::Combine(::testing::Values(15, 30, 60),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace zenith

@@ -1,0 +1,91 @@
+// Randomized soak test: sustained DAG churn under concurrent switch, link
+// and component failures, with every correctness monitor armed. This is the
+// closest thing to the paper's large-testbed burn-in that a unit test can
+// afford; the seeds make any failure reproducible.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+class StressSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSoak, SixtySecondsOfChurnStaysConsistent) {
+  std::uint64_t seed = GetParam();
+  ExperimentConfig config;
+  config.seed = seed;
+  config.kind = ControllerKind::kZenithNR;
+  config.poll_interval = millis(5);
+  Experiment exp(gen::kdl_like(40, seed), config);
+  exp.start();
+  Workload workload(&exp, seed * 101 + 7);
+  Dag initial = workload.initial_dag(12);
+  ASSERT_TRUE(exp.install_and_wait(std::move(initial), seconds(60)).has_value());
+
+  // Transient switch failures + component crashes across a 60 s window.
+  FailurePlanConfig plan;
+  plan.mean_gap = seconds(4);
+  plan.down_time = millis(800);
+  plan.max_concurrent = 2;
+  plan.mode = seed % 2 == 0 ? FailureMode::kCompleteTransient
+                            : FailureMode::kPartialTransient;
+  plan.horizon = seconds(60);
+  (void)schedule_switch_failures(exp, plan, seed * 3 + 1);
+  (void)schedule_component_failures(exp, seconds(5), seconds(60),
+                                    seed * 5 + 2);
+  // A couple of link flaps too.
+  Rng rng(seed * 7 + 3);
+  for (int i = 0; i < 3; ++i) {
+    auto link = LinkId(static_cast<std::uint32_t>(
+        rng.next_below(exp.topology().link_count())));
+    SimTime when = static_cast<SimTime>(rng.next_below(seconds(50)));
+    exp.sim().schedule_at(when, [&exp, link] {
+      exp.fabric().inject_link_failure(link);
+    });
+    exp.sim().schedule_at(when + seconds(2), [&exp, link] {
+      exp.fabric().inject_link_recovery(link);
+    });
+  }
+
+  // Keep the update stream flowing through the churn.
+  std::size_t converged = 0, attempted = 0;
+  SimTime horizon = exp.sim().now() + seconds(60);
+  while (exp.sim().now() < horizon) {
+    auto dag = workload.next_update_dag();
+    if (!dag.has_value()) {
+      exp.run_for(millis(100));
+      continue;
+    }
+    ++attempted;
+    if (exp.install_and_wait(std::move(*dag), seconds(20)).has_value()) {
+      ++converged;
+    }
+  }
+  EXPECT_GT(attempted, 10u);
+  // Churn may legitimately delay some installs past their window, but the
+  // vast majority must land.
+  EXPECT_GE(converged * 10, attempted * 9)
+      << converged << "/" << attempted << " converged";
+
+  // Let everything settle, then audit all invariants.
+  exp.run_for(seconds(10));
+  auto settled = exp.run_until(
+      [&] {
+        auto report = exp.checker().check(std::nullopt);
+        return report.view_consistent;
+      },
+      seconds(30));
+  EXPECT_TRUE(settled.has_value()) << "view never reconverged after churn";
+  EXPECT_TRUE(exp.order_checker().ok())
+      << exp.order_checker().violations().front();
+  EXPECT_FALSE(exp.checker().hidden_entry_signature());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSoak,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace zenith

@@ -1,0 +1,153 @@
+// Trace Orchestrator tests: trace generation from counterexamples, gated
+// replay, and the §6.1 validation property — ZENITH converges on every
+// library trace while PR needs reconciliation.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "to/library.h"
+#include "to/orchestrator.h"
+#include "topo/generators.h"
+
+namespace zenith::to {
+namespace {
+
+TEST(TraceLibrary, GeneratesViolationTraces) {
+  std::vector<Trace> library = build_trace_library(17);
+  ASSERT_GE(library.size(), 5u) << "bug matrix found too few counterexamples";
+  for (const Trace& trace : library) {
+    EXPECT_FALSE(trace.violation.empty());
+    EXPECT_GT(trace.length(), 2u);
+    // Every trace injects at least one failure — a switch failure or a
+    // component crash (§6: traces trigger inconsistencies between data and
+    // control plane).
+    bool has_injection = false;
+    for (const TraceStep& step : trace.steps) {
+      if (step.type == TraceStep::Type::kSwitchFail ||
+          step.type == TraceStep::Type::kCrashComponent) {
+        has_injection = true;
+      }
+    }
+    EXPECT_TRUE(has_injection) << trace.name;
+  }
+}
+
+TEST(TraceLibrary, FromCounterexampleMergesGrants) {
+  mc::ModelConfig config = mc::ModelConfig::transient_recovery_instance();
+  config.opt_por = true;
+  config.opt_symmetry = true;
+  config.opt_compositional = true;
+  config.bugs.mark_up_before_reset = true;
+  mc::CheckerOptions options;
+  options.record_traces = true;
+  mc::CheckResult result = mc::check(mc::PipelineModel(config), options);
+  ASSERT_FALSE(result.ok);
+  Trace trace = from_counterexample(result, config, "test");
+  ASSERT_FALSE(trace.steps.empty());
+  // Consecutive grants to the same component are merged.
+  for (std::size_t i = 1; i < trace.steps.size(); ++i) {
+    if (trace.steps[i].type == TraceStep::Type::kAllow &&
+        trace.steps[i - 1].type == TraceStep::Type::kAllow) {
+      EXPECT_NE(trace.steps[i].component, trace.steps[i - 1].component);
+    }
+  }
+}
+
+ExperimentConfig replay_config(ControllerKind kind) {
+  ExperimentConfig config;
+  config.seed = 99;
+  config.kind = kind;
+  config.reconciliation_period = seconds(10);
+  // Match the model instance: 1 sequencer, 2 workers.
+  config.core.num_sequencers = 1;
+  config.core.num_workers = 2;
+  return config;
+}
+
+TEST(Orchestrator, GatedComponentsOnlyRunWhenGranted) {
+  Experiment exp(gen::linear(3), replay_config(ControllerKind::kZenithNR));
+  exp.start();
+  TraceOrchestrator to(&exp);
+  Workload workload(&exp, 7);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(2)}});
+  DagId id = dag.id();
+  exp.controller().submit_dag(std::move(dag));
+
+  // With zero grants nothing moves: run 1 second, DAG must not be admitted.
+  Trace empty_trace;
+  empty_trace.name = "no-grants";
+  // (replay of an empty trace releases immediately, so instead run gated)
+  exp.run_for(seconds(1));
+  EXPECT_FALSE(exp.nib().current_dag().has_value())
+      << "gated DAG scheduler ran without a grant";
+
+  // Grant the scheduler one step: the DAG gets admitted, nothing installs.
+  Trace admit;
+  admit.steps.push_back(TraceStep{TraceStep::Type::kAllow, "dag_scheduler",
+                                  1, SwitchId(), FailureMode::kCompleteTransient});
+  to.replay(admit);  // release() at the end frees everything
+  auto converged =
+      exp.run_until([&] { return exp.checker().converged(id); }, seconds(20));
+  EXPECT_TRUE(converged.has_value());
+}
+
+// Fig-10 replay protocol: install the DAG and converge, then engage the
+// orchestrator and replay the failure schedule; measure re-convergence.
+SimTime replay_and_measure(const Trace& trace, ControllerKind kind,
+                           bool* converged_out = nullptr) {
+  Experiment exp(gen::figure2_diamond(), replay_config(kind));
+  exp.start();
+  Workload workload(&exp, 13);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+  DagId id = dag.id();
+  exp.order_checker().register_dag(dag);
+  EXPECT_TRUE(exp.install_and_wait(std::move(dag), seconds(30)).has_value());
+  TraceOrchestrator to(&exp);
+  to.replay(trace);
+  auto converged = exp.run_until(
+      [&] { return exp.checker().converged(id); }, seconds(60));
+  if (converged_out != nullptr) *converged_out = converged.has_value();
+  EXPECT_TRUE(exp.order_checker().ok()) << trace.name;
+  return converged.value_or(seconds(60));
+}
+
+TEST(Orchestrator, ZenithConvergesOnEveryLibraryTrace) {
+  std::vector<Trace> library = build_trace_library(17);
+  ASSERT_GE(library.size(), 5u);
+  std::size_t checked = 0;
+  for (const Trace& trace : library) {
+    if (checked >= 6) break;  // keep unit-test runtime bounded; the bench
+                              // replays the full library
+    ++checked;
+    bool converged = false;
+    replay_and_measure(trace, ControllerKind::kZenithNR, &converged);
+    EXPECT_TRUE(converged) << "Zenith did not converge on " << trace.name;
+  }
+}
+
+TEST(Orchestrator, PrIsSlowerThanZenithOnInconsistencyTraces) {
+  std::vector<Trace> library = build_trace_library(17);
+  ASSERT_GE(library.size(), 3u);
+  // Pick a trace demonstrating a routing-state inconsistency after a
+  // complete transient failure (the classic PR killer).
+  const Trace* chosen = nullptr;
+  for (const Trace& trace : library) {
+    bool complete_fail = false;
+    for (const TraceStep& step : trace.steps) {
+      complete_fail |= step.type == TraceStep::Type::kSwitchFail &&
+                       step.mode == FailureMode::kCompleteTransient;
+    }
+    if (complete_fail &&
+        trace.violation.find("CorrectRoutingState") != std::string::npos) {
+      chosen = &trace;
+      break;
+    }
+  }
+  ASSERT_NE(chosen, nullptr);
+  SimTime zenith = replay_and_measure(*chosen, ControllerKind::kZenithNR);
+  SimTime pr = replay_and_measure(*chosen, ControllerKind::kPr);
+  EXPECT_LT(zenith * 2, pr) << "trace: " << chosen->name;
+}
+
+}  // namespace
+}  // namespace zenith::to

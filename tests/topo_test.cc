@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "topo/generators.h"
+#include "topo/paths.h"
+#include "topo/topology.h"
+
+namespace zenith {
+namespace {
+
+TEST(Topology, AddSwitchesAndLinks) {
+  Topology t;
+  SwitchId a = t.add_switch("a");
+  SwitchId b = t.add_switch("b");
+  ASSERT_TRUE(t.add_link(a, b).ok());
+  EXPECT_TRUE(t.has_link(a, b));
+  EXPECT_TRUE(t.has_link(b, a));  // undirected
+  EXPECT_EQ(t.switch_count(), 2u);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.neighbors(a).size(), 1u);
+}
+
+TEST(Topology, RejectsInvalidLinks) {
+  Topology t;
+  SwitchId a = t.add_switch();
+  SwitchId b = t.add_switch();
+  EXPECT_FALSE(t.add_link(a, a).ok());                 // self loop
+  EXPECT_FALSE(t.add_link(a, SwitchId(99)).ok());      // unknown endpoint
+  ASSERT_TRUE(t.add_link(a, b).ok());
+  EXPECT_FALSE(t.add_link(b, a).ok());                 // duplicate
+}
+
+TEST(Topology, ConnectedSubgraph) {
+  Topology t = gen::linear(5);
+  std::unordered_set<SwitchId> all;
+  for (auto sw : t.all_switches()) all.insert(sw);
+  EXPECT_TRUE(t.connected_subgraph(all));
+  // Removing the middle disconnects the chain.
+  all.erase(SwitchId(2));
+  EXPECT_FALSE(t.connected_subgraph(all));
+}
+
+TEST(Generators, LinearAndRing) {
+  Topology line = gen::linear(10);
+  EXPECT_EQ(line.switch_count(), 10u);
+  EXPECT_EQ(line.link_count(), 9u);
+  Topology circle = gen::ring(10);
+  EXPECT_EQ(circle.link_count(), 10u);
+}
+
+TEST(Generators, Figure2Diamond) {
+  Topology t = gen::figure2_diamond();
+  EXPECT_EQ(t.switch_count(), 4u);
+  // A-B, B-D, A-C, C-D; no direct A-D.
+  EXPECT_TRUE(t.has_link(SwitchId(0), SwitchId(1)));
+  EXPECT_FALSE(t.has_link(SwitchId(0), SwitchId(3)));
+}
+
+TEST(Generators, B4HasTwelveSites) {
+  Topology t = gen::b4();
+  EXPECT_EQ(t.switch_count(), 12u);
+  // Every site is reachable from site 0.
+  for (std::uint32_t i = 1; i < 12; ++i) {
+    EXPECT_TRUE(shortest_path(t, SwitchId(0), SwitchId(i)).has_value());
+  }
+}
+
+TEST(Generators, FatTreeStructure) {
+  constexpr std::size_t k = 4;
+  Topology t = gen::fat_tree(k);
+  auto idx = gen::fat_tree_index(k);
+  EXPECT_EQ(t.switch_count(), idx.edge_end);
+  EXPECT_EQ(idx.core_end - idx.core_begin, 4u);   // (k/2)^2
+  EXPECT_EQ(idx.agg_end - idx.agg_begin, 8u);     // k*k/2
+  EXPECT_EQ(idx.edge_end - idx.edge_begin, 8u);
+  // Edge switches in different pods communicate via agg+core: path len 5.
+  auto p = shortest_path(t, SwitchId(static_cast<std::uint32_t>(idx.edge_begin)),
+                         SwitchId(static_cast<std::uint32_t>(idx.edge_end - 1)));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 5u);
+}
+
+TEST(Generators, KdlLikeIsConnectedAndSparse) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Topology t = gen::kdl_like(200, seed);
+    EXPECT_EQ(t.switch_count(), 200u);
+    std::unordered_set<SwitchId> all;
+    for (auto sw : t.all_switches()) all.insert(sw);
+    EXPECT_TRUE(t.connected_subgraph(all));
+    // Sparse: edges < 1.3x nodes (KDL is chain heavy).
+    EXPECT_LT(t.link_count(), 260u);
+  }
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  Topology t = gen::random_connected(50, 20, 99);
+  std::unordered_set<SwitchId> all;
+  for (auto sw : t.all_switches()) all.insert(sw);
+  EXPECT_TRUE(t.connected_subgraph(all));
+  EXPECT_GE(t.link_count(), 49u);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  Topology a = gen::kdl_like(100, 5);
+  Topology b = gen::kdl_like(100, 5);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (const Link& l : a.links()) {
+    EXPECT_TRUE(b.has_link(l.a, l.b));
+  }
+}
+
+TEST(Paths, ShortestPathBasics) {
+  Topology t = gen::linear(5);
+  auto p = shortest_path(t, SwitchId(0), SwitchId(4));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 5u);
+  EXPECT_TRUE(valid_path(t, *p));
+  EXPECT_EQ(shortest_path(t, SwitchId(2), SwitchId(2))->size(), 1u);
+}
+
+TEST(Paths, ExclusionForcesDetourOrDisconnects) {
+  Topology t = gen::figure2_diamond();
+  // A to D avoiding B must go via C.
+  auto p = shortest_path(t, SwitchId(0), SwitchId(3), {SwitchId(1)});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ((*p)[1], SwitchId(2));
+  // Avoiding both B and C disconnects.
+  EXPECT_FALSE(
+      shortest_path(t, SwitchId(0), SwitchId(3), {SwitchId(1), SwitchId(2)})
+          .has_value());
+}
+
+TEST(Paths, KAlternativesAreNodeDisjoint) {
+  Topology t = gen::figure2_diamond();
+  auto alts = k_alternative_paths(t, SwitchId(0), SwitchId(3), 3);
+  ASSERT_EQ(alts.size(), 2u);  // via B and via C
+  EXPECT_NE(alts[0][1], alts[1][1]);
+}
+
+}  // namespace
+}  // namespace zenith

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/fabric.h"
+#include "topo/generators.h"
+#include "traffic/traffic.h"
+
+namespace zenith {
+namespace {
+
+void install_now(Fabric& fabric, Simulator& sim, std::uint32_t op_id,
+                 std::uint32_t sw, std::uint32_t dst, std::uint32_t nh,
+                 int priority = 1) {
+  SwitchRequest r;
+  r.type = SwitchRequest::Type::kInstall;
+  r.op.id = OpId(op_id);
+  r.op.type = OpType::kInstallRule;
+  r.op.sw = SwitchId(sw);
+  r.op.rule = FlowRule{FlowId(1), SwitchId(sw), SwitchId(dst), SwitchId(nh),
+                       priority};
+  fabric.send(SwitchId(sw), r);
+  sim.run();
+  fabric.replies().clear();
+}
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  TrafficTest()
+      : fabric_(&sim_, gen::figure2_diamond(), Rng(1)), model_(&fabric_) {}
+
+  Simulator sim_;
+  Fabric fabric_;     // A=0, B=1, C=2, D=3
+  TrafficModel model_;
+};
+
+TEST_F(TrafficTest, ResolvesInstalledPath) {
+  install_now(fabric_, sim_, 1, 0, 3, 1);  // A -> B
+  install_now(fabric_, sim_, 2, 1, 3, 3);  // B -> D
+  Demand d{FlowId(1), SwitchId(0), SwitchId(3), 1.0};
+  Resolution r = model_.resolve(d);
+  EXPECT_EQ(r.outcome, DeliveryOutcome::kDelivered);
+  ASSERT_EQ(r.path.size(), 3u);
+  EXPECT_EQ(r.path[1], SwitchId(1));
+}
+
+TEST_F(TrafficTest, MissingRuleIsNoRule) {
+  install_now(fabric_, sim_, 1, 0, 3, 1);  // only the first hop
+  Demand d{FlowId(1), SwitchId(0), SwitchId(3), 1.0};
+  EXPECT_EQ(model_.resolve(d).outcome, DeliveryOutcome::kNoRule);
+}
+
+TEST_F(TrafficTest, DeadSwitchBlackholes) {
+  install_now(fabric_, sim_, 1, 0, 3, 1);
+  install_now(fabric_, sim_, 2, 1, 3, 3);
+  fabric_.inject_failure(SwitchId(1), FailureMode::kPartialTransient);
+  Demand d{FlowId(1), SwitchId(0), SwitchId(3), 1.0};
+  EXPECT_EQ(model_.resolve(d).outcome, DeliveryOutcome::kDeadSwitch);
+}
+
+TEST_F(TrafficTest, HiddenHighPriorityEntryShadowsNewRoute) {
+  // Figure 2: hidden priority-9 entry A->B plus the controller's new A->C.
+  install_now(fabric_, sim_, 1, 0, 3, 1, /*priority=*/9);  // hidden
+  install_now(fabric_, sim_, 2, 0, 3, 2, /*priority=*/2);  // new route
+  install_now(fabric_, sim_, 3, 2, 3, 3);                  // C -> D
+  fabric_.inject_failure(SwitchId(1), FailureMode::kCompletePermanent);
+  Demand d{FlowId(1), SwitchId(0), SwitchId(3), 1.0};
+  // Traffic still follows the hidden entry into dead B: blackhole.
+  EXPECT_EQ(model_.resolve(d).outcome, DeliveryOutcome::kDeadSwitch);
+}
+
+TEST_F(TrafficTest, DeadLinkBreaksDelivery) {
+  install_now(fabric_, sim_, 1, 0, 3, 1);  // A -> B
+  install_now(fabric_, sim_, 2, 1, 3, 3);  // B -> D
+  auto link = fabric_.topology().link_between(SwitchId(0), SwitchId(1));
+  ASSERT_TRUE(link.ok());
+  fabric_.inject_link_failure(link.value());
+  Demand d{FlowId(1), SwitchId(0), SwitchId(3), 1.0};
+  EXPECT_EQ(model_.resolve(d).outcome, DeliveryOutcome::kBrokenLink);
+  fabric_.inject_link_recovery(link.value());
+  EXPECT_EQ(model_.resolve(d).outcome, DeliveryOutcome::kDelivered);
+}
+
+TEST_F(TrafficTest, LoopDetected) {
+  install_now(fabric_, sim_, 1, 0, 3, 1);  // A -> B
+  install_now(fabric_, sim_, 2, 1, 3, 0);  // B -> A: loop
+  Demand d{FlowId(1), SwitchId(0), SwitchId(3), 1.0};
+  EXPECT_EQ(model_.resolve(d).outcome, DeliveryOutcome::kLoop);
+}
+
+TEST_F(TrafficTest, MaxMinSharesBottleneck) {
+  // Two flows forced over the same A->B link (capacity 100).
+  install_now(fabric_, sim_, 1, 0, 3, 1);
+  install_now(fabric_, sim_, 2, 1, 3, 3);
+  install_now(fabric_, sim_, 3, 0, 1, 1);  // flow 2: A -> B terminates at B
+  std::vector<Demand> demands{
+      {FlowId(1), SwitchId(0), SwitchId(3), 80.0},
+      {FlowId(2), SwitchId(0), SwitchId(1), 80.0},
+  };
+  auto reports = model_.evaluate(demands);
+  ASSERT_EQ(reports.size(), 2u);
+  // Bottleneck link A-B (100 Gbps) split fairly: 50/50.
+  EXPECT_NEAR(reports[0].throughput_gbps, 50.0, 1e-6);
+  EXPECT_NEAR(reports[1].throughput_gbps, 50.0, 1e-6);
+}
+
+TEST_F(TrafficTest, DemandCapRespected) {
+  install_now(fabric_, sim_, 1, 0, 3, 1);
+  install_now(fabric_, sim_, 2, 1, 3, 3);
+  std::vector<Demand> demands{{FlowId(1), SwitchId(0), SwitchId(3), 5.0}};
+  EXPECT_NEAR(model_.total_throughput(demands), 5.0, 1e-6);
+}
+
+TEST_F(TrafficTest, UndeliveredFlowsGetZero) {
+  std::vector<Demand> demands{{FlowId(1), SwitchId(0), SwitchId(3), 5.0}};
+  EXPECT_DOUBLE_EQ(model_.total_throughput(demands), 0.0);
+}
+
+}  // namespace
+}  // namespace zenith
