@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_hidden_entry.dir/bench_fig02_hidden_entry.cc.o"
+  "CMakeFiles/bench_fig02_hidden_entry.dir/bench_fig02_hidden_entry.cc.o.d"
+  "bench_fig02_hidden_entry"
+  "bench_fig02_hidden_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_hidden_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

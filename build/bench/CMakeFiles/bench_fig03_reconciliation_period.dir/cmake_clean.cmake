@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_reconciliation_period.dir/bench_fig03_reconciliation_period.cc.o"
+  "CMakeFiles/bench_fig03_reconciliation_period.dir/bench_fig03_reconciliation_period.cc.o.d"
+  "bench_fig03_reconciliation_period"
+  "bench_fig03_reconciliation_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_reconciliation_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_reconciliation_cost.dir/bench_fig04_reconciliation_cost.cc.o"
+  "CMakeFiles/bench_fig04_reconciliation_cost.dir/bench_fig04_reconciliation_cost.cc.o.d"
+  "bench_fig04_reconciliation_cost"
+  "bench_fig04_reconciliation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_reconciliation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_scaling.cc" "bench/CMakeFiles/bench_fig11_scaling.dir/bench_fig11_scaling.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_scaling.dir/bench_fig11_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/zenith_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zenith_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pr/CMakeFiles/zenith_pr.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/zenith_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nadir/CMakeFiles/zenith_nadir.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/zenith_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/zenith_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/to/CMakeFiles/zenith_to.dir/DependInfo.cmake"
+  "/root/repo/build/src/nib/CMakeFiles/zenith_nib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/zenith_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zenith_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/zenith_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zenith_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zenith_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

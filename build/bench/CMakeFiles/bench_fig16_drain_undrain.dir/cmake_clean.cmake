@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_drain_undrain.dir/bench_fig16_drain_undrain.cc.o"
+  "CMakeFiles/bench_fig16_drain_undrain.dir/bench_fig16_drain_undrain.cc.o.d"
+  "bench_fig16_drain_undrain"
+  "bench_fig16_drain_undrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_drain_undrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA2_odl.dir/bench_figA2_odl.cc.o"
+  "CMakeFiles/bench_figA2_odl.dir/bench_figA2_odl.cc.o.d"
+  "bench_figA2_odl"
+  "bench_figA2_odl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA2_odl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA6_trace_lengths.dir/bench_figA6_trace_lengths.cc.o"
+  "CMakeFiles/bench_figA6_trace_lengths.dir/bench_figA6_trace_lengths.cc.o.d"
+  "bench_figA6_trace_lengths"
+  "bench_figA6_trace_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA6_trace_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figA6_trace_lengths.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_app_verification.dir/bench_sec63_app_verification.cc.o"
+  "CMakeFiles/bench_sec63_app_verification.dir/bench_sec63_app_verification.cc.o.d"
+  "bench_sec63_app_verification"
+  "bench_sec63_app_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_app_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

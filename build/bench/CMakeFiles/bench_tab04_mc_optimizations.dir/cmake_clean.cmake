@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_mc_optimizations.dir/bench_tab04_mc_optimizations.cc.o"
+  "CMakeFiles/bench_tab04_mc_optimizations.dir/bench_tab04_mc_optimizations.cc.o.d"
+  "bench_tab04_mc_optimizations"
+  "bench_tab04_mc_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_mc_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drain_b4.dir/drain_b4.cc.o"
+  "CMakeFiles/drain_b4.dir/drain_b4.cc.o.d"
+  "drain_b4"
+  "drain_b4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drain_b4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

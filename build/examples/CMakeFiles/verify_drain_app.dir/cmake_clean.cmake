@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_drain_app.dir/verify_drain_app.cc.o"
+  "CMakeFiles/verify_drain_app.dir/verify_drain_app.cc.o.d"
+  "verify_drain_app"
+  "verify_drain_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_drain_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

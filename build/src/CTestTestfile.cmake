@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("topo")
+subdirs("dag")
+subdirs("nadir")
+subdirs("nib")
+subdirs("dataplane")
+subdirs("traffic")
+subdirs("core")
+subdirs("pr")
+subdirs("apps")
+subdirs("mc")
+subdirs("to")
+subdirs("harness")

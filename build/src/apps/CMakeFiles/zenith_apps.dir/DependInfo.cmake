@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/abstract_app.cc" "src/apps/CMakeFiles/zenith_apps.dir/abstract_app.cc.o" "gcc" "src/apps/CMakeFiles/zenith_apps.dir/abstract_app.cc.o.d"
+  "/root/repo/src/apps/app_specs.cc" "src/apps/CMakeFiles/zenith_apps.dir/app_specs.cc.o" "gcc" "src/apps/CMakeFiles/zenith_apps.dir/app_specs.cc.o.d"
+  "/root/repo/src/apps/drain_app.cc" "src/apps/CMakeFiles/zenith_apps.dir/drain_app.cc.o" "gcc" "src/apps/CMakeFiles/zenith_apps.dir/drain_app.cc.o.d"
+  "/root/repo/src/apps/drain_spec.cc" "src/apps/CMakeFiles/zenith_apps.dir/drain_spec.cc.o" "gcc" "src/apps/CMakeFiles/zenith_apps.dir/drain_spec.cc.o.d"
+  "/root/repo/src/apps/failover_app.cc" "src/apps/CMakeFiles/zenith_apps.dir/failover_app.cc.o" "gcc" "src/apps/CMakeFiles/zenith_apps.dir/failover_app.cc.o.d"
+  "/root/repo/src/apps/generated_drain_app.cc" "src/apps/CMakeFiles/zenith_apps.dir/generated_drain_app.cc.o" "gcc" "src/apps/CMakeFiles/zenith_apps.dir/generated_drain_app.cc.o.d"
+  "/root/repo/src/apps/te_app.cc" "src/apps/CMakeFiles/zenith_apps.dir/te_app.cc.o" "gcc" "src/apps/CMakeFiles/zenith_apps.dir/te_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zenith_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/zenith_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nadir/CMakeFiles/zenith_nadir.dir/DependInfo.cmake"
+  "/root/repo/build/src/nib/CMakeFiles/zenith_nib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/zenith_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zenith_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/zenith_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zenith_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zenith_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

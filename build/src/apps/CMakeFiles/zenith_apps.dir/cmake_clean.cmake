@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_apps.dir/abstract_app.cc.o"
+  "CMakeFiles/zenith_apps.dir/abstract_app.cc.o.d"
+  "CMakeFiles/zenith_apps.dir/app_specs.cc.o"
+  "CMakeFiles/zenith_apps.dir/app_specs.cc.o.d"
+  "CMakeFiles/zenith_apps.dir/drain_app.cc.o"
+  "CMakeFiles/zenith_apps.dir/drain_app.cc.o.d"
+  "CMakeFiles/zenith_apps.dir/drain_spec.cc.o"
+  "CMakeFiles/zenith_apps.dir/drain_spec.cc.o.d"
+  "CMakeFiles/zenith_apps.dir/failover_app.cc.o"
+  "CMakeFiles/zenith_apps.dir/failover_app.cc.o.d"
+  "CMakeFiles/zenith_apps.dir/generated_drain_app.cc.o"
+  "CMakeFiles/zenith_apps.dir/generated_drain_app.cc.o.d"
+  "CMakeFiles/zenith_apps.dir/te_app.cc.o"
+  "CMakeFiles/zenith_apps.dir/te_app.cc.o.d"
+  "libzenith_apps.a"
+  "libzenith_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_common.dir/logging.cc.o"
+  "CMakeFiles/zenith_common.dir/logging.cc.o.d"
+  "CMakeFiles/zenith_common.dir/stats.cc.o"
+  "CMakeFiles/zenith_common.dir/stats.cc.o.d"
+  "CMakeFiles/zenith_common.dir/strings.cc.o"
+  "CMakeFiles/zenith_common.dir/strings.cc.o.d"
+  "libzenith_common.a"
+  "libzenith_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/component.cc" "src/core/CMakeFiles/zenith_core.dir/component.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/component.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/zenith_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/dag_scheduler.cc" "src/core/CMakeFiles/zenith_core.dir/dag_scheduler.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/dag_scheduler.cc.o.d"
+  "/root/repo/src/core/failover.cc" "src/core/CMakeFiles/zenith_core.dir/failover.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/failover.cc.o.d"
+  "/root/repo/src/core/monitoring_server.cc" "src/core/CMakeFiles/zenith_core.dir/monitoring_server.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/monitoring_server.cc.o.d"
+  "/root/repo/src/core/nib_event_handler.cc" "src/core/CMakeFiles/zenith_core.dir/nib_event_handler.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/nib_event_handler.cc.o.d"
+  "/root/repo/src/core/properties.cc" "src/core/CMakeFiles/zenith_core.dir/properties.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/properties.cc.o.d"
+  "/root/repo/src/core/sequencer.cc" "src/core/CMakeFiles/zenith_core.dir/sequencer.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/sequencer.cc.o.d"
+  "/root/repo/src/core/topo_event_handler.cc" "src/core/CMakeFiles/zenith_core.dir/topo_event_handler.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/topo_event_handler.cc.o.d"
+  "/root/repo/src/core/watchdog.cc" "src/core/CMakeFiles/zenith_core.dir/watchdog.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/watchdog.cc.o.d"
+  "/root/repo/src/core/worker_pool.cc" "src/core/CMakeFiles/zenith_core.dir/worker_pool.cc.o" "gcc" "src/core/CMakeFiles/zenith_core.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zenith_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zenith_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/zenith_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/nib/CMakeFiles/zenith_nib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/zenith_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zenith_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_core.dir/component.cc.o"
+  "CMakeFiles/zenith_core.dir/component.cc.o.d"
+  "CMakeFiles/zenith_core.dir/controller.cc.o"
+  "CMakeFiles/zenith_core.dir/controller.cc.o.d"
+  "CMakeFiles/zenith_core.dir/dag_scheduler.cc.o"
+  "CMakeFiles/zenith_core.dir/dag_scheduler.cc.o.d"
+  "CMakeFiles/zenith_core.dir/failover.cc.o"
+  "CMakeFiles/zenith_core.dir/failover.cc.o.d"
+  "CMakeFiles/zenith_core.dir/monitoring_server.cc.o"
+  "CMakeFiles/zenith_core.dir/monitoring_server.cc.o.d"
+  "CMakeFiles/zenith_core.dir/nib_event_handler.cc.o"
+  "CMakeFiles/zenith_core.dir/nib_event_handler.cc.o.d"
+  "CMakeFiles/zenith_core.dir/properties.cc.o"
+  "CMakeFiles/zenith_core.dir/properties.cc.o.d"
+  "CMakeFiles/zenith_core.dir/sequencer.cc.o"
+  "CMakeFiles/zenith_core.dir/sequencer.cc.o.d"
+  "CMakeFiles/zenith_core.dir/topo_event_handler.cc.o"
+  "CMakeFiles/zenith_core.dir/topo_event_handler.cc.o.d"
+  "CMakeFiles/zenith_core.dir/watchdog.cc.o"
+  "CMakeFiles/zenith_core.dir/watchdog.cc.o.d"
+  "CMakeFiles/zenith_core.dir/worker_pool.cc.o"
+  "CMakeFiles/zenith_core.dir/worker_pool.cc.o.d"
+  "libzenith_core.a"
+  "libzenith_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

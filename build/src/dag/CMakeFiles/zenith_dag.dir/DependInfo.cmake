@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/compiler.cc" "src/dag/CMakeFiles/zenith_dag.dir/compiler.cc.o" "gcc" "src/dag/CMakeFiles/zenith_dag.dir/compiler.cc.o.d"
+  "/root/repo/src/dag/dag.cc" "src/dag/CMakeFiles/zenith_dag.dir/dag.cc.o" "gcc" "src/dag/CMakeFiles/zenith_dag.dir/dag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zenith_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zenith_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_dag.dir/compiler.cc.o"
+  "CMakeFiles/zenith_dag.dir/compiler.cc.o.d"
+  "CMakeFiles/zenith_dag.dir/dag.cc.o"
+  "CMakeFiles/zenith_dag.dir/dag.cc.o.d"
+  "libzenith_dag.a"
+  "libzenith_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

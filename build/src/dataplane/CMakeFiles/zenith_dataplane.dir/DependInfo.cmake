@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/abstract_switch.cc" "src/dataplane/CMakeFiles/zenith_dataplane.dir/abstract_switch.cc.o" "gcc" "src/dataplane/CMakeFiles/zenith_dataplane.dir/abstract_switch.cc.o.d"
+  "/root/repo/src/dataplane/fabric.cc" "src/dataplane/CMakeFiles/zenith_dataplane.dir/fabric.cc.o" "gcc" "src/dataplane/CMakeFiles/zenith_dataplane.dir/fabric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zenith_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zenith_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/zenith_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zenith_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

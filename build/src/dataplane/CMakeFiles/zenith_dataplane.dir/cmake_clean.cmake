@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_dataplane.dir/abstract_switch.cc.o"
+  "CMakeFiles/zenith_dataplane.dir/abstract_switch.cc.o.d"
+  "CMakeFiles/zenith_dataplane.dir/fabric.cc.o"
+  "CMakeFiles/zenith_dataplane.dir/fabric.cc.o.d"
+  "libzenith_dataplane.a"
+  "libzenith_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

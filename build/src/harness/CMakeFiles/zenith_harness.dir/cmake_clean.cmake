@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_harness.dir/experiment.cc.o"
+  "CMakeFiles/zenith_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/zenith_harness.dir/workload.cc.o"
+  "CMakeFiles/zenith_harness.dir/workload.cc.o.d"
+  "libzenith_harness.a"
+  "libzenith_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

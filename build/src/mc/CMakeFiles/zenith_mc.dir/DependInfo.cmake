@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/checker.cc" "src/mc/CMakeFiles/zenith_mc.dir/checker.cc.o" "gcc" "src/mc/CMakeFiles/zenith_mc.dir/checker.cc.o.d"
+  "/root/repo/src/mc/core_spec.cc" "src/mc/CMakeFiles/zenith_mc.dir/core_spec.cc.o" "gcc" "src/mc/CMakeFiles/zenith_mc.dir/core_spec.cc.o.d"
+  "/root/repo/src/mc/nadir_explorer.cc" "src/mc/CMakeFiles/zenith_mc.dir/nadir_explorer.cc.o" "gcc" "src/mc/CMakeFiles/zenith_mc.dir/nadir_explorer.cc.o.d"
+  "/root/repo/src/mc/pipeline_model.cc" "src/mc/CMakeFiles/zenith_mc.dir/pipeline_model.cc.o" "gcc" "src/mc/CMakeFiles/zenith_mc.dir/pipeline_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zenith_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zenith_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nadir/CMakeFiles/zenith_nadir.dir/DependInfo.cmake"
+  "/root/repo/build/src/nib/CMakeFiles/zenith_nib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/zenith_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zenith_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/zenith_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zenith_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_mc.dir/checker.cc.o"
+  "CMakeFiles/zenith_mc.dir/checker.cc.o.d"
+  "CMakeFiles/zenith_mc.dir/core_spec.cc.o"
+  "CMakeFiles/zenith_mc.dir/core_spec.cc.o.d"
+  "CMakeFiles/zenith_mc.dir/nadir_explorer.cc.o"
+  "CMakeFiles/zenith_mc.dir/nadir_explorer.cc.o.d"
+  "CMakeFiles/zenith_mc.dir/pipeline_model.cc.o"
+  "CMakeFiles/zenith_mc.dir/pipeline_model.cc.o.d"
+  "libzenith_mc.a"
+  "libzenith_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

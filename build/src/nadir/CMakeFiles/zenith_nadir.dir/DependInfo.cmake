@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nadir/interpreter.cc" "src/nadir/CMakeFiles/zenith_nadir.dir/interpreter.cc.o" "gcc" "src/nadir/CMakeFiles/zenith_nadir.dir/interpreter.cc.o.d"
+  "/root/repo/src/nadir/metrics.cc" "src/nadir/CMakeFiles/zenith_nadir.dir/metrics.cc.o" "gcc" "src/nadir/CMakeFiles/zenith_nadir.dir/metrics.cc.o.d"
+  "/root/repo/src/nadir/spec.cc" "src/nadir/CMakeFiles/zenith_nadir.dir/spec.cc.o" "gcc" "src/nadir/CMakeFiles/zenith_nadir.dir/spec.cc.o.d"
+  "/root/repo/src/nadir/type.cc" "src/nadir/CMakeFiles/zenith_nadir.dir/type.cc.o" "gcc" "src/nadir/CMakeFiles/zenith_nadir.dir/type.cc.o.d"
+  "/root/repo/src/nadir/value.cc" "src/nadir/CMakeFiles/zenith_nadir.dir/value.cc.o" "gcc" "src/nadir/CMakeFiles/zenith_nadir.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zenith_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

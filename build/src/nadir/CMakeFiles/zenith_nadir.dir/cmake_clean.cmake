@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_nadir.dir/interpreter.cc.o"
+  "CMakeFiles/zenith_nadir.dir/interpreter.cc.o.d"
+  "CMakeFiles/zenith_nadir.dir/metrics.cc.o"
+  "CMakeFiles/zenith_nadir.dir/metrics.cc.o.d"
+  "CMakeFiles/zenith_nadir.dir/spec.cc.o"
+  "CMakeFiles/zenith_nadir.dir/spec.cc.o.d"
+  "CMakeFiles/zenith_nadir.dir/type.cc.o"
+  "CMakeFiles/zenith_nadir.dir/type.cc.o.d"
+  "CMakeFiles/zenith_nadir.dir/value.cc.o"
+  "CMakeFiles/zenith_nadir.dir/value.cc.o.d"
+  "libzenith_nadir.a"
+  "libzenith_nadir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_nadir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

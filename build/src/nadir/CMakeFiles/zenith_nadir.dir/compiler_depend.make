@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zenith_nadir.
+# This may be replaced when dependencies are built.

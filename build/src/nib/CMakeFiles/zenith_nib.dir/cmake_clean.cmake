@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_nib.dir/nib.cc.o"
+  "CMakeFiles/zenith_nib.dir/nib.cc.o.d"
+  "libzenith_nib.a"
+  "libzenith_nib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_nib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzenith_nib.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_pr.dir/pr_controller.cc.o"
+  "CMakeFiles/zenith_pr.dir/pr_controller.cc.o.d"
+  "CMakeFiles/zenith_pr.dir/reconciler.cc.o"
+  "CMakeFiles/zenith_pr.dir/reconciler.cc.o.d"
+  "libzenith_pr.a"
+  "libzenith_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_sim.dir/simulator.cc.o"
+  "CMakeFiles/zenith_sim.dir/simulator.cc.o.d"
+  "libzenith_sim.a"
+  "libzenith_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_to.dir/library.cc.o"
+  "CMakeFiles/zenith_to.dir/library.cc.o.d"
+  "CMakeFiles/zenith_to.dir/orchestrator.cc.o"
+  "CMakeFiles/zenith_to.dir/orchestrator.cc.o.d"
+  "CMakeFiles/zenith_to.dir/trace.cc.o"
+  "CMakeFiles/zenith_to.dir/trace.cc.o.d"
+  "libzenith_to.a"
+  "libzenith_to.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_to.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_topo.dir/generators.cc.o"
+  "CMakeFiles/zenith_topo.dir/generators.cc.o.d"
+  "CMakeFiles/zenith_topo.dir/paths.cc.o"
+  "CMakeFiles/zenith_topo.dir/paths.cc.o.d"
+  "CMakeFiles/zenith_topo.dir/topology.cc.o"
+  "CMakeFiles/zenith_topo.dir/topology.cc.o.d"
+  "libzenith_topo.a"
+  "libzenith_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zenith_traffic.dir/traffic.cc.o"
+  "CMakeFiles/zenith_traffic.dir/traffic.cc.o.d"
+  "libzenith_traffic.a"
+  "libzenith_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zenith_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_specs_test.dir/app_specs_test.cc.o"
+  "CMakeFiles/app_specs_test.dir/app_specs_test.cc.o.d"
+  "app_specs_test"
+  "app_specs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_specs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadir_test.dir/nadir_test.cc.o"
+  "CMakeFiles/nadir_test.dir/nadir_test.cc.o.d"
+  "nadir_test"
+  "nadir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nib_test.dir/nib_test.cc.o"
+  "CMakeFiles/nib_test.dir/nib_test.cc.o.d"
+  "nib_test"
+  "nib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

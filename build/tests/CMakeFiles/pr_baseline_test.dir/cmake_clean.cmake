@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pr_baseline_test.dir/pr_baseline_test.cc.o"
+  "CMakeFiles/pr_baseline_test.dir/pr_baseline_test.cc.o.d"
+  "pr_baseline_test"
+  "pr_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pr_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

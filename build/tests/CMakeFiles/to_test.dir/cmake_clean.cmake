@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_test.dir/to_test.cc.o"
+  "CMakeFiles/to_test.dir/to_test.cc.o.d"
+  "to_test"
+  "to_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
