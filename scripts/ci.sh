@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: a Release build plus an ASan+UBSan Debug build, ctest on
+# both. Run from anywhere; build trees land in <repo>/build-ci-{release,asan}.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_suite() {
+  local name="$1"
+  shift
+  local tree="$repo/build-ci-$name"
+  echo "=== [$name] configure ==="
+  cmake -B "$tree" -S "$repo" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$tree" -j "$jobs"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$tree" --output-on-failure
+}
+
+run_suite release -DCMAKE_BUILD_TYPE=Release
+run_suite asan -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=ON
+
+echo "=== CI green: release + asan ==="

@@ -1,0 +1,116 @@
+// ChaosCampaign: one seeded randomized-fault run with a live workload and
+// an invariant oracle.
+//
+// From a single RNG seed the campaign derives everything: the topology
+// (when seed-parameterized), the fault schedule, the workload's DAG update
+// stream and every simulated delay — so a campaign is a pure function of
+// (config, seed) and two runs with equal seeds produce identical schedules
+// and identical verdicts. Execution is driven through the Trace
+// Orchestrator (ungated), which is also how shrunk reproducers replay: the
+// discovery path and the regression path share one engine.
+//
+// The oracle checks the paper's correctness conditions (§3.3) over the run:
+//  * CorrectDAGOrder   — DagOrderChecker, online, over every submitted DAG;
+//  * no hidden entries — the §G signature, watched continuously on the NIB
+//                        event stream (the window can be microseconds);
+//  * eventual consistency — at quiescence (all transient faults recovered,
+//    schedule exhausted, settle time granted) the last-submitted DAG must
+//    be certified in the NIB, ground truth must agree, and the full
+//    NIB-view/switch-table comparison must be clean.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.h"
+#include "harness/experiment.h"
+#include "to/trace.h"
+
+namespace zenith::chaos {
+
+enum class TopologyKind : std::uint8_t {
+  kDiamond,   // the Figure 2 four-switch example
+  kLinear,
+  kRing,
+  kB4,        // 12-site WAN
+  kFatTree,   // topology_size is k (must be even)
+  kKdlLike,   // sparse WAN, seed-parameterized
+};
+
+const char* to_string(TopologyKind kind);
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  TopologyKind topology = TopologyKind::kKdlLike;
+  /// Node count (kLinear/kRing/kKdlLike) or k (kFatTree); ignored otherwise.
+  std::size_t topology_size = 20;
+  ControllerKind controller = ControllerKind::kZenithNR;
+  CoreConfig core;  // bug knobs for deliberate-defect hunts live here
+  ChaosScheduleConfig schedule;
+  /// Workload: initial flow count and the live DAG-update cadence.
+  std::size_t initial_flows = 6;
+  SimTime update_period = millis(250);
+  /// Extra time after the schedule's horizon for the controller to reach
+  /// quiescence before the oracle declares an eventual-consistency
+  /// violation.
+  SimTime settle_timeout = seconds(30);
+  /// The hidden-entry probe presumes ZENITH recovery semantics; PR-style
+  /// baselines leave hidden entries by design between reconciliations.
+  bool check_hidden_entries = true;
+};
+
+struct CampaignStats {
+  std::size_t faults_injected = 0;
+  std::map<std::string, std::size_t> faults_by_kind;
+  std::size_t dags_submitted = 0;
+  std::size_t dags_certified = 0;
+  std::size_t installs_observed = 0;
+  std::size_t sim_events_executed = 0;
+  SimTime quiescence_latency = 0;  // horizon end -> oracle satisfied
+};
+
+struct CampaignResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+  CampaignStats stats;
+  std::uint64_t schedule_fingerprint = 0;
+  /// Stable digest of (fingerprint, verdict, violation list): the value the
+  /// determinism test compares across re-runs.
+  std::uint64_t verdict_digest() const;
+  std::string summary() const;
+};
+
+Topology make_topology(const CampaignConfig& config);
+
+class ChaosCampaign {
+ public:
+  explicit ChaosCampaign(CampaignConfig config);
+
+  /// Generates this seed's schedule and runs it.
+  CampaignResult run();
+
+  /// Runs an explicit schedule (the shrinker's entry point).
+  CampaignResult run(const ChaosSchedule& schedule);
+
+  /// Replays a reproducer trace (only injection steps are meaningful) under
+  /// the same workload and oracle as a generated campaign.
+  CampaignResult replay(const to::Trace& trace);
+
+  /// The schedule run() generated (valid after run()).
+  const ChaosSchedule& schedule() const { return schedule_; }
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+  ChaosSchedule schedule_;
+};
+
+/// Renders a schedule as a reproducer trace: one injection step per event,
+/// inter-event gaps preserved in TraceStep::delay.
+to::Trace schedule_to_trace(const ChaosSchedule& schedule, std::string name,
+                            std::string violation);
+
+}  // namespace zenith::chaos

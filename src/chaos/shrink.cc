@@ -1,0 +1,94 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace zenith::chaos {
+
+namespace {
+
+ChaosSchedule without_range(const ChaosSchedule& schedule, std::size_t begin,
+                            std::size_t end) {
+  ChaosSchedule out;
+  out.seed = schedule.seed;
+  out.events.reserve(schedule.events.size() - (end - begin));
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    if (i >= begin && i < end) continue;
+    out.events.push_back(schedule.events[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const CampaignConfig& config,
+                             const ChaosSchedule& failing,
+                             std::size_t max_oracle_runs) {
+  ShrinkResult result;
+  result.original_events = failing.size();
+
+  ChaosCampaign campaign(config);
+  auto violates = [&](const ChaosSchedule& candidate,
+                      CampaignResult* out) -> bool {
+    ++result.oracle_runs;
+    CampaignResult probe = campaign.run(candidate);
+    bool failed = !probe.ok;
+    if (out != nullptr) *out = std::move(probe);
+    return failed;
+  };
+
+  CampaignResult current_result;
+  if (!violates(failing, &current_result)) {
+    // Nothing to shrink: hand the schedule back unchanged.
+    result.minimal = failing;
+    result.minimal_result = std::move(current_result);
+    result.trace = schedule_to_trace(failing, "not-shrunk", "");
+    return result;
+  }
+
+  ChaosSchedule current = failing;
+  std::size_t chunk = std::max<std::size_t>(1, current.size() / 2);
+  while (!current.events.empty() && result.oracle_runs < max_oracle_runs) {
+    bool removed_any = false;
+    for (std::size_t begin = 0;
+         begin < current.size() && result.oracle_runs < max_oracle_runs;) {
+      std::size_t end = std::min(begin + chunk, current.size());
+      ChaosSchedule candidate = without_range(current, begin, end);
+      CampaignResult candidate_result;
+      if (!candidate.events.empty() &&
+          violates(candidate, &candidate_result)) {
+        current = std::move(candidate);
+        current_result = std::move(candidate_result);
+        removed_any = true;
+        // Do not advance: the chunk now starting at `begin` is new.
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk == 1) {
+      result.one_minimal = !removed_any && result.oracle_runs < max_oracle_runs;
+      if (!removed_any) break;
+      continue;  // a pass at granularity 1 removed something; run another
+    }
+    if (!removed_any) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+
+  result.minimal = std::move(current);
+  result.minimal_result = std::move(current_result);
+  std::ostringstream name;
+  name << "chaos-shrunk/" << to_string(config.topology) << "/seed"
+       << config.seed;
+  std::string violation = result.minimal_result.violations.empty()
+                              ? ""
+                              : result.minimal_result.violations.front();
+  result.trace =
+      schedule_to_trace(result.minimal, name.str(), std::move(violation));
+  ZLOG_DEBUG("shrink: %zu -> %zu events in %zu oracle runs",
+             result.original_events, result.minimal.size(),
+             result.oracle_runs);
+  return result;
+}
+
+}  // namespace zenith::chaos

@@ -1,0 +1,44 @@
+// Schedule shrinking: delta-debug a violating chaos schedule down to a
+// minimal reproducer and render it as a to::Trace.
+//
+// Classic ddmin over the event list: try removing chunks (halving
+// granularity as chunks stop helping) and keep any candidate that still
+// trips the invariant oracle, until the schedule is 1-minimal — removing
+// any single remaining event makes the violation disappear. The oracle is
+// a full campaign re-run, so a shrink is exact, not heuristic; determinism
+// of the campaign engine is what makes the re-runs meaningful.
+#pragma once
+
+#include <cstddef>
+
+#include "chaos/campaign.h"
+
+namespace zenith::chaos {
+
+struct ShrinkResult {
+  ChaosSchedule minimal;
+  /// The minimal schedule as a replayable orchestration trace; `violation`
+  /// carries the first oracle message the minimal schedule reproduces.
+  to::Trace trace;
+  CampaignResult minimal_result;
+  std::size_t original_events = 0;
+  std::size_t oracle_runs = 0;
+  bool one_minimal = false;  // false when the run budget expired first
+
+  double shrink_ratio() const {
+    return original_events == 0
+               ? 1.0
+               : static_cast<double>(minimal.size()) /
+                     static_cast<double>(original_events);
+  }
+};
+
+/// Shrinks `failing` (a schedule whose campaign run under `config` produced
+/// violations). Each oracle probe is one full campaign; `max_oracle_runs`
+/// bounds the cost. If the schedule does not actually fail, returns it
+/// unchanged with one oracle run spent.
+ShrinkResult shrink_schedule(const CampaignConfig& config,
+                             const ChaosSchedule& failing,
+                             std::size_t max_oracle_runs = 256);
+
+}  // namespace zenith::chaos

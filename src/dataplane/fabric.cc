@@ -16,6 +16,7 @@ Fabric::Fabric(Simulator* sim, const Topology& topo, Rng rng,
   reply_last_delivery_.assign(n, 0);
   health_last_delivery_.assign(n, 0);
   link_up_.assign(topo_.link_count(), true);
+  link_last_delivery_.assign(topo_.link_count(), 0);
   last_failure_mode_.assign(n, FailureMode::kPartialTransient);
   for (std::size_t i = 0; i < n; ++i) {
     auto sw_id = SwitchId(static_cast<std::uint32_t>(i));
@@ -78,8 +79,12 @@ void Fabric::inject_failure(SwitchId sw, FailureMode mode) {
 void Fabric::inject_recovery(SwitchId sw) {
   AbstractSwitch& target = at(sw);
   if (target.healthy()) return;
-  assert(last_failure_mode_[sw.value()] != FailureMode::kCompletePermanent &&
-         "permanent failures do not recover");
+  // Permanent failures do not recover; randomized fault schedules (chaos
+  // campaigns, shrunk reproducers) may still aim a recovery at such a
+  // switch, which must be a no-op rather than a contract violation.
+  if (last_failure_mode_[sw.value()] == FailureMode::kCompletePermanent) {
+    return;
+  }
   target.recover();
   SwitchHealthEvent event;
   event.type = SwitchHealthEvent::Type::kRecovery;
@@ -97,16 +102,23 @@ void Fabric::inject_link_failure(LinkId link) {
   if (!link_up_.at(link.value())) return;
   link_up_[link.value()] = false;
   LinkHealthEvent event{link, false};
-  sim_->schedule(config_.failure_detection_delay,
-                 [this, event] { link_events_.push(event); });
+  // Monotone per-link delivery clock, as for switch health events: with
+  // recovery_detection_delay < failure_detection_delay a recovery notice
+  // would otherwise overtake the failure it resolves.
+  SimTime deliver_at = std::max(sim_->now() + config_.failure_detection_delay,
+                                link_last_delivery_[link.value()]);
+  link_last_delivery_[link.value()] = deliver_at;
+  sim_->schedule_at(deliver_at, [this, event] { link_events_.push(event); });
 }
 
 void Fabric::inject_link_recovery(LinkId link) {
   if (link_up_.at(link.value())) return;
   link_up_[link.value()] = true;
   LinkHealthEvent event{link, true};
-  sim_->schedule(config_.recovery_detection_delay,
-                 [this, event] { link_events_.push(event); });
+  SimTime deliver_at = std::max(sim_->now() + config_.recovery_detection_delay,
+                                link_last_delivery_[link.value()]);
+  link_last_delivery_[link.value()] = deliver_at;
+  sim_->schedule_at(deliver_at, [this, event] { link_events_.push(event); });
 }
 
 void Fabric::drop_all_in_flight_replies() {

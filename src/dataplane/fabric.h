@@ -65,6 +65,8 @@ class Fabric {
   // ---- failure injection -----------------------------------------------------
 
   void inject_failure(SwitchId sw, FailureMode mode);
+  /// Brings a failed switch back. No-op when the switch is healthy or its
+  /// failure was permanent (randomized schedules may aim recoveries there).
   void inject_recovery(SwitchId sw);
   bool alive(SwitchId sw) const { return at(sw).healthy(); }
 
@@ -99,6 +101,11 @@ class Fabric {
   /// controller processes them out of order; the keepalive stream itself is
   /// ordered).
   std::vector<SimTime> health_last_delivery_;
+  /// And per link: with asymmetric detection delays (fast keepalive resume,
+  /// slow loss detection) a recovery notification could otherwise overtake
+  /// the failure it resolves and leave the controller believing the link is
+  /// down forever.
+  std::vector<SimTime> link_last_delivery_;
   std::vector<FailureMode> last_failure_mode_;
   NadirFifo<SwitchReply> replies_;
   NadirFifo<SwitchHealthEvent> health_events_;

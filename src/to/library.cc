@@ -173,4 +173,61 @@ std::vector<Trace> build_trace_library(std::size_t count) {
   return library;
 }
 
+std::vector<Trace> chaos_regression_traces() {
+  auto injection = [](TraceStep::Type type, SimTime delay, SwitchId sw,
+                      FailureMode mode) {
+    TraceStep step;
+    step.type = type;
+    step.delay = delay;
+    step.sw = sw;
+    step.mode = mode;
+    return step;
+  };
+
+  std::vector<Trace> library;
+
+  // §G's mark-UP-before-reset ordering bug: the switch is marked UP before
+  // its stale OPs are reset, so a DAG update admitted in that window races
+  // the deferred reset and leaves a hidden entry. Shrunk from a 23-event
+  // randomized schedule (diamond topology, campaign seed 2) to fail+recover
+  // of one switch. The delays are exact: the workload stream is derived
+  // from the campaign seed (the trailing /seedN component of the name), and
+  // the race only fires when the recovery lands while that stream's install
+  // is in flight.
+  {
+    Trace trace;
+    trace.name = "chaos/mark-up-before-reset/complete-transient/seed2";
+    trace.violation =
+        "hidden entry: OP reset to NONE while installed on a healthy switch "
+        "(core.bugs.mark_up_before_reset)";
+    trace.steps.push_back(injection(TraceStep::Type::kSwitchFail,
+                                    micros(1327111), SwitchId(3),
+                                    FailureMode::kCompleteTransient));
+    trace.steps.push_back(injection(TraceStep::Type::kSwitchRecover,
+                                    micros(950263), SwitchId(3),
+                                    FailureMode::kCompleteTransient));
+    library.push_back(std::move(trace));
+  }
+
+  // The same bug under a partial failure (control channel lost, TCAM
+  // retained): recovery skips the TCAM rebuild but the premature UP mark
+  // still races the reset. Shrunk from a 21-event schedule (seed 1).
+  {
+    Trace trace;
+    trace.name = "chaos/mark-up-before-reset/partial-transient/seed1";
+    trace.violation =
+        "hidden entry: OP reset to NONE while installed on a healthy switch "
+        "(core.bugs.mark_up_before_reset, partial failure)";
+    trace.steps.push_back(injection(TraceStep::Type::kSwitchFail,
+                                    micros(3496266), SwitchId(1),
+                                    FailureMode::kPartialTransient));
+    trace.steps.push_back(injection(TraceStep::Type::kSwitchRecover,
+                                    micros(892827), SwitchId(1),
+                                    FailureMode::kPartialTransient));
+    library.push_back(std::move(trace));
+  }
+
+  return library;
+}
+
 }  // namespace zenith::to

@@ -27,4 +27,12 @@ Trace from_counterexample(const mc::CheckResult& result,
 /// violation traces (the paper's 17).
 std::vector<Trace> build_trace_library(std::size_t count = 17);
 
+/// Curated chaos reproducers: minimal fault schedules found by the chaos
+/// campaign shrinker (src/chaos/shrink.h) on deliberately buggy builds and
+/// checked in as regression traces. Each replays on a diamond-topology
+/// campaign (initial_flows=2, update_period=30ms) with the bug knob named
+/// in the trace enabled; chaos_test asserts they still trip the oracle and
+/// that a clean build replays them without violation.
+std::vector<Trace> chaos_regression_traces();
+
 }  // namespace zenith::to

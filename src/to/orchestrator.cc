@@ -4,8 +4,10 @@
 
 namespace zenith::to {
 
-TraceOrchestrator::TraceOrchestrator(Experiment* experiment)
+TraceOrchestrator::TraceOrchestrator(Experiment* experiment,
+                                     bool gate_components)
     : experiment_(experiment) {
+  if (!gate_components) return;
   orchestrating_ = true;  // gates engage at construction
   for (Component* c : experiment_->controller().components()) {
     const std::string name = c->name();
@@ -26,6 +28,7 @@ TraceOrchestrator::~TraceOrchestrator() { release(); }
 
 void TraceOrchestrator::replay(const Trace& trace, SimTime grant_timeout) {
   for (const TraceStep& step : trace.steps) {
+    if (step.delay > 0) experiment_->run_for(step.delay);
     switch (step.type) {
       case TraceStep::Type::kAllow: {
         auto it = budget_.find(step.component);
@@ -51,6 +54,26 @@ void TraceOrchestrator::replay(const Trace& trace, SimTime grant_timeout) {
         break;
       case TraceStep::Type::kSwitchRecover:
         experiment_->fabric().inject_recovery(step.sw);
+        break;
+      case TraceStep::Type::kLinkFail:
+        experiment_->fabric().inject_link_failure(step.link);
+        break;
+      case TraceStep::Type::kLinkRecover:
+        experiment_->fabric().inject_link_recovery(step.link);
+        break;
+      case TraceStep::Type::kCrashOfc:
+        experiment_->controller().crash_ofc();
+        break;
+      case TraceStep::Type::kCrashDe:
+        experiment_->controller().crash_de();
+        break;
+      case TraceStep::Type::kDropReplies:
+        // The abrupt-switchover composition: the old instance's socket
+        // buffers (queued and in-flight replies) are gone for good, and the
+        // standby takes over — its SENT-OP re-issue is what makes the loss
+        // survivable (ZenithController::ofc_takeover).
+        experiment_->fabric().drop_all_in_flight_replies();
+        experiment_->controller().crash_ofc();
         break;
     }
   }

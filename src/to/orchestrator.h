@@ -17,7 +17,11 @@ namespace zenith::to {
 
 class TraceOrchestrator {
  public:
-  explicit TraceOrchestrator(Experiment* experiment);
+  /// With `gate_components` false, components run freely and the trace only
+  /// drives timed injections (chaos-campaign reproducers); kAllow steps are
+  /// then no-ops beyond their delay.
+  explicit TraceOrchestrator(Experiment* experiment,
+                             bool gate_components = true);
   ~TraceOrchestrator();
 
   /// Replays the trace. Each kAllow waits at most `grant_timeout` sim time

@@ -6,6 +6,7 @@ namespace zenith::to {
 
 std::string TraceStep::to_string() const {
   std::ostringstream out;
+  if (delay > 0) out << "+" << to_seconds(delay) << "s ";
   switch (type) {
     case Type::kAllow:
       out << "allow " << component << " x" << count;
@@ -15,11 +16,28 @@ std::string TraceStep::to_string() const {
       break;
     case Type::kSwitchFail:
       out << "fail sw" << sw.value()
-          << (mode == FailureMode::kPartialTransient ? " (partial)"
-                                                     : " (complete)");
+          << (mode == FailureMode::kCompletePermanent
+                  ? " (permanent)"
+                  : mode == FailureMode::kPartialTransient ? " (partial)"
+                                                           : " (complete)");
       break;
     case Type::kSwitchRecover:
       out << "recover sw" << sw.value();
+      break;
+    case Type::kLinkFail:
+      out << "fail link" << link.value();
+      break;
+    case Type::kLinkRecover:
+      out << "recover link" << link.value();
+      break;
+    case Type::kCrashOfc:
+      out << "crash OFC";
+      break;
+    case Type::kCrashDe:
+      out << "crash DE";
+      break;
+    case Type::kDropReplies:
+      out << "drop in-flight replies (abrupt OFC switchover)";
       break;
   }
   return out.str();

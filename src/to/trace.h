@@ -8,6 +8,12 @@
 // effective step") or an injection (switch failure/recovery, component
 // crash). Traces are produced from model-checker counterexamples
 // (library.h) and replayed on the simulator (orchestrator.h).
+//
+// Chaos-campaign reproducers (src/chaos/) extend the vocabulary with timed
+// injections: each step may carry a `delay` the orchestrator lets the
+// simulation run freely for before applying the step, and the injection set
+// covers link flaps, complete OFC/DE microservice failures and burst reply
+// loss (an abrupt controller switchover losing its sockets' buffers).
 #pragma once
 
 #include <string>
@@ -24,6 +30,13 @@ struct TraceStep {
     kCrashComponent,   // kill `component` (Watchdog restarts it later)
     kSwitchFail,
     kSwitchRecover,
+    kLinkFail,         // link stops carrying traffic; endpoints stay up
+    kLinkRecover,
+    kCrashOfc,         // complete OFC microservice failure (standby takeover)
+    kCrashDe,          // complete DE microservice failure (standby takeover)
+    kDropReplies,      // abrupt OFC switchover: every in-flight reply is lost
+                       // with the old instance's sockets, then the standby
+                       // takes over and re-issues SENT OPs
   };
 
   Type type = Type::kAllow;
@@ -31,6 +44,11 @@ struct TraceStep {
   int count = 1;          // kAllow
   SwitchId sw;            // switch injections
   FailureMode mode = FailureMode::kCompleteTransient;
+  LinkId link;            // link injections
+  /// Simulated time the orchestrator advances (components running freely)
+  /// before applying this step. Zero replays back-to-back, the counterexample
+  /// style; chaos reproducers preserve their schedule's gaps here.
+  SimTime delay = 0;
 
   std::string to_string() const;
 };

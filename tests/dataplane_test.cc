@@ -184,6 +184,80 @@ TEST_F(FabricTest, LinkFailureKeepsSwitchesUp) {
   EXPECT_EQ(fabric_.link_events().size(), 1u);
 }
 
+TEST_F(FabricTest, LinkRecoveryNeverOvertakesFailure) {
+  // Asymmetric detection: keepalive resume is noticed much faster than
+  // keepalive loss. The per-link monotone delivery clock must still deliver
+  // down before up, else the controller ends believing a healthy link dead.
+  Simulator sim;
+  FabricConfig config;
+  config.failure_detection_delay = millis(30);
+  config.recovery_detection_delay = millis(1);
+  Fabric fabric(&sim, gen::linear(3), Rng(1), config);
+  auto link = fabric.topology().link_between(SwitchId(0), SwitchId(1));
+  ASSERT_TRUE(link.ok());
+  fabric.inject_link_failure(link.value());
+  sim.run_until(millis(5));
+  fabric.inject_link_recovery(link.value());
+  sim.run();
+  ASSERT_EQ(fabric.link_events().size(), 2u);
+  LinkHealthEvent first = fabric.link_events().pop();
+  LinkHealthEvent second = fabric.link_events().pop();
+  EXPECT_FALSE(first.up);
+  EXPECT_TRUE(second.up);
+}
+
+TEST_F(FabricTest, RapidLinkFlapsDeliverInInjectionOrder) {
+  Simulator sim;
+  FabricConfig config;
+  config.failure_detection_delay = millis(20);
+  config.recovery_detection_delay = millis(1);
+  Fabric fabric(&sim, gen::linear(3), Rng(1), config);
+  auto link = fabric.topology().link_between(SwitchId(1), SwitchId(2));
+  ASSERT_TRUE(link.ok());
+  // Three full flaps faster than the loss-detection delay.
+  for (int i = 0; i < 3; ++i) {
+    fabric.inject_link_failure(link.value());
+    sim.run_until(sim.now() + millis(2));
+    fabric.inject_link_recovery(link.value());
+    sim.run_until(sim.now() + millis(2));
+  }
+  sim.run();
+  ASSERT_EQ(fabric.link_events().size(), 6u);
+  bool expected_up = false;
+  while (!fabric.link_events().empty()) {
+    EXPECT_EQ(fabric.link_events().pop().up, expected_up);
+    expected_up = !expected_up;
+  }
+  EXPECT_TRUE(fabric.link_alive(link.value()));
+}
+
+TEST_F(FabricTest, RedundantLinkInjectionsAreNoOps) {
+  auto link = fabric_.topology().link_between(SwitchId(0), SwitchId(1));
+  ASSERT_TRUE(link.ok());
+  fabric_.inject_link_recovery(link.value());  // already up
+  fabric_.inject_link_failure(link.value());
+  fabric_.inject_link_failure(link.value());   // already down
+  sim_.run();
+  EXPECT_EQ(fabric_.link_events().size(), 1u);
+}
+
+TEST_F(FabricTest, RecoveryOfPermanentlyFailedSwitchIsNoOp) {
+  fabric_.inject_failure(SwitchId(1), FailureMode::kCompletePermanent);
+  sim_.run();
+  fabric_.inject_recovery(SwitchId(1));  // chaos schedules may aim one here
+  sim_.run();
+  EXPECT_FALSE(fabric_.alive(SwitchId(1)));
+  // Exactly one health event: the failure. No phantom recovery.
+  std::size_t recoveries = 0;
+  while (!fabric_.health_events().empty()) {
+    if (fabric_.health_events().pop().type ==
+        SwitchHealthEvent::Type::kRecovery) {
+      ++recoveries;
+    }
+  }
+  EXPECT_EQ(recoveries, 0u);
+}
+
 TEST_F(FabricTest, ReinstallSameOpIsIdempotent) {
   fabric_.send(SwitchId(0), install(1, 0, 2, 1));
   fabric_.send(SwitchId(0), install(1, 0, 2, 1));

@@ -36,6 +36,71 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int fires = 0;
+  auto handle = sim.schedule(micros(10), [&] { ++fires; });
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  handle.cancel();  // the event already executed; must not corrupt anything
+  sim.schedule(micros(5), [&] { ++fires; });
+  sim.run();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Simulator, DoubleCancelIsIdempotent) {
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.schedule(micros(10), [&] { fired = true; });
+  handle.cancel();
+  handle.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelFromWithinCallback) {
+  // An event cancelling a later one from inside its own callback — the
+  // pattern timeouts use (the response's arrival cancels the timer).
+  Simulator sim;
+  bool timer_fired = false;
+  Simulator::EventHandle timer =
+      sim.schedule(micros(20), [&] { timer_fired = true; });
+  sim.schedule(micros(10), [&] { timer.cancel(); });
+  sim.run();
+  EXPECT_FALSE(timer_fired);
+  EXPECT_EQ(sim.now(), micros(20));  // the cancelled slot still advances time
+}
+
+TEST(Simulator, CancelRaceAtSameTimestamp) {
+  // Two events at the same instant, the first cancelling the second: FIFO
+  // order among simultaneous events makes the cancellation win.
+  Simulator sim;
+  bool second_fired = false;
+  Simulator::EventHandle second;
+  sim.schedule(micros(10), [&] { second.cancel(); });
+  second = sim.schedule(micros(10), [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Simulator, SelfCancelInsideOwnCallbackIsHarmless) {
+  Simulator sim;
+  int fires = 0;
+  Simulator::EventHandle handle;
+  handle = sim.schedule(micros(10), [&] {
+    ++fires;
+    handle.cancel();  // cancelling the very event being executed
+  });
+  sim.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInvalidAndCancelSafe) {
+  Simulator::EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  handle.cancel();  // no-op, no crash
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int count = 0;
