@@ -7,11 +7,10 @@
 #include "bench_util.h"
 #include "chaos/campaign.h"
 #include "chaos/shrink.h"
+#include "obs/bench_results.h"
 
 namespace zenith {
 namespace {
-
-constexpr std::size_t kCampaignsPerTopology = 25;
 
 chaos::CampaignConfig base_config(chaos::TopologyKind topology,
                                   std::size_t size, std::uint64_t seed) {
@@ -33,9 +32,10 @@ struct TopologySweep {
   Summary quiescence;
 };
 
-TopologySweep sweep(chaos::TopologyKind topology, std::size_t size) {
+TopologySweep sweep(chaos::TopologyKind topology, std::size_t size,
+                    std::size_t campaigns) {
   TopologySweep out;
-  for (std::uint64_t seed = 1; seed <= kCampaignsPerTopology; ++seed) {
+  for (std::uint64_t seed = 1; seed <= campaigns; ++seed) {
     chaos::ChaosCampaign campaign(base_config(topology, size, seed));
     chaos::CampaignResult result = campaign.run();
     ++out.campaigns;
@@ -53,8 +53,10 @@ TopologySweep sweep(chaos::TopologyKind topology, std::size_t size) {
 }  // namespace
 }  // namespace zenith
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zenith;
+  benchutil::Options opts = benchutil::parse_options(argc, argv);
+  const std::size_t campaigns_per_topology = opts.quick ? 3 : 25;
   benchutil::banner(
       "Chaos campaign coverage: randomized multi-fault schedules + oracle",
       "§3.5/§6 — eventual data-plane/control-plane consistency under "
@@ -70,11 +72,15 @@ int main() {
       {chaos::TopologyKind::kFatTree, 4},
   };
 
+  obs::BenchResult bench("chaos_coverage");
   TablePrinter table({"topology", "campaigns", "faults", "violations",
                       "dags(cert/sub)", "quiesce p50(s)", "quiesce p99(s)"});
   std::map<std::string, std::size_t> fault_totals;
+  std::size_t total_campaigns = 0;
+  std::size_t total_violations = 0;
   for (const Entry& entry : topologies) {
-    TopologySweep result = sweep(entry.kind, entry.size);
+    TopologySweep result = sweep(entry.kind, entry.size,
+                                 campaigns_per_topology);
     std::size_t faults = 0;
     for (const auto& [kind, count] : result.faults) {
       faults += count;
@@ -87,8 +93,15 @@ int main() {
                        std::to_string(result.dags_submitted),
                    TablePrinter::fmt(result.quiescence.median(), 3),
                    TablePrinter::fmt(result.quiescence.p99(), 3)});
+    total_campaigns += result.campaigns;
+    total_violations += result.violations;
+    std::string topo_name(chaos::to_string(entry.kind));
+    bench.add("quiescence_p50_" + topo_name, result.quiescence.median(), "s");
+    bench.add("quiescence_p99_" + topo_name, result.quiescence.p99(), "s");
   }
   std::printf("%s", table.to_string().c_str());
+  bench.add_count("campaigns", total_campaigns);
+  bench.add_count("violations_correct_build", total_violations);
 
   std::printf("\nfault mix across all campaigns:\n");
   for (const auto& [kind, count] : fault_totals) {
@@ -104,7 +117,11 @@ int main() {
   Summary ratios;
   Summary minimal_lengths;
   std::size_t demos = 0;
-  for (std::uint64_t seed = 1; seed <= 40 && demos < 5; ++seed) {
+  std::string last_dump;
+  const std::uint64_t seed_sweep = opts.quick ? 12 : 40;
+  const std::size_t demo_target = opts.quick ? 1 : 5;
+  for (std::uint64_t seed = 1; seed <= seed_sweep && demos < demo_target;
+       ++seed) {
     chaos::CampaignConfig config =
         base_config(chaos::TopologyKind::kDiamond, 0, seed);
     config.initial_flows = 2;
@@ -128,6 +145,9 @@ int main() {
     for (const to::TraceStep& step : shrunk.trace.steps) {
       std::printf("      %s\n", step.to_string().c_str());
     }
+    if (!shrunk.minimal_result.flight_recorder_dump.empty()) {
+      last_dump = shrunk.minimal_result.flight_recorder_dump;
+    }
   }
   if (caught == 0) {
     std::printf("  (no seed tripped the oracle — widen the sweep)\n");
@@ -135,6 +155,41 @@ int main() {
     std::printf("  violating seeds shrunk: %zu; mean shrink ratio %.0f%%, "
                 "mean minimal length %.1f steps\n",
                 caught, 100.0 * ratios.mean(), minimal_lengths.mean());
+  }
+
+  // The flight recorder rides along with the minimal reproducer: the last
+  // pre-violation events give the causal story without re-running anything.
+  if (!last_dump.empty()) {
+    std::printf("\nflight recorder attached to the last minimal reproducer "
+                "(tail):\n");
+    // Header plus the newest 11 events (the violation is the last line);
+    // the full dump travels with the CampaignResult for tooling.
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos <= last_dump.size()) {
+      std::size_t nl = last_dump.find('\n', pos);
+      if (nl == std::string::npos) nl = last_dump.size();
+      if (nl > pos) lines.push_back(last_dump.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    std::printf("  %s\n", lines.front().c_str());
+    std::size_t first = lines.size() > 12 ? lines.size() - 11 : 1;
+    if (first > 1) std::printf("  ...\n");
+    for (std::size_t i = first; i < lines.size(); ++i) {
+      std::printf("  %s\n", lines[i].c_str());
+    }
+  }
+
+  bench.add_count("buggy_build_seeds_caught", caught);
+  if (!ratios.empty()) {
+    bench.add("shrink_ratio_mean", ratios.mean(), "fraction");
+    bench.add("minimal_trace_len_mean", minimal_lengths.mean(), "steps");
+  }
+  bench.add_note("mode", opts.quick ? "quick" : "full");
+  bench.add_note("flight_recorder_attached", last_dump.empty() ? "no" : "yes");
+  if (opts.json) {
+    std::string path = bench.write(".");
+    std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -3,7 +3,12 @@
 // ZENITH-NR, ZENITH-DR and PR; reports the convergence CDF (10a) and
 // per-trace spreads (10b), and validates that the generated controller
 // never violates DAG order on any trace.
+#include <cstdio>
+
 #include "bench_util.h"
+#include "obs/bench_results.h"
+#include "obs/obs.h"
+#include "obs/trace_export.h"
 #include "to/library.h"
 #include "to/orchestrator.h"
 #include "topo/generators.h"
@@ -52,11 +57,47 @@ ReplayResult replay_once(const to::Trace& trace, ControllerKind kind,
   return result;
 }
 
+// One fully instrumented ZENITH-NR replay of `trace`, exported as a Chrome
+// trace-event file (load in Perfetto / chrome://tracing). The span DAG shows
+// each OP's submit -> schedule -> send -> ack -> commit lifecycle with flow
+// arrows across the microservice tracks.
+bool export_chrome_trace(const to::Trace& trace, const std::string& path) {
+  obs::Observability o(1024);
+  ExperimentConfig config;
+  config.seed = 1;
+  config.kind = ControllerKind::kZenithNR;
+  config.core.num_sequencers = 1;
+  config.core.num_workers = 2;
+  Experiment exp(gen::figure2_diamond(), config);
+  exp.attach_observability(&o);
+  exp.start();
+  Workload workload(&exp, 101);
+  Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)}});
+  exp.install_and_wait(std::move(dag), seconds(30));
+  to::TraceOrchestrator orchestrator(&exp);
+  orchestrator.replay(trace);
+  exp.run_for(seconds(10));
+  std::string json = obs::chrome_trace_json(o.tracer());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote Chrome trace (%zu spans, %zu bytes) to %s\n",
+              o.tracer().spans().size(), json.size(), path.c_str());
+  return true;
+}
+
 }  // namespace
 }  // namespace zenith
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zenith;
+  benchutil::Options opts = benchutil::parse_options(argc, argv);
+  const std::size_t trace_count = opts.quick ? 4 : 17;
+  const std::uint64_t runs_per_trace = opts.quick ? 2 : 10;
   benchutil::banner(
       "Figure 10: convergence on inconsistency-triggering traces (10 runs "
       "per trace)",
@@ -64,7 +105,7 @@ int main() {
       "lower), p99 3.3s (8.1x lower); ZENITH-NR and ZENITH-DR are "
       "comparable; NADIR-generated code never violates safety on any trace");
 
-  std::vector<to::Trace> library = to::build_trace_library(17);
+  std::vector<to::Trace> library = to::build_trace_library(trace_count);
   std::printf("trace library: %zu counterexample traces\n", library.size());
 
   struct SystemRow {
@@ -82,7 +123,7 @@ int main() {
   for (const to::Trace& trace : library) {
     Summary per_trace[3];
     for (std::size_t s = 0; s < 3; ++s) {
-      for (std::uint64_t run = 0; run < 10; ++run) {
+      for (std::uint64_t run = 0; run < runs_per_trace; ++run) {
         ReplayResult r = replay_once(trace, systems[s].kind, 1000 + run);
         systems[s].order_ok &= r.order_ok;
         if (r.convergence == kSimTimeNever) {
@@ -127,5 +168,30 @@ int main() {
       "held on every replay: %s\n",
       pr_mean / zenith_mean, pr_p99 / zenith_p99,
       (systems[0].order_ok && systems[1].order_ok) ? "yes" : "NO");
+
+  if (opts.json) {
+    obs::BenchResult bench("fig10_trace_replay");
+    for (const SystemRow& s : systems) {
+      std::string name = to_string(s.kind);
+      if (!s.all.empty()) {
+        bench.add("mean_" + name, s.all.mean(), "s");
+        bench.add("p99_" + name, s.all.p99(), "s");
+      }
+      bench.add_count("dnf_" + name, s.dnf);
+    }
+    if (zenith_mean > 0) {
+      bench.add("pr_over_zenith_mean", pr_mean / zenith_mean, "x");
+    }
+    bench.add_note("mode", opts.quick ? "quick" : "full");
+    bench.add_note("order_safety",
+                   (systems[0].order_ok && systems[1].order_ok) ? "held"
+                                                                : "VIOLATED");
+    std::string path = bench.write(".");
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  if (!opts.chrome_trace.empty()) {
+    if (!export_chrome_trace(library.front(), opts.chrome_trace)) return 1;
+  }
   return 0;
 }

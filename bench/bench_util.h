@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +17,40 @@
 #include "harness/workload.h"
 
 namespace zenith::benchutil {
+
+/// Flags shared by the bench binaries.
+///  --quick             shrink the sweep so CI can smoke-test the binary;
+///  --json              also write BENCH_<name>.json (machine-readable);
+///  --chrome-trace=PATH export one instrumented run as a Chrome trace-event
+///                      file (benches that support it; see EXPERIMENTS.md).
+struct Options {
+  bool quick = false;
+  bool json = false;
+  std::string chrome_trace;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      opts.chrome_trace = arg.substr(std::string("--chrome-trace=").size());
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      opts.chrome_trace = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown option '%s' (supported: --quick --json "
+                   "--chrome-trace PATH)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
 
 inline void banner(const std::string& title, const std::string& paper_claim) {
   std::printf("\n=====================================================\n");

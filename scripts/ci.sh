@@ -21,4 +21,22 @@ run_suite() {
 run_suite release -DCMAKE_BUILD_TYPE=Release
 run_suite asan -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=ON
 
-echo "=== CI green: release + asan ==="
+# Bench smoke: the benches are not part of ctest (full sweeps take minutes),
+# but CI still proves each --quick path runs, emits machine-readable
+# BENCH_*.json, and that the JSON actually parses.
+bench_smoke() {
+  local tree="$repo/build-ci-release"
+  local scratch
+  scratch="$(mktemp -d)"
+  echo "=== [bench] smoke (--quick --json) in $scratch ==="
+  (cd "$scratch" && "$tree/bench/bench_chaos_coverage" --quick --json)
+  (cd "$scratch" &&
+    "$tree/bench/bench_fig10_trace_replay" --quick --json \
+      --chrome-trace "$scratch/chrome_trace.json")
+  "$tree/src/obs/zenith_json_check" "$scratch"/BENCH_*.json \
+    "$scratch/chrome_trace.json"
+  rm -rf "$scratch"
+}
+bench_smoke
+
+echo "=== CI green: release + asan + bench smoke ==="

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "harness/workload.h"
+#include "obs/obs.h"
 #include "to/orchestrator.h"
 #include "topo/generators.h"
 
@@ -80,7 +81,8 @@ std::uint64_t CampaignResult::verdict_digest() const {
   hash = fnv1a(hash, ok ? "ok" : "violation");
   for (const std::string& violation : violations) hash = fnv1a(hash, violation);
   std::ostringstream tail;
-  tail << schedule_fingerprint << "|" << stats.faults_injected << "|"
+  tail << schedule_fingerprint << "|" << trace_fingerprint << "|"
+       << metrics_fingerprint << "|" << stats.faults_injected << "|"
        << stats.dags_submitted << "|" << stats.dags_certified << "|"
        << stats.installs_observed << "|" << stats.sim_events_executed;
   return fnv1a(hash, tail.str());
@@ -162,15 +164,26 @@ CampaignResult ChaosCampaign::run(const ChaosSchedule& schedule) {
 }
 
 CampaignResult ChaosCampaign::replay(const to::Trace& trace) {
+  return replay(trace, nullptr);
+}
+
+CampaignResult ChaosCampaign::replay(const to::Trace& trace,
+                                     obs::Observability* external) {
   CampaignResult result;
   result.schedule_fingerprint = fnv1a(0xcbf29ce484222325ull, trace.to_string());
   CampaignStats& stats = result.stats;
+
+  // A campaign carries its own flight recorder sized for a full run's causal
+  // tail; an external bundle (bench trace export) replaces it wholesale.
+  obs::Observability local_obs(/*recorder_capacity=*/512);
+  obs::Observability& o = external != nullptr ? *external : local_obs;
 
   ExperimentConfig experiment_config;
   experiment_config.seed = config_.seed;
   experiment_config.kind = config_.controller;
   experiment_config.core = config_.core;
   Experiment exp(make_topology(config_), experiment_config);
+  exp.attach_observability(&o);
   exp.start();
   Workload workload(&exp, config_.seed ^ kWorkloadSalt);
 
@@ -192,6 +205,10 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace) {
   NadirFifo<NibEvent> hidden_probe;
   bool hidden_seen = false;
   std::string hidden_detail;
+  // Recorder tail frozen at the instant a violation is first observed;
+  // without this the dump would show end-of-run traffic, not the causal
+  // window around the bug.
+  std::string violation_dump;
   const bool watch_hidden =
       config_.check_hidden_entries && !is_pr_variant(config_.controller);
   if (watch_hidden) {
@@ -212,6 +229,8 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace) {
                  << " reset to NONE at t=" << to_seconds(exp.sim().now())
                  << "s while installed on healthy sw" << event.sw.value();
           hidden_detail = detail.str();
+          o.event("oracle", "violation", hidden_detail);
+          violation_dump = o.recorder().dump();
         }
       }
     });
@@ -245,6 +264,7 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace) {
     if (step.type == to::TraceStep::Type::kAllow) continue;
     ++stats.faults_injected;
     ++stats.faults_by_kind[step_label(step)];
+    o.count("chaos_faults", {{"kind", step_label(step)}});
   }
 
   // Let the horizon play out (replay stops at the last step's timestamp).
@@ -305,6 +325,20 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace) {
   stats.installs_observed = exp.order_checker().installs_observed();
   stats.sim_events_executed = exp.sim().executed_events();
   result.ok = result.violations.empty();
+
+  // Determinism contract: same seed => byte-identical trace + snapshot.
+  result.trace_fingerprint = o.tracer().fingerprint();
+  result.metrics_fingerprint = o.snapshot().fingerprint();
+  if (!result.ok) {
+    // The oracle flagged a violation: dump the causal tail automatically so
+    // the reproducer ships with "what happened right before". Prefer the
+    // tail frozen at the first online detection over the end-of-run state.
+    result.flight_recorder_dump =
+        violation_dump.empty() ? o.recorder().dump() : violation_dump;
+  }
+  // The bundle's clock references `exp`, which dies with this frame; freeze
+  // it at the final SimTime for callers that keep the bundle around.
+  o.set_clock([t = exp.sim().now()] { return t; });
   return result;
 }
 

@@ -28,6 +28,10 @@
 #include "harness/experiment.h"
 #include "to/trace.h"
 
+namespace zenith::obs {
+class Observability;
+}
+
 namespace zenith::chaos {
 
 enum class TopologyKind : std::uint8_t {
@@ -76,7 +80,17 @@ struct CampaignResult {
   std::vector<std::string> violations;
   CampaignStats stats;
   std::uint64_t schedule_fingerprint = 0;
-  /// Stable digest of (fingerprint, verdict, violation list): the value the
+  /// FNV-1a over every causal span the run recorded (ids, timestamps,
+  /// parents, labels). Identical seeds must yield identical values — this is
+  /// the byte-identical-trace determinism contract.
+  std::uint64_t trace_fingerprint = 0;
+  /// Same contract for the end-of-run metrics snapshot.
+  std::uint64_t metrics_fingerprint = 0;
+  /// Flight-recorder tail, captured only when the oracle flagged a
+  /// violation; travels with the ddmin-shrunk reproducer
+  /// (ShrinkResult::minimal_result) as the causal history of the failure.
+  std::string flight_recorder_dump;
+  /// Stable digest of (fingerprints, verdict, violation list): the value the
   /// determinism test compares across re-runs.
   std::uint64_t verdict_digest() const;
   std::string summary() const;
@@ -97,6 +111,13 @@ class ChaosCampaign {
   /// Replays a reproducer trace (only injection steps are meaningful) under
   /// the same workload and oracle as a generated campaign.
   CampaignResult replay(const to::Trace& trace);
+
+  /// Same, but reporting into a caller-supplied observability bundle instead
+  /// of the campaign's own (the bench binaries use this to export Chrome
+  /// traces of a run). The bundle's clock is left frozen at the run's final
+  /// SimTime on return. With null, a campaign-local bundle is used — that is
+  /// what fills the result's fingerprints and flight-recorder dump.
+  CampaignResult replay(const to::Trace& trace, obs::Observability* external);
 
   /// The schedule run() generated (valid after run()).
   const ChaosSchedule& schedule() const { return schedule_; }

@@ -22,9 +22,11 @@ inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
   return h;
 }
 
-inline std::uint64_t fnv1a(std::string_view s) {
+inline std::uint64_t fnv1a(std::string_view s,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
   return fnv1a(std::span<const std::uint8_t>(
-      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+                   reinterpret_cast<const std::uint8_t*>(s.data()), s.size()),
+               seed);
 }
 
 /// boost-style hash_combine with 64-bit mixing.

@@ -1,10 +1,43 @@
 #include "common/logging.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdarg>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 namespace zenith {
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger::Logger() {
+  // Runtime threshold control without recompiling: parsed once, so tests
+  // that lower/raise the level programmatically are not fighting the env.
+  const char* env = std::getenv("ZENITH_LOG_LEVEL");
+  if (env != nullptr && env[0] != '\0') {
+    if (auto level = parse_log_level(env)) {
+      level_ = *level;
+    } else {
+      std::fprintf(stderr,
+                   "[WARN  logging] unrecognized ZENITH_LOG_LEVEL '%s' "
+                   "(want trace|debug|info|warn|error|off)\n",
+                   env);
+    }
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -32,6 +65,10 @@ const char* basename_of(const char* path) {
 
 void Logger::log(LogLevel level, const char* file, int line,
                  std::string message) {
+  if (sink_) {
+    sink_(level, file, line, message);
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), basename_of(file),
                line, message.c_str());
 }

@@ -8,24 +8,42 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
+#include <optional>
 #include <string>
 
 namespace zenith {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+/// Parses a level name as accepted by the ZENITH_LOG_LEVEL environment
+/// variable: trace|debug|info|warn|warning|error|off, case-insensitive.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
 class Logger {
  public:
   static Logger& instance();
+
+  /// Receives every emitted record in place of the default stderr printer.
+  using Sink = std::function<void(LogLevel level, const char* file, int line,
+                                  const std::string& message)>;
 
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
   bool enabled(LogLevel level) const { return level >= level_; }
 
+  /// Replaces the output sink; an empty function restores the default
+  /// stderr printer. Tests and benches use this to capture or silence log
+  /// output without recompiling.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
   void log(LogLevel level, const char* file, int line, std::string message);
 
  private:
+  Logger();  // reads ZENITH_LOG_LEVEL once at startup
+
   LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
 };
 
 std::string log_format(const char* fmt, ...)

@@ -83,12 +83,19 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double sample) {
-  double clamped = std::clamp(sample, lo_, std::nexttoward(hi_, lo_));
-  auto bin = static_cast<std::size_t>((clamped - lo_) / (hi_ - lo_) *
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (sample >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((sample - lo_) / (hi_ - lo_) *
                                       static_cast<double>(counts_.size()));
   bin = std::min(bin, counts_.size() - 1);
   ++counts_[bin];
-  ++total_;
 }
 
 double Histogram::bin_lo(std::size_t bin) const {
@@ -111,6 +118,12 @@ std::string Histogram::to_string(int width) const {
     std::snprintf(line, sizeof(line), "[%7.1f,%7.1f) %6zu ", bin_lo(i),
                   bin_hi(i), counts_[i]);
     out << line << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "out of range: %zu below, %zu above\n",
+                  underflow_, overflow_);
+    out << line;
   }
   return out.str();
 }

@@ -54,7 +54,13 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   double bin_lo(std::size_t bin) const;
   double bin_hi(std::size_t bin) const;
+  /// Counts every add(), including out-of-range samples.
   std::size_t total() const { return total_; }
+  /// Samples below lo / at-or-above hi. These are counted explicitly instead
+  /// of being silently clamped into the edge bins, so a mis-sized range shows
+  /// up in the numbers rather than as a mysteriously fat first/last bin.
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
 
   std::string to_string(int width = 40) const;
 
@@ -63,6 +69,8 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 /// Time series sampled on a fixed grid; used for throughput-vs-time figures.

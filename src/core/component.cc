@@ -1,6 +1,7 @@
 #include "core/component.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -14,6 +15,7 @@ void Component::crash() {
   ++epoch_;  // orphan any scheduled serve
   ++crash_count_;
   on_crash();
+  if (obs_ != nullptr) obs_->event(name_, "crash");
   ZLOG_DEBUG("component %s crashed", name_.c_str());
 }
 
@@ -21,6 +23,7 @@ void Component::restart() {
   if (alive_) return;
   alive_ = true;
   on_restart();
+  if (obs_ != nullptr) obs_->event(name_, "restart");
   ZLOG_DEBUG("component %s restarted", name_.c_str());
   kick();
 }
@@ -62,6 +65,13 @@ void Component::serve() {
   }
   bool did_work = try_step();
   ++steps_served_;
+  if (did_work && obs_ != nullptr) {
+    // Service delay elapsed before try_step, so the step retroactively
+    // occupied [now - service_time, now].
+    obs_->tracer().complete("step", name_, sim_->now() - service_time_,
+                            sim_->now());
+    obs_->count("component_steps", {{"component", name_}});
+  }
   if (step_observer_) step_observer_(did_work);
   if (did_work) schedule_service();  // more work may be pending
 }

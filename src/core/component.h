@@ -20,6 +20,10 @@
 #include "common/ids.h"
 #include "sim/simulator.h"
 
+namespace zenith::obs {
+class Observability;
+}
+
 namespace zenith {
 
 class Component {
@@ -67,7 +71,14 @@ class Component {
     step_observer_ = std::move(observer);
   }
 
+  /// Attaches the observability bundle (null = uninstrumented, the default).
+  /// Productive serve() steps then appear as retroactive spans on this
+  /// component's track, and crash/restart become recorded events.
+  void set_observability(obs::Observability* o) { obs_ = o; }
+
  protected:
+  obs::Observability* observability() const { return obs_; }
+
   /// Serve one work item if available. Return false when idle (nothing to
   /// do); the component then sleeps until the next kick().
   virtual bool try_step() = 0;
@@ -90,6 +101,7 @@ class Component {
   std::function<SimTime()> gate_;
   std::function<bool()> permit_;
   std::function<void(bool)> step_observer_;
+  obs::Observability* obs_ = nullptr;
   bool alive_ = true;
   bool busy_ = false;
   bool held_ = false;

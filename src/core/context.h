@@ -21,6 +21,10 @@
 #include "sim/fifo.h"
 #include "sim/simulator.h"
 
+namespace zenith::obs {
+class Observability;
+}
+
 namespace zenith {
 
 /// App -> DAG Scheduler requests.
@@ -86,6 +90,10 @@ struct CoreContext {
   Fabric* fabric = nullptr;
   CoreConfig config;
   OpIdAllocator* op_ids = nullptr;
+  /// Optional observability bundle; null = uninstrumented. Components hold
+  /// their own copy of this pointer (set_observability), but pipeline code
+  /// that only has the context reaches it here.
+  obs::Observability* observability = nullptr;
 
   // -- NIB-resident (persistent) queues --------------------------------------
   NadirFifo<DagRequest> dag_request_queue;          // apps -> DAG Scheduler

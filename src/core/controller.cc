@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -42,7 +43,13 @@ void ZenithController::start() {
   watchdog_->start();
 }
 
+void ZenithController::set_observability(obs::Observability* o) {
+  ctx_.observability = o;
+  for (Component* c : components()) c->set_observability(o);
+}
+
 void ZenithController::submit_dag(Dag dag) {
+  if (ctx_.observability != nullptr) ctx_.observability->dag_submitted(dag.id());
   DagRequest request;
   request.type = DagRequest::Type::kInstall;
   request.dag = std::move(dag);
@@ -86,6 +93,9 @@ void ZenithController::crash_component(const std::string& name) {
 
 void ZenithController::crash_ofc() {
   ZLOG_DEBUG("complete OFC failure injected");
+  if (ctx_.observability != nullptr) {
+    ctx_.observability->event("controller", "ofc-crash");
+  }
   // Every OFC component dies and is held for the standby instance.
   std::vector<Component*> ofc = worker_pool_->components();
   ofc.push_back(monitoring_.get());
@@ -108,6 +118,9 @@ void ZenithController::crash_ofc() {
 
 void ZenithController::ofc_takeover() {
   ZLOG_DEBUG("standby OFC instance taking over");
+  if (ctx_.observability != nullptr) {
+    ctx_.observability->event("controller", "ofc-takeover");
+  }
   std::vector<Component*> ofc = worker_pool_->components();
   ofc.push_back(monitoring_.get());
   ofc.push_back(topo_handler_.get());
@@ -122,12 +135,19 @@ void ZenithController::ofc_takeover() {
   for (OpId id : nib_.ops_with_status(OpStatus::kSent)) {
     const Op& op = nib_.op(id);
     nib_.set_op_status(id, OpStatus::kScheduled);
+    if (ctx_.observability != nullptr) {
+      ctx_.observability->op_stage(id, "controller", "op-requeue",
+                                   "reason=ofc-takeover");
+    }
     ctx_.op_queue_for(op.sw).push(id);
   }
 }
 
 void ZenithController::crash_de() {
   ZLOG_DEBUG("complete DE failure injected");
+  if (ctx_.observability != nullptr) {
+    ctx_.observability->event("controller", "de-crash");
+  }
   std::vector<Component*> de;
   de.push_back(dag_scheduler_.get());
   for (auto& s : sequencers_) de.push_back(s.get());
@@ -143,6 +163,9 @@ void ZenithController::crash_de() {
 
 void ZenithController::de_takeover() {
   ZLOG_DEBUG("standby DE instance taking over");
+  if (ctx_.observability != nullptr) {
+    ctx_.observability->event("controller", "de-takeover");
+  }
   std::vector<Component*> de;
   de.push_back(dag_scheduler_.get());
   for (auto& s : sequencers_) de.push_back(s.get());

@@ -42,6 +42,10 @@ class ZenithController {
   CoreContext& context() { return ctx_; }
   OpIdAllocator& op_ids() { return op_ids_; }
 
+  /// Attaches (or detaches, with null) an observability bundle to the
+  /// context and every component.
+  void set_observability(obs::Observability* o);
+
   // ---- application API -------------------------------------------------------
 
   /// Submits a DAG (FIFOPut onto the DAG request queue, Listing 4 line 33).

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -85,6 +86,9 @@ void DagScheduler::admit(Dag dag) {
     }
   }
   DagId id = dag.id();
+  if (ctx_->observability != nullptr) {
+    ctx_->observability->dag_admitted(id, dag.all_ops().size());
+  }
   nib.clear_dag_done(id);
   nib.put_dag(std::move(dag));
 

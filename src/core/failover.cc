@@ -1,6 +1,7 @@
 #include "core/failover.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -17,6 +18,12 @@ void FailoverManager::request_planned_failover(
   on_done_ = std::move(on_done);
   target_instance_ = ctx_->ofc_master_instance + 1;
   acked_.clear();
+  if (ctx_->observability != nullptr) {
+    ctx_->observability->event(
+        name(), "failover-requested",
+        "target=" + std::to_string(target_instance_) +
+            " drain=" + (drain_first_ ? "1" : "0"));
+  }
   if (drain_first_) {
     ctx_->workers_paused = true;
     phase_ = Phase::kDraining;
@@ -31,6 +38,10 @@ void FailoverManager::request_planned_failover(
 
 void FailoverManager::begin_role_change() {
   phase_ = Phase::kAwaitingRoleAcks;
+  if (ctx_->observability != nullptr) {
+    ctx_->observability->event(name(), "role-change-begin",
+                               "target=" + std::to_string(target_instance_));
+  }
   Nib& nib = *ctx_->nib;
   for (SwitchId sw : nib.switches()) {
     if (nib.switch_health(sw) == SwitchHealth::kDown) continue;
@@ -80,6 +91,11 @@ bool FailoverManager::try_step() {
         ctx_->workers_paused = false;
         if (ctx_->kick_workers) ctx_->kick_workers();  // resume the pool
         phase_ = Phase::kIdle;
+        if (ctx_->observability != nullptr) {
+          ctx_->observability->event(
+              name(), "failover-complete",
+              "instance=" + std::to_string(target_instance_));
+        }
         ZLOG_DEBUG("planned failover to instance %d complete",
                    target_instance_);
         if (on_done_) on_done_(sim()->now());

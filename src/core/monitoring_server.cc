@@ -1,6 +1,7 @@
 #include "core/monitoring_server.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -53,27 +54,41 @@ bool MonitoringServer::process_reply() {
         // ACK for an OP this controller incarnation never registered (e.g.
         // state installed by a previous master). Reconciliation owns such
         // entries; recording a status for them would fabricate intent.
+        if (ctx_->observability != nullptr) {
+          ctx_->observability->count("orphan_acks");
+        }
         break;
       }
+      bool committed = false;
       switch (op.type) {
         case OpType::kInstallRule:
           // P3: always record the ACK.
           nib.set_op_status(op.id, OpStatus::kDone);
           nib.view_add_installed(reply.sw, op.id);
+          committed = true;
           break;
         case OpType::kDeleteRule:
           nib.set_op_status(op.id, OpStatus::kDone);
           nib.view_remove_installed(reply.sw, op.delete_target);
+          committed = true;
           break;
         case OpType::kClearTcam:
           nib.set_op_status(op.id, OpStatus::kDone);
           nib.view_clear_switch(reply.sw);
+          committed = true;
           // The Topo Event Handler finalizes the recovery (reset OPs, mark
           // UP) — Figure A.5 steps 6-8.
           ctx_->cleanup_reply_queue.push(reply);
           break;
         case OpType::kDumpTable:
           break;  // dumps arrive as kDumpReply, not kAck
+      }
+      if (committed && ctx_->observability != nullptr) {
+        // ACK observed and NIB commit recorded: this closes the OP's causal
+        // lifecycle span opened at scheduling time.
+        ctx_->observability->op_stage(
+            op.id, name(), "op-ack", "sw=" + std::to_string(reply.sw.value()));
+        ctx_->observability->op_closed(op.id, name(), "done");
       }
       break;
     }

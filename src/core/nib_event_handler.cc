@@ -1,6 +1,23 @@
 #include "core/nib_event_handler.h"
 
+#include "obs/obs.h"
+
 namespace zenith {
+
+namespace {
+
+const char* nib_event_name(NibEvent::Type type) {
+  switch (type) {
+    case NibEvent::Type::kOpStatusChanged: return "op-status";
+    case NibEvent::Type::kSwitchHealthChanged: return "switch-health";
+    case NibEvent::Type::kDagAccepted: return "dag-accepted";
+    case NibEvent::Type::kDagDone: return "dag-done";
+    case NibEvent::Type::kTopologyChanged: return "topology";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 NibEventHandler::NibEventHandler(CoreContext* ctx)
     : Component(ctx->sim, "nib_event_handler", ctx->config.nib_event_service),
@@ -16,6 +33,10 @@ bool NibEventHandler::try_step() {
   NadirFifo<NibEvent>& queue = ctx_->nib_event_queue;
   if (queue.empty()) return false;
   NibEvent event = queue.peek();
+  if (ctx_->observability != nullptr) {
+    ctx_->observability->count("nib_events_routed",
+                               {{"type", nib_event_name(event.type)}});
+  }
 
   // Sequencers: everything is a potential scheduling trigger.
   for (auto& wakeup : ctx_->sequencer_wakeups) wakeup->push(event);

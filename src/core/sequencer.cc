@@ -1,6 +1,7 @@
 #include "core/sequencer.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -34,6 +35,9 @@ bool Sequencer::try_step() {
     // this DAG (§6 "Metrics" — this is the convergence endpoint).
     nib.mark_dag_done(dag.id());
     nib.publish_dag_done(dag.id());
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->dag_certified(dag.id());
+    }
     ZLOG_DEBUG("dag%u certified done", dag.id().value());
     return true;
   }
@@ -56,6 +60,9 @@ std::size_t Sequencer::schedule_ready_ops(const Dag& dag) {
     const Op& op = nib.op(id);
     if (nib.switch_health(op.sw) != SwitchHealth::kUp) continue;  // P7 gate
     nib.set_op_status(id, OpStatus::kScheduled);
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->op_scheduled(id, dag.id(), op.sw, name());
+    }
     ctx_->op_queue_for(op.sw).push(id);
     ++scheduled;
   }

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -40,6 +41,10 @@ void TopoEventHandler::handle_failure(SwitchId sw) {
   // affected OPs — at this point the controller cannot know which in-flight
   // OPs made it, and guessing is the §3.9 "ambiguous state machine" bug.
   nib.set_switch_health(sw, SwitchHealth::kDown);
+  if (ctx_->observability != nullptr) {
+    ctx_->observability->event(name(), "switch-down",
+                               "sw=" + std::to_string(sw.value()));
+  }
   ZLOG_DEBUG("sw%u marked DOWN", sw.value());
 }
 
@@ -47,11 +52,16 @@ void TopoEventHandler::handle_recovery(SwitchId sw) {
   Nib& nib = *ctx_->nib;
   if (nib.switch_health(sw) != SwitchHealth::kDown) return;  // duplicate/spurious
 
+  if (ctx_->observability != nullptr) ctx_->observability->recovery_started(sw);
+
   if (ctx_->config.bugs.skip_recovery_cleanup) {
     // PR-style optimistic recovery: believe the NIB, skip cleanup. Any
     // state the switch lost (or hidden state it kept) is now inconsistent
     // until some reconciliation pass notices.
     nib.set_switch_health(sw, SwitchHealth::kUp);
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->recovery_finished(sw, "optimistic");
+    }
     return;
   }
 
@@ -68,6 +78,11 @@ void TopoEventHandler::issue_cleanup(SwitchId sw) {
                                                       : OpType::kClearTcam;
   nib.put_op(cleanup);
   nib.set_op_status(cleanup.id, OpStatus::kScheduled);
+  if (ctx_->observability != nullptr) {
+    // Cleanup OPs have no DAG; their lifecycle span hangs off the recovery.
+    ctx_->observability->op_scheduled(cleanup.id, DagId::invalid(), sw,
+                                      name());
+  }
 
   if (ctx_->config.bugs.direct_clear_tcam) {
     // Bug: bypass the Worker Pool. The CLEAR races any OP the pool already
@@ -79,6 +94,11 @@ void TopoEventHandler::issue_cleanup(SwitchId sw) {
                        ? SwitchRequest::Type::kClearTcam
                        : SwitchRequest::Type::kDumpTable;
     nib.set_op_status(cleanup.id, OpStatus::kSent);
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->op_stage(cleanup.id, name(), "op-send",
+                                    "direct=1 sw=" +
+                                        std::to_string(sw.value()));
+    }
     ctx_->fabric->send(sw, request);
     return;
   }
@@ -114,7 +134,13 @@ bool TopoEventHandler::process_cleanup_reply() {
     if (reply.type == SwitchReply::Type::kDumpReply) {
       apply_directed_diff(reply);
       nib.set_op_status(reply.op.id, OpStatus::kDone);
+      if (ctx_->observability != nullptr) {
+        ctx_->observability->op_closed(reply.op.id, name(), "done");
+      }
       nib.set_switch_health(sw, SwitchHealth::kUp);
+      if (ctx_->observability != nullptr) {
+        ctx_->observability->recovery_finished(sw, "directed-diff");
+      }
     } else {
       finalize_recovery(sw);
     }
@@ -132,6 +158,9 @@ void TopoEventHandler::finalize_recovery(SwitchId sw) {
     // freshly installed OP's DONE can be wiped — the NIB then claims the
     // rule is absent while the switch has it: a hidden entry.
     nib.set_switch_health(sw, SwitchHealth::kUp);
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->recovery_finished(sw, "up-before-reset");
+    }
     SimTime due = sim()->now() + ctx_->config.bugs.deferred_reset_delay;
     deferred_resets_.emplace_back(sw, due);
     sim()->schedule_at(due, [this] { kick(); });
@@ -140,6 +169,9 @@ void TopoEventHandler::finalize_recovery(SwitchId sw) {
   // Correct order (§G fix): first reset OP states, then mark UP.
   reset_switch_ops(sw);
   nib.set_switch_health(sw, SwitchHealth::kUp);
+  if (ctx_->observability != nullptr) {
+    ctx_->observability->recovery_finished(sw, "reset-then-up");
+  }
   ZLOG_DEBUG("sw%u recovery finalized", sw.value());
 }
 
@@ -170,6 +202,11 @@ void TopoEventHandler::reset_switch_ops(SwitchId sw) {
       continue;  // cleanup OPs keep their history
     }
     nib.set_op_status(id, OpStatus::kNone);
+    if (ctx_->observability != nullptr) {
+      // Still-open spans (e.g. SENT ops that died with the switch) end here;
+      // the sequencer's rescan opens a fresh span when it re-schedules.
+      ctx_->observability->op_closed(id, name(), "reset");
+    }
   }
   nib.view_clear_switch(sw);
 }
@@ -191,7 +228,13 @@ void TopoEventHandler::apply_directed_diff(const SwitchReply& dump) {
   for (OpId id : dumped) {
     if (nib.has_op(id)) {
       OpStatus status = nib.op_status(id);
-      if (status != OpStatus::kDone) nib.set_op_status(id, OpStatus::kDone);
+      if (status != OpStatus::kDone) {
+        nib.set_op_status(id, OpStatus::kDone);
+        if (ctx_->observability != nullptr) {
+          // The dump proves the install landed even though the ACK was lost.
+          ctx_->observability->op_closed(id, name(), "adopted");
+        }
+      }
       nib.view_add_installed(sw, id);
     } else {
       // Rule installed by nobody we know (e.g. a previous controller
@@ -203,6 +246,10 @@ void TopoEventHandler::apply_directed_diff(const SwitchReply& dump) {
       del.delete_target = id;
       nib.put_op(del);
       nib.set_op_status(del.id, OpStatus::kScheduled);
+      if (ctx_->observability != nullptr) {
+        ctx_->observability->op_scheduled(del.id, DagId::invalid(), sw,
+                                          name());
+      }
       ctx_->op_queue_for(sw).push(del.id);
     }
   }
@@ -224,6 +271,9 @@ void TopoEventHandler::apply_directed_diff(const SwitchReply& dump) {
     if (!present(id)) {
       nib.set_op_status(id, OpStatus::kNone);
       nib.view_remove_installed(sw, id);
+      if (ctx_->observability != nullptr) {
+        ctx_->observability->op_closed(id, name(), "reset");
+      }
     }
   }
 }

@@ -1,6 +1,7 @@
 #include "core/watchdog.h"
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -19,6 +20,10 @@ void Watchdog::scan() {
   for (Component* c : watched_) {
     if (!c->alive() && !c->held()) {
       ZLOG_DEBUG("watchdog restarting %s", c->name().c_str());
+      if (ctx_->observability != nullptr) {
+        ctx_->observability->event("watchdog", "restart",
+                                   "component=" + c->name());
+      }
       c->restart();
       ++restarts_;
     }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
 
@@ -85,9 +86,16 @@ void Worker::process(OpId op_id) {
       nib.set_op_status(op_id, OpStatus::kSent);
       forward(op);
     }
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->op_stage(op_id, name(), "op-send",
+                                    "sw=" + std::to_string(op.sw.value()));
+    }
   } else {
     // Report failure if switch is dead (UpdateNIBFail).
     nib.set_op_status(op_id, OpStatus::kFailedSwitch);
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->op_closed(op_id, name(), "failed-switch");
+    }
   }
 
   // Clear the in-progress slot, then drop the queue entry (RemoveOPFromQueue).

@@ -3,8 +3,33 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace zenith {
+
+namespace {
+
+const char* request_name(SwitchRequest::Type type) {
+  switch (type) {
+    case SwitchRequest::Type::kInstall: return "install";
+    case SwitchRequest::Type::kDelete: return "delete";
+    case SwitchRequest::Type::kClearTcam: return "clear-tcam";
+    case SwitchRequest::Type::kDumpTable: return "dump-table";
+    case SwitchRequest::Type::kRoleChange: return "role-change";
+  }
+  return "unknown";
+}
+
+const char* failure_name(FailureMode mode) {
+  switch (mode) {
+    case FailureMode::kPartialTransient: return "partial-transient";
+    case FailureMode::kCompleteTransient: return "complete-transient";
+    case FailureMode::kCompletePermanent: return "complete-permanent";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Fabric::Fabric(Simulator* sim, const Topology& topo, Rng rng,
                FabricConfig config)
@@ -42,7 +67,15 @@ Fabric::Fabric(Simulator* sim, const Topology& topo, Rng rng,
       reply_last_delivery_[i] = deliver_at;
       sim_->schedule_at(deliver_at,
                         [this, i, generation, r = std::move(reply)] {
-        if (reply_generation_[i] == generation) replies_.push(r);
+        if (reply_generation_[i] == generation) {
+          replies_.push(r);
+        } else if (obs_ != nullptr) {
+          // Reply outlived its switch incarnation (complete failure or an
+          // abrupt controller switchover): dropped on the floor, which is
+          // exactly the lost-ACK ambiguity the tracer should show.
+          obs_->event("fabric", "reply-dropped",
+                      "sw=" + std::to_string(i));
+        }
       });
     });
   }
@@ -50,6 +83,9 @@ Fabric::Fabric(Simulator* sim, const Topology& topo, Rng rng,
 
 void Fabric::send(SwitchId sw, SwitchRequest request) {
   assert(sw.value() < switches_.size());
+  if (obs_ != nullptr) {
+    obs_->count("fabric_sends", {{"type", request_name(request.type)}});
+  }
   to_switch_[sw.value()]->send(std::move(request));
 }
 
@@ -58,6 +94,11 @@ void Fabric::inject_failure(SwitchId sw, FailureMode mode) {
   if (!target.healthy()) return;
   last_failure_mode_[sw.value()] = mode;
   bool complete = mode != FailureMode::kPartialTransient;
+  if (obs_ != nullptr) {
+    obs_->event("fabric", "switch-fail",
+                "sw=" + std::to_string(sw.value()) +
+                    " mode=" + failure_name(mode));
+  }
   target.fail(mode);
   if (complete) {
     // The switch lost its ingress queue and anything it had produced that
@@ -85,6 +126,10 @@ void Fabric::inject_recovery(SwitchId sw) {
   if (last_failure_mode_[sw.value()] == FailureMode::kCompletePermanent) {
     return;
   }
+  if (obs_ != nullptr) {
+    obs_->event("fabric", "switch-recover",
+                "sw=" + std::to_string(sw.value()));
+  }
   target.recover();
   SwitchHealthEvent event;
   event.type = SwitchHealthEvent::Type::kRecovery;
@@ -101,6 +146,9 @@ void Fabric::inject_recovery(SwitchId sw) {
 void Fabric::inject_link_failure(LinkId link) {
   if (!link_up_.at(link.value())) return;
   link_up_[link.value()] = false;
+  if (obs_ != nullptr) {
+    obs_->event("fabric", "link-fail", "link=" + std::to_string(link.value()));
+  }
   LinkHealthEvent event{link, false};
   // Monotone per-link delivery clock, as for switch health events: with
   // recovery_detection_delay < failure_detection_delay a recovery notice
@@ -114,6 +162,10 @@ void Fabric::inject_link_failure(LinkId link) {
 void Fabric::inject_link_recovery(LinkId link) {
   if (link_up_.at(link.value())) return;
   link_up_[link.value()] = true;
+  if (obs_ != nullptr) {
+    obs_->event("fabric", "link-recover",
+                "link=" + std::to_string(link.value()));
+  }
   LinkHealthEvent event{link, true};
   SimTime deliver_at = std::max(sim_->now() + config_.recovery_detection_delay,
                                 link_last_delivery_[link.value()]);

@@ -22,6 +22,10 @@
 #include "sim/simulator.h"
 #include "topo/topology.h"
 
+namespace zenith::obs {
+class Observability;
+}
+
 namespace zenith {
 
 struct FabricConfig {
@@ -81,7 +85,12 @@ class Fabric {
   /// switch; used by the DAG-order checker).
   void set_install_observer(AbstractSwitch::InstallObserver observer);
 
+  /// Attaches the observability bundle (null = uninstrumented): fabric sends,
+  /// reply drops, and fault injections become recorded events/counters.
+  void set_observability(obs::Observability* o) { obs_ = o; }
+
  private:
+  obs::Observability* obs_ = nullptr;
   Simulator* sim_;
   Topology topo_;
   Rng rng_;

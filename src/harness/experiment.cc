@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace zenith {
 
 const char* to_string(ControllerKind kind) {
@@ -82,6 +84,12 @@ void Experiment::start() {
   } else {
     zenith_->start();
   }
+}
+
+void Experiment::attach_observability(obs::Observability* o) {
+  if (o != nullptr) o->set_clock([this] { return sim_.now(); });
+  controller().set_observability(o);
+  fabric_->set_observability(o);
 }
 
 std::optional<SimTime> Experiment::install_and_wait(Dag dag, SimTime timeout) {

@@ -66,6 +66,12 @@ class Experiment {
   /// Starts the controller (and reconciler for PR variants).
   void start();
 
+  /// Wires an observability bundle into the whole deployment: the bundle's
+  /// clock becomes this experiment's simulation clock, and the controller
+  /// core plus the fabric start reporting into it. Pass null to detach
+  /// (the bundle must outlive the experiment while attached).
+  void attach_observability(obs::Observability* o);
+
   /// Submits `dag` and runs the simulation until converged or `timeout`
   /// elapses. Returns the convergence latency, or nullopt on timeout (the
   /// "fails to converge" outcome of Figure 11).

@@ -1,0 +1,80 @@
+#include "obs/bench_results.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace zenith::obs {
+
+void BenchResult::add(const std::string& metric, double value,
+                      std::string unit) {
+  Measurement m;
+  m.metric = metric;
+  m.value = value;
+  m.unit = std::move(unit);
+  measurements_.push_back(std::move(m));
+}
+
+void BenchResult::add_count(const std::string& metric, std::uint64_t value) {
+  Measurement m;
+  m.metric = metric;
+  m.is_count = true;
+  m.count = value;
+  measurements_.push_back(std::move(m));
+}
+
+void BenchResult::add_note(const std::string& key, const std::string& text) {
+  notes_.emplace_back(key, text);
+}
+
+std::string BenchResult::to_json() const {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << json_escape(name_) << "\",\"measurements\":[";
+  for (std::size_t i = 0; i < measurements_.size(); ++i) {
+    const Measurement& m = measurements_[i];
+    if (i > 0) out << ",";
+    out << "{\"metric\":\"" << json_escape(m.metric) << "\",\"value\":";
+    if (m.is_count) {
+      out << m.count;
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+      // JSON has no inf/nan literals ("%.17g" otherwise emits only
+      // digits, '.', '-', '+', 'e').
+      std::string_view sv(buf);
+      bool finite = sv.find('i') == std::string_view::npos &&
+                    sv.find('n') == std::string_view::npos;
+      out << (finite ? sv : std::string_view("null"));
+    }
+    if (!m.unit.empty()) out << ",\"unit\":\"" << json_escape(m.unit) << "\"";
+    out << "}";
+  }
+  out << "],\"notes\":{";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(notes_[i].first) << "\":\""
+        << json_escape(notes_[i].second) << "\"";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string BenchResult::write(const std::string& dir) const {
+  std::string target = dir;
+  if (target.empty()) {
+    const char* env = std::getenv("ZENITH_BENCH_OUT");
+    if (env != nullptr && env[0] != '\0') target = env;
+  }
+  std::string path =
+      (target.empty() ? std::string() : target + "/") + "BENCH_" + name_ +
+      ".json";
+  std::ofstream out(path);
+  out << to_json() << "\n";
+  return path;
+}
+
+}  // namespace zenith::obs

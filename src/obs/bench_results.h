@@ -1,0 +1,41 @@
+// Machine-readable bench output: a flat list of named measurements written as
+// BENCH_<name>.json, so CI and plotting scripts can diff runs without
+// scraping the human-oriented tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zenith::obs {
+
+class BenchResult {
+ public:
+  explicit BenchResult(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& metric, double value, std::string unit = {});
+  void add_count(const std::string& metric, std::uint64_t value);
+  void add_note(const std::string& key, const std::string& text);
+
+  const std::string& name() const { return name_; }
+  std::string to_json() const;
+
+  /// Writes BENCH_<name>.json into `dir` (or $ZENITH_BENCH_OUT, or the
+  /// current directory when both are empty) and returns the path.
+  std::string write(const std::string& dir = {}) const;
+
+ private:
+  struct Measurement {
+    std::string metric;
+    bool is_count = false;
+    double value = 0.0;
+    std::uint64_t count = 0;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::vector<Measurement> measurements_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+}  // namespace zenith::obs

@@ -1,0 +1,57 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace zenith::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(SimTime t, std::string track, std::string what,
+                            std::string detail) {
+  FlightEvent ev;
+  ev.seq = total_;
+  ev.t = t;
+  ev.track = std::move(track);
+  ev.what = std::move(what);
+  ev.detail = std::move(detail);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[total_ % capacity_] = std::move(ev);
+  }
+  ++total_;
+}
+
+std::vector<const FlightEvent*> FlightRecorder::events() const {
+  std::vector<const FlightEvent*> out;
+  out.reserve(ring_.size());
+  std::size_t oldest = total_ > capacity_ ? total_ % capacity_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(&ring_[(oldest + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump() const {
+  std::ostringstream out;
+  out << "flight recorder: last " << ring_.size() << " of " << total_
+      << " events\n";
+  for (const FlightEvent* ev : events()) {
+    out << "  #" << ev->seq << " t=" << to_seconds(ev->t) << "s ["
+        << ev->track << "] " << ev->what;
+    if (!ev->detail.empty()) out << " " << ev->detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  total_ = 0;
+}
+
+}  // namespace zenith::obs

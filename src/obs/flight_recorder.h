@@ -1,0 +1,50 @@
+// Flight recorder: a bounded ring buffer of causal events, dumped when
+// something goes wrong.
+//
+// Every observability hook appends here as well as to the span tracer; the
+// ring keeps only the last `capacity` events, so the buffer is O(1) memory
+// regardless of run length. The chaos campaign engine dumps it automatically
+// when the invariant oracle flags a violation, attaching the tail of the
+// causal history to the ddmin-shrunk reproducer — the "what happened right
+// before the crash" view a black-box verdict cannot give.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace zenith::obs {
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  // global 0-based event number (never wraps)
+  SimTime t = 0;
+  std::string track;   // component / subsystem that emitted it
+  std::string what;    // event kind, e.g. "switch-fail"
+  std::string detail;  // preformatted "k=v" payload
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  void record(SimTime t, std::string track, std::string what,
+              std::string detail);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total events ever recorded (>= events().size()).
+  std::uint64_t total_recorded() const { return total_; }
+  /// Retained events, oldest first.
+  std::vector<const FlightEvent*> events() const;
+  /// Human-readable dump of the retained tail.
+  std::string dump() const;
+  void clear();
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace zenith::obs

@@ -1,0 +1,20 @@
+// Minimal JSON helpers for the observability exporters: string escaping for
+// the emitters and a strict validity checker for tests and CI (the bench
+// smoke stage validates emitted BENCH_*.json without external tooling).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace zenith::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included): ", \, control characters.
+std::string json_escape(std::string_view s);
+
+/// Strict RFC 8259 syntax check (objects, arrays, strings, numbers, the
+/// three literals; no trailing garbage). On failure, `error` (when non-null)
+/// receives a message with the byte offset.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace zenith::obs

@@ -1,0 +1,35 @@
+// Tiny CLI JSON validator backing the CI bench smoke stage: exits 0 when
+// every argument file parses as strict JSON, 1 otherwise. Avoids depending
+// on python/jq being present in minimal build images.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ok = false;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (zenith::obs::json_valid(buf.str(), &error)) {
+      std::printf("%s: valid JSON (%zu bytes)\n", argv[i], buf.str().size());
+    } else {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

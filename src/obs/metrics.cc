@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/hash.h"
+#include "obs/json.h"
+
+namespace zenith::obs {
+
+namespace {
+
+/// Deterministic double rendering: shortest round-trippable form is not
+/// needed, a fixed %.17g is stable across runs and platforms we target.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string histogram_value(const Histogram& h) {
+  std::ostringstream out;
+  out << "total=" << h.total() << " underflow=" << h.underflow()
+      << " overflow=" << h.overflow() << " bins=[";
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    if (i > 0) out << ",";
+    out << h.bin_count(i);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::key_of(const std::string& name,
+                                    const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += sorted[i].first + "=" + sorted[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return counters_[key_of(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[key_of(name, labels)];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels, double lo,
+                                      double hi, std::size_t bins) {
+  std::string key = key_of(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::move(key), Histogram(lo, hi, bins)).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.entries.reserve(series_count());
+  for (const auto& [key, c] : counters_) {
+    snap.entries.push_back({key, "counter", std::to_string(c.value())});
+  }
+  for (const auto& [key, g] : gauges_) {
+    snap.entries.push_back({key, "gauge", fmt_double(g.value())});
+  }
+  for (const auto& [key, h] : histograms_) {
+    snap.entries.push_back({key, "histogram", histogram_value(h)});
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  out << "metrics snapshot @ " << to_seconds(at) << "s (" << entries.size()
+      << " series)\n";
+  for (const Entry& e : entries) {
+    out << "  " << e.kind << " " << e.key << " = " << e.value << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"at_us\":" << at << ",\"series\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (i > 0) out << ",";
+    out << "{\"key\":\"" << json_escape(e.key) << "\",\"kind\":\"" << e.kind
+        << "\",\"value\":\"" << json_escape(e.value) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::uint64_t MetricsSnapshot::fingerprint() const {
+  std::uint64_t h = fnv1a(std::to_string(at));
+  for (const Entry& e : entries) {
+    h = fnv1a(e.key, h);
+    h = fnv1a(e.kind, h);
+    h = fnv1a(e.value, h);
+  }
+  return h;
+}
+
+}  // namespace zenith::obs

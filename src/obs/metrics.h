@@ -1,0 +1,91 @@
+// Metrics registry: named, labeled counters / gauges / histograms with
+// deterministic snapshots.
+//
+// Every metric series is interned under a canonical key ("name{k=v,...}",
+// labels sorted by key), stored in ordered maps, and rendered by snapshot()
+// in a byte-stable order — so two identically-seeded simulation runs
+// produce byte-identical snapshots and equal FNV-1a fingerprints. That is
+// the determinism contract the chaos campaigns (and obs_test) assert.
+//
+// Counters/gauges are plain values, not atomics: the simulation kernel is
+// single-threaded by design. Histograms reuse zenith::Histogram, which
+// tracks out-of-range samples in explicit underflow/overflow counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+
+namespace zenith::obs {
+
+/// Label set for one metric series, e.g. {{"component", "worker0"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Point-in-time rendering of a registry: entries in canonical order
+/// (counters, then gauges, then histograms; key-sorted within each kind).
+struct MetricsSnapshot {
+  struct Entry {
+    std::string key;    // canonical "name{k=v,...}"
+    std::string kind;   // "counter" | "gauge" | "histogram"
+    std::string value;  // preformatted, deterministic rendering
+  };
+
+  SimTime at = 0;
+  std::vector<Entry> entries;
+
+  std::string to_string() const;
+  std::string to_json() const;
+  /// FNV-1a over the canonical rendering (timestamp included).
+  std::uint64_t fingerprint() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Interns (or finds) a series; references stay valid for the registry's
+  /// lifetime (std::map nodes never move).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// Fixed-range histogram. Re-requesting an existing key returns the
+  /// original instance; the range arguments are ignored then.
+  Histogram& histogram(const std::string& name, const Labels& labels,
+                       double lo, double hi, std::size_t bins);
+
+  MetricsSnapshot snapshot(SimTime at) const;
+  std::size_t series_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Canonical series key: name plus sorted labels.
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace zenith::obs

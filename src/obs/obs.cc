@@ -1,0 +1,114 @@
+#include "obs/obs.h"
+
+namespace zenith::obs {
+
+Observability::Observability(std::size_t recorder_capacity)
+    : recorder_(recorder_capacity) {}
+
+void Observability::set_clock(std::function<SimTime()> clock) {
+  clock_ = std::move(clock);
+  tracer_.set_clock([this] { return now(); });
+}
+
+void Observability::event(const std::string& track, const std::string& what,
+                          const std::string& detail, std::uint64_t parent) {
+  recorder_.record(now(), track, what, detail);
+  tracer_.instant(what, track, parent, detail);
+  metrics_.counter("events", {{"track", track}, {"what", what}}).inc();
+}
+
+void Observability::count(const std::string& name, const Labels& labels,
+                          std::uint64_t n) {
+  metrics_.counter(name, labels).inc(n);
+}
+
+void Observability::dag_submitted(DagId dag) {
+  std::string detail = "dag=" + std::to_string(dag.value());
+  recorder_.record(now(), "controller", "dag-submit", detail);
+  std::uint64_t span = tracer_.begin("dag " + std::to_string(dag.value()),
+                                     "dag", SpanTracer::kNoSpan, detail,
+                                     /*async=*/true);
+  tracer_.bind_dag(dag, span);
+  metrics_.counter("dags_submitted").inc();
+}
+
+void Observability::dag_admitted(DagId dag, std::size_t op_count) {
+  std::uint64_t span = tracer_.dag_span(dag);
+  std::string detail = "dag=" + std::to_string(dag.value()) +
+                       " ops=" + std::to_string(op_count);
+  recorder_.record(now(), "dag_scheduler", "dag-admit", detail);
+  tracer_.instant("dag-admit", "dag_scheduler", span, detail);
+  metrics_.counter("dags_admitted").inc();
+  metrics_.counter("ops_admitted").inc(op_count);
+}
+
+void Observability::dag_certified(DagId dag) {
+  std::string detail = "dag=" + std::to_string(dag.value());
+  recorder_.record(now(), "sequencer", "dag-certify", detail);
+  tracer_.end(tracer_.dag_span(dag), "outcome=done");
+  metrics_.counter("dags_certified").inc();
+}
+
+void Observability::op_scheduled(OpId op, DagId dag, SwitchId sw,
+                                 const std::string& track) {
+  std::string detail = "op=" + std::to_string(op.value()) +
+                       " sw=" + std::to_string(sw.value());
+  if (dag.valid()) detail += " dag=" + std::to_string(dag.value());
+  std::uint64_t existing = tracer_.op_span(op);
+  if (existing != SpanTracer::kNoSpan) {
+    // Re-scheduled after a failure or takeover: one lifecycle span per
+    // attempt would hide the retry chain, so record it as a stage instead.
+    op_stage(op, track, "op-reschedule", detail);
+    metrics_.counter("ops_rescheduled", {{"by", track}}).inc();
+    return;
+  }
+  recorder_.record(now(), track, "op-schedule", detail);
+  std::uint64_t span =
+      tracer_.begin("op " + std::to_string(op.value()), "op",
+                    tracer_.dag_span(dag), detail, /*async=*/true);
+  tracer_.bind_op(op, span);
+  metrics_.counter("ops_scheduled", {{"by", track}}).inc();
+}
+
+void Observability::op_stage(OpId op, const std::string& track,
+                             const std::string& what,
+                             const std::string& detail) {
+  std::string full = "op=" + std::to_string(op.value());
+  if (!detail.empty()) full += " " + detail;
+  recorder_.record(now(), track, what, full);
+  tracer_.instant(what, track, tracer_.op_span(op), full);
+  metrics_.counter("op_stages", {{"track", track}, {"what", what}}).inc();
+}
+
+void Observability::op_closed(OpId op, const std::string& track,
+                              const std::string& outcome) {
+  std::uint64_t span = tracer_.op_span(op);
+  if (span == SpanTracer::kNoSpan) return;  // never opened (or already closed)
+  recorder_.record(now(), track, "op-" + outcome,
+                   "op=" + std::to_string(op.value()));
+  tracer_.end(span, "outcome=" + outcome);
+  tracer_.unbind_op(op);
+  metrics_.counter("ops_closed", {{"outcome", outcome}}).inc();
+}
+
+void Observability::recovery_started(SwitchId sw) {
+  std::string detail = "sw=" + std::to_string(sw.value());
+  recorder_.record(now(), "topo_event_handler", "recovery-start", detail);
+  std::uint64_t span =
+      tracer_.begin("recovery sw " + std::to_string(sw.value()), "recovery",
+                    SpanTracer::kNoSpan, detail, /*async=*/true);
+  recovery_spans_[sw] = span;
+  metrics_.counter("recoveries_started").inc();
+}
+
+void Observability::recovery_finished(SwitchId sw, const std::string& how) {
+  auto it = recovery_spans_.find(sw);
+  if (it == recovery_spans_.end()) return;
+  recorder_.record(now(), "topo_event_handler", "recovery-finish",
+                   "sw=" + std::to_string(sw.value()) + " how=" + how);
+  tracer_.end(it->second, "outcome=" + how);
+  recovery_spans_.erase(it);
+  metrics_.counter("recoveries_finished", {{"how", how}}).inc();
+}
+
+}  // namespace zenith::obs

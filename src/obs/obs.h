@@ -1,0 +1,90 @@
+// Observability bundle: one object carrying the metrics registry, the causal
+// span tracer, and the flight recorder, plus the domain hooks the pipeline
+// components call.
+//
+// The bundle is attached by pointer (CoreContext::observability, and setters
+// on Component / Fabric); a null pointer means "not instrumented" and every
+// call site guards on it, so uninstrumented runs pay a single branch. All
+// hooks are passive — they never schedule simulator events — so attaching
+// observability cannot change simulated behaviour, only record it.
+//
+// Cross-component causality: dag_submitted() opens the DAG lifecycle span,
+// op_scheduled() opens each OP's lifecycle span parented to its DAG, and the
+// later stages (worker send, switch ack, NIB commit, cleanup/reset) attach
+// instants to the OP span by OpId lookup, even though they run in different
+// components at different SimTimes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
+
+namespace zenith::obs {
+
+class Observability {
+ public:
+  explicit Observability(std::size_t recorder_capacity = 256);
+
+  /// Hook up the simulation clock (usually [sim]{ return sim->now(); }).
+  void set_clock(std::function<SimTime()> clock);
+  SimTime now() const { return clock_ ? clock_() : 0; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  SpanTracer& tracer() { return tracer_; }
+  const SpanTracer& tracer() const { return tracer_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  /// Metrics snapshot stamped with the current simulation time.
+  MetricsSnapshot snapshot() const { return metrics_.snapshot(now()); }
+
+  // ---- generic hooks --------------------------------------------------------
+
+  /// Records a discrete event in both the flight recorder and the trace
+  /// (as an instant), and bumps the `events{track=...,what=...}` counter.
+  void event(const std::string& track, const std::string& what,
+             const std::string& detail = {},
+             std::uint64_t parent = SpanTracer::kNoSpan);
+  void count(const std::string& name, const Labels& labels = {},
+             std::uint64_t n = 1);
+
+  // ---- OP / DAG lifecycle hooks ---------------------------------------------
+
+  void dag_submitted(DagId dag);
+  void dag_admitted(DagId dag, std::size_t op_count);
+  /// Ends the DAG lifecycle span (sequencer certified all OPs done).
+  void dag_certified(DagId dag);
+
+  /// Opens (or, on a retry after failure, re-marks) the OP lifecycle span.
+  /// `dag` may be invalid for controller-issued OPs such as cleanups.
+  void op_scheduled(OpId op, DagId dag, SwitchId sw, const std::string& track);
+  /// Attaches a stage instant (send / ack / requeue / ...) to the OP span.
+  void op_stage(OpId op, const std::string& track, const std::string& what,
+                const std::string& detail = {});
+  /// Ends the OP lifecycle span with an outcome (done / failed-switch /
+  /// reset / adopted) and releases the OpId binding so a reused id (after
+  /// reset_switch_ops) starts a fresh span.
+  void op_closed(OpId op, const std::string& track,
+                 const std::string& outcome);
+
+  // ---- switch recovery hooks ------------------------------------------------
+
+  void recovery_started(SwitchId sw);
+  void recovery_finished(SwitchId sw, const std::string& how);
+
+ private:
+  std::function<SimTime()> clock_;
+  MetricsRegistry metrics_;
+  SpanTracer tracer_;
+  FlightRecorder recorder_;
+  std::unordered_map<SwitchId, std::uint64_t> recovery_spans_;
+};
+
+}  // namespace zenith::obs

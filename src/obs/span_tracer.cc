@@ -1,0 +1,110 @@
+#include "obs/span_tracer.h"
+
+#include "common/hash.h"
+
+namespace zenith::obs {
+
+std::uint64_t SpanTracer::push(Span span) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  span.id = next_id_++;
+  index_[span.id] = spans_.size();
+  std::uint64_t id = span.id;
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+std::uint64_t SpanTracer::begin(std::string name, std::string track,
+                                std::uint64_t parent, std::string args,
+                                bool async) {
+  Span span;
+  span.parent = parent;
+  span.start = now();
+  span.async = async;
+  span.name = std::move(name);
+  span.track = std::move(track);
+  span.args = std::move(args);
+  return push(std::move(span));
+}
+
+void SpanTracer::end(std::uint64_t id, const std::string& outcome) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Span& span = spans_[it->second];
+  if (span.end != kSimTimeNever) return;  // already closed
+  span.end = now();
+  if (!outcome.empty()) {
+    if (!span.args.empty()) span.args += " ";
+    span.args += outcome;
+  }
+}
+
+std::uint64_t SpanTracer::instant(std::string name, std::string track,
+                                  std::uint64_t parent, std::string args) {
+  Span span;
+  span.parent = parent;
+  span.start = now();
+  span.end = now();
+  span.instant = true;
+  span.name = std::move(name);
+  span.track = std::move(track);
+  span.args = std::move(args);
+  return push(std::move(span));
+}
+
+std::uint64_t SpanTracer::complete(std::string name, std::string track,
+                                   SimTime start, SimTime end,
+                                   std::uint64_t parent, std::string args) {
+  Span span;
+  span.parent = parent;
+  span.start = start;
+  span.end = end;
+  span.name = std::move(name);
+  span.track = std::move(track);
+  span.args = std::move(args);
+  return push(std::move(span));
+}
+
+std::uint64_t SpanTracer::op_span(OpId op) const {
+  auto it = op_spans_.find(op);
+  return it == op_spans_.end() ? kNoSpan : it->second;
+}
+
+std::uint64_t SpanTracer::dag_span(DagId dag) const {
+  auto it = dag_spans_.find(dag);
+  return it == dag_spans_.end() ? kNoSpan : it->second;
+}
+
+const Span* SpanTracer::find(std::uint64_t id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+std::size_t SpanTracer::open_count() const {
+  std::size_t open = 0;
+  for (const Span& span : spans_) {
+    if (!span.instant && span.end == kSimTimeNever) ++open;
+  }
+  return open;
+}
+
+std::uint64_t SpanTracer::fingerprint() const {
+  Hasher h;
+  for (const Span& span : spans_) {
+    h.add(span.id);
+    h.add(span.parent);
+    h.add(static_cast<std::uint64_t>(span.start));
+    h.add(static_cast<std::uint64_t>(span.end));
+    h.add(static_cast<std::uint64_t>(span.instant) << 1 |
+          static_cast<std::uint64_t>(span.async));
+    h.add(fnv1a(span.name));
+    h.add(fnv1a(span.track));
+    h.add(fnv1a(span.args));
+  }
+  h.add(dropped_);
+  return h.digest();
+}
+
+}  // namespace zenith::obs

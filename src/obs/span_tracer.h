@@ -1,0 +1,102 @@
+// Causal span tracer for the OP pipeline.
+//
+// Records the full lifecycle of every OP/DAG as spans and instants with
+// parent/child links that cross microservice boundaries (DAG Scheduler →
+// Sequencer → Worker Pool → fabric/switch → Monitoring Server → NIB commit).
+// Timestamps come exclusively from the deterministic simulation clock and
+// span ids are allocated sequentially, so two identically-seeded runs yield
+// byte-identical traces (fingerprint() asserts exactly that).
+//
+// Cross-boundary parenting works through the binding tables: the component
+// that opens an OP's lifecycle span binds OpId -> SpanId; every later stage
+// (in a different component, at a different SimTime) parents its events by
+// looking the binding up. The exporter (trace_export.h) turns the result
+// into Chrome trace-event JSON loadable in Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace zenith::obs {
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;     // 0 = no parent
+  SimTime start = 0;
+  SimTime end = kSimTimeNever;  // kSimTimeNever while still open
+  bool instant = false;
+  /// Lifecycle spans (OP/DAG/recovery) overlap freely on one logical track;
+  /// the Chrome exporter emits them as async begin/end pairs instead of
+  /// nested "X" events.
+  bool async = false;
+  std::string name;
+  std::string track;  // component / subsystem lane
+  std::string args;   // preformatted "k=v" detail
+};
+
+class SpanTracer {
+ public:
+  static constexpr std::uint64_t kNoSpan = 0;
+
+  /// Timestamps are read through this hook (the simulation clock). Without
+  /// one, everything lands at t=0.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  /// Opens a span; returns its id (kNoSpan once capacity is exhausted).
+  std::uint64_t begin(std::string name, std::string track,
+                      std::uint64_t parent = kNoSpan, std::string args = {},
+                      bool async = false);
+  /// Closes an open span; appends `outcome` to its args when non-empty.
+  void end(std::uint64_t id, const std::string& outcome = {});
+  /// Zero-duration event.
+  std::uint64_t instant(std::string name, std::string track,
+                        std::uint64_t parent = kNoSpan, std::string args = {});
+  /// Appends an already-closed span with explicit timestamps (used for
+  /// retroactive component service steps).
+  std::uint64_t complete(std::string name, std::string track, SimTime start,
+                         SimTime end, std::uint64_t parent = kNoSpan,
+                         std::string args = {});
+
+  // ---- causal bindings (cross-component parenting) --------------------------
+
+  void bind_op(OpId op, std::uint64_t span) { op_spans_[op] = span; }
+  std::uint64_t op_span(OpId op) const;
+  void unbind_op(OpId op) { op_spans_.erase(op); }
+  void bind_dag(DagId dag, std::uint64_t span) { dag_spans_[dag] = span; }
+  std::uint64_t dag_span(DagId dag) const;
+
+  // ---- inspection -----------------------------------------------------------
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span* find(std::uint64_t id) const;
+  std::size_t dropped() const { return dropped_; }
+  std::size_t open_count() const;
+
+  /// Hard cap on recorded spans; further begin/instant calls are counted in
+  /// dropped() and return kNoSpan.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  /// FNV-1a over every span field in recording order — byte-stable across
+  /// identically-seeded runs.
+  std::uint64_t fingerprint() const;
+
+ private:
+  SimTime now() const { return clock_ ? clock_() : 0; }
+  std::uint64_t push(Span span);
+
+  std::function<SimTime()> clock_;
+  std::vector<Span> spans_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // id -> spans_ slot
+  std::unordered_map<OpId, std::uint64_t> op_spans_;
+  std::unordered_map<DagId, std::uint64_t> dag_spans_;
+  std::uint64_t next_id_ = 1;
+  std::size_t capacity_ = 1u << 20;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace zenith::obs

@@ -1,0 +1,97 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/span_tracer.h"
+
+namespace zenith::obs {
+
+std::string chrome_trace_json(const SpanTracer& tracer) {
+  const std::vector<Span>& spans = tracer.spans();
+
+  // One "thread" per track, numbered in first-seen order so the Perfetto
+  // layout is stable across identically-seeded runs.
+  std::vector<std::string> tracks;
+  std::unordered_map<std::string, int> tids;
+  auto tid_of = [&](const std::string& track) {
+    auto it = tids.find(track);
+    if (it != tids.end()) return it->second;
+    int tid = static_cast<int>(tracks.size()) + 1;
+    tids.emplace(track, tid);
+    tracks.push_back(track);
+    return tid;
+  };
+  SimTime max_ts = 0;
+  for (const Span& s : spans) {
+    tid_of(s.track);
+    max_ts = std::max(max_ts, s.start);
+    if (s.end != kSimTimeNever) max_ts = std::max(max_ts, s.end);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const std::string& track : tracks) {
+    comma();
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":"
+        << tids[track] << ",\"args\":{\"name\":\"" << json_escape(track)
+        << "\"}}";
+  }
+  for (const Span& s : spans) {
+    int tid = tids[s.track];
+    std::string name = json_escape(s.name);
+    std::string args = "{\"detail\":\"" + json_escape(s.args) +
+                       "\",\"span_id\":" + std::to_string(s.id) + "}";
+    // SimTime is already microseconds, the unit trace-event "ts" expects.
+    if (s.instant) {
+      comma();
+      out << "{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"event\",\"name\":\"" << name
+          << "\",\"ts\":" << s.start << ",\"pid\":1,\"tid\":" << tid
+          << ",\"args\":" << args << "}";
+    } else if (s.async) {
+      // Lifecycle spans overlap on one track; async pairs render them as
+      // stacked arrows instead of malformed nested slices.
+      SimTime end = s.end == kSimTimeNever ? max_ts : s.end;
+      comma();
+      out << "{\"ph\":\"b\",\"cat\":\"lifecycle\",\"id\":" << s.id
+          << ",\"name\":\"" << name << "\",\"ts\":" << s.start
+          << ",\"pid\":1,\"tid\":" << tid << ",\"args\":" << args << "}";
+      comma();
+      out << "{\"ph\":\"e\",\"cat\":\"lifecycle\",\"id\":" << s.id
+          << ",\"name\":\"" << name << "\",\"ts\":" << end
+          << ",\"pid\":1,\"tid\":" << tid << "}";
+    } else {
+      SimTime end = s.end == kSimTimeNever ? max_ts : s.end;
+      comma();
+      out << "{\"ph\":\"X\",\"cat\":\"step\",\"name\":\"" << name
+          << "\",\"ts\":" << s.start << ",\"dur\":" << end - s.start
+          << ",\"pid\":1,\"tid\":" << tid << ",\"args\":" << args << "}";
+    }
+    if (s.parent != SpanTracer::kNoSpan) {
+      const Span* parent = tracer.find(s.parent);
+      if (parent != nullptr) {
+        // Flow arrow parent -> child, keyed by the child span id.
+        comma();
+        out << "{\"ph\":\"s\",\"cat\":\"causal\",\"id\":" << s.id
+            << ",\"name\":\"link\",\"ts\":" << parent->start
+            << ",\"pid\":1,\"tid\":" << tids[parent->track] << "}";
+        comma();
+        out << "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"causal\",\"id\":" << s.id
+            << ",\"name\":\"link\",\"ts\":" << s.start
+            << ",\"pid\":1,\"tid\":" << tid << "}";
+      }
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace zenith::obs

@@ -1,0 +1,17 @@
+// Chrome trace-event JSON exporter. The output loads directly into Perfetto
+// (ui.perfetto.dev) or chrome://tracing: component service steps appear as
+// nested "X" slices on per-track threads, OP/DAG/recovery lifecycles as async
+// begin/end pairs, and parent links as flow arrows between tracks.
+#pragma once
+
+#include <string>
+
+namespace zenith::obs {
+
+class SpanTracer;
+
+/// Serializes every recorded span as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}). Deterministic: depends only on tracer contents.
+std::string chrome_trace_json(const SpanTracer& tracer);
+
+}  // namespace zenith::obs

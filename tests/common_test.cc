@@ -98,16 +98,19 @@ TEST(Stats, CdfIsMonotone) {
   EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
 }
 
-TEST(Stats, HistogramBinsAndClamping) {
+TEST(Stats, HistogramBinsAndOutOfRange) {
   Histogram h(0, 10, 5);
-  h.add(-1);   // clamps into first bin
+  h.add(-1);   // below range: counted as underflow, not binned
   h.add(0.5);
   h.add(9.9);
-  h.add(25);   // clamps into last bin
+  h.add(25);   // at/above hi: counted as overflow, not binned
   EXPECT_EQ(h.total(), 4u);
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_NE(h.to_string().find("1 below, 1 above"), std::string::npos);
 }
 
 TEST(Stats, TimeSeriesBuckets) {
