@@ -4,8 +4,11 @@
 // Reports faults injected per class, violations, and — on a deliberately
 // buggy build (§G's mark-UP-before-reset knob) — the shrinker's reduction
 // from a full random schedule to a minimal reproducer trace.
+#include <chrono>
+
 #include "bench_util.h"
 #include "chaos/campaign.h"
+#include "chaos/parallel.h"
 #include "chaos/shrink.h"
 #include "obs/bench_results.h"
 
@@ -32,12 +35,19 @@ struct TopologySweep {
   Summary quiescence;
 };
 
-TopologySweep sweep(chaos::TopologyKind topology, std::size_t size,
+// Campaigns are independent deterministic simulations, so the seed sweep
+// fans out across the ParallelRunner pool; aggregation happens afterwards
+// in seed order, keeping the printed tables byte-identical to a serial run.
+TopologySweep sweep(const chaos::ParallelRunner& runner,
+                    chaos::TopologyKind topology, std::size_t size,
                     std::size_t campaigns) {
-  TopologySweep out;
+  std::vector<chaos::CampaignConfig> configs;
   for (std::uint64_t seed = 1; seed <= campaigns; ++seed) {
-    chaos::ChaosCampaign campaign(base_config(topology, size, seed));
-    chaos::CampaignResult result = campaign.run();
+    configs.push_back(base_config(topology, size, seed));
+  }
+  std::vector<chaos::CampaignResult> results = runner.run_campaigns(configs);
+  TopologySweep out;
+  for (const chaos::CampaignResult& result : results) {
     ++out.campaigns;
     if (!result.ok) ++out.violations;
     for (const auto& [kind, count] : result.stats.faults_by_kind) {
@@ -72,14 +82,19 @@ int main(int argc, char** argv) {
       {chaos::TopologyKind::kFatTree, 4},
   };
 
+  chaos::ParallelRunner runner;  // thread count: $ZENITH_BENCH_THREADS
+  std::printf("running %zu campaigns per topology on %zu thread(s)\n",
+              campaigns_per_topology, runner.threads());
+
   obs::BenchResult bench("chaos_coverage");
   TablePrinter table({"topology", "campaigns", "faults", "violations",
                       "dags(cert/sub)", "quiesce p50(s)", "quiesce p99(s)"});
   std::map<std::string, std::size_t> fault_totals;
   std::size_t total_campaigns = 0;
   std::size_t total_violations = 0;
+  auto sweep_start = std::chrono::steady_clock::now();
   for (const Entry& entry : topologies) {
-    TopologySweep result = sweep(entry.kind, entry.size,
+    TopologySweep result = sweep(runner, entry.kind, entry.size,
                                  campaigns_per_topology);
     std::size_t faults = 0;
     for (const auto& [kind, count] : result.faults) {
@@ -99,9 +114,24 @@ int main(int argc, char** argv) {
     bench.add("quiescence_p50_" + topo_name, result.quiescence.median(), "s");
     bench.add("quiescence_p99_" + topo_name, result.quiescence.p99(), "s");
   }
+  double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
   std::printf("%s", table.to_string().c_str());
+  // stderr: stdout must stay byte-identical across runs (the determinism
+  // probe diffs it), and wall time is the one nondeterministic datum here.
+  std::fprintf(stderr,
+               "sweep wall time: %.2fs (%zu campaigns, %zu thread(s), "
+               "%.1f campaigns/s)\n",
+               sweep_wall, total_campaigns, runner.threads(),
+               sweep_wall > 0.0 ? total_campaigns / sweep_wall : 0.0);
   bench.add_count("campaigns", total_campaigns);
   bench.add_count("violations_correct_build", total_violations);
+  bench.add("sweep_wall_time", sweep_wall, "s");
+  bench.add("campaign_throughput",
+            sweep_wall > 0.0 ? total_campaigns / sweep_wall : 0.0,
+            "campaigns/s");
 
   std::printf("\nfault mix across all campaigns:\n");
   for (const auto& [kind, count] : fault_totals) {
@@ -120,20 +150,35 @@ int main(int argc, char** argv) {
   std::string last_dump;
   const std::uint64_t seed_sweep = opts.quick ? 12 : 40;
   const std::size_t demo_target = opts.quick ? 1 : 5;
-  for (std::uint64_t seed = 1; seed <= seed_sweep && demos < demo_target;
-       ++seed) {
+  // Discovery fans out on the pool; shrinking stays serial (it is an
+  // adaptive search whose every probe depends on the previous verdict).
+  // Schedules are pure functions of (topology, config, seed), so the
+  // violating schedule is regenerated on demand instead of retained for
+  // every swept seed.
+  std::vector<chaos::CampaignConfig> buggy_configs;
+  for (std::uint64_t seed = 1; seed <= seed_sweep; ++seed) {
     chaos::CampaignConfig config =
         base_config(chaos::TopologyKind::kDiamond, 0, seed);
     config.initial_flows = 2;
     config.update_period = millis(30);
     config.core.bugs.mark_up_before_reset = true;
-    chaos::ChaosCampaign campaign(config);
-    chaos::CampaignResult result = campaign.run();
+    buggy_configs.push_back(config);
+  }
+  std::vector<chaos::CampaignResult> buggy_results =
+      runner.run_campaigns(buggy_configs);
+  for (std::size_t i = 0; i < buggy_results.size() && demos < demo_target;
+       ++i) {
+    const chaos::CampaignResult& result = buggy_results[i];
     if (result.ok) continue;
+    const chaos::CampaignConfig& config = buggy_configs[i];
+    const std::uint64_t seed = config.seed;
     ++caught;
     ++demos;
-    chaos::ShrinkResult shrunk =
-        chaos::shrink_schedule(config, campaign.schedule());
+    Topology topo = chaos::make_topology(config);
+    chaos::ChaosSchedule failing =
+        chaos::generate_schedule(topo, config.core, config.schedule,
+                                 config.seed);
+    chaos::ShrinkResult shrunk = chaos::shrink_schedule(config, failing);
     ratios.add(shrunk.shrink_ratio());
     minimal_lengths.add(static_cast<double>(shrunk.minimal.size()));
     std::printf("  seed %2llu: %zu events -> %zu (%.0f%%), %zu oracle runs, "
@@ -186,6 +231,7 @@ int main(int argc, char** argv) {
     bench.add("minimal_trace_len_mean", minimal_lengths.mean(), "steps");
   }
   bench.add_note("mode", opts.quick ? "quick" : "full");
+  bench.add_note("threads", std::to_string(runner.threads()));
   bench.add_note("flight_recorder_attached", last_dump.empty() ? "no" : "yes");
   if (opts.json) {
     std::string path = bench.write(".");

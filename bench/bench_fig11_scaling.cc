@@ -4,6 +4,7 @@
 // the 30s reconciliation interval. PR-NoReconcile confirms reconciliation
 // is the cause (flat tail, but that controller is not failure-robust).
 #include "bench_util.h"
+#include "chaos/parallel.h"
 #include "topo/generators.h"
 
 namespace zenith {
@@ -62,15 +63,30 @@ int main() {
                                   ControllerKind::kPr,
                                   ControllerKind::kPrNoReconcile};
 
+  // Each (size, system) cell is an independent deterministic experiment;
+  // the grid fans out over the bench thread pool and the table is printed
+  // after the barrier, in grid order — output is identical to a serial run.
+  struct Cell {
+    std::size_t n;
+    ControllerKind kind;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t n : sizes) {
+    for (ControllerKind kind : kinds) cells.push_back({n, kind});
+  }
+  std::vector<benchutil::TrialSeries> results(cells.size());
+  chaos::parallel_for(cells.size(), chaos::default_bench_threads(),
+                      [&](std::size_t i) {
+                        results[i] = run_size(cells[i].kind, cells[i].n, 21);
+                      });
+
   TablePrinter table(
       {"nodes", "system", "median(s)", "p99(s)", "DNF", "samples"});
-  for (std::size_t n : sizes) {
-    for (ControllerKind kind : kinds) {
-      benchutil::TrialSeries series = run_size(kind, n, 21);
-      table.add_row({std::to_string(n), to_string(kind), series.median(),
-                     series.p99(), std::to_string(series.dnf),
-                     std::to_string(series.trials)});
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const benchutil::TrialSeries& series = results[i];
+    table.add_row({std::to_string(cells[i].n), to_string(cells[i].kind),
+                   series.median(), series.p99(), std::to_string(series.dnf),
+                   std::to_string(series.trials)});
   }
   std::printf("%s", table.to_string().c_str());
   std::printf(

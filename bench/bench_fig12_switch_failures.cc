@@ -3,6 +3,7 @@
 // (b) concurrent failures (inter-arrival < convergence time): PR and PRUp
 // degrade at median and tail, PRUp helping somewhat.
 #include "bench_util.h"
+#include "chaos/parallel.h"
 #include "topo/generators.h"
 
 namespace zenith {
@@ -64,13 +65,31 @@ int main() {
 
   const ControllerKind kinds[] = {ControllerKind::kZenithNR,
                                   ControllerKind::kPr, ControllerKind::kPrUp};
+  // The 2x3 (panel, system) grid runs on the bench thread pool — every cell
+  // is an independent deterministic experiment — and prints after the
+  // barrier in grid order, so the tables match a serial run exactly.
+  struct Cell {
+    bool concurrent;
+    ControllerKind kind;
+  };
+  std::vector<Cell> cells;
+  for (bool concurrent : {false, true}) {
+    for (ControllerKind kind : kinds) cells.push_back({concurrent, kind});
+  }
+  std::vector<benchutil::TrialSeries> results(cells.size());
+  chaos::parallel_for(cells.size(), chaos::default_bench_threads(),
+                      [&](std::size_t i) {
+                        results[i] = run(cells[i].kind, cells[i].concurrent, 31);
+                      });
+
+  std::size_t cell = 0;
   for (bool concurrent : {false, true}) {
     std::printf("\n(%s) %s failures:\n", concurrent ? "b" : "a",
                 concurrent ? "concurrent" : "single");
     TablePrinter table({"system", "median(s)", "p99(s)", "DNF", "samples"});
     double zenith_median = 0, zenith_p99 = 0;
     for (ControllerKind kind : kinds) {
-      benchutil::TrialSeries series = run(kind, concurrent, 31);
+      benchutil::TrialSeries series = results[cell++];
       if (kind == ControllerKind::kZenithNR && !series.converged.empty()) {
         zenith_median = series.converged.median();
         zenith_p99 = series.converged.p99();

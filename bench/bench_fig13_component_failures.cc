@@ -2,6 +2,7 @@
 // Single failures: ZENITH median 1.9x and p99 3.4x lower than PR; with
 // concurrent component failures: 2.0x median, 3.2x tail.
 #include "bench_util.h"
+#include "chaos/parallel.h"
 #include "topo/generators.h"
 
 namespace zenith {
@@ -69,13 +70,30 @@ int main() {
 
   const ControllerKind kinds[] = {ControllerKind::kZenithNR,
                                   ControllerKind::kPr};
+  // Independent deterministic cells fan out over the bench thread pool;
+  // the tables print after the barrier in grid order (serial-identical).
+  struct Cell {
+    bool concurrent;
+    ControllerKind kind;
+  };
+  std::vector<Cell> cells;
+  for (bool concurrent : {false, true}) {
+    for (ControllerKind kind : kinds) cells.push_back({concurrent, kind});
+  }
+  std::vector<benchutil::TrialSeries> results(cells.size());
+  chaos::parallel_for(cells.size(), chaos::default_bench_threads(),
+                      [&](std::size_t i) {
+                        results[i] = run(cells[i].kind, cells[i].concurrent, 37);
+                      });
+
+  std::size_t cell = 0;
   for (bool concurrent : {false, true}) {
     std::printf("\n(%s) %s component failures:\n", concurrent ? "b" : "a",
                 concurrent ? "concurrent" : "single");
     TablePrinter table({"system", "median(s)", "p99(s)", "DNF", "samples"});
     double zenith_median = 0, zenith_p99 = 0;
     for (ControllerKind kind : kinds) {
-      benchutil::TrialSeries series = run(kind, concurrent, 37);
+      benchutil::TrialSeries series = results[cell++];
       if (kind == ControllerKind::kZenithNR && !series.converged.empty()) {
         zenith_median = series.converged.median();
         zenith_p99 = series.converged.p99();

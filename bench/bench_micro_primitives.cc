@@ -1,14 +1,26 @@
 // Microbenchmarks (google-benchmark) of the substrate primitives the
-// scenario benches are built on: simulator event dispatch, NIB writes,
-// queue operations, model-checker state fingerprints, NADIR value ops and
-// DAG compilation. Useful for spotting substrate regressions that would
-// skew the figure-level results.
+// scenario benches are built on: simulator event dispatch and cancel churn,
+// NIB writes and indexed status queries, queue operations, model-checker
+// state fingerprints, NADIR value ops and DAG compilation. Useful for
+// spotting substrate regressions that would skew the figure-level results.
+//
+// Flags (in addition to google-benchmark's own):
+//   --quick   cap per-benchmark min time so CI can smoke-test the binary;
+//   --json    also write BENCH_micro_primitives.json (items/sec and ns/op
+//             per benchmark, plus derived speedup ratios) for the committed
+//             baseline diff in scripts/ci.sh.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "dag/compiler.h"
 #include "mc/pipeline_model.h"
 #include "nadir/value.h"
 #include "nib/nib.h"
+#include "obs/bench_results.h"
 #include "sim/fifo.h"
 #include "sim/simulator.h"
 #include "topo/generators.h"
@@ -30,6 +42,29 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+// Event churn on a warm slab: schedule + cancel half + drain, the pattern
+// timers and retries produce. The slab kernel recycles pooled records, so
+// the steady state performs no per-event allocation for the cancel flag.
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  Simulator sim;
+  std::vector<Simulator::EventHandle> handles;
+  handles.reserve(static_cast<std::size_t>(state.range(0)));
+  int counter = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < state.range(0); ++i) {
+      handles.push_back(sim.schedule(micros(i % 64), [&counter] { ++counter; }));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      handles[i].cancel();
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChurn)->Arg(1000)->Arg(10000);
 
 void BM_NadirFifoPushPop(benchmark::State& state) {
   NadirFifo<int> fifo;
@@ -58,6 +93,66 @@ void BM_NibOpStatusWrite(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NibOpStatusWrite);
+
+/// Populates a NIB with `n` OPs spread over 32 switches; every 64th OP is
+/// kSent, the rest kDone — the steady-state shape of a long-running
+/// controller, where transient statuses are rare against the done history
+/// and the hot path queries exactly those rare statuses.
+Nib populated_nib(int n) {
+  Nib nib;
+  for (std::uint32_t sw = 0; sw < 32; ++sw) nib.register_switch(SwitchId(sw));
+  for (int i = 1; i <= n; ++i) {
+    Op op;
+    op.id = OpId(static_cast<std::uint32_t>(i));
+    op.type = OpType::kInstallRule;
+    op.sw = SwitchId(static_cast<std::uint32_t>(i % 32));
+    nib.preload_op(op, i % 64 == 0 ? OpStatus::kSent : OpStatus::kDone,
+                   /*in_view=*/false);
+  }
+  return nib;
+}
+
+// The hot-path status query, served by the per-status index: O(result).
+void BM_NibStatusQueryIndexed(benchmark::State& state) {
+  Nib nib = populated_nib(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nib.ops_with_status(OpStatus::kSent));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NibStatusQueryIndexed)->Arg(1000)->Arg(10000);
+
+// The pre-index strategy for comparison: a full O(|ops|) scan with a
+// per-op hash lookup plus the final sort, as ops_with_status worked
+// before the secondary indexes.
+void BM_NibStatusQueryScan(benchmark::State& state) {
+  Nib nib = populated_nib(static_cast<int>(state.range(0)));
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<OpId> out;
+    for (int i = 1; i <= n; ++i) {
+      OpId id(static_cast<std::uint32_t>(i));
+      if (nib.op_status(id) == OpStatus::kSent) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NibStatusQueryScan)->Arg(1000)->Arg(10000);
+
+// Multi-status per-switch query (the topo handler's reset scan shape):
+// one index merge over the per-switch x per-status sets.
+void BM_NibOpsOnSwitchIndexed(benchmark::State& state) {
+  Nib nib = populated_nib(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nib.ops_on_switch(
+        SwitchId(7), {OpStatus::kInFlight, OpStatus::kSent, OpStatus::kDone,
+                      OpStatus::kFailedSwitch}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NibOpsOnSwitchIndexed)->Arg(10000);
 
 void BM_McStateFingerprint(benchmark::State& state) {
   mc::PipelineModel model(mc::ModelConfig::table4_measurement_instance());
@@ -120,7 +215,84 @@ void BM_CompileReplacementDag(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileReplacementDag);
 
+/// Console reporter that additionally captures (benchmark -> items/sec,
+/// ns/op) so main() can emit BENCH_micro_primitives.json.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Sample {
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Sample sample;
+      sample.ns_per_op = run.GetAdjustedRealTime();
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) sample.items_per_second = it->second;
+      samples_[run.benchmark_name()] = sample;
+    }
+  }
+
+  const std::map<std::string, Sample>& samples() const { return samples_; }
+
+ private:
+  std::map<std::string, Sample> samples_;
+};
+
 }  // namespace
 }  // namespace zenith
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  // --quick caps min time per benchmark; injected before user flags so an
+  // explicit --benchmark_min_time still wins.
+  static char quick_flag[] = "--benchmark_min_time=0.05";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      passthrough.push_back(quick_flag);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+
+  zenith::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (json) {
+    zenith::obs::BenchResult bench("micro_primitives");
+    for (const auto& [name, sample] : reporter.samples()) {
+      // Benchmark names contain '/' (args); keep them verbatim — the JSON
+      // emitter escapes, and the diff tool matches on the full string.
+      bench.add(name + ".ns_per_op", sample.ns_per_op, "ns");
+      if (sample.items_per_second > 0.0) {
+        bench.add(name + ".items_per_sec", sample.items_per_second, "1/s");
+      }
+    }
+    // Derived headline ratio: indexed NIB status query vs the pre-index
+    // full scan at 10k OPs (the ISSUE-3 acceptance metric).
+    const auto& samples = reporter.samples();
+    auto indexed = samples.find("BM_NibStatusQueryIndexed/10000");
+    auto scan = samples.find("BM_NibStatusQueryScan/10000");
+    if (indexed != samples.end() && scan != samples.end() &&
+        indexed->second.ns_per_op > 0.0) {
+      bench.add("nib_status_query_speedup_10k",
+                scan->second.ns_per_op / indexed->second.ns_per_op, "x");
+    }
+    bench.add_note("mode", quick ? "quick" : "full");
+    std::string path = bench.write(".");
+    std::printf("wrote %s\n", path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: a Release build plus an ASan+UBSan Debug build, ctest on
-# both. Run from anywhere; build trees land in <repo>/build-ci-{release,asan}.
+# CI entry point: a Release build plus an ASan+UBSan Debug build with ctest
+# on both, a TSan build running the threaded suites, and a bench smoke that
+# diffs quick-run metrics against the committed baselines. Run from
+# anywhere; build trees land in <repo>/build-ci-{release,asan,tsan}.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -8,35 +10,58 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 run_suite() {
   local name="$1"
-  shift
+  local filter="$2"
+  shift 2
   local tree="$repo/build-ci-$name"
   echo "=== [$name] configure ==="
   cmake -B "$tree" -S "$repo" "$@"
   echo "=== [$name] build ==="
   cmake --build "$tree" -j "$jobs"
   echo "=== [$name] ctest ==="
-  ctest --test-dir "$tree" --output-on-failure
+  if [[ -n "$filter" ]]; then
+    ctest --test-dir "$tree" --output-on-failure -R "$filter"
+  else
+    ctest --test-dir "$tree" --output-on-failure
+  fi
 }
 
-run_suite release -DCMAKE_BUILD_TYPE=Release
-run_suite asan -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=ON
+run_suite release "" -DCMAKE_BUILD_TYPE=Release
+run_suite asan "" -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=address
+# TSan is restricted to the suites that actually spawn threads (the
+# ParallelRunner pool and the simulator slab it drives): everything else is
+# single-threaded by design and already covered above.
+run_suite tsan 'parallel_test|sim_test|chaos_test' \
+  -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=thread
 
 # Bench smoke: the benches are not part of ctest (full sweeps take minutes),
 # but CI still proves each --quick path runs, emits machine-readable
-# BENCH_*.json, and that the JSON actually parses.
+# BENCH_*.json that parses, and compares the quick-run metrics against the
+# committed baselines in bench/baselines/ (advisory: zenith_bench_diff warns
+# on >25% drift but never fails the build — hosts differ).
 bench_smoke() {
   local tree="$repo/build-ci-release"
   local scratch
   scratch="$(mktemp -d)"
   echo "=== [bench] smoke (--quick --json) in $scratch ==="
-  (cd "$scratch" && "$tree/bench/bench_chaos_coverage" --quick --json)
+  (cd "$scratch" && ZENITH_BENCH_THREADS="$jobs" \
+    "$tree/bench/bench_chaos_coverage" --quick --json)
+  (cd "$scratch" && "$tree/bench/bench_micro_primitives" --quick --json)
   (cd "$scratch" &&
     "$tree/bench/bench_fig10_trace_replay" --quick --json \
       --chrome-trace "$scratch/chrome_trace.json")
   "$tree/src/obs/zenith_json_check" "$scratch"/BENCH_*.json \
     "$scratch/chrome_trace.json"
+  echo "=== [bench] diff vs committed baselines (advisory) ==="
+  local name
+  for name in micro_primitives chaos_coverage; do
+    if [[ -f "$repo/bench/baselines/BENCH_$name.json" ]]; then
+      "$tree/src/obs/zenith_bench_diff" \
+        "$repo/bench/baselines/BENCH_$name.json" \
+        "$scratch/BENCH_$name.json" || true
+    fi
+  done
   rm -rf "$scratch"
 }
 bench_smoke
 
-echo "=== CI green: release + asan + bench smoke ==="
+echo "=== CI green: release + asan + tsan + bench smoke ==="

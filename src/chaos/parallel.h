@@ -1,0 +1,53 @@
+// ParallelRunner: runs independent deterministic simulations on a pool of
+// OS threads.
+//
+// Every chaos campaign (and every bench seed-sweep cell) is a pure function
+// of its config: it builds a private Simulator, Nib, fabric and workload and
+// shares no mutable state with any other run. That makes campaign-level
+// parallelism trivial and — crucially — *fingerprint-preserving*: a
+// campaign's verdict_digest, trace and metrics fingerprints are identical
+// whether it ran serially, on a pool of 2 threads, or on 16. The only
+// process-global the worker threads touch is the Logger singleton, which
+// they read but never write.
+//
+// Results are returned in submission order regardless of completion order,
+// so table output and downstream folds stay byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "chaos/campaign.h"
+
+namespace zenith::chaos {
+
+/// Worker-thread count for bench/test harnesses: $ZENITH_BENCH_THREADS when
+/// set (clamped to [1, 64]), else min(4, hardware_concurrency), else 1.
+std::size_t default_bench_threads();
+
+/// Runs body(0) .. body(n-1) on up to `threads` OS threads. Indexes are
+/// claimed from an atomic counter, so each runs exactly once; the call
+/// returns after all complete. With threads <= 1 (or n <= 1) the bodies run
+/// inline in the calling thread — no pool, identical observable behavior.
+/// The first exception thrown by any body is rethrown in the caller after
+/// the pool drains.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(std::size_t threads = default_bench_threads());
+
+  std::size_t threads() const { return threads_; }
+
+  /// Runs one independent campaign per config (ChaosCampaign(config).run())
+  /// and returns results in config order.
+  std::vector<CampaignResult> run_campaigns(
+      const std::vector<CampaignConfig>& configs) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace zenith::chaos

@@ -6,6 +6,8 @@
 // OPs into protocol messages (§3.2).
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
 
 #include "common/ids.h"
@@ -56,6 +58,43 @@ enum class OpStatus : std::uint8_t {
   kDone,        // Monitoring Server observed the ACK
   kFailedSwitch // target switch known dead when the worker processed it
 };
+
+/// Number of OpStatus values; sizes the NIB's per-status indexes.
+inline constexpr std::size_t kNumOpStatuses = 6;
+
+/// Bitmask over OpStatus values: the NIB's multi-status queries take one of
+/// these so an N-status filter costs one index merge instead of nested
+/// loops. Implicitly constructible from a single status or a braced list,
+/// so call sites read `ops_on_switch(sw, {kSent, kDone})`.
+class StatusMask {
+ public:
+  constexpr StatusMask() = default;
+  constexpr StatusMask(OpStatus s) : bits_(bit(s)) {}  // NOLINT: implicit
+  constexpr StatusMask(std::initializer_list<OpStatus> statuses) {
+    for (OpStatus s : statuses) bits_ |= bit(s);
+  }
+
+  constexpr bool contains(OpStatus s) const { return (bits_ & bit(s)) != 0; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr std::uint8_t bits() const { return bits_; }
+
+  constexpr StatusMask& operator|=(StatusMask other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  friend constexpr StatusMask operator|(StatusMask a, StatusMask b) {
+    a |= b;
+    return a;
+  }
+  friend constexpr bool operator==(StatusMask, StatusMask) = default;
+
+ private:
+  static constexpr std::uint8_t bit(OpStatus s) {
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(s));
+  }
+  std::uint8_t bits_ = 0;
+};
+static_assert(kNumOpStatuses <= 8, "StatusMask bits must cover every status");
 
 const char* to_string(OpType t);
 const char* to_string(OpStatus s);

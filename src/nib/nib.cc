@@ -20,11 +20,25 @@ void Nib::publish(const NibEvent& event) {
   for (EventSink sink : sinks_) sink->push(event);
 }
 
+void Nib::index_insert(OpId id, SwitchId sw, OpStatus status) {
+  auto slot = static_cast<std::size_t>(status);
+  by_status_[slot].insert(id);
+  by_switch_status_[sw][slot].insert(id);
+}
+
+void Nib::index_erase(OpId id, SwitchId sw, OpStatus status) {
+  auto slot = static_cast<std::size_t>(status);
+  by_status_[slot].erase(id);
+  auto it = by_switch_status_.find(sw);
+  if (it != by_switch_status_.end()) it->second[slot].erase(id);
+}
+
 void Nib::put_op(const Op& op) {
   assert(op.id.valid());
   auto [it, inserted] = ops_.emplace(op.id, op);
   if (inserted) {
     op_status_[op.id] = OpStatus::kNone;
+    index_insert(op.id, op.sw, OpStatus::kNone);
     ++write_count_;
   } else {
     assert(it->second == op && "op id reused with different payload");
@@ -41,52 +55,52 @@ void Nib::set_op_status(OpId id, OpStatus status) {
   ++write_count_;
   OpStatus& slot = op_status_[id];
   if (slot == status) return;
+  SwitchId sw = ops_.at(id).sw;
+  index_erase(id, sw, slot);
+  index_insert(id, sw, status);
   slot = status;
   NibEvent event;
   event.type = NibEvent::Type::kOpStatusChanged;
   event.op = id;
   event.op_status = status;
-  event.sw = ops_.at(id).sw;
+  event.sw = sw;
   publish(event);
 }
 
-std::vector<OpId> Nib::ops_on_switch(
-    SwitchId sw, std::initializer_list<OpStatus> filter) const {
+std::vector<OpId> Nib::ops_on_switch(SwitchId sw, StatusMask filter) const {
   std::vector<OpId> out;
-  for (const auto& [id, op] : ops_) {
-    if (op.sw != sw) continue;
-    OpStatus status = op_status(id);
-    for (OpStatus wanted : filter) {
-      if (status == wanted) {
-        out.push_back(id);
-        break;
-      }
-    }
+  auto it = by_switch_status_.find(sw);
+  if (it == by_switch_status_.end()) return out;
+  for (std::size_t s = 0; s < kNumOpStatuses; ++s) {
+    if (!filter.contains(static_cast<OpStatus>(s))) continue;
+    const std::set<OpId>& ids = it->second[s];
+    out.insert(out.end(), ids.begin(), ids.end());
   }
-  // Deterministic order for the callers that iterate (unordered_map order is
-  // not stable across platforms).
+  // Each per-status run is already ordered; merge them into the id-sorted
+  // order the scan-based implementation produced (ids are unique, so the
+  // result is byte-identical).
   std::sort(out.begin(), out.end());
   return out;
 }
 
 void Nib::preload_op(const Op& op, OpStatus status, bool in_view) {
-  ops_.emplace(op.id, op);
+  auto [it, inserted] = ops_.emplace(op.id, op);
+  if (!inserted) index_erase(op.id, it->second.sw, op_status_[op.id]);
   op_status_[op.id] = status;
+  index_insert(op.id, it->second.sw, status);
   if (in_view) view_[op.sw].insert(op.id);
   ++write_count_;
 }
 
 std::vector<OpId> Nib::ops_with_status(OpStatus status) const {
-  std::vector<OpId> out;
-  for (const auto& [id, s] : op_status_) {
-    if (s == status) out.push_back(id);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  const std::set<OpId>& ids = by_status_[static_cast<std::size_t>(status)];
+  return std::vector<OpId>(ids.begin(), ids.end());
 }
 
 void Nib::register_switch(SwitchId sw) {
-  switch_health_.emplace(sw, SwitchHealth::kUp);
+  if (switch_health_.emplace(sw, SwitchHealth::kUp).second) {
+    switches_cache_stale_ = true;
+  }
   view_.emplace(sw, std::unordered_set<OpId>{});
   ++write_count_;
 }
@@ -130,12 +144,15 @@ void Nib::set_link_up(LinkId link, bool up) {
   publish(event);
 }
 
-std::vector<SwitchId> Nib::switches() const {
-  std::vector<SwitchId> out;
-  out.reserve(switch_health_.size());
-  for (const auto& [sw, _] : switch_health_) out.push_back(sw);
-  std::sort(out.begin(), out.end());
-  return out;
+const std::vector<SwitchId>& Nib::switches() const {
+  if (switches_cache_stale_) {
+    switches_cache_.clear();
+    switches_cache_.reserve(switch_health_.size());
+    for (const auto& [sw, _] : switch_health_) switches_cache_.push_back(sw);
+    std::sort(switches_cache_.begin(), switches_cache_.end());
+    switches_cache_stale_ = false;
+  }
+  return switches_cache_;
 }
 
 void Nib::view_add_installed(SwitchId sw, OpId op) {

@@ -16,8 +16,10 @@
 // recoverable (§3.9 "state recording and crash recovery").
 #pragma once
 
+#include <array>
 #include <functional>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -56,11 +58,12 @@ class Nib {
   /// Writes the status and publishes kOpStatusChanged if it changed.
   void set_op_status(OpId id, OpStatus status);
 
-  /// All OPs targeting `sw` whose status is in `filter`.
-  std::vector<OpId> ops_on_switch(SwitchId sw,
-                                  std::initializer_list<OpStatus> filter) const;
+  /// All OPs targeting `sw` whose status is in `filter`, sorted by id.
+  /// Served from the per-switch x per-status index: O(result), not O(|ops|).
+  std::vector<OpId> ops_on_switch(SwitchId sw, StatusMask filter) const;
 
-  /// All OPs (any switch) currently in `status`, sorted by id.
+  /// All OPs (any switch) currently in `status`, sorted by id. Served from
+  /// the per-status index: O(result), not O(|ops|).
   std::vector<OpId> ops_with_status(OpStatus status) const;
 
   /// Bulk-load pre-existing state without publishing events (used to set up
@@ -79,7 +82,10 @@ class Nib {
   /// out of kUp (components care about usability, not the recovering
   /// sub-state).
   void set_switch_health(SwitchId sw, SwitchHealth health);
-  std::vector<SwitchId> switches() const;
+  /// All registered switches, sorted by id. The sorted vector is cached and
+  /// only rebuilt after register_switch — convergence probes call this in
+  /// loops, so re-sorting per call was a measurable hot path.
+  const std::vector<SwitchId>& switches() const;
 
   // ---- link/port health (topology state T_c, Table 2) -----------------------
 
@@ -128,11 +134,23 @@ class Nib {
   std::uint64_t write_count() const { return write_count_; }
 
  private:
+  /// Ordered OpId sets per status — one network-wide, one per switch. Kept
+  /// incrementally consistent with op_status_ by every status write, so the
+  /// hot-path queries (topo handler resets, controller audit, failover,
+  /// PR deadlock scans) are O(result) lookups instead of full-table scans.
+  using StatusIndex = std::array<std::set<OpId>, kNumOpStatuses>;
+
   void publish(const NibEvent& event);
+  void index_insert(OpId id, SwitchId sw, OpStatus status);
+  void index_erase(OpId id, SwitchId sw, OpStatus status);
 
   std::unordered_map<OpId, Op> ops_;
   std::unordered_map<OpId, OpStatus> op_status_;
+  StatusIndex by_status_;
+  std::unordered_map<SwitchId, StatusIndex> by_switch_status_;
   std::unordered_map<SwitchId, SwitchHealth> switch_health_;
+  mutable std::vector<SwitchId> switches_cache_;
+  mutable bool switches_cache_stale_ = false;
   std::unordered_set<LinkId> down_links_;
   std::unordered_map<SwitchId, std::unordered_set<OpId>> view_;
   std::unordered_map<DagId, Dag> dags_;

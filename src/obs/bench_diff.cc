@@ -1,0 +1,134 @@
+// zenith_bench_diff — compare a BENCH_*.json run against a committed
+// baseline. Usage:
+//
+//   zenith_bench_diff baseline.json current.json [--threshold PCT]
+//
+// Prints one line per metric with the baseline value, the current value and
+// the ratio, flagging metrics whose relative change exceeds the threshold
+// (default 25%). The tool is advisory: benchmark noise varies wildly across
+// container hosts, so CI treats its output as a warning signal, not a gate.
+// Exit codes: 0 on any successful comparison (including flagged deltas),
+// 2 when an input file is missing or contains no metrics.
+//
+// The scanner reads the exact shape obs::BenchResult emits — a
+// "measurements" array of {"metric":..., "value":..., "unit":...} objects —
+// rather than a general JSON parser (obs/json.h only emits and validates).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Extracts metric->value from a BenchResult JSON document by scanning for
+/// "metric":"<name>" ... "value":<number> pairs in order.
+std::map<std::string, double> scan_metrics(const std::string& text) {
+  std::map<std::string, double> out;
+  const std::string metric_key = "\"metric\":\"";
+  const std::string value_key = "\"value\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(metric_key, pos)) != std::string::npos) {
+    pos += metric_key.size();
+    std::string name;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;  // unescape
+      name.push_back(text[pos++]);
+    }
+    std::size_t value_at = text.find(value_key, pos);
+    if (value_at == std::string::npos) break;
+    out[name] = std::strtod(text.c_str() + value_at + value_key.size(),
+                            nullptr);
+  }
+  return out;
+}
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.25;
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr) / 100.0;
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: zenith_bench_diff baseline.json current.json "
+                 "[--threshold PCT]\n");
+    return 2;
+  }
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!read_file(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "cannot read baseline '%s'\n", baseline_path);
+    return 2;
+  }
+  if (!read_file(current_path, &current_text)) {
+    std::fprintf(stderr, "cannot read current '%s'\n", current_path);
+    return 2;
+  }
+  std::map<std::string, double> baseline = scan_metrics(baseline_text);
+  std::map<std::string, double> current = scan_metrics(current_text);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "no metrics found in baseline '%s'\n", baseline_path);
+    return 2;
+  }
+
+  std::printf("%-48s %14s %14s %8s\n", "metric", "baseline", "current",
+              "ratio");
+  std::size_t flagged = 0;
+  std::size_t compared = 0;
+  for (const auto& [name, base_value] : baseline) {
+    auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("%-48s %14.4g %14s %8s  MISSING\n", name.c_str(),
+                  base_value, "-", "-");
+      ++flagged;
+      continue;
+    }
+    ++compared;
+    double ratio = base_value != 0.0
+                       ? it->second / base_value
+                       : (it->second == 0.0 ? 1.0 : HUGE_VAL);
+    bool over = std::fabs(ratio - 1.0) > threshold;
+    std::printf("%-48s %14.4g %14.4g %7.2fx%s\n", name.c_str(), base_value,
+                it->second, ratio, over ? "  WARN" : "");
+    if (over) ++flagged;
+  }
+  for (const auto& [name, value] : current) {
+    if (baseline.count(name) == 0) {
+      std::printf("%-48s %14s %14.4g %8s  NEW\n", name.c_str(), "-", value,
+                  "-");
+    }
+  }
+  std::printf("%zu metric(s) compared, %zu outside ±%.0f%% of baseline\n",
+              compared, flagged, threshold * 100.0);
+  if (flagged > 0) {
+    std::printf("note: advisory only — benchmark hosts differ; re-baseline "
+                "with the commands in EXPERIMENTS.md if the shift is real\n");
+  }
+  return 0;
+}

@@ -1,28 +1,61 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
-#include <memory>
 #include <utility>
 
 namespace zenith {
 
+std::uint32_t Simulator::acquire_slot(Action action) {
+  if (free_head_ != kNoSlot) {
+    std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].action = std::move(action);
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  slots_.push_back(Slot{std::move(action), /*generation=*/0, kNoSlot});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& record = slots_[slot];
+  ++record.generation;       // invalidates handles and queued entries
+  record.action = nullptr;   // drop the closure's captures promptly
+  record.next_free = free_head_;
+  free_head_ = slot;
+}
+
 Simulator::EventHandle Simulator::schedule_at(SimTime when, Action action) {
   assert(when >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(action), cancelled});
-  return EventHandle(std::move(cancelled));
+  std::uint32_t slot = acquire_slot(std::move(action));
+  std::uint64_t generation = slots_[slot].generation;
+  queue_.push(QueuedEvent{when, next_seq_++, slot, generation});
+  return EventHandle(this, slot, generation);
+}
+
+bool Simulator::pop_top(Action* action) {
+  const QueuedEvent& top = queue_.top();
+  bool is_live = live(top.slot, top.generation);
+  if (is_live) {
+    // Move the action out and release the slot *before* running it: the
+    // action may schedule (reusing this slot) or cancel, and a self-cancel
+    // must be a harmless generation mismatch.
+    *action = std::move(slots_[top.slot].action);
+    release_slot(top.slot);
+  }
+  queue_.pop();
+  return is_live;
 }
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t executed = 0;
+  Action action;
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    // priority_queue::top() is const; move out via const_cast of a copy-free
-    // pattern: take a copy of the small members and move the action.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    if (!*ev.cancelled) {
-      ev.action();
+    now_ = queue_.top().when;
+    if (pop_top(&action)) {
+      action();
+      action = nullptr;  // match the old per-iteration closure lifetime
       ++executed;
       ++executed_;
     }
@@ -35,12 +68,12 @@ std::size_t Simulator::run_until(SimTime deadline) {
 
 std::size_t Simulator::run() {
   std::size_t executed = 0;
+  Action action;
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    if (!*ev.cancelled) {
-      ev.action();
+    now_ = queue_.top().when;
+    if (pop_top(&action)) {
+      action();
+      action = nullptr;  // match the old per-iteration closure lifetime
       ++executed;
       ++executed_;
     }

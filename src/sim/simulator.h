@@ -5,11 +5,19 @@
 // probes run as events on a single logical clock. Determinism comes from
 // (time, sequence-number) ordering of events; two runs with equal seeds are
 // identical.
+//
+// Scheduled actions live in a slab of pooled event records addressed by
+// generation-counted handles: the heap orders plain (time, seq, slot)
+// entries and cancellation is an O(1) generation bump, so the innermost
+// loop performs no per-event heap allocation beyond what the action's own
+// closure needs (the previous implementation allocated a shared_ptr<bool>
+// cancel flag per event and carried the std::function through the heap).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -20,21 +28,24 @@ namespace zenith {
 class Simulator {
  public:
   using Action = std::function<void()>;
-  /// Token that can cancel a scheduled event.
+  /// Token that can cancel a scheduled event. Handles are generation-
+  /// checked: once the event fires, is cancelled, or its slot is reused by
+  /// a later event, cancel() on a stale handle is a no-op. A handle must
+  /// not outlive its Simulator.
   class EventHandle {
    public:
     EventHandle() = default;
-    bool valid() const { return cancel_flag_ != nullptr; }
+    bool valid() const { return sim_ != nullptr; }
     /// Cancels the event if it has not fired yet. Safe to call repeatedly.
-    void cancel() {
-      if (cancel_flag_) *cancel_flag_ = true;
-    }
+    void cancel();
 
    private:
     friend class Simulator;
-    explicit EventHandle(std::shared_ptr<bool> flag)
-        : cancel_flag_(std::move(flag)) {}
-    std::shared_ptr<bool> cancel_flag_;
+    EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t generation)
+        : sim_(sim), slot_(slot), generation_(generation) {}
+    Simulator* sim_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t generation_ = 0;
   };
 
   Simulator() = default;
@@ -63,24 +74,61 @@ class Simulator {
 
   std::size_t executed_events() const { return executed_; }
 
+  /// Slab capacity (live + free pooled records); grows to the high-water
+  /// mark of concurrently scheduled events and is then reused. Exposed for
+  /// tests and the slab microbenchmark.
+  std::size_t slab_size() const { return slots_.size(); }
+
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Pooled event record. `generation` increments every time the slot is
+  /// released, invalidating outstanding handles and queue entries.
+  struct Slot {
+    Action action;
+    std::uint64_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Heap entry: 32 bytes, trivially movable, no ownership. The action
+  /// stays in the slab; `generation` detects slots released by cancel().
+  struct QueuedEvent {
     SimTime when;
     std::uint64_t seq;
-    Action action;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint64_t generation;
 
     // Min-heap by (when, seq): FIFO among simultaneous events.
-    bool operator>(const Event& other) const {
+    bool operator>(const QueuedEvent& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
+  std::uint32_t acquire_slot(Action action);
+  void release_slot(std::uint32_t slot);
+  /// True when the queue entry / handle still addresses the event it was
+  /// created for (the slot has not been cancelled, fired, or reused).
+  bool live(std::uint32_t slot, std::uint64_t generation) const {
+    return slots_[slot].generation == generation;
+  }
+  /// Pops the top entry; returns true (with the action moved out) when the
+  /// event is live, false when it was a cancelled slot's stale entry.
+  bool pop_top(Action* action);
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
+      queue_;
 };
+
+inline void Simulator::EventHandle::cancel() {
+  if (sim_ == nullptr || !sim_->live(slot_, generation_)) return;
+  sim_->release_slot(slot_);  // generation bump: the queue entry goes stale
+}
 
 }  // namespace zenith

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "chaos/campaign.h"
+#include "chaos/parallel.h"
 #include "chaos/shrink.h"
 #include "to/library.h"
 
@@ -95,6 +96,19 @@ TEST(ChaosCampaign, SweepFiftyCampaignsAcrossTopologiesDeterministically) {
   };
   constexpr std::uint64_t kSeeds = 18;  // 18 x 3 topologies = 54 campaigns
 
+  // The sweep runs on the ParallelRunner pool; every campaign is an
+  // independent deterministic simulation, so parallel execution must not
+  // perturb a single fingerprint (witness seeds are re-run serially below).
+  std::vector<CampaignConfig> configs;
+  for (const Entry& entry : topologies) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      configs.push_back(sweep_config(entry.kind, entry.size, seed));
+    }
+  }
+  ParallelRunner runner;
+  std::vector<CampaignResult> results = runner.run_campaigns(configs);
+  ASSERT_EQ(results.size(), configs.size());
+
   std::size_t campaigns = 0;
   std::set<std::uint64_t> fingerprints;
   struct Witness {
@@ -103,26 +117,26 @@ TEST(ChaosCampaign, SweepFiftyCampaignsAcrossTopologiesDeterministically) {
     std::uint64_t digest;
   };
   std::vector<Witness> witnesses;
-  for (const Entry& entry : topologies) {
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      ChaosCampaign campaign(sweep_config(entry.kind, entry.size, seed));
-      CampaignResult result = campaign.run();
-      ++campaigns;
-      EXPECT_TRUE(result.ok)
-          << to_string(entry.kind) << " seed " << seed << ": "
-          << result.summary();
-      EXPECT_GT(result.stats.faults_injected, 0u);
-      fingerprints.insert(result.schedule_fingerprint);
-      if (seed == 1) {
-        witnesses.push_back(
-            {entry, result.schedule_fingerprint, result.verdict_digest()});
-      }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CampaignResult& result = results[i];
+    const CampaignConfig& config = configs[i];
+    ++campaigns;
+    EXPECT_TRUE(result.ok)
+        << to_string(config.topology) << " seed " << config.seed << ": "
+        << result.summary();
+    EXPECT_GT(result.stats.faults_injected, 0u);
+    fingerprints.insert(result.schedule_fingerprint);
+    if (config.seed == 1) {
+      witnesses.push_back({{config.topology, config.topology_size},
+                           result.schedule_fingerprint,
+                           result.verdict_digest()});
     }
   }
   EXPECT_GE(campaigns, 50u);
   // Seeds decorrelate: near-every schedule is distinct.
   EXPECT_GT(fingerprints.size(), campaigns - 3);
-  // Re-running a witness seed reproduces schedule and verdict exactly.
+  // Re-running a witness seed *serially* reproduces schedule and verdict
+  // exactly — the serial-vs-parallel determinism contract.
   for (const Witness& witness : witnesses) {
     ChaosCampaign campaign(
         sweep_config(witness.entry.kind, witness.entry.size, 1));

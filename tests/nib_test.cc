@@ -1,5 +1,9 @@
+#include <algorithm>
+#include <map>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "nib/nib.h"
 
 namespace zenith {
@@ -165,6 +169,147 @@ TEST(NibTest, PreloadDoesNotPublishEvents) {
   EXPECT_TRUE(sink.empty());
   EXPECT_EQ(nib.op_status(OpId(1)), OpStatus::kDone);
   EXPECT_TRUE(nib.view_installed(SwitchId(0)).count(OpId(1)));
+}
+
+TEST(StatusMaskTest, SingleListAndUnionConstruction) {
+  StatusMask none;
+  EXPECT_TRUE(none.empty());
+  StatusMask sent = OpStatus::kSent;
+  EXPECT_TRUE(sent.contains(OpStatus::kSent));
+  EXPECT_FALSE(sent.contains(OpStatus::kDone));
+  StatusMask pair{OpStatus::kSent, OpStatus::kDone};
+  EXPECT_TRUE(pair.contains(OpStatus::kSent));
+  EXPECT_TRUE(pair.contains(OpStatus::kDone));
+  EXPECT_EQ(pair, StatusMask(OpStatus::kSent) | StatusMask(OpStatus::kDone));
+  StatusMask all{OpStatus::kNone,   OpStatus::kScheduled,
+                 OpStatus::kInFlight, OpStatus::kSent,
+                 OpStatus::kDone,   OpStatus::kFailedSwitch};
+  for (std::size_t s = 0; s < kNumOpStatuses; ++s) {
+    EXPECT_TRUE(all.contains(static_cast<OpStatus>(s)));
+  }
+}
+
+TEST(NibTest, EmptyStatusMaskMatchesNothing) {
+  Nib nib;
+  nib.put_op(make_op(1, 0));
+  EXPECT_TRUE(nib.ops_on_switch(SwitchId(0), StatusMask{}).empty());
+}
+
+TEST(NibTest, SwitchesCacheStaysSortedAcrossRegistrations) {
+  Nib nib;
+  EXPECT_TRUE(nib.switches().empty());
+  nib.register_switch(SwitchId(5));
+  nib.register_switch(SwitchId(1));
+  EXPECT_EQ(nib.switches(), (std::vector<SwitchId>{SwitchId(1), SwitchId(5)}));
+  nib.register_switch(SwitchId(3));
+  nib.register_switch(SwitchId(3));  // duplicate registration: no-op
+  EXPECT_EQ(nib.switches(),
+            (std::vector<SwitchId>{SwitchId(1), SwitchId(3), SwitchId(5)}));
+}
+
+// Randomized cross-check of the incrementally maintained status indexes
+// against a brute-force full-scan oracle: thousands of interleaved
+// put_op / set_op_status / preload_op / view_* calls, with every query
+// compared against recomputation from the oracle's flat tables.
+TEST(NibTest, IndexMatchesFullScanOracleUnderRandomizedChurn) {
+  constexpr std::uint32_t kSwitches = 9;
+  constexpr int kOpsPerRound = 40;
+  constexpr int kRounds = 60;
+
+  Nib nib;
+  for (std::uint32_t sw = 0; sw < kSwitches; ++sw) {
+    nib.register_switch(SwitchId(sw));
+  }
+
+  struct OracleEntry {
+    SwitchId sw;
+    OpStatus status = OpStatus::kNone;
+  };
+  std::map<OpId, OracleEntry> oracle;  // ordered: scans yield sorted ids
+  Rng rng(2024);
+  std::uint32_t next_id = 1;
+
+  auto oracle_ops_on_switch = [&](SwitchId sw, StatusMask mask) {
+    std::vector<OpId> out;
+    for (const auto& [id, entry] : oracle) {
+      if (entry.sw == sw && mask.contains(entry.status)) out.push_back(id);
+    }
+    return out;
+  };
+  auto oracle_ops_with_status = [&](OpStatus status) {
+    std::vector<OpId> out;
+    for (const auto& [id, entry] : oracle) {
+      if (entry.status == status) out.push_back(id);
+    }
+    return out;
+  };
+  auto random_status = [&] {
+    return static_cast<OpStatus>(rng.next_below(kNumOpStatuses));
+  };
+  auto random_known_op = [&]() -> OpId {
+    auto it = oracle.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng.next_below(oracle.size())));
+    return it->first;
+  };
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kOpsPerRound; ++i) {
+      switch (rng.next_below(oracle.empty() ? 2u : 5u)) {
+        case 0: {  // put_op: fresh op lands as kNone
+          Op op = make_op(next_id++, rng.next_below(kSwitches));
+          nib.put_op(op);
+          oracle[op.id] = {op.sw, OpStatus::kNone};
+          break;
+        }
+        case 1: {  // preload_op: bulk load with arbitrary status
+          Op op = make_op(next_id++, rng.next_below(kSwitches));
+          OpStatus status = random_status();
+          nib.preload_op(op, status, rng.next_below(2) == 0);
+          oracle[op.id] = {op.sw, status};
+          break;
+        }
+        case 2: {  // set_op_status on a live op
+          OpId id = random_known_op();
+          OpStatus status = random_status();
+          nib.set_op_status(id, status);
+          oracle[id].status = status;
+          break;
+        }
+        case 3: {  // view churn: must not perturb the status indexes
+          OpId id = random_known_op();
+          SwitchId sw = oracle[id].sw;
+          if (rng.next_below(2) == 0) {
+            nib.view_add_installed(sw, id);
+          } else {
+            nib.view_remove_installed(sw, id);
+          }
+          break;
+        }
+        case 4: {  // preload over an existing op: status move in the index
+          OpId id = random_known_op();
+          OpStatus status = random_status();
+          nib.preload_op(nib.op(id), status, false);
+          oracle[id].status = status;
+          break;
+        }
+      }
+    }
+    // Cross-check every query shape against the oracle scan.
+    OpStatus probe = random_status();
+    EXPECT_EQ(nib.ops_with_status(probe), oracle_ops_with_status(probe));
+    SwitchId sw(rng.next_below(kSwitches));
+    StatusMask single = random_status();
+    EXPECT_EQ(nib.ops_on_switch(sw, single), oracle_ops_on_switch(sw, single));
+    StatusMask multi{random_status(), random_status(), random_status()};
+    EXPECT_EQ(nib.ops_on_switch(sw, multi), oracle_ops_on_switch(sw, multi));
+    for (std::size_t s = 0; s < kNumOpStatuses; ++s) {
+      ASSERT_EQ(nib.ops_with_status(static_cast<OpStatus>(s)),
+                oracle_ops_with_status(static_cast<OpStatus>(s)))
+          << "status index diverged at round " << round << " status " << s;
+    }
+  }
+  ASSERT_GT(oracle.size(), 500u);  // the churn actually built a large table
 }
 
 TEST(NibTest, WriteCountAccounting) {

@@ -1,0 +1,115 @@
+// chaos::ParallelRunner tests: the serial-vs-parallel determinism contract
+// (identical verdict_digest / trace / metrics fingerprints), pool mechanics
+// (every index runs exactly once, results in submission order), and
+// exception propagation. This suite is the TSan target in scripts/ci.sh —
+// it exercises the codebase's only OS-level threads.
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/parallel.h"
+
+namespace zenith::chaos {
+namespace {
+
+CampaignConfig small_config(TopologyKind kind, std::size_t size,
+                            std::uint64_t seed) {
+  CampaignConfig config;
+  config.topology = kind;
+  config.topology_size = size;
+  config.seed = seed;
+  config.schedule.horizon = seconds(2);
+  config.schedule.fault_count = 6;
+  config.initial_flows = 3;
+  return config;
+}
+
+std::vector<CampaignConfig> seed_matrix() {
+  std::vector<CampaignConfig> configs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    configs.push_back(small_config(TopologyKind::kDiamond, 0, seed));
+    configs.push_back(small_config(TopologyKind::kB4, 0, seed));
+  }
+  return configs;
+}
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kJobs = 200;
+  std::vector<std::atomic<int>> hits(kJobs);
+  parallel_for(kJobs, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroJobsIsANoOp) {
+  parallel_for(0, 8, [&](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesAfterDrain) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(16, 4,
+                   [&](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool drains: one throwing body does not strand the others.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelRunner, ResultsMatchSerialFingerprintsExactly) {
+  std::vector<CampaignConfig> configs = seed_matrix();
+
+  std::vector<CampaignResult> serial;
+  for (const CampaignConfig& config : configs) {
+    ChaosCampaign campaign(config);
+    serial.push_back(campaign.run());
+  }
+
+  ParallelRunner runner(4);
+  std::vector<CampaignResult> parallel = runner.run_campaigns(configs);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("campaign " + std::to_string(i));
+    EXPECT_EQ(parallel[i].verdict_digest(), serial[i].verdict_digest());
+    EXPECT_EQ(parallel[i].schedule_fingerprint,
+              serial[i].schedule_fingerprint);
+    EXPECT_EQ(parallel[i].trace_fingerprint, serial[i].trace_fingerprint);
+    EXPECT_EQ(parallel[i].metrics_fingerprint,
+              serial[i].metrics_fingerprint);
+    EXPECT_EQ(parallel[i].ok, serial[i].ok);
+    EXPECT_EQ(parallel[i].stats.sim_events_executed,
+              serial[i].stats.sim_events_executed);
+  }
+}
+
+TEST(ParallelRunner, ThreadCountDoesNotChangeResults) {
+  std::vector<CampaignConfig> configs = seed_matrix();
+  std::vector<CampaignResult> one = ParallelRunner(1).run_campaigns(configs);
+  std::vector<CampaignResult> many = ParallelRunner(8).run_campaigns(configs);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].verdict_digest(), many[i].verdict_digest());
+  }
+}
+
+TEST(ParallelRunner, DefaultThreadsIsPositiveAndClamped) {
+  EXPECT_GE(default_bench_threads(), 1u);
+  EXPECT_LE(default_bench_threads(), 64u);
+  EXPECT_GE(ParallelRunner(0).threads(), 1u);  // 0 is clamped to serial
+}
+
+}  // namespace
+}  // namespace zenith::chaos
