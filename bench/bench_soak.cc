@@ -1,0 +1,136 @@
+// Million-OP soak + batching throughput comparison (the PR-4 stress tier).
+//
+// Two arms on the same fat-tree k=16 deployment and seed:
+//   bs=1   — the pre-batching pipeline shape (singleton dispatch), sized to
+//            reach steady state and measure baseline throughput;
+//   bs=16  — batched dispatch, driven for >= 1M converged OPs under light
+//            chaos with every invariant monitor armed (the soak proper).
+//
+// The headline JSON metric is batching_speedup_16v1: converged OPs per
+// simulated second, bs=16 over bs=1. At bs=1 the MonitoringServer's one-
+// reply-per-service-step discipline is the bottleneck (128 concurrent
+// same-wave flows x 20us/ack > path RTT); batching commits a whole
+// per-switch batch per step, so the soak's elephant-group workload should
+// clear >= 1.5x.
+//
+// Flags: --quick (small topology + 40k-OP arms for CI smoke), --json
+// (write BENCH_soak.json for scripts/ci.sh's baseline diff).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/soak.h"
+#include "obs/bench_results.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+struct ArmResult {
+  SoakResult soak;
+  double wall_seconds = 0.0;
+};
+
+ArmResult run_arm(std::size_t batch_size, std::size_t target_ops, bool quick) {
+  ExperimentConfig config;
+  config.seed = 20260807;
+  config.kind = ControllerKind::kZenithNR;
+  config.core.batch_size = batch_size;
+  config.poll_interval = millis(2);
+  config.scoped_convergence = true;
+
+  std::size_t k = quick ? 8 : 16;
+  Experiment exp(gen::fat_tree(k), config);
+  exp.start();
+
+  SoakConfig soak_config;
+  soak_config.seed = 97;
+  soak_config.target_ops = target_ops;
+  // Wide waves: ~1k concurrent flows put one ACK per in-flight flow into
+  // the MonitoringServer per dependency wave, so the singleton arm's one-
+  // reply-per-20us service discipline — not path RTT or per-switch service
+  // time — bounds throughput. Full mode spreads many groups across the
+  // k=16 edge layer (128 edge switches) with flows_per_group matched to
+  // the batch size; quick mode compresses onto fat_tree(8)'s 32 edges.
+  soak_config.groups = quick ? 16 : 64;
+  soak_config.flows_per_group = quick ? 32 : 16;
+  gen::FatTreeIndex index = gen::fat_tree_index(k);
+  for (std::size_t i = index.edge_begin; i < index.edge_end; ++i) {
+    soak_config.endpoints.push_back(SwitchId(static_cast<std::uint32_t>(i)));
+  }
+
+  SoakWorkload workload(&exp, soak_config);
+  auto wall_start = std::chrono::steady_clock::now();
+  ArmResult arm;
+  arm.soak = workload.run();
+  arm.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  return arm;
+}
+
+void print_arm(const char* label, const ArmResult& arm) {
+  const SoakResult& r = arm.soak;
+  std::printf(
+      "  %-6s ops=%zu rounds=%zu blips=%zu crashes=%zu timeouts=%zu "
+      "violations=%zu order=%s sim=%.1fs wall=%.0fs  ops/sim-s=%.0f\n",
+      label, r.ops_completed, r.rounds, r.switch_blips, r.component_crashes,
+      r.timeouts, r.invariant_violations, r.order_ok ? "ok" : "VIOLATED",
+      to_seconds(r.sim_elapsed), arm.wall_seconds, r.ops_per_sim_second());
+}
+
+}  // namespace
+}  // namespace zenith
+
+int main(int argc, char** argv) {
+  using namespace zenith;
+  benchutil::Options opts = benchutil::parse_options(argc, argv);
+
+  benchutil::banner(
+      "Soak: million-OP mixed install/delete churn, batched vs singleton",
+      "control plane stays consistent under sustained load; batching the "
+      "per-switch OP stream lifts throughput without changing outcomes");
+
+  // The bs=1 arm only needs enough rounds for a stable throughput estimate;
+  // the bs=16 arm is the soak proper and carries the >=1M-OP requirement.
+  std::size_t base_ops = opts.quick ? 40'000 : 200'000;
+  std::size_t soak_ops = opts.quick ? 40'000 : 1'000'000;
+
+  ArmResult bs1 = run_arm(1, base_ops, opts.quick);
+  print_arm("bs=1", bs1);
+  ArmResult bs16 = run_arm(16, soak_ops, opts.quick);
+  print_arm("bs=16", bs16);
+
+  double speedup = bs1.soak.ops_per_sim_second() > 0.0
+                       ? bs16.soak.ops_per_sim_second() /
+                             bs1.soak.ops_per_sim_second()
+                       : 0.0;
+  std::printf("\n  batching speedup (bs=16 / bs=1): %.2fx\n", speedup);
+
+  bool clean = bs1.soak.invariant_violations == 0 &&
+               bs16.soak.invariant_violations == 0 && bs1.soak.order_ok &&
+               bs16.soak.order_ok;
+  std::printf("  invariants: %s\n", clean ? "clean" : "VIOLATIONS SEEN");
+
+  if (opts.json) {
+    obs::BenchResult bench("soak");
+    bench.add_count("bs1.ops_completed", bs1.soak.ops_completed);
+    bench.add_count("bs16.ops_completed", bs16.soak.ops_completed);
+    bench.add_count("bs16.rounds", bs16.soak.rounds);
+    bench.add_count("bs16.switch_blips", bs16.soak.switch_blips);
+    bench.add_count("bs16.component_crashes", bs16.soak.component_crashes);
+    bench.add_count("invariant_violations",
+                    bs1.soak.invariant_violations +
+                        bs16.soak.invariant_violations);
+    bench.add("bs1.ops_per_sim_sec", bs1.soak.ops_per_sim_second(), "1/s");
+    bench.add("bs16.ops_per_sim_sec", bs16.soak.ops_per_sim_second(), "1/s");
+    bench.add("batching_speedup_16v1", speedup, "x");
+    bench.add("bs1.wall_seconds", bs1.wall_seconds, "s");
+    bench.add("bs16.wall_seconds", bs16.wall_seconds, "s");
+    bench.add_note("mode", opts.quick ? "quick" : "full");
+    bench.add_note("topology", opts.quick ? "fat_tree(8)" : "fat_tree(16)");
+    std::string path = bench.write(".");
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return clean ? 0 : 1;
+}

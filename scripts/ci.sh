@@ -33,6 +33,21 @@ run_suite asan "" -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=address
 run_suite tsan 'parallel_test|sim_test|chaos_test' \
   -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=thread
 
+# Stress tier (nightly-style): the `stress`-labeled suites re-run in Release
+# with a six-figure OP budget (plain ctest above already ran them with the
+# cheap default, keeping tier-1 flat), plus the batching-equivalence
+# property sweep under TSan — the batched dispatch path is the newest code
+# crossing the worker shards.
+stress_tier() {
+  echo "=== [stress] ctest -L stress (Release, ZENITH_SOAK_OPS=200000) ==="
+  ZENITH_SOAK_OPS=200000 \
+    ctest --test-dir "$repo/build-ci-release" --output-on-failure -L stress
+  echo "=== [stress] batching property sweep under TSan ==="
+  GTEST_FILTER='*BatchEquivalence*:*ChaosVerdictDeterminism*' \
+    ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -R property_test
+}
+stress_tier
+
 # Bench smoke: the benches are not part of ctest (full sweeps take minutes),
 # but CI still proves each --quick path runs, emits machine-readable
 # BENCH_*.json that parses, and compares the quick-run metrics against the
@@ -49,11 +64,12 @@ bench_smoke() {
   (cd "$scratch" &&
     "$tree/bench/bench_fig10_trace_replay" --quick --json \
       --chrome-trace "$scratch/chrome_trace.json")
+  (cd "$scratch" && "$tree/bench/bench_soak" --quick --json)
   "$tree/src/obs/zenith_json_check" "$scratch"/BENCH_*.json \
     "$scratch/chrome_trace.json"
   echo "=== [bench] diff vs committed baselines (advisory) ==="
   local name
-  for name in micro_primitives chaos_coverage; do
+  for name in micro_primitives chaos_coverage soak; do
     if [[ -f "$repo/bench/baselines/BENCH_$name.json" ]]; then
       "$tree/src/obs/zenith_bench_diff" \
         "$repo/bench/baselines/BENCH_$name.json" \

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates the golden-fingerprint regression corpus
+# (tests/golden/FINGERPRINTS.json) from the scenario set in
+# tests/golden_scenarios.h. Run after an INTENDED behaviour change, then
+# review the JSON diff like any other semantic change before committing.
+#
+# Usage: scripts/update_golden.sh [build-dir]   (default: <repo>/build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+tree="${1:-$repo/build}"
+
+if [[ ! -d "$tree" ]]; then
+  cmake -B "$tree" -S "$repo"
+fi
+cmake --build "$tree" --target golden_gen -j "$(nproc 2>/dev/null || echo 4)"
+
+out="$repo/tests/golden/FINGERPRINTS.json"
+mkdir -p "$(dirname "$out")"
+"$tree/tests/golden_gen" > "$out.tmp"
+mv "$out.tmp" "$out"
+echo "wrote $out"
+git -C "$repo" diff --stat -- tests/golden/FINGERPRINTS.json || true

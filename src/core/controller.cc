@@ -1,5 +1,7 @@
 #include "core/controller.h"
 
+#include <unordered_map>
+
 #include "common/logging.h"
 #include "obs/obs.h"
 
@@ -14,7 +16,7 @@ ZenithController::ZenithController(Simulator* sim, Fabric* fabric,
   ctx_.op_ids = &op_ids_;
 
   for (std::size_t i = 0; i < config.num_workers; ++i) {
-    ctx_.op_queues.push_back(std::make_unique<NadirFifo<OpId>>());
+    ctx_.op_queues.push_back(std::make_unique<NadirFifo<OpBatch>>());
   }
   for (std::size_t i = 0; i < config.num_sequencers; ++i) {
     ctx_.sequencer_wakeups.push_back(std::make_unique<NadirFifo<NibEvent>>());
@@ -106,10 +108,16 @@ void ZenithController::crash_ofc() {
     c->set_held(true);
   }
   // Volatile OFC queues and controller-side sockets die with the instance.
+  // Dropping *in-flight* replies (not just the queued ones) matters: an ACK
+  // still on the wire belongs to the dead instance's sockets, and letting it
+  // reach the standby would commit an OP the takeover is about to requeue —
+  // the requeued copy then gets processed a second time (a DONE->SENT flap;
+  // see OfcCrashMidBatchRequeuesExactlyOnce). The planned non-drain failover
+  // models the same socket loss the same way.
   ctx_.topo_event_queue.clear();
   ctx_.cleanup_reply_queue.clear();
   ctx_.role_reply_queue.clear();
-  ctx_.fabric->replies().clear();
+  ctx_.fabric->drop_all_in_flight_replies();
   ctx_.fabric->health_events().clear();
   ctx_.workers_paused = false;
   ctx_.sim->schedule(ctx_.config.failover_takeover_delay,
@@ -121,6 +129,13 @@ void ZenithController::ofc_takeover() {
   if (ctx_.observability != nullptr) {
     ctx_.observability->event("controller", "ofc-takeover");
   }
+  // The standby's sockets are established *now*: replies the switches
+  // emitted during the outage window (ACKs for requests that were still on
+  // the wire when the old instance died) were addressed to the dead
+  // instance and never reach this one. Without this second drop they would
+  // commit OPs this takeover is about to requeue — the same ghost-ACK race
+  // the crash-time drop closes for replies already in flight back then.
+  ctx_.fabric->drop_all_in_flight_replies();
   std::vector<Component*> ofc = worker_pool_->components();
   ofc.push_back(monitoring_.get());
   ofc.push_back(topo_handler_.get());
@@ -131,7 +146,20 @@ void ZenithController::ofc_takeover() {
   }
   // OPs whose ACK was lost with the old instance sit in SENT forever unless
   // re-issued; installs and deletes are idempotent by OP id, so the new
-  // instance re-sends all of them (§B's sanctioned duplicate case).
+  // instance re-sends all of them (§B's sanctioned duplicate case). Each OP
+  // is re-enqueued exactly once, re-coalesced into per-switch batches of at
+  // most batch_size so the retry traffic keeps the dispatch shape of the
+  // run (ops_with_status returns ids sorted, preserving per-switch order).
+  const std::size_t batch_size =
+      ctx_.config.batch_size == 0 ? 1 : ctx_.config.batch_size;
+  std::unordered_map<std::uint32_t, OpBatch> pending;
+  std::vector<std::uint32_t> flush_order;
+  auto flush = [this](OpBatch& b) {
+    if (b.ops.empty()) return;
+    SwitchId sw = b.sw;
+    ctx_.op_queue_for(sw).push(OpBatch{sw, std::move(b.ops)});
+    b.ops.clear();
+  };
   for (OpId id : nib_.ops_with_status(OpStatus::kSent)) {
     const Op& op = nib_.op(id);
     nib_.set_op_status(id, OpStatus::kScheduled);
@@ -139,8 +167,15 @@ void ZenithController::ofc_takeover() {
       ctx_.observability->op_stage(id, "controller", "op-requeue",
                                    "reason=ofc-takeover");
     }
-    ctx_.op_queue_for(op.sw).push(id);
+    OpBatch& batch = pending[op.sw.value()];
+    if (batch.ops.empty()) {
+      batch.sw = op.sw;
+      flush_order.push_back(op.sw.value());
+    }
+    batch.ops.push_back(id);
+    if (batch.ops.size() >= batch_size) flush(batch);
   }
+  for (std::uint32_t sw : flush_order) flush(pending[sw]);
 }
 
 void ZenithController::crash_de() {

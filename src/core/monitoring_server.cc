@@ -89,6 +89,35 @@ bool MonitoringServer::process_reply() {
         ctx_->observability->op_stage(
             op.id, name(), "op-ack", "sw=" + std::to_string(reply.sw.value()));
         ctx_->observability->op_closed(op.id, name(), "done");
+        ctx_->observability->batch_committed(reply.sw, 1);
+      }
+      break;
+    }
+    case SwitchReply::Type::kBatchAck: {
+      // One reply closes a whole dispatch batch: the per-reply service step
+      // is amortized over batch.size() OPs, and the NIB commits them as a
+      // single transaction. This amortization is the batching throughput
+      // win bench_soak measures.
+      std::vector<Op> known;
+      known.reserve(reply.batch.size());
+      for (const Op& op : reply.batch) {
+        if (nib.has_op(op.id)) {
+          known.push_back(op);
+        } else if (ctx_->observability != nullptr) {
+          // Same orphan rule as kAck: reconciliation owns entries a previous
+          // master installed.
+          ctx_->observability->count("orphan_acks");
+        }
+      }
+      nib.commit_ack_batch(reply.sw, known);
+      if (ctx_->observability != nullptr) {
+        for (const Op& op : known) {
+          ctx_->observability->op_stage(
+              op.id, name(), "op-ack",
+              "sw=" + std::to_string(reply.sw.value()));
+          ctx_->observability->op_closed(op.id, name(), "done");
+        }
+        ctx_->observability->batch_committed(reply.sw, reply.batch.size());
       }
       break;
     }

@@ -1,5 +1,8 @@
 #include "core/sequencer.h"
 
+#include <unordered_map>
+#include <utility>
+
 #include "common/logging.h"
 #include "obs/obs.h"
 
@@ -46,7 +49,22 @@ bool Sequencer::try_step() {
 
 std::size_t Sequencer::schedule_ready_ops(const Dag& dag) {
   Nib& nib = *ctx_->nib;
+  const std::size_t batch_size =
+      ctx_->config.batch_size == 0 ? 1 : ctx_->config.batch_size;
   std::size_t scheduled = 0;
+  // Per-switch pending batch of this scan, flushed when full and again at
+  // scan end in first-seen switch order. At batch_size=1 every OP flushes
+  // inline at the point the unbatched code pushed it, so the queue contents
+  // (as a flat OP sequence) are byte-identical to the pre-batching pipeline
+  // and the scan-end sweep never finds leftovers.
+  std::unordered_map<std::uint32_t, OpBatch> pending;
+  std::vector<std::uint32_t> flush_order;
+  auto flush = [this](OpBatch& b) {
+    if (b.ops.empty()) return;
+    SwitchId sw = b.sw;
+    ctx_->op_queue_for(sw).push(OpBatch{sw, std::move(b.ops)});
+    b.ops.clear();
+  };
   for (OpId id : dag.op_ids()) {
     if (nib.op_status(id) != OpStatus::kNone) continue;
     bool ready = true;
@@ -63,9 +81,18 @@ std::size_t Sequencer::schedule_ready_ops(const Dag& dag) {
     if (ctx_->observability != nullptr) {
       ctx_->observability->op_scheduled(id, dag.id(), op.sw, name());
     }
-    ctx_->op_queue_for(op.sw).push(id);
+    OpBatch& batch = pending[op.sw.value()];
+    if (batch.ops.empty()) {
+      batch.sw = op.sw;
+      flush_order.push_back(op.sw.value());
+    }
+    batch.ops.push_back(id);
+    // A switch that refills after a flush lands in flush_order again; the
+    // scan-end sweep tolerates that because flush() skips empty batches.
+    if (batch.ops.size() >= batch_size) flush(batch);
     ++scheduled;
   }
+  for (std::uint32_t sw : flush_order) flush(pending[sw]);
   return scheduled;
 }
 

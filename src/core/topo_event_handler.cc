@@ -104,7 +104,7 @@ void TopoEventHandler::issue_cleanup(SwitchId sw) {
   }
   // Figure A.5 step 3: the cleanup request goes onto the OP queue and
   // traverses the Worker Pool like any other OP.
-  ctx_->op_queue_for(sw).push(cleanup.id);
+  ctx_->enqueue_op(sw, cleanup.id);
 }
 
 bool TopoEventHandler::newer_cleanup_pending(SwitchId sw, OpId acked) const {
@@ -250,7 +250,7 @@ void TopoEventHandler::apply_directed_diff(const SwitchReply& dump) {
         ctx_->observability->op_scheduled(del.id, DagId::invalid(), sw,
                                           name());
       }
-      ctx_->op_queue_for(sw).push(del.id);
+      ctx_->enqueue_op(sw, del.id);
     }
   }
   // (b) OPs the NIB believed present/in-flight that the dump disproves.

@@ -36,23 +36,38 @@ void Worker::forward(const Op& op) {
   ctx_->fabric->send(op.sw, request);
 }
 
+void Worker::forward_batch(SwitchId sw, const std::vector<Op>& ops) {
+  if (ctx_->observability != nullptr) {
+    ctx_->observability->batch_dispatched(sw, ops.size());
+  }
+  if (ops.size() == 1) {
+    forward(ops.front());
+    return;
+  }
+  SwitchRequest request;
+  request.type = SwitchRequest::Type::kBatch;
+  request.xid = ops.front().id.value();
+  request.batch = ops;
+  ctx_->fabric->send(sw, request);
+}
+
 bool Worker::try_step() {
   if (ctx_->workers_paused) return false;
   const SpecBugs& bugs = ctx_->config.bugs;
-  NadirFifo<OpId>& queue = *ctx_->op_queues.at(id_.value());
+  NadirFifo<OpBatch>& queue = *ctx_->op_queues.at(id_.value());
 
   if (bugs.pop_before_process) {
     // Buggy two-phase discipline: dequeue now, process on the next step.
-    // The OP is held only in volatile local state in between — a crash in
-    // that window silently drops it (no NIB record, no queue entry).
-    if (popped_op_.has_value()) {
-      OpId op_id = *popped_op_;
-      popped_op_.reset();
-      process(op_id);
+    // The batch is held only in volatile local state in between — a crash
+    // in that window silently drops it (no NIB record, no queue entry).
+    if (popped_batch_.has_value()) {
+      OpBatch batch = std::move(*popped_batch_);
+      popped_batch_.reset();
+      process(batch);
       return true;
     }
     if (queue.empty()) return false;
-    popped_op_ = queue.pop();
+    popped_batch_ = queue.pop();
     return true;
   }
 
@@ -61,40 +76,53 @@ bool Worker::try_step() {
   return true;
 }
 
-void Worker::process(OpId op_id) {
-  NadirFifo<OpId>& queue = *ctx_->op_queues.at(id_.value());
+void Worker::process(const OpBatch& batch) {
+  NadirFifo<OpBatch>& queue = *ctx_->op_queues.at(id_.value());
   Nib& nib = *ctx_->nib;
   const SpecBugs& bugs = ctx_->config.bugs;
-  const Op& op = nib.op(op_id);
 
-  // Record in-progress state first (Listing 3 line 7) so crash recovery can
-  // see a half-processed OP.
-  nib.set_worker_state(id_, op_id);
+  // Record-before-act, per OP (Listing 3 line 7): each OP's in-progress slot
+  // and its SENT status land in the NIB before the message carrying it goes
+  // out. The health gate is evaluated per OP, but a sequencer batch targets
+  // one switch, so in practice the whole batch goes one way.
+  std::vector<Op> to_send;
+  to_send.reserve(batch.ops.size());
+  for (OpId op_id : batch.ops) {
+    const Op& op = nib.op(op_id);
+    nib.set_worker_state(id_, op_id);
+    // CLEAR_TCAM (and DR dumps) are exempt from the health gate: P7 "the
+    // instruction to clear a switch is an exception".
+    bool health_exempt =
+        op.type == OpType::kClearTcam || op.type == OpType::kDumpTable;
+    if (health_exempt || nib.switch_up(op.sw)) {
+      if (!bugs.send_before_record) {
+        // Listing 3 ordering: UpdateNIBSend, then ForwardOP.
+        nib.set_op_status(op_id, OpStatus::kSent);
+      }
+      to_send.push_back(op);
+    } else {
+      // Report failure if switch is dead (UpdateNIBFail).
+      nib.set_op_status(op_id, OpStatus::kFailedSwitch);
+      if (ctx_->observability != nullptr) {
+        ctx_->observability->op_closed(op_id, name(), "failed-switch");
+      }
+    }
+  }
 
-  // CLEAR_TCAM (and DR dumps) are exempt from the health gate: P7 "the
-  // instruction to clear a switch is an exception".
-  bool health_exempt =
-      op.type == OpType::kClearTcam || op.type == OpType::kDumpTable;
-  if (health_exempt || nib.switch_up(op.sw)) {
+  if (!to_send.empty()) {
+    forward_batch(batch.sw, to_send);
     if (bugs.send_before_record) {
       // Listing 1 ordering: ForwardOP before UpdateNIBSend. A crash (or a
       // fast ACK) between the two lines leaves the NIB stale.
-      forward(op);
-      nib.set_op_status(op_id, OpStatus::kSent);
-    } else {
-      // Listing 3 ordering: UpdateNIBSend, then ForwardOP.
-      nib.set_op_status(op_id, OpStatus::kSent);
-      forward(op);
+      for (const Op& op : to_send) {
+        nib.set_op_status(op.id, OpStatus::kSent);
+      }
     }
     if (ctx_->observability != nullptr) {
-      ctx_->observability->op_stage(op_id, name(), "op-send",
-                                    "sw=" + std::to_string(op.sw.value()));
-    }
-  } else {
-    // Report failure if switch is dead (UpdateNIBFail).
-    nib.set_op_status(op_id, OpStatus::kFailedSwitch);
-    if (ctx_->observability != nullptr) {
-      ctx_->observability->op_closed(op_id, name(), "failed-switch");
+      for (const Op& op : to_send) {
+        ctx_->observability->op_stage(
+            op.id, name(), "op-send", "sw=" + std::to_string(op.sw.value()));
+      }
     }
   }
 
@@ -103,7 +131,7 @@ void Worker::process(OpId op_id) {
   if (!bugs.pop_before_process) queue.ack_pop();
 }
 
-void Worker::on_crash() { popped_op_.reset(); }
+void Worker::on_crash() { popped_batch_.reset(); }
 
 void Worker::on_restart() {
   // WorkerPoolStateRecovery (Listing 3 line 4): if the in-progress slot is

@@ -28,8 +28,8 @@ class Worker : public Component {
   WorkerId worker_id() const { return id_; }
 
   /// Test observability: true while the (buggy) two-phase discipline holds
-  /// a dequeued OP in volatile local state.
-  bool holding_popped_op() const { return popped_op_.has_value(); }
+  /// a dequeued batch in volatile local state.
+  bool holding_popped_op() const { return popped_batch_.has_value(); }
 
  protected:
   bool try_step() override;
@@ -38,14 +38,18 @@ class Worker : public Component {
 
  private:
   void forward(const Op& op);
-  void process(OpId op_id);
+  /// Sends install/delete OPs for one switch as a single kBatch message; a
+  /// singleton degenerates to forward() so batch_size=1 keeps the classic
+  /// per-OP wire protocol bit for bit.
+  void forward_batch(SwitchId sw, const std::vector<Op>& ops);
+  void process(const OpBatch& batch);
 
   CoreContext* ctx_;
   WorkerId id_;
-  /// pop-before-process bug only: the dequeued-but-unprocessed OP lives in
-  /// volatile local state for one service step — a crash in that window
+  /// pop-before-process bug only: the dequeued-but-unprocessed batch lives
+  /// in volatile local state for one service step — a crash in that window
   /// loses it (the §3.9 "event processing" error class).
-  std::optional<OpId> popped_op_;
+  std::optional<OpBatch> popped_batch_;
 };
 
 /// Owns the workers and offers pool-level crash/restart (partial CP failure

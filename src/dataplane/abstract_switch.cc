@@ -19,9 +19,16 @@ void AbstractSwitch::schedule_service() {
   // Service time: dump cost scales with table size, everything else is the
   // per-op service constant (plus a little jitter so runs are not lockstep).
   const SwitchRequest& head = in_queue_.peek();
-  SimTime service = head.type == SwitchRequest::Type::kDumpTable
-                        ? timings_.dump_cost(table_.size())
-                        : timings_.op_service;
+  SimTime service;
+  if (head.type == SwitchRequest::Type::kDumpTable) {
+    service = timings_.dump_cost(table_.size());
+  } else if (head.type == SwitchRequest::Type::kBatch) {
+    // A batch costs the sum of its OPs' service times — batching amortizes
+    // the message/ACK round trip, not the TCAM write itself.
+    service = timings_.op_service * static_cast<SimTime>(head.batch.size());
+  } else {
+    service = timings_.op_service;
+  }
   service += static_cast<SimTime>(
       rng_.next_below(static_cast<std::uint64_t>(timings_.op_service / 4 + 1)));
   sim_->schedule(service, [this] { service_one(); });
@@ -38,42 +45,57 @@ void AbstractSwitch::service_one() {
   schedule_service();
 }
 
+void AbstractSwitch::apply_rule_op(const Op& op) {
+  if (op.type == OpType::kInstallRule) {
+    // Re-install of the same OP id overwrites in place (idempotent).
+    auto it = std::find_if(
+        table_.begin(), table_.end(),
+        [&](const TableEntry& e) { return e.installed_by == op.id; });
+    if (it == table_.end()) {
+      table_.push_back(TableEntry{op.id, op.rule});
+    } else {
+      it->rule = op.rule;
+    }
+    if (!first_install_time_.count(op.id)) {
+      first_install_time_[op.id] = sim_->now();
+      if (install_observer_) install_observer_(id_, op.id, sim_->now());
+    }
+  } else {
+    assert(op.type == OpType::kDeleteRule);
+    auto it = std::find_if(table_.begin(), table_.end(),
+                           [&](const TableEntry& e) {
+                             return e.installed_by == op.delete_target;
+                           });
+    if (it != table_.end()) table_.erase(it);
+    // Deleting an absent rule is fine: the post-state ("rule not present")
+    // holds either way, and OpenFlow delete is idempotent.
+  }
+  if (apply_observer_) apply_observer_(id_, op);
+}
+
 void AbstractSwitch::apply(const SwitchRequest& request) {
   SwitchReply reply;
   reply.sw = id_;
   reply.xid = request.xid;
   reply.op = request.op;
   switch (request.type) {
-    case SwitchRequest::Type::kInstall: {
-      assert(request.op.type == OpType::kInstallRule);
-      // Re-install of the same OP id overwrites in place (idempotent).
-      auto it = std::find_if(table_.begin(), table_.end(),
-                             [&](const TableEntry& e) {
-                               return e.installed_by == request.op.id;
-                             });
-      if (it == table_.end()) {
-        table_.push_back(TableEntry{request.op.id, request.op.rule});
-      } else {
-        it->rule = request.op.rule;
-      }
-      if (!first_install_time_.count(request.op.id)) {
-        first_install_time_[request.op.id] = sim_->now();
-        if (install_observer_) {
-          install_observer_(id_, request.op.id, sim_->now());
-        }
-      }
+    case SwitchRequest::Type::kInstall:
+    case SwitchRequest::Type::kDelete: {
+      assert(request.type == SwitchRequest::Type::kInstall
+                 ? request.op.type == OpType::kInstallRule
+                 : request.op.type == OpType::kDeleteRule);
+      apply_rule_op(request.op);
       reply.type = SwitchReply::Type::kAck;
       break;
     }
-    case SwitchRequest::Type::kDelete: {
-      auto it = std::find_if(table_.begin(), table_.end(),
-                             [&](const TableEntry& e) {
-                               return e.installed_by == request.op.delete_target;
-                             });
-      if (it != table_.end()) table_.erase(it);
-      // Deleting an absent rule still ACKs: the post-state ("rule not
-      // present") holds either way, and OpenFlow delete is idempotent.
-      reply.type = SwitchReply::Type::kAck;
+    case SwitchRequest::Type::kBatch: {
+      // One request, many OPs: apply each in order, ACK once for all of
+      // them. Per A3 the batch-ACK is only emitted below, after every
+      // element took effect.
+      assert(!request.batch.empty());
+      for (const Op& op : request.batch) apply_rule_op(op);
+      reply.type = SwitchReply::Type::kBatchAck;
+      reply.batch = request.batch;
       break;
     }
     case SwitchRequest::Type::kClearTcam: {

@@ -62,6 +62,12 @@ class AbstractSwitch {
   /// harness to check CorrectDAGOrder (correctness condition ①).
   using InstallObserver = std::function<void(SwitchId, OpId, SimTime)>;
 
+  /// Callback observing every applied install/delete OP (including
+  /// re-applies and every element of a batch), in application order. The
+  /// per-switch application sequence it sees is the delivery-order artifact
+  /// the batching determinism contract is asserted over.
+  using ApplyObserver = std::function<void(SwitchId, const Op&)>;
+
   AbstractSwitch(Simulator* sim, SwitchId id, Rng rng,
                  SwitchTimings timings = {});
 
@@ -78,6 +84,9 @@ class AbstractSwitch {
   }
   void set_install_observer(InstallObserver observer) {
     install_observer_ = std::move(observer);
+  }
+  void set_apply_observer(ApplyObserver observer) {
+    apply_observer_ = std::move(observer);
   }
 
   // ---- data plane inspection (used by the traffic model & checkers) -------
@@ -112,6 +121,9 @@ class AbstractSwitch {
   void schedule_service();
   void service_one();
   void apply(const SwitchRequest& request);
+  /// Applies one install/delete OP to the table (shared by the per-OP and
+  /// the batch path); fires the observers but emits no reply.
+  void apply_rule_op(const Op& op);
 
   Simulator* sim_;
   SwitchId id_;
@@ -123,6 +135,7 @@ class AbstractSwitch {
   NadirFifo<SwitchRequest> in_queue_;
   std::function<void(SwitchReply)> reply_sink_;
   InstallObserver install_observer_;
+  ApplyObserver apply_observer_;
   std::vector<TableEntry> table_;
   std::unordered_map<OpId, SimTime> first_install_time_;
 };

@@ -16,6 +16,7 @@ const char* request_name(SwitchRequest::Type type) {
     case SwitchRequest::Type::kClearTcam: return "clear-tcam";
     case SwitchRequest::Type::kDumpTable: return "dump-table";
     case SwitchRequest::Type::kRoleChange: return "role-change";
+    case SwitchRequest::Type::kBatch: return "batch";
   }
   return "unknown";
 }
@@ -180,6 +181,10 @@ void Fabric::drop_all_in_flight_replies() {
 
 void Fabric::set_install_observer(AbstractSwitch::InstallObserver observer) {
   for (auto& sw : switches_) sw->set_install_observer(observer);
+}
+
+void Fabric::set_apply_observer(AbstractSwitch::ApplyObserver observer) {
+  for (auto& sw : switches_) sw->set_apply_observer(observer);
 }
 
 }  // namespace zenith

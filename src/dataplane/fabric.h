@@ -85,6 +85,11 @@ class Fabric {
   /// switch; used by the DAG-order checker).
   void set_install_observer(AbstractSwitch::InstallObserver observer);
 
+  /// Observer invoked on every applied install/delete OP anywhere (batch
+  /// elements included, in application order); used by the batching
+  /// determinism tests to record per-switch delivery order.
+  void set_apply_observer(AbstractSwitch::ApplyObserver observer);
+
   /// Attaches the observability bundle (null = uninstrumented): fabric sends,
   /// reply drops, and fault injections become recorded events/counters.
   void set_observability(obs::Observability* o) { obs_ = o; }

@@ -28,11 +28,17 @@ struct SwitchRequest {
     kClearTcam,
     kDumpTable,
     kRoleChange,
+    /// A per-switch OP batch (install/delete only): the switch applies each
+    /// OP of `batch` in order, then emits one kBatchAck. Never used for
+    /// singleton batches — those travel as plain kInstall/kDelete so that
+    /// batch_size=1 is byte-identical to the unbatched protocol.
+    kBatch,
   };
 
   Type type = Type::kInstall;
   std::uint64_t xid = 0;  // request id echoed in the reply
   Op op;                  // kInstall / kDelete (and ClearTcam carries op.id)
+  std::vector<Op> batch;  // kBatch: the OPs in per-switch FIFO order
   int role = 0;           // kRoleChange: the new master controller instance
 };
 
@@ -48,12 +54,17 @@ struct SwitchReply {
     kAck,         // OP applied (install/delete/clear)
     kDumpReply,
     kRoleAck,
+    /// One ACK for a whole kBatch request. A3 still holds batch-wide: the
+    /// reply is emitted only after *every* OP of the batch was applied, and
+    /// `batch` echoes the applied OPs in application order.
+    kBatchAck,
   };
 
   Type type = Type::kAck;
   std::uint64_t xid = 0;
   SwitchId sw;
   Op op;                            // the acknowledged OP
+  std::vector<Op> batch;            // kBatchAck: applied OPs, in order
   std::vector<DumpedEntry> table;   // kDumpReply
   int role = 0;
 };

@@ -1,0 +1,130 @@
+// Million-OP soak workload (the PR-4 "stress" tier).
+//
+// The workload shape is chosen to exercise the batched pipeline honestly:
+// G "elephant" groups of M flows each share one endpoint pair — all M flows
+// of a group ride the same path, so every path switch sees M same-pass ready
+// OPs that the Sequencer can coalesce into real batches. Each round replaces
+// every group's flows with higher-priority installs plus deletions of the
+// previous rules (the Figure 11 update loop, scaled up), driving a mixed
+// install/delete stream of configurable total volume under a light chaos
+// schedule that stays off the flow paths (switch blips on bystander switches
+// and single-component crashes — disruptive to the controller, invisible to
+// the workload's convergence).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dag/compiler.h"
+#include "harness/experiment.h"
+#include "topo/paths.h"
+
+namespace zenith {
+
+struct SoakConfig {
+  std::uint64_t seed = 1;
+  /// Elephant groups (distinct endpoint pairs).
+  std::size_t groups = 8;
+  /// Flows sharing each group's path — the per-switch batching opportunity.
+  std::size_t flows_per_group = 16;
+  /// Stop after at least this many OPs have converged end to end.
+  std::size_t target_ops = 1'000'000;
+  /// Endpoint candidates (e.g. fat-tree edge switches); empty = any switch.
+  std::vector<SwitchId> endpoints;
+  SimTime dag_timeout = seconds(120);
+  /// Light chaos: transient blips on non-path switches + single-component
+  /// crashes. Off-path by construction, so every round still converges.
+  bool chaos = true;
+  SimTime chaos_switch_mean_gap = millis(400);
+  SimTime chaos_switch_down_time = millis(150);
+  SimTime chaos_component_mean_gap = seconds(2);
+  /// Full-network hidden-entry scan cadence (in rounds); 0 = only at the end.
+  std::size_t deep_check_every = 64;
+};
+
+struct SoakResult {
+  std::size_t ops_completed = 0;
+  std::size_t dags_completed = 0;
+  std::size_t rounds = 0;
+  std::size_t timeouts = 0;
+  std::size_t invariant_violations = 0;
+  bool order_ok = true;
+  std::size_t switch_blips = 0;
+  std::size_t component_crashes = 0;
+  /// Simulated time spent in the round loop itself (excludes the post-loop
+  /// quiesce window, so short runs do not understate throughput).
+  SimTime sim_elapsed = 0;
+  std::uint64_t nib_fingerprint = 0;
+
+  /// Converged OPs per *simulated* second — the throughput bench_soak
+  /// compares across batch sizes.
+  double ops_per_sim_second() const {
+    return sim_elapsed <= 0 ? 0.0
+                            : static_cast<double>(ops_completed) /
+                                  (static_cast<double>(sim_elapsed) / 1e6);
+  }
+};
+
+class SoakWorkload {
+ public:
+  SoakWorkload(Experiment* experiment, SoakConfig config);
+
+  /// Installs the initial flow groups, then drives replacement rounds until
+  /// target_ops OPs have converged (or a round fails). Returns the tally.
+  SoakResult run();
+
+ private:
+  struct Group {
+    std::vector<FlowId> flows;
+    Path path;
+    /// Current install OPs per flow, in path-hop order (deleted next round).
+    std::vector<std::vector<Op>> flow_ops;
+  };
+
+  bool pick_groups();
+  /// One full-coverage DAG: fresh installs for every group's flows at
+  /// `priority`, plus deletions of all previous rules (empty on round 0).
+  /// Each deletion depends only on the same-switch replacement install of
+  /// its own flow — a make-before-break edge per hop, NOT a DAG-wide
+  /// barrier, so deletions pipeline behind their flow's install chain and
+  /// the edge count stays linear in OPs (a leaves x deletions barrier would
+  /// be quadratic and serialize the whole round).
+  Dag build_round_dag(int priority);
+  void schedule_switch_chaos(SoakResult* result);
+  void schedule_component_chaos(SoakResult* result);
+
+  Experiment* experiment_;
+  SoakConfig config_;
+  Rng rng_;
+  Rng chaos_rng_;
+  std::vector<Group> groups_;
+  std::vector<SwitchId> off_path_switches_;
+  std::vector<std::string> crashable_components_;
+  std::uint32_t next_flow_id_ = 1;
+  std::uint32_t next_dag_id_ = 1;
+  bool stop_chaos_ = false;
+};
+
+/// Records the per-switch OP application order (via the fabric's apply
+/// observer) and reduces it to one order-sensitive 64-bit fingerprint: the
+/// artifact the batch-size determinism contract is asserted over. Batch
+/// elements are observed individually, in application order, so the digest
+/// is directly comparable between batched and unbatched runs.
+class DeliveryOrderRecorder {
+ public:
+  /// Hooks the fabric. Call once, before running (replaces any previously
+  /// attached apply observer).
+  void attach(Fabric& fabric);
+
+  std::size_t applied() const { return applied_; }
+  /// Combined digest over all switches (switch-id-sorted), each switch
+  /// contributing an FNV-1a chain over its applied (op id, op type) stream.
+  std::uint64_t fingerprint() const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> per_switch_;
+  std::size_t applied_ = 0;
+};
+
+}  // namespace zenith

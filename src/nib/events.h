@@ -25,6 +25,11 @@ struct NibEvent {
   DagId dag;
   LinkId link;          // kTopologyChanged
   bool link_up = false; // kTopologyChanged
+  /// Non-empty for a coalesced batch-ACK commit: every OP of the transaction
+  /// (op/op_status describe the last one). One event per transaction keeps
+  /// the event-routing cost per *batch* instead of per OP; consumers that
+  /// track per-OP state must expand this list.
+  std::vector<OpId> batch;
 };
 
 }  // namespace zenith

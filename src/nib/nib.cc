@@ -92,6 +92,47 @@ void Nib::preload_op(const Op& op, OpStatus status, bool in_view) {
   ++write_count_;
 }
 
+std::size_t Nib::commit_ack_batch(SwitchId sw, const std::vector<Op>& ops) {
+  // One transaction, one published event: the per-OP writes below go through
+  // the same index/view mutations as set_op_status but defer notification,
+  // so a 16-OP batch ACK costs the event-routing pipeline (NIB Event Handler
+  // -> Sequencer wakeups) one service step instead of sixteen. Without this
+  // the per-OP kOpStatusChanged stream re-serializes exactly the traffic
+  // batching removed from the Monitoring Server.
+  std::size_t committed = 0;
+  NibEvent event;
+  event.type = NibEvent::Type::kOpStatusChanged;
+  event.op_status = OpStatus::kDone;
+  event.sw = sw;
+  for (const Op& op : ops) {
+    if (!ops_.count(op.id)) continue;  // orphan element; the caller counts it
+    ++write_count_;
+    OpStatus& slot = op_status_[op.id];
+    if (slot != OpStatus::kDone) {
+      index_erase(op.id, sw, slot);
+      index_insert(op.id, sw, OpStatus::kDone);
+      slot = OpStatus::kDone;
+    }
+    switch (op.type) {
+      case OpType::kInstallRule:
+        view_add_installed(sw, op.id);
+        break;
+      case OpType::kDeleteRule:
+        view_remove_installed(sw, op.delete_target);
+        break;
+      case OpType::kClearTcam:
+      case OpType::kDumpTable:
+        assert(false && "batches carry install/delete OPs only");
+        break;
+    }
+    event.op = op.id;
+    event.batch.push_back(op.id);
+    ++committed;
+  }
+  if (committed > 0) publish(event);
+  return committed;
+}
+
 std::vector<OpId> Nib::ops_with_status(OpStatus status) const {
   const std::set<OpId>& ids = by_status_[static_cast<std::size_t>(status)];
   return std::vector<OpId>(ids.begin(), ids.end());
@@ -235,6 +276,68 @@ std::optional<OpId> Nib::worker_state(WorkerId worker) const {
   auto it = worker_state_.find(worker);
   if (it == worker_state_.end()) return std::nullopt;
   return it->second;
+}
+
+std::uint64_t Nib::state_fingerprint() const {
+  // FNV-1a over a canonical (sorted) serialization. Every section is
+  // prefixed with a distinct tag so an empty section cannot alias into its
+  // neighbour's encoding.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+
+  mix(0x4f505354u);  // OP statuses, sorted by id
+  std::vector<OpId> op_ids;
+  op_ids.reserve(ops_.size());
+  for (const auto& [id, _] : ops_) op_ids.push_back(id);
+  std::sort(op_ids.begin(), op_ids.end());
+  for (OpId id : op_ids) {
+    mix(id.value());
+    mix(static_cast<std::uint64_t>(op_status_.at(id)));
+  }
+
+  mix(0x53574854u);  // switch health + view R_c, sorted by switch id
+  for (SwitchId sw : switches()) {
+    mix(sw.value());
+    mix(static_cast<std::uint64_t>(switch_health_.at(sw)));
+    std::vector<OpId> installed(view_installed(sw).begin(),
+                                view_installed(sw).end());
+    std::sort(installed.begin(), installed.end());
+    mix(installed.size());
+    for (OpId id : installed) mix(id.value());
+  }
+
+  mix(0x4c4e4b53u);  // down links, sorted
+  std::vector<LinkId> links(down_links_.begin(), down_links_.end());
+  std::sort(links.begin(), links.end());
+  for (LinkId link : links) mix(link.value());
+
+  mix(0x44414753u);  // DAG bookkeeping, sorted by id
+  std::vector<DagId> dag_ids;
+  dag_ids.reserve(dags_.size());
+  for (const auto& [id, _] : dags_) dag_ids.push_back(id);
+  std::sort(dag_ids.begin(), dag_ids.end());
+  for (DagId id : dag_ids) mix(id.value());
+  // Done certificates outlive remove_dag, so they get their own sorted list.
+  std::vector<DagId> done_ids(done_dags_.begin(), done_dags_.end());
+  std::sort(done_ids.begin(), done_ids.end());
+  for (DagId id : done_ids) mix(id.value());
+  mix(current_dag_ ? current_dag_->value() : ~0ull);
+
+  mix(0x574b5253u);  // worker in-progress slots, sorted by worker id
+  std::vector<std::pair<WorkerId, OpId>> slots(worker_state_.begin(),
+                                               worker_state_.end());
+  std::sort(slots.begin(), slots.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [worker, op] : slots) {
+    mix(worker.value());
+    mix(op.value());
+  }
+  return h;
 }
 
 }  // namespace zenith

@@ -71,6 +71,16 @@ class Nib {
   /// this state from the database, not generate events for it).
   void preload_op(const Op& op, OpStatus status, bool in_view);
 
+  /// Commits one batch-ACK as a single NIB transaction (A2 atomicity at
+  /// batch granularity): every OP in `ops` flips to DONE and the controller
+  /// view of `sw` is edited per OP type. Publishes ONE coalesced
+  /// kOpStatusChanged event whose `batch` lists every committed OP — the
+  /// event-routing pipeline pays per batch, not per OP; consumers tracking
+  /// per-OP state expand the list. OPs this NIB never registered (orphans
+  /// of a previous master incarnation) are skipped; returns the number
+  /// committed.
+  std::size_t commit_ack_batch(SwitchId sw, const std::vector<Op>& ops);
+
   // ---- switch health -------------------------------------------------------
 
   void register_switch(SwitchId sw);
@@ -132,6 +142,17 @@ class Nib {
   /// (Figure 4b) is modeled by charging simulated time per write in the PR
   /// reconciler, and tests use the counter to verify write volumes.
   std::uint64_t write_count() const { return write_count_; }
+
+  // ---- state fingerprint -----------------------------------------------------
+
+  /// Canonical 64-bit digest (FNV-1a over a sorted serialization) of the
+  /// durable controller state: OP statuses, the controller view R_c, switch
+  /// and link health, DAG bookkeeping and the worker in-progress slots.
+  /// write_count_ is deliberately excluded — it is accounting, and batching
+  /// legitimately reaches the same state through a different number of
+  /// writes. The batch-size determinism contract (CoreConfig::batch_size)
+  /// and the golden-fingerprint corpus are asserted over this digest.
+  std::uint64_t state_fingerprint() const;
 
  private:
   /// Ordered OpId sets per status — one network-wide, one per switch. Kept

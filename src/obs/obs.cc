@@ -91,6 +91,26 @@ void Observability::op_closed(OpId op, const std::string& track,
   metrics_.counter("ops_closed", {{"outcome", outcome}}).inc();
 }
 
+void Observability::batch_dispatched(SwitchId sw, std::size_t size) {
+  metrics_.histogram("op_batch_size", {{"stage", "dispatch"}}, 1.0, 65.0, 16)
+      .add(static_cast<double>(size));
+  if (size > 1) {
+    recorder_.record(now(), "worker", "batch-send",
+                     "sw=" + std::to_string(sw.value()) +
+                         " size=" + std::to_string(size));
+  }
+}
+
+void Observability::batch_committed(SwitchId sw, std::size_t size) {
+  metrics_.histogram("op_batch_size", {{"stage", "commit"}}, 1.0, 65.0, 16)
+      .add(static_cast<double>(size));
+  if (size > 1) {
+    recorder_.record(now(), "monitoring", "batch-commit",
+                     "sw=" + std::to_string(sw.value()) +
+                         " size=" + std::to_string(size));
+  }
+}
+
 void Observability::recovery_started(SwitchId sw) {
   std::string detail = "sw=" + std::to_string(sw.value());
   recorder_.record(now(), "topo_event_handler", "recovery-start", detail);

@@ -74,6 +74,16 @@ class Observability {
   void op_closed(OpId op, const std::string& track,
                  const std::string& outcome);
 
+  // ---- batching hooks -------------------------------------------------------
+
+  /// A worker forwarded one per-switch dispatch unit of `size` OPs (size 1 =
+  /// the unbatched wire protocol). Feeds the `op_batch_size{stage=dispatch}`
+  /// histogram so the coalescing efficiency of a run is visible.
+  void batch_dispatched(SwitchId sw, std::size_t size);
+  /// The Monitoring Server committed one batch-ACK of `size` OPs in a single
+  /// NIB transaction.
+  void batch_committed(SwitchId sw, std::size_t size);
+
   // ---- switch recovery hooks ------------------------------------------------
 
   void recovery_started(SwitchId sw);

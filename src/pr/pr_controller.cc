@@ -54,6 +54,8 @@ void PrController::deadlock_scan() {
     NibEvent event = op_watch_sink_.pop();
     if (event.type == NibEvent::Type::kOpStatusChanged) {
       last_transition_[event.op] = sim_->now();
+      // Coalesced batch-ACK commits cover several OPs in one event.
+      for (OpId id : event.batch) last_transition_[id] = sim_->now();
     }
   }
   Nib& n = nib();
@@ -71,7 +73,7 @@ void PrController::deadlock_scan() {
       ZLOG_DEBUG("PR deadlock timeout: re-issuing op%u", id.value());
       last_transition_[id] = sim_->now();
       n.set_op_status(id, OpStatus::kScheduled);
-      ctx.op_queue_for(op.sw).push(id);
+      ctx.enqueue_op(op.sw, id);
       ++deadlock_resolutions_;
     }
   }

@@ -5,8 +5,14 @@
 // installed, and which DAGs are certified.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
 #include "apps/drain_app.h"
 #include "apps/drain_spec.h"
+#include "golden_scenarios.h"
 #include "harness/experiment.h"
 #include "mc/core_spec.h"
 #include "nadir/interpreter.h"
@@ -92,6 +98,61 @@ TEST(Conformance, CoreSpecCertifiesExactlyWhatItInstalled) {
   for (const nadir::Value& op : table.as_set()) {
     EXPECT_TRUE(installed_ids.set_contains(op.field("op")))
         << "installed entry not acknowledged in the NIB view";
+  }
+}
+
+// Parses the flat {"name": "0x<hex>", ...} format FINGERPRINTS.json uses.
+std::map<std::string, std::uint64_t> load_golden_fingerprints(
+    const std::string& path) {
+  std::map<std::string, std::uint64_t> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t k0 = line.find('"');
+    if (k0 == std::string::npos) continue;
+    std::size_t k1 = line.find('"', k0 + 1);
+    std::size_t v0 = line.find("\"0x", k1 + 1);
+    if (k1 == std::string::npos || v0 == std::string::npos) continue;
+    std::size_t v1 = line.find('"', v0 + 1);
+    if (v1 == std::string::npos) continue;
+    std::string key = line.substr(k0 + 1, k1 - k0 - 1);
+    std::string hex = line.substr(v0 + 3, v1 - v0 - 3);
+    out[key] = std::strtoull(hex.c_str(), nullptr, 16);
+  }
+  return out;
+}
+
+TEST(Conformance, GoldenFingerprintCorpusMatchesLiveRuns) {
+  // The regression corpus: every curated deterministic run (failure-free
+  // soak cells at bs=1 and bs=16, the 12-cell chaos grid at bs=1) must
+  // reproduce the committed fingerprints bit for bit. A diff here means a
+  // semantic or determinism change in the pipeline: if it is intended,
+  // regenerate with scripts/update_golden.sh and review the delta like any
+  // other behaviour change; if not, it is a regression.
+  std::string path = std::string(ZENITH_SOURCE_DIR) +
+                     "/tests/golden/FINGERPRINTS.json";
+  std::map<std::string, std::uint64_t> golden = load_golden_fingerprints(path);
+  ASSERT_FALSE(golden.empty()) << "missing or unparseable " << path;
+
+  std::map<std::string, std::uint64_t> live = golden::compute_fingerprints();
+  for (const auto& [name, value] : live) {
+    auto it = golden.find(name);
+    if (it == golden.end()) {
+      ADD_FAILURE() << "scenario '" << name
+                    << "' has no committed golden entry; run "
+                       "scripts/update_golden.sh";
+      continue;
+    }
+    EXPECT_EQ(it->second, value)
+        << "fingerprint drift in '" << name
+        << "' (committed vs live); intended changes need "
+           "scripts/update_golden.sh";
+  }
+  for (const auto& [name, value] : golden) {
+    (void)value;
+    EXPECT_TRUE(live.count(name))
+        << "stale golden entry '" << name
+        << "' no longer produced; run scripts/update_golden.sh";
   }
 }
 

@@ -193,6 +193,101 @@ TEST(CorePlannedFailover, DrainedFailoverIsHitlessAndBounded) {
   EXPECT_TRUE(exp.nib().ops_with_status(OpStatus::kSent).empty());
 }
 
+TEST(CoreMicroserviceFailure, OfcCrashMidBatchRequeuesExactlyOnce) {
+  // Regression for the batched-pipeline ghost-ACK race: OPs travel as a
+  // kBatch (batch_size=4), the OFC dies while the batch-ACK is in flight,
+  // and the standby requeues every SENT OP. If the crash does not also drop
+  // the dead instance's in-flight socket traffic, the ghost ACK lands in
+  // the *new* instance's reply queue, commits the requeued OPs to DONE, and
+  // the still-queued requeue copies then get processed a second time — a
+  // DONE->SENT status flap that no legitimate transition produces (resets
+  // go DONE->NONE, takeovers SENT->SCHEDULED, dispatch SCHEDULED->SENT).
+  // The flap is the exactly-once violation: one logical requeue, two
+  // deliveries recorded. We sweep crash offsets because the vulnerable
+  // window (ACK on the wire) moves with channel jitter.
+  for (SimTime crash_after :
+       {micros(600), micros(900), micros(1200), micros(1500), micros(1800)}) {
+    ExperimentConfig config = zenith_config(61);
+    config.core.batch_size = 4;
+    Experiment exp(gen::linear(4), config);
+    exp.start();
+
+    // Watch the NIB event stream for the DONE->SENT signature.
+    std::unordered_map<OpId, OpStatus> last_status;
+    bool flap_seen = false;
+    NadirFifo<NibEvent> probe;
+    probe.set_wake_callback([&] {
+      while (!probe.empty()) {
+        NibEvent event = probe.pop();
+        if (event.type != NibEvent::Type::kOpStatusChanged) continue;
+        // A batch-ACK commit publishes one coalesced event for the whole
+        // transaction; track every OP it covers.
+        std::vector<OpId> covered =
+            event.batch.empty() ? std::vector<OpId>{event.op} : event.batch;
+        for (OpId id : covered) {
+          auto it = last_status.find(id);
+          if (it != last_status.end() && it->second == OpStatus::kDone &&
+              event.op_status == OpStatus::kSent) {
+            flap_seen = true;
+          }
+          last_status[id] = event.op_status;
+        }
+      }
+    });
+    exp.nib().subscribe(&probe);
+
+    // Four flows over the same path: their same-switch OPs become ready in
+    // one sequencer pass, so each hop carries a genuine 4-OP batch.
+    Workload workload(&exp, 67);
+    Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)},
+                                              {SwitchId(0), SwitchId(3)},
+                                              {SwitchId(0), SwitchId(3)},
+                                              {SwitchId(0), SwitchId(3)}});
+    DagId id = dag.id();
+    exp.order_checker().register_dag(dag);
+    exp.controller().submit_dag(std::move(dag));
+    exp.run_for(crash_after);
+    exp.controller().crash_ofc();
+
+    auto converged =
+        exp.run_until([&] { return exp.checker().converged(id); }, seconds(30));
+    ASSERT_TRUE(converged.has_value())
+        << "no convergence after crash at +" << crash_after << "us";
+    EXPECT_FALSE(flap_seen)
+        << "ghost ACK reprocessed a requeued OP (crash at +" << crash_after
+        << "us): in-flight batched OPs were not re-enqueued exactly once";
+    EXPECT_TRUE(exp.order_checker().ok());
+  }
+}
+
+TEST(CoreComponentFailure, WorkerCrashMidBatchRedeliversWithoutLoss) {
+  // A single worker dying between batch dispatch steps must not lose or
+  // double-enqueue the batch: the queue entry survives (ack-pop never ran),
+  // the Watchdog restarts the worker, and reprocessing re-sends the whole
+  // batch (idempotent by OP id). The NIB's worker-slot assert catches any
+  // double-processing structurally; here we check end-to-end convergence.
+  for (int i = 0; i < 4; ++i) {
+    ExperimentConfig config = zenith_config(71 + i);
+    config.core.batch_size = 4;
+    Experiment exp(gen::linear(4), config);
+    exp.start();
+    Workload workload(&exp, 73);
+    Dag dag = workload.initial_dag_for_pairs({{SwitchId(0), SwitchId(3)},
+                                              {SwitchId(0), SwitchId(3)},
+                                              {SwitchId(0), SwitchId(3)},
+                                              {SwitchId(0), SwitchId(3)}});
+    DagId id = dag.id();
+    exp.order_checker().register_dag(dag);
+    exp.controller().submit_dag(std::move(dag));
+    exp.run_for(micros(200 + 300 * i));
+    exp.controller().crash_component("worker" + std::to_string(i));
+    auto converged =
+        exp.run_until([&] { return exp.checker().converged(id); }, seconds(30));
+    ASSERT_TRUE(converged.has_value()) << "worker" << i << " crash deadlocked";
+    EXPECT_TRUE(exp.order_checker().ok());
+  }
+}
+
 TEST(CoreRegression, MarkUpBeforeResetBugCausesHiddenEntry) {
   // §G / Figure A.8: switch fails and quickly recovers; the app installs a
   // new rule (OP1) on the recovered switch; with the buggy ordering, the

@@ -1,0 +1,18 @@
+// Regenerates tests/golden/FINGERPRINTS.json (stdout). Run through
+// scripts/update_golden.sh so the committed file and the build stay in sync.
+#include <cinttypes>
+#include <cstdio>
+
+#include "golden_scenarios.h"
+
+int main() {
+  auto fingerprints = zenith::golden::compute_fingerprints();
+  std::printf("{\n");
+  std::size_t i = 0;
+  for (const auto& [name, value] : fingerprints) {
+    std::printf("  \"%s\": \"0x%016" PRIx64 "\"%s\n", name.c_str(), value,
+                ++i < fingerprints.size() ? "," : "");
+  }
+  std::printf("}\n");
+  return 0;
+}
