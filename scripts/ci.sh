@@ -26,11 +26,20 @@ run_suite() {
 }
 
 run_suite release "" -DCMAKE_BUILD_TYPE=Release
+
+# Lockstep conformance gate: the full model-implementation grid (3
+# topologies x batch sizes x 2 fault schedules) must report zero
+# divergences. Runs on the Release tree right after its suite; a divergence
+# prints the shrunk reproducer trace and fails CI.
+echo "=== [release] lockstep conformance grid ==="
+"$repo/build-ci-release/src/mc/zenith_lockstep" --quick
+
 run_suite asan "" -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=address
 # TSan is restricted to the suites that actually spawn threads (the
 # ParallelRunner pool and the simulator slab it drives): everything else is
-# single-threaded by design and already covered above.
-run_suite tsan 'parallel_test|sim_test|chaos_test' \
+# single-threaded by design and already covered above. lockstep_test rides
+# along because its oracle re-runs chaos campaigns end to end.
+run_suite tsan 'parallel_test|sim_test|chaos_test|lockstep_test' \
   -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=thread
 
 # Stress tier (nightly-style): the `stress`-labeled suites re-run in Release

@@ -49,7 +49,20 @@ std::string step_label(const to::TraceStep& step) {
   return "?";
 }
 
+/// Installed by mc::enable_campaign_lockstep_oracle(); intentionally a plain
+/// process global — campaigns are configured per-run, the oracle is a
+/// link-time capability.
+LockstepOracle g_lockstep_oracle;
+
 }  // namespace
+
+void set_campaign_lockstep_oracle(LockstepOracle oracle) {
+  g_lockstep_oracle = std::move(oracle);
+}
+
+bool campaign_lockstep_oracle_installed() {
+  return static_cast<bool>(g_lockstep_oracle);
+}
 
 const char* to_string(TopologyKind kind) {
   switch (kind) {
@@ -322,6 +335,22 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace,
   for (DagId id : submitted) {
     if (exp.nib().dag_is_done(id)) ++stats.dags_certified;
   }
+  // Optional model-conformance oracle: compares the quiesced implementation
+  // state against what the formal-model substitute permits. Requesting it
+  // without installing the hook is a configuration bug, reported loudly
+  // rather than silently skipped.
+  if (config_.lockstep) {
+    if (g_lockstep_oracle) {
+      for (std::string& violation : g_lockstep_oracle(exp, last_dag)) {
+        result.violations.push_back("lockstep: " + std::move(violation));
+      }
+    } else {
+      result.violations.push_back(
+          "lockstep oracle requested but not installed; call "
+          "mc::enable_campaign_lockstep_oracle() first");
+    }
+  }
+
   stats.installs_observed = exp.order_checker().installs_observed();
   stats.sim_events_executed = exp.sim().executed_events();
   result.ok = result.violations.empty();

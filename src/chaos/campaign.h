@@ -19,6 +19,7 @@
 //    NIB-view/switch-table comparison must be clean.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,6 +64,12 @@ struct CampaignConfig {
   /// The hidden-entry probe presumes ZENITH recovery semantics; PR-style
   /// baselines leave hidden entries by design between reconciliations.
   bool check_hidden_entries = true;
+  /// Run the model-conformance oracle at quiescence in addition to the
+  /// campaign's own invariants. The oracle itself lives in the lockstep
+  /// library (src/mc) — a layer above this one — so it is injected via
+  /// set_campaign_lockstep_oracle(); call mc::enable_campaign_lockstep_oracle()
+  /// once per process before enabling this flag.
+  bool lockstep = false;
 };
 
 struct CampaignStats {
@@ -133,5 +140,16 @@ class ChaosCampaign {
 /// inter-event gaps preserved in TraceStep::delay.
 to::Trace schedule_to_trace(const ChaosSchedule& schedule, std::string name,
                             std::string violation);
+
+/// Process-wide conformance hook. The chaos library cannot link against the
+/// lockstep checker (mc depends on chaos, not vice versa), so the oracle is
+/// injected as a function: given the quiesced experiment and the last
+/// submitted DAG, return conformance violations (empty = conformant). The
+/// campaign prefixes each returned message with "lockstep: ". Passing an
+/// empty function uninstalls the hook.
+using LockstepOracle =
+    std::function<std::vector<std::string>(Experiment&, DagId last_dag)>;
+void set_campaign_lockstep_oracle(LockstepOracle oracle);
+bool campaign_lockstep_oracle_installed();
 
 }  // namespace zenith::chaos

@@ -23,30 +23,22 @@ ChaosSchedule without_range(const ChaosSchedule& schedule, std::size_t begin,
 
 }  // namespace
 
-ShrinkResult shrink_schedule(const CampaignConfig& config,
-                             const ChaosSchedule& failing,
-                             std::size_t max_oracle_runs) {
-  ShrinkResult result;
-  result.original_events = failing.size();
-
-  ChaosCampaign campaign(config);
-  auto violates = [&](const ChaosSchedule& candidate,
-                      CampaignResult* out) -> bool {
+DdminResult ddmin_schedule(
+    const ChaosSchedule& failing,
+    const std::function<bool(const ChaosSchedule&)>& violates,
+    std::size_t max_oracle_runs) {
+  DdminResult result;
+  auto probe = [&](const ChaosSchedule& candidate) {
     ++result.oracle_runs;
-    CampaignResult probe = campaign.run(candidate);
-    bool failed = !probe.ok;
-    if (out != nullptr) *out = std::move(probe);
-    return failed;
+    return violates(candidate);
   };
 
-  CampaignResult current_result;
-  if (!violates(failing, &current_result)) {
+  if (!probe(failing)) {
     // Nothing to shrink: hand the schedule back unchanged.
     result.minimal = failing;
-    result.minimal_result = std::move(current_result);
-    result.trace = schedule_to_trace(failing, "not-shrunk", "");
     return result;
   }
+  result.reproduced = true;
 
   ChaosSchedule current = failing;
   std::size_t chunk = std::max<std::size_t>(1, current.size() / 2);
@@ -56,11 +48,8 @@ ShrinkResult shrink_schedule(const CampaignConfig& config,
          begin < current.size() && result.oracle_runs < max_oracle_runs;) {
       std::size_t end = std::min(begin + chunk, current.size());
       ChaosSchedule candidate = without_range(current, begin, end);
-      CampaignResult candidate_result;
-      if (!candidate.events.empty() &&
-          violates(candidate, &candidate_result)) {
+      if (!candidate.events.empty() && probe(candidate)) {
         current = std::move(candidate);
-        current_result = std::move(candidate_result);
         removed_any = true;
         // Do not advance: the chunk now starting at `begin` is new.
       } else {
@@ -76,7 +65,44 @@ ShrinkResult shrink_schedule(const CampaignConfig& config,
   }
 
   result.minimal = std::move(current);
-  result.minimal_result = std::move(current_result);
+  return result;
+}
+
+ShrinkResult shrink_schedule(const CampaignConfig& config,
+                             const ChaosSchedule& failing,
+                             std::size_t max_oracle_runs) {
+  ShrinkResult result;
+  result.original_events = failing.size();
+
+  ChaosCampaign campaign(config);
+  // Any violating candidate immediately becomes ddmin's `current`, so the
+  // last failing probe's result IS the minimal schedule's result.
+  CampaignResult last_failing;
+  CampaignResult first_probe;
+  bool first = true;
+  auto violates = [&](const ChaosSchedule& candidate) -> bool {
+    CampaignResult probe = campaign.run(candidate);
+    bool failed = !probe.ok;
+    if (first) {
+      first_probe = probe;
+      first = false;
+    }
+    if (failed) last_failing = std::move(probe);
+    return failed;
+  };
+
+  DdminResult ddmin = ddmin_schedule(failing, violates, max_oracle_runs);
+  result.oracle_runs = ddmin.oracle_runs;
+  result.one_minimal = ddmin.one_minimal;
+  result.minimal = std::move(ddmin.minimal);
+
+  if (!ddmin.reproduced) {
+    result.minimal_result = std::move(first_probe);
+    result.trace = schedule_to_trace(result.minimal, "not-shrunk", "");
+    return result;
+  }
+
+  result.minimal_result = std::move(last_failing);
   std::ostringstream name;
   name << "chaos-shrunk/" << to_string(config.topology) << "/seed"
        << config.seed;

@@ -10,10 +10,32 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "chaos/campaign.h"
 
 namespace zenith::chaos {
+
+/// Result of the generic ddmin pass (oracle-agnostic).
+struct DdminResult {
+  ChaosSchedule minimal;
+  std::size_t oracle_runs = 0;
+  bool one_minimal = false;  // false when the run budget expired first
+  /// False when the initial probe did not violate: `minimal` is then the
+  /// input schedule, untouched.
+  bool reproduced = false;
+};
+
+/// Generic ddmin over a schedule's event list against an arbitrary oracle:
+/// `violates(candidate)` re-runs the scenario and reports whether the
+/// failure is still present. Used by shrink_schedule (campaign-invariant
+/// oracle) and by the lockstep checker (model-divergence oracle). Every
+/// probe is counted; `max_oracle_runs` bounds the total including the
+/// initial reproduction check.
+DdminResult ddmin_schedule(
+    const ChaosSchedule& failing,
+    const std::function<bool(const ChaosSchedule&)>& violates,
+    std::size_t max_oracle_runs = 256);
 
 struct ShrinkResult {
   ChaosSchedule minimal;

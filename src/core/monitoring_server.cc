@@ -117,7 +117,13 @@ bool MonitoringServer::process_reply() {
               "sw=" + std::to_string(reply.sw.value()));
           ctx_->observability->op_closed(op.id, name(), "done");
         }
-        ctx_->observability->batch_committed(reply.sw, reply.batch.size());
+        // Report what was COMMITTED, not the wire size: orphan entries were
+        // filtered out above (counted as orphan_acks), and an all-orphan
+        // batch commits nothing — matching the kAck path, which reports
+        // batch_committed(sw, 1) only when the single OP actually commits.
+        if (!known.empty()) {
+          ctx_->observability->batch_committed(reply.sw, known.size());
+        }
       }
       break;
     }

@@ -42,6 +42,7 @@ Fabric::Fabric(Simulator* sim, const Topology& topo, Rng rng,
   reply_last_delivery_.assign(n, 0);
   health_last_delivery_.assign(n, 0);
   link_up_.assign(topo_.link_count(), true);
+  link_permanently_down_.assign(topo_.link_count(), false);
   link_last_delivery_.assign(topo_.link_count(), 0);
   last_failure_mode_.assign(n, FailureMode::kPartialTransient);
   for (std::size_t i = 0; i < n; ++i) {
@@ -144,9 +145,10 @@ void Fabric::inject_recovery(SwitchId sw) {
   sim_->schedule_at(deliver_at, [this, event] { health_events_.push(event); });
 }
 
-void Fabric::inject_link_failure(LinkId link) {
+void Fabric::inject_link_failure(LinkId link, bool permanent) {
   if (!link_up_.at(link.value())) return;
   link_up_[link.value()] = false;
+  if (permanent) link_permanently_down_[link.value()] = true;
   if (obs_ != nullptr) {
     obs_->event("fabric", "link-fail", "link=" + std::to_string(link.value()));
   }
@@ -162,6 +164,10 @@ void Fabric::inject_link_failure(LinkId link) {
 
 void Fabric::inject_link_recovery(LinkId link) {
   if (link_up_.at(link.value())) return;
+  // Permanently-failed links do not recover; randomized fault schedules may
+  // still aim a recovery at one, which must be a no-op rather than a
+  // resurrection (same contract as inject_recovery for switches).
+  if (link_permanently_down_.at(link.value())) return;
   link_up_[link.value()] = true;
   if (obs_ != nullptr) {
     obs_->event("fabric", "link-recover",

@@ -75,8 +75,11 @@ class Fabric {
   bool alive(SwitchId sw) const { return at(sw).healthy(); }
 
   /// Port/link failures: the link stops carrying traffic, both endpoint
-  /// switches stay up. The controller learns via link_events().
-  void inject_link_failure(LinkId link);
+  /// switches stay up. The controller learns via link_events(). A permanent
+  /// failure (e.g. a cut fiber) never recovers: inject_link_recovery on it
+  /// is a guarded no-op, mirroring inject_recovery's permanently-failed-
+  /// switch guard (randomized schedules may aim recoveries there).
+  void inject_link_failure(LinkId link, bool permanent = false);
   void inject_link_recovery(LinkId link);
   bool link_alive(LinkId link) const { return link_up_.at(link.value()); }
   NadirFifo<LinkHealthEvent>& link_events() { return link_events_; }
@@ -125,6 +128,7 @@ class Fabric {
   NadirFifo<SwitchHealthEvent> health_events_;
   NadirFifo<LinkHealthEvent> link_events_;
   std::vector<bool> link_up_;
+  std::vector<bool> link_permanently_down_;
 };
 
 }  // namespace zenith

@@ -44,13 +44,16 @@ CoreSpecScenario CoreSpecScenario::stage(int n) {
 }
 
 std::string CoreSpecScenario::name() const {
-  if (directed_reconciliation) return "SW CT (DR)";
-  if (handle_switch_complete_transient) return "SW CT";
-  if (handle_switch_complete_permanent) return "SW CP";
-  if (handle_switch_partial && handle_cp_partial) return "SW+CP PT";
-  if (handle_cp_partial) return "CP PT";
-  if (handle_switch_partial) return "SW PT";
-  return "no-failure";
+  std::string base;
+  if (directed_reconciliation) base = "SW CT (DR)";
+  else if (handle_switch_complete_transient) base = "SW CT";
+  else if (handle_switch_complete_permanent) base = "SW CP";
+  else if (handle_switch_partial && handle_cp_partial) base = "SW+CP PT";
+  else if (handle_cp_partial) base = "CP PT";
+  else if (handle_switch_partial) base = "SW PT";
+  else base = "no-failure";
+  if (batch_size > 1) base += " bs" + std::to_string(batch_size);
+  return base;
 }
 
 namespace {
@@ -72,6 +75,8 @@ nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
   (void)num_switches;  // kept for interface symmetry; the model uses one
                        // shared ingress queue with switch ids in op records
   Spec spec("ZenithCoreSpec-" + scenario.name());
+  const int batch_size = scenario.batch_size;
+  const bool batched = batch_size > 1;
 
   auto op_type = Type::record({{"op", Type::integer()},
                                {"sw", Type::integer()},
@@ -90,15 +95,25 @@ nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
   spec.global("PendingOps", Type::set(op_type), Value::set({}), true);
   spec.global("OPQueue", Type::seq(op_type), Value::seq({}), true);
   spec.global("SWInQ", Type::seq(op_type), Value::seq({}), true);
-  spec.global("FromSW", Type::seq(Type::integer()), Value::seq({}), true);
+  // Batched pipeline: one ACK message carries every OP id of the batch, and
+  // the Monitoring Server commits it in one transaction.
+  spec.global("FromSW",
+              batched ? Type::seq(Type::seq(Type::integer()))
+                      : Type::seq(Type::integer()),
+              Value::seq({}), true);
   spec.global("SwTable", Type::set(op_type), Value::set({}), true);
   spec.global("InstalledIds", Type::set(Type::integer()), Value::set({}),
               true);
   spec.global("InstalledDags", Type::set(Type::integer()), Value::set({}),
               true);
   if (scenario.handle_cp_partial) {
-    // Worker crash-recovery slot (Listing 3's workerPoolState).
-    spec.global("WorkerState", Type::nullable(op_type), Value::nil(), true);
+    // Worker crash-recovery slot (Listing 3's workerPoolState). At
+    // batch_size > 1 the slot holds the whole in-progress batch so a crash
+    // re-forwards every OP of it exactly once.
+    spec.global("WorkerState",
+                batched ? Type::nullable(Type::seq(op_type))
+                        : Type::nullable(op_type),
+                Value::nil(), true);
   }
   if (scenario.handle_switch_partial ||
       scenario.handle_switch_complete_transient) {
@@ -217,12 +232,18 @@ nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
           "StateRecovery",
           {"WorkerState", "SWInQ"},
           {"WorkerState", "SWInQ"},
-          [](StepContext& ctx) {
+          [batched](StepContext& ctx) {
             // WorkerPoolStateRecovery (Listing 3 line 4): a crash left an
-            // in-progress OP? Re-forward it (idempotent).
+            // in-progress OP (or batch)? Re-forward it (idempotent).
             const Value& slot = ctx.global("WorkerState");
             if (!slot.is_nil()) {
-              ctx.fifo_put("SWInQ", slot);
+              if (batched) {
+                for (const Value& op : slot.as_seq()) {
+                  ctx.fifo_put("SWInQ", op);
+                }
+              } else {
+                ctx.fifo_put("SWInQ", slot);
+              }
               ctx.set_global("WorkerState", Value::nil());
             }
           }});
@@ -230,13 +251,33 @@ nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
           "ControllerThread",
           {"OPQueue", "SWInQ", "WorkerState"},
           {"OPQueue", "SWInQ", "WorkerState"},
-          [](StepContext& ctx) {
-            Value op = ctx.fifo_peek("OPQueue");
+          [batched, batch_size](StepContext& ctx) {
+            if (!batched) {
+              Value op = ctx.fifo_peek("OPQueue");
+              if (ctx.blocked()) return;
+              ctx.set_global("WorkerState", op);     // record (Listing 3 l.7)
+              ctx.fifo_put("SWInQ", op);             // ForwardOP
+              ctx.set_global("WorkerState", Value::nil());
+              ctx.fifo_ack_pop("OPQueue");           // RemoveOPFromQueue
+              ctx.jump("ControllerThread");
+              return;
+            }
+            // Batched drain: up to batch_size OPs per service step, each
+            // under the same record -> forward -> ack-pop discipline, the
+            // slot growing so a crash replays the whole held batch.
+            Value first = ctx.fifo_peek("OPQueue");
             if (ctx.blocked()) return;
-            ctx.set_global("WorkerState", op);       // record (Listing 3 l.7)
-            ctx.fifo_put("SWInQ", op);               // ForwardOP
+            (void)first;
+            ValueVec held;
+            for (int n = 0; n < batch_size; ++n) {
+              if (ctx.fifo_empty("OPQueue")) break;
+              Value op = ctx.fifo_peek("OPQueue");
+              held.push_back(op);
+              ctx.set_global("WorkerState", Value::seq(held));
+              ctx.fifo_put("SWInQ", op);
+              ctx.fifo_ack_pop("OPQueue");
+            }
             ctx.set_global("WorkerState", Value::nil());
-            ctx.fifo_ack_pop("OPQueue");             // RemoveOPFromQueue
             ctx.jump("ControllerThread");
           }});
     } else {
@@ -244,10 +285,16 @@ nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
           "ControllerThread",
           {"OPQueue", "SWInQ"},
           {"OPQueue", "SWInQ"},
-          [](StepContext& ctx) {
+          [batched, batch_size](StepContext& ctx) {
             Value op = ctx.fifo_get("OPQueue");
             if (ctx.blocked()) return;
             ctx.fifo_put("SWInQ", op);
+            if (batched) {
+              for (int n = 1; n < batch_size; ++n) {
+                if (ctx.fifo_empty("OPQueue")) break;
+                ctx.fifo_put("SWInQ", ctx.fifo_get("OPQueue"));
+              }
+            }
             ctx.jump("ControllerThread");
           }});
     }
@@ -266,28 +313,45 @@ nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
     if (health_gated) {
       main_step.reads.push_back("SwitchHealth");
     }
-    main_step.fn = [health_gated](StepContext& ctx) {
+    main_step.fn = [health_gated, batched, batch_size](StepContext& ctx) {
       if (health_gated) {
         ctx.await(ctx.global("SwitchHealth").as_string() == "UP");
         if (ctx.blocked()) return;
       }
       Value op = ctx.fifo_get("SWInQ");
       if (ctx.blocked()) return;
-      std::int64_t id = op.field("op").as_int();
-      Value table = ctx.global("SwTable");
-      if (id < 0) {
-        // Deletion OP: remove the install whose id it negates.
-        for (const Value& entry : table.as_set()) {
-          if (entry.field("op").as_int() == -id) {
-            table = table.set_erase(entry);
-            break;
+      auto apply_op = [&ctx](const Value& one) {
+        std::int64_t id = one.field("op").as_int();
+        Value table = ctx.global("SwTable");
+        if (id < 0) {
+          // Deletion OP: remove the install whose id it negates.
+          for (const Value& entry : table.as_set()) {
+            if (entry.field("op").as_int() == -id) {
+              table = table.set_erase(entry);
+              break;
+            }
           }
+        } else {
+          table = table.set_insert(one);
         }
-      } else {
-        table = table.set_insert(op);
+        ctx.set_global("SwTable", table);
+        return id;
+      };
+      if (!batched) {
+        std::int64_t id = apply_op(op);
+        ctx.fifo_put("FromSW", Value::integer(id));  // ACK after apply (A3)
+        ctx.jump("SwitchSimpleProcess");
+        return;
       }
-      ctx.set_global("SwTable", table);
-      ctx.fifo_put("FromSW", Value::integer(id));  // ACK after apply (A3)
+      // Batched: apply up to batch_size queued OPs, then emit ONE
+      // batch-ACK carrying every applied id (kBatchAck).
+      ValueVec ids;
+      ids.push_back(Value::integer(apply_op(op)));
+      for (int n = 1; n < batch_size; ++n) {
+        if (ctx.fifo_empty("SWInQ")) break;
+        ids.push_back(Value::integer(apply_op(ctx.fifo_get("SWInQ"))));
+      }
+      ctx.fifo_put("FromSW", Value::seq(ids));
       ctx.jump("SwitchSimpleProcess");
     };
     sw.step(std::move(main_step));
@@ -349,16 +413,25 @@ nadir::Spec build_core_spec(const CoreSpecScenario& scenario,
       ack_step.reads.push_back("FlowAcks");
       ack_step.writes.push_back("FlowAcks");
     }
-    ack_step.fn = [flow_tracking](StepContext& ctx) {
+    ack_step.fn = [flow_tracking, batched](StepContext& ctx) {
       Value ack = ctx.fifo_get("FromSW");
       if (ctx.blocked()) return;
-      ctx.set_global("InstalledIds",
-                     ctx.global("InstalledIds").set_insert(ack));
-      if (flow_tracking) {
-        // Flow-granularity ACK bookkeeping (§D.2: complete-transient
-        // failures force the Monitoring Server to track actions, not just
-        // OPs).
-        ctx.set_global("FlowAcks", ctx.global("FlowAcks").set_insert(ack));
+      auto commit_one = [&ctx, flow_tracking](const Value& id) {
+        ctx.set_global("InstalledIds",
+                       ctx.global("InstalledIds").set_insert(id));
+        if (flow_tracking) {
+          // Flow-granularity ACK bookkeeping (§D.2: complete-transient
+          // failures force the Monitoring Server to track actions, not
+          // just OPs).
+          ctx.set_global("FlowAcks", ctx.global("FlowAcks").set_insert(id));
+        }
+      };
+      if (batched) {
+        // Batch-ACK: ONE atomic step commits every id — the spec-level
+        // image of Nib::commit_ack_batch's single transaction.
+        for (const Value& id : ack.as_seq()) commit_one(id);
+      } else {
+        commit_one(ack);
       }
       ctx.jump("ProcessACK");
     };

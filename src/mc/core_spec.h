@@ -29,6 +29,13 @@ struct CoreSpecScenario {
   bool handle_switch_complete_transient = false;  // (5) [cleanup pipeline]
   bool directed_reconciliation = false;   // (6) [ZENITH-DR tracking]
 
+  /// Dispatch batch size (CoreConfig::batch_size). 1 = the classic per-OP
+  /// pipeline, byte-identical spec to the pre-batching one. >1: the Worker
+  /// Pool drains up to batch_size OPs per atomic step, the switch applies
+  /// them and emits ONE batch-ACK (a sequence of OP ids), and the
+  /// Monitoring Server commits that ACK as a single transaction.
+  int batch_size = 1;
+
   static CoreSpecScenario stage(int n);  // 1..6 per Figure A.3's x-axis
   std::string name() const;
 };

@@ -1,0 +1,353 @@
+#include "mc/lockstep.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "common/logging.h"
+#include "harness/workload.h"
+#include "obs/obs.h"
+#include "to/orchestrator.h"
+
+namespace zenith::mc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+/// Workload derivation salt; any fixed constant works, it only decouples
+/// the workload RNG stream from the schedule RNG stream.
+constexpr std::uint64_t kWorkloadSalt = 0x10C57E9010C57E90ull;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// True when every transitional OP has drained: nothing SCHEDULED or
+/// IN_FLIGHT, and nothing SENT to a switch that is healthy and alive (such
+/// an OP's ACK is still in the pipe; a model quiescence point cannot be
+/// declared while it travels). CLEAR_TCAM/DUMP_TABLE replies route through
+/// the cleanup paths and are excluded, matching check_quiescent().
+bool pipeline_drained(Experiment& exp) {
+  Nib& nib = exp.nib();
+  if (!nib.ops_with_status(OpStatus::kScheduled).empty()) return false;
+  if (!nib.ops_with_status(OpStatus::kInFlight).empty()) return false;
+  for (OpId id : nib.ops_with_status(OpStatus::kSent)) {
+    const Op& op = nib.op(id);
+    if (op.type == OpType::kClearTcam || op.type == OpType::kDumpTable) {
+      continue;
+    }
+    if (nib.switch_up(op.sw) && exp.fabric().alive(op.sw)) return false;
+  }
+  return true;
+}
+
+/// Downscaled PipelineModel instance matching the scenario's semantics
+/// knobs: same batch_size, same §3.9 bug switches, a fault budget shaped
+/// by the schedule's fault classes.
+ModelConfig model_instance_for(const chaos::CampaignConfig& campaign,
+                               const chaos::ChaosSchedule& schedule) {
+  bool switch_faults = false;
+  bool crashes = false;
+  for (const chaos::ChaosEvent& event : schedule.events) {
+    switch (event.kind) {
+      case chaos::FaultKind::kSwitchFail:
+        switch_faults = true;
+        break;
+      case chaos::FaultKind::kComponentCrash:
+      case chaos::FaultKind::kOfcCrash:
+      case chaos::FaultKind::kDeCrash:
+        crashes = true;
+        break;
+      default:
+        break;
+    }
+  }
+  ModelConfig model = switch_faults
+                          ? ModelConfig::transient_recovery_instance()
+                          : ModelConfig::table4_instance();
+  model.batch_size = static_cast<int>(campaign.core.batch_size);
+  model.bugs = campaign.core.bugs;
+  if (crashes) model.max_worker_crashes = 1;
+  // POR's macro-steps hide the crash interleavings the CP-partial budget is
+  // meant to expose; symmetry + compositional keep the instance small.
+  model.opt_symmetry = true;
+  model.opt_compositional = true;
+  model.opt_por = false;
+  return model;
+}
+
+}  // namespace
+
+std::uint64_t LockstepReport::report_digest() const {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnv1a(hash, diverged ? "diverged" : "conformant");
+  for (const std::string& d : divergences) hash = fnv1a(hash, d);
+  for (const PhaseRecord& phase : phases) {
+    hash = fnv1a(hash, phase.index);
+    hash = fnv1a(hash, phase.digest);
+    hash = fnv1a(hash, phase.events_injected);
+  }
+  return hash;
+}
+
+std::string LockstepReport::summary() const {
+  std::ostringstream out;
+  if (diverged) {
+    out << "DIVERGED phase=" << divergent_phase;
+    if (!divergences.empty()) out << " :: " << divergences.front();
+  } else {
+    out << "CONFORMANT phases=" << phases.size();
+  }
+  if (model_result.distinct_states > 0) {
+    out << " model=" << (model_result.ok ? "ok" : "violation")
+        << "(" << model_result.distinct_states << " states)";
+  }
+  return out.str();
+}
+
+LockstepChecker::LockstepChecker(LockstepConfig config)
+    : config_(std::move(config)) {}
+
+LockstepReport LockstepChecker::run() {
+  Topology topo = chaos::make_topology(config_.campaign);
+  schedule_ = chaos::generate_schedule(topo, config_.campaign.core,
+                                       config_.campaign.schedule,
+                                       config_.campaign.seed);
+  return run(schedule_);
+}
+
+LockstepReport LockstepChecker::run(const chaos::ChaosSchedule& schedule) {
+  const chaos::CampaignConfig& campaign = config_.campaign;
+  LockstepReport report;
+
+  if (config_.check_model) {
+    CheckerOptions options;
+    options.max_states = 400'000;
+    options.time_limit_seconds = 20.0;
+    report.model_result =
+        check(PipelineModel(model_instance_for(campaign, schedule)), options);
+  }
+
+  obs::Observability o(/*recorder_capacity=*/512);
+
+  ExperimentConfig experiment_config;
+  experiment_config.seed = campaign.seed;
+  experiment_config.kind = campaign.controller;
+  experiment_config.core = campaign.core;
+  Experiment exp(chaos::make_topology(campaign), experiment_config);
+  exp.attach_observability(&o);
+  exp.start();
+  Workload workload(&exp, campaign.seed ^ kWorkloadSalt);
+
+  // NIB event projection: per-type counts (plus expanded batch-commit
+  // cardinality) folded into each phase digest. Two executions that reach
+  // identical abstract states through different event histories are still
+  // distinguished — the projection is the "NIB event log" leg of the
+  // abstraction.
+  std::array<std::uint64_t, 5> event_counts{};
+  std::uint64_t batch_committed_ops = 0;
+  NadirFifo<NibEvent> projection;
+  projection.set_wake_callback([&] {
+    while (!projection.empty()) {
+      NibEvent event = projection.pop();
+      ++event_counts[static_cast<std::size_t>(event.type)];
+      batch_committed_ops += event.batch.size();
+    }
+  });
+  exp.nib().subscribe(&projection);
+
+  std::vector<DagId> submitted;
+  FaultHistory history;
+  bool divergence_found = false;
+
+  auto record_divergence = [&](std::size_t phase, std::string message) {
+    if (!divergence_found) {
+      report.diverged = true;
+      report.divergent_phase = phase;
+      o.event("lockstep", "divergence", message);
+      report.flight_recorder_dump = o.recorder().dump();
+      divergence_found = true;
+    }
+    report.divergences.push_back(std::move(message));
+  };
+
+  // Baseline: the initial DAG must converge before any fault is injected —
+  // a failure here diverges at phase 0 by definition.
+  Dag initial = workload.initial_dag(campaign.initial_flows);
+  DagId last_dag = initial.id();
+  submitted.push_back(last_dag);
+  exp.order_checker().register_dag(initial);
+  if (!exp.install_and_wait(std::move(initial), config_.settle_timeout)
+           .has_value()) {
+    record_divergence(0, "initial DAG failed to converge fault-free");
+    return report;
+  }
+
+  const std::size_t phase_count = std::max<std::size_t>(1, config_.phases);
+  const SimTime window = campaign.schedule.horizon / phase_count;
+  const SimTime t0 = exp.sim().now();  // schedule time zero
+
+  auto touches_dead = [&](DagId id) {
+    if (!exp.nib().has_dag(id)) return false;
+    for (SwitchId sw : exp.nib().dag(id).touched_switches()) {
+      if (!exp.fabric().alive(sw)) return true;
+    }
+    return false;
+  };
+  auto quiesced = [&] {
+    if (!pipeline_drained(exp)) return false;
+    if (touches_dead(last_dag)) {
+      return exp.checker().check(std::nullopt).view_consistent;
+    }
+    return exp.checker().converged(last_dag);
+  };
+
+  for (std::size_t p = 0; p < phase_count && !divergence_found; ++p) {
+    // One workload update races this phase's faults.
+    if (auto update = workload.next_update_dag()) {
+      last_dag = update->id();
+      submitted.push_back(last_dag);
+      exp.order_checker().register_dag(*update);
+      exp.controller().submit_dag(std::move(*update));
+    }
+
+    // This phase's slice of the schedule, re-based to the window start.
+    const SimTime phase_start = static_cast<SimTime>(p) * window;
+    chaos::ChaosSchedule slice;
+    slice.seed = schedule.seed;
+    for (const chaos::ChaosEvent& event : schedule.events) {
+      std::size_t phase =
+          std::min(phase_count - 1,
+                   static_cast<std::size_t>(window == 0 ? 0 : event.at / window));
+      if (phase != p) continue;
+      chaos::ChaosEvent rebased = event;
+      rebased.at = event.at > phase_start ? event.at - phase_start : 0;
+      slice.events.push_back(std::move(rebased));
+    }
+    for (const chaos::ChaosEvent& event : slice.events) {
+      switch (event.kind) {
+        case chaos::FaultKind::kSwitchFail:
+          history.ever_down.insert(event.sw.value());
+          break;
+        case chaos::FaultKind::kComponentCrash:
+        case chaos::FaultKind::kOfcCrash:
+        case chaos::FaultKind::kDeCrash:
+        case chaos::FaultKind::kReplyBurstLoss:
+          history.ofc_disrupted = true;
+          break;
+        default:
+          break;
+      }
+    }
+
+    std::ostringstream name;
+    name << "lockstep/" << chaos::to_string(campaign.topology) << "/seed"
+         << campaign.seed << "/phase" << p;
+    to::Trace trace = chaos::schedule_to_trace(slice, name.str(), "");
+    to::TraceOrchestrator orchestrator(&exp, /*gate_components=*/false);
+    orchestrator.replay(trace);
+
+    // Let the window play out, then demand quiescence. The model's
+    // executions always drain; failing to is itself a divergence.
+    const SimTime phase_end = t0 + static_cast<SimTime>(p + 1) * window;
+    if (exp.sim().now() < phase_end) exp.run_for(phase_end - exp.sim().now());
+    if (!exp.run_until(quiesced, config_.settle_timeout).has_value()) {
+      std::ostringstream msg;
+      msg << "phase " << p << " failed to quiesce within "
+          << to_seconds(config_.settle_timeout) << "s";
+      record_divergence(p, msg.str());
+      for (std::string& detail : check_quiescent(exp, last_dag, history)) {
+        report.divergences.push_back("phase " + std::to_string(p) + ": " +
+                                     std::move(detail));
+      }
+      break;
+    }
+
+    // Quiescence point: the model's invariants must hold...
+    for (std::string& detail : check_quiescent(exp, last_dag, history)) {
+      record_divergence(p,
+                        "phase " + std::to_string(p) + ": " + std::move(detail));
+    }
+
+    // ...and the abstraction digest is recorded (golden corpus pins it).
+    PhaseRecord phase_record;
+    phase_record.index = p;
+    phase_record.at = exp.sim().now();
+    phase_record.events_injected = slice.events.size();
+    std::uint64_t digest = abstract_state(exp, submitted).digest();
+    digest = fnv1a(digest, p);
+    for (std::uint64_t count : event_counts) digest = fnv1a(digest, count);
+    digest = fnv1a(digest, batch_committed_ops);
+    phase_record.digest = digest;
+    report.phases.push_back(phase_record);
+  }
+
+  ZLOG_DEBUG("lockstep: %s", report.summary().c_str());
+  return report;
+}
+
+LockstepChecker::DivergenceShrink LockstepChecker::shrink(
+    const chaos::ChaosSchedule& failing, std::size_t max_oracle_runs) {
+  DivergenceShrink result;
+
+  LockstepReport last_failing;
+  LockstepReport first_probe;
+  bool first = true;
+  auto violates = [&](const chaos::ChaosSchedule& candidate) -> bool {
+    LockstepReport probe = run(candidate);
+    bool failed = probe.diverged;
+    if (first) {
+      first_probe = probe;
+      first = false;
+    }
+    if (failed) last_failing = std::move(probe);
+    return failed;
+  };
+
+  chaos::DdminResult ddmin =
+      chaos::ddmin_schedule(failing, violates, max_oracle_runs);
+  result.oracle_runs = ddmin.oracle_runs;
+  result.one_minimal = ddmin.one_minimal;
+  result.minimal = std::move(ddmin.minimal);
+  result.minimal_report =
+      ddmin.reproduced ? std::move(last_failing) : std::move(first_probe);
+
+  std::ostringstream name;
+  name << "lockstep-shrunk/" << chaos::to_string(config_.campaign.topology)
+       << "/seed" << config_.campaign.seed;
+  std::string violation = result.minimal_report.divergences.empty()
+                              ? ""
+                              : result.minimal_report.divergences.front();
+  result.trace = chaos::schedule_to_trace(
+      result.minimal, ddmin.reproduced ? name.str() : "lockstep-not-shrunk",
+      std::move(violation));
+  return result;
+}
+
+void enable_campaign_lockstep_oracle() {
+  chaos::set_campaign_lockstep_oracle(
+      [](Experiment& exp, DagId last_dag) -> std::vector<std::string> {
+        // The campaign declares quiescence at convergence of the last DAG;
+        // transitional statuses of superseded work may still be draining.
+        // Settle them (bounded) before evaluating quiescent invariants.
+        exp.run_until([&exp] { return pipeline_drained(exp); }, seconds(5));
+        FaultHistory history;
+        history.assume_any = true;  // the campaign's fault mix is unknown here
+        return check_quiescent(exp, last_dag, history);
+      });
+}
+
+}  // namespace zenith::mc

@@ -1,0 +1,113 @@
+// Differential lockstep conformance: the same seeded scenario — topology,
+// workload, fault schedule — driven through the real core pipeline on the
+// deterministic simulator and through the formal-model substitute, compared
+// at quiescence points.
+//
+// The run is sliced into phases: each phase submits one workload update,
+// replays its slice of the fault schedule through the (ungated) Trace
+// Orchestrator, then waits for quiescence and takes an abstraction digest
+// (mc/abstraction.h) folded with a projection of the NIB event stream. The
+// model side contributes twice:
+//  * statically — the PipelineModel is checked (same batch_size, same §3.9
+//    bug knobs, a fault budget matching the schedule) and its verdict is
+//    attached to the report;
+//  * at each quiescence point — check_quiescent() evaluates the model's
+//    quiescent-state invariants over the implementation. Any violation is
+//    a divergence: the implementation reached a quiescent state the model
+//    cannot reach.
+// The checker stops at the FIRST divergent phase, attaches the flight
+// recorder's causal tail, and can ddmin-shrink the divergence-inducing
+// schedule with the same machinery chaos reproducers use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "chaos/shrink.h"
+#include "mc/abstraction.h"
+#include "mc/checker.h"
+
+namespace zenith::mc {
+
+struct LockstepConfig {
+  /// Scenario source: topology, seed, controller + core config (including
+  /// batch_size and bug knobs), schedule knobs, workload cadence.
+  chaos::CampaignConfig campaign;
+  /// Quiescence points per run. The schedule's horizon is sliced into this
+  /// many windows; each window's faults race one workload update.
+  std::size_t phases = 4;
+  /// Per-phase quiescence budget; overrunning it is itself a divergence
+  /// (the model's executions always drain).
+  SimTime settle_timeout = seconds(10);
+  /// Also check the downscaled PipelineModel instance (same batch_size and
+  /// bug knobs) and attach its verdict to the report.
+  bool check_model = true;
+};
+
+/// One quiescence point's record.
+struct PhaseRecord {
+  std::size_t index = 0;
+  SimTime at = 0;                   // sim time when quiescence was declared
+  std::uint64_t digest = 0;         // abstraction ⊕ NIB-event projection
+  std::size_t events_injected = 0;  // schedule events replayed this phase
+};
+
+struct LockstepReport {
+  bool diverged = false;
+  std::size_t divergent_phase = 0;  // meaningful only when diverged
+  std::vector<std::string> divergences;
+  std::vector<PhaseRecord> phases;
+  /// PipelineModel verdict for the matching small-scope instance (valid when
+  /// LockstepConfig::check_model). Informational: the model exploring a
+  /// violation under deliberate bug knobs corroborates an implementation
+  /// divergence; only implementation-side mismatches set `diverged`.
+  CheckResult model_result;
+  /// Causal tail frozen at the first divergence (empty when conformant).
+  std::string flight_recorder_dump;
+
+  /// Stable digest over the verdict, divergence messages and every phase
+  /// digest — the value the golden corpus pins per scenario cell.
+  std::uint64_t report_digest() const;
+  std::string summary() const;
+};
+
+class LockstepChecker {
+ public:
+  explicit LockstepChecker(LockstepConfig config);
+
+  /// Generates the seed's schedule and runs it.
+  LockstepReport run();
+
+  /// Runs an explicit schedule (the shrinker's entry point).
+  LockstepReport run(const chaos::ChaosSchedule& schedule);
+
+  struct DivergenceShrink {
+    chaos::ChaosSchedule minimal;
+    to::Trace trace;  // replayable reproducer of the minimal schedule
+    LockstepReport minimal_report;
+    std::size_t oracle_runs = 0;
+    bool one_minimal = false;
+  };
+
+  /// ddmin-shrinks a divergence-inducing schedule; each oracle probe is one
+  /// full lockstep run.
+  DivergenceShrink shrink(const chaos::ChaosSchedule& failing,
+                          std::size_t max_oracle_runs = 48);
+
+  /// The schedule run() generated (valid after run()).
+  const chaos::ChaosSchedule& schedule() const { return schedule_; }
+  const LockstepConfig& config() const { return config_; }
+
+ private:
+  LockstepConfig config_;
+  chaos::ChaosSchedule schedule_;
+};
+
+/// Installs check_quiescent() as the chaos campaign's lockstep oracle
+/// (CampaignConfig::lockstep). Idempotent; the fault history is unknown at
+/// the campaign layer, so history-conditioned invariants are skipped there.
+void enable_campaign_lockstep_oracle();
+
+}  // namespace zenith::mc

@@ -1,6 +1,7 @@
 #include "mc/pipeline_model.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <sstream>
 
@@ -9,22 +10,32 @@
 namespace zenith::mc {
 
 namespace {
-bool queue_push(std::uint8_t* queue, std::uint8_t& len, std::uint8_t msg) {
+template <typename T>
+bool queue_push(T* queue, std::uint8_t& len, T msg) {
   if (len >= kQueueCap) return false;
   queue[len++] = msg;
   return true;
 }
 
-std::uint8_t queue_pop(std::uint8_t* queue, std::uint8_t& len) {
+template <typename T>
+T queue_pop(T* queue, std::uint8_t& len) {
   assert(len > 0);
-  std::uint8_t head = queue[0];
+  T head = queue[0];
   for (int i = 1; i < len; ++i) queue[i - 1] = queue[i];
   --len;
   return head;
 }
 
-bool is_clear_msg(std::uint8_t msg) { return msg >= kClearBase && msg != kNoOp; }
-int clear_switch_of(std::uint8_t msg) { return msg - kClearBase; }
+bool is_clear_msg(Msg msg) { return msg >= kClearBase && msg != kNoOp; }
+int clear_switch_of(Msg msg) { return msg - kClearBase; }
+bool is_batch_msg(Msg msg) {
+  return (msg & kBatchFlag) != 0 && msg < kClearBase;
+}
+int batch_switch_of(Msg msg) { return (msg >> 10) & 0x1f; }
+std::uint16_t batch_mask_of(Msg msg) { return msg & 0x03ff; }
+Msg make_batch_msg(int sw, std::uint16_t mask) {
+  return static_cast<Msg>(kBatchFlag | (sw << 10) | mask);
+}
 }  // namespace
 
 ModelConfig ModelConfig::table4_instance() {
@@ -120,7 +131,7 @@ std::pair<std::uint64_t, std::uint64_t> State::fingerprint(
   if (symmetry) {
     // Workers are interchangeable: canonicalize by sorting their
     // (msg, phase) tuples. (§3.7 symmetry reduction.)
-    std::array<std::pair<std::uint8_t, std::uint8_t>, kMaxWorkers> slots;
+    std::array<std::pair<Msg, std::uint8_t>, kMaxWorkers> slots;
     for (int w = 0; w < kMaxWorkers; ++w) {
       slots[w] = {canon.worker_msg[w], canon.worker_phase[w]};
     }
@@ -142,9 +153,9 @@ std::pair<std::uint64_t, std::uint64_t> State::fingerprint(
   put8(canon.current_dag);
   for (auto v : canon.op_status) put8(v);
   put8(canon.op_queue_len);
-  for (int i = 0; i < canon.op_queue_len; ++i) put8(canon.op_queue[i]);
+  for (int i = 0; i < canon.op_queue_len; ++i) put16(canon.op_queue[i]);
   for (int w = 0; w < kMaxWorkers; ++w) {
-    put8(canon.worker_msg[w]);
+    put16(canon.worker_msg[w]);
     put8(canon.worker_phase[w]);
   }
   for (int sw = 0; sw < kMaxSwitches; ++sw) {
@@ -153,14 +164,14 @@ std::pair<std::uint64_t, std::uint64_t> State::fingerprint(
     put16(canon.sw_table[sw]);
     put16(canon.nib_view[sw]);
     put8(canon.sw_inq_len[sw]);
-    for (int i = 0; i < canon.sw_inq_len[sw]; ++i) put8(canon.sw_inq[sw][i]);
+    for (int i = 0; i < canon.sw_inq_len[sw]; ++i) put16(canon.sw_inq[sw][i]);
     put8(canon.sw_outq_len[sw]);
     for (int i = 0; i < canon.sw_outq_len[sw]; ++i) {
-      put8(canon.sw_outq[sw][i]);
+      put16(canon.sw_outq[sw][i]);
     }
   }
   put8(canon.ack_queue_len);
-  for (int i = 0; i < canon.ack_queue_len; ++i) put8(canon.ack_queue[i]);
+  for (int i = 0; i < canon.ack_queue_len; ++i) put16(canon.ack_queue[i]);
   put8(canon.topo_queue_len);
   for (int i = 0; i < canon.topo_queue_len; ++i) put8(canon.topo_queue[i]);
   put8(canon.cleanup_queue_len);
@@ -181,6 +192,7 @@ std::string Action::label() const {
   std::ostringstream out;
   switch (kind) {
     case Kind::kSeqSchedule: out << "Sequencer.ScheduleOP(op" << int(subject) << ")"; break;
+    case Kind::kSeqBatchPass: out << "Sequencer.SchedulePass"; break;
     case Kind::kWorkerTake: out << "WorkerPool.Take(w" << int(subject) << ")"; break;
     case Kind::kWorkerRecord: out << "WorkerPool.RecordNIB(w" << int(subject) << ")"; break;
     case Kind::kWorkerAct: out << "WorkerPool.ForwardOP(w" << int(subject) << ")"; break;
@@ -202,6 +214,7 @@ PipelineModel::PipelineModel(ModelConfig config) : config_(std::move(config)) {
   assert(config_.num_switches <= kMaxSwitches);
   assert(config_.num_workers <= kMaxWorkers);
   assert(config_.ops.size() <= kMaxOps);
+  assert(config_.batch_size >= 1);
 }
 
 State PipelineModel::initial_state() const {
@@ -227,37 +240,71 @@ bool PipelineModel::preds_done(const State& s, int op) const {
   return true;
 }
 
+bool PipelineModel::op_schedulable(const State& s, int op) const {
+  // P2's predicate, verbatim: in the current DAG, not yet tracked, all
+  // predecessors DONE, and the target switch healthy in the NIB.
+  if (!op_in_current_dag(s, op)) return false;
+  if (static_cast<MOpStatus>(s.op_status[op]) != MOpStatus::kNone) {
+    return false;
+  }
+  if (!preds_done(s, op)) return false;
+  return static_cast<MHealth>(s.nib_health[config_.ops[op].sw]) ==
+         MHealth::kUp;
+}
+
+int PipelineModel::msg_switch(Msg msg) const {
+  if (is_clear_msg(msg)) return clear_switch_of(msg);
+  if (is_batch_msg(msg)) return batch_switch_of(msg);
+  return config_.ops[msg].sw;
+}
+
+void PipelineModel::mark_batch_status(State& s, Msg msg,
+                                      MOpStatus status) const {
+  std::uint16_t mask = batch_mask_of(msg);
+  for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
+    if (mask & (1u << op)) {
+      s.op_status[op] = static_cast<std::uint8_t>(status);
+    }
+  }
+}
+
 std::vector<Action> PipelineModel::raw_enabled(const State& s) const {
   std::vector<Action> out;
   using K = Action::Kind;
 
-  // Sequencer: schedulable OPs (P2's predicate, verbatim).
-  for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
-    if (!op_in_current_dag(s, op)) continue;
-    if (static_cast<MOpStatus>(s.op_status[op]) != MOpStatus::kNone) continue;
-    if (!preds_done(s, op)) continue;
-    if (static_cast<MHealth>(s.nib_health[config_.ops[op].sw]) !=
-        MHealth::kUp) {
-      continue;
+  if (config_.batch_size <= 1) {
+    // Sequencer, classic pipeline: one transition per schedulable OP
+    // (P2's predicate, verbatim).
+    for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
+      if (!op_schedulable(s, op)) continue;
+      if (s.op_queue_len >= kQueueCap) continue;
+      out.push_back({K::kSeqSchedule, static_cast<std::uint8_t>(op)});
     }
-    if (s.op_queue_len >= kQueueCap) continue;
-    out.push_back({K::kSeqSchedule, static_cast<std::uint8_t>(op)});
+  } else {
+    // Batched pipeline: one service step of the sequencer runs the whole
+    // coalescing scan atomically (the implementation does the same inside
+    // a single simulator event).
+    bool any = false;
+    for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
+      if (op_schedulable(s, op)) {
+        any = true;
+        break;
+      }
+    }
+    if (any && s.op_queue_len < kQueueCap) {
+      out.push_back({K::kSeqBatchPass, 0});
+    }
   }
 
   // Worker pool: an idle worker may take the queue head unless another
   // worker already holds a message for the same switch (per-switch
   // serialization, P4).
   if (s.op_queue_len > 0) {
-    std::uint8_t head = s.op_queue[0];
-    int head_sw = is_clear_msg(head) ? clear_switch_of(head)
-                                     : config_.ops[head].sw;
+    int head_sw = msg_switch(s.op_queue[0]);
     bool switch_held = false;
     for (int w = 0; w < config_.num_workers; ++w) {
       if (s.worker_msg[w] == kNoOp) continue;
-      int held_sw = is_clear_msg(s.worker_msg[w])
-                        ? clear_switch_of(s.worker_msg[w])
-                        : config_.ops[s.worker_msg[w]].sw;
-      if (held_sw == head_sw) switch_held = true;
+      if (msg_switch(s.worker_msg[w]) == head_sw) switch_held = true;
     }
     if (!switch_held) {
       for (int w = 0; w < config_.num_workers; ++w) {
@@ -356,7 +403,7 @@ std::vector<Action> PipelineModel::enabled_actions(const State& s) const {
 }
 
 std::string PipelineModel::deliver_to_switch(State& s, int sw,
-                                             std::uint8_t msg) const {
+                                             Msg msg) const {
   if (!queue_push(s.sw_inq[sw].data(), s.sw_inq_len[sw], msg)) {
     return "";  // bounded-queue back-pressure: drop silently would be wrong;
                 // caller guards on capacity
@@ -365,9 +412,22 @@ std::string PipelineModel::deliver_to_switch(State& s, int sw,
 }
 
 std::string PipelineModel::apply_on_switch(State& s, int sw,
-                                           std::uint8_t msg) const {
+                                           Msg msg) const {
   if (is_clear_msg(msg)) {
     s.sw_table[sw] = 0;
+    return "";
+  }
+  if (is_batch_msg(msg)) {
+    // A batch is applied OP by OP in ascending index order — the coalescing
+    // scan order. DAG predecessors are never co-batched with successors
+    // (readiness requires the predecessor already DONE), so intra-batch
+    // order cannot violate ①.
+    std::uint16_t mask = batch_mask_of(msg);
+    for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
+      if (!(mask & (1u << op))) continue;
+      std::string violation = apply_on_switch(s, sw, static_cast<Msg>(op));
+      if (!violation.empty()) return violation;
+    }
     return "";
   }
   const ModelOp& op = config_.ops[msg];
@@ -395,7 +455,7 @@ std::string PipelineModel::apply_on_switch(State& s, int sw,
   return "";
 }
 
-void PipelineModel::enqueue_ack(State& s, int sw, std::uint8_t msg) const {
+void PipelineModel::enqueue_ack(State& s, int sw, Msg msg) const {
   if (config_.opt_compositional) {
     queue_push(s.ack_queue.data(), s.ack_queue_len, msg);
   } else {
@@ -403,12 +463,21 @@ void PipelineModel::enqueue_ack(State& s, int sw, std::uint8_t msg) const {
   }
 }
 
-void PipelineModel::process_ack(State& s, std::uint8_t msg) const {
+void PipelineModel::process_ack(State& s, Msg msg) const {
   if (is_clear_msg(msg)) {
     int sw = clear_switch_of(msg);
     s.nib_view[sw] = 0;
     queue_push(s.cleanup_queue.data(), s.cleanup_queue_len,
                static_cast<std::uint8_t>(sw));
+    return;
+  }
+  if (is_batch_msg(msg)) {
+    // Batch-ACK commit: ONE transition commits every OP of the batch — the
+    // implementation's Nib::commit_ack_batch single transaction.
+    std::uint16_t mask = batch_mask_of(msg);
+    for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
+      if (mask & (1u << op)) process_ack(s, static_cast<Msg>(op));
+    }
     return;
   }
   const ModelOp& op = config_.ops[msg];
@@ -438,12 +507,71 @@ std::string PipelineModel::apply(State& s, const Action& a) const {
     case K::kSeqSchedule: {
       s.op_status[a.subject] =
           static_cast<std::uint8_t>(MOpStatus::kScheduled);
-      queue_push(s.op_queue.data(), s.op_queue_len, a.subject);
+      queue_push(s.op_queue.data(), s.op_queue_len,
+                 static_cast<Msg>(a.subject));
+      return "";
+    }
+    case K::kSeqBatchPass: {
+      // One atomic coalescing pass, mirroring Sequencer::schedule_ready_ops:
+      // scan OPs in index order, mark each ready OP SCHEDULED at scan time,
+      // coalesce per switch (first-appearance flush order), flush inline
+      // when a chunk reaches batch_size, then flush the remainders at scan
+      // end. Singleton chunks travel as the classic per-OP message (the
+      // implementation forwards those through the non-batch path).
+      std::array<std::uint16_t, kMaxSwitches> pending{};
+      std::array<std::uint8_t, kMaxSwitches> pending_count{};
+      std::array<std::uint8_t, kMaxSwitches> flush_order{};
+      std::uint8_t flush_order_len = 0;
+      bool aborted = false;
+      auto flush = [&](int sw) {
+        if (pending_count[sw] == 0 || aborted) return;
+        Msg msg = pending_count[sw] == 1
+                      ? static_cast<Msg>(
+                            std::countr_zero<std::uint16_t>(pending[sw]))
+                      : make_batch_msg(sw, pending[sw]);
+        if (!queue_push(s.op_queue.data(), s.op_queue_len, msg)) {
+          // Bounded-queue back-pressure: unmark this chunk and stop the
+          // pass; the action stays enabled and re-runs once space frees up.
+          for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
+            if (pending[sw] & (1u << op)) {
+              s.op_status[op] = static_cast<std::uint8_t>(MOpStatus::kNone);
+            }
+          }
+          aborted = true;
+        }
+        pending[sw] = 0;
+        pending_count[sw] = 0;
+      };
+      for (int op = 0;
+           op < static_cast<int>(config_.ops.size()) && !aborted; ++op) {
+        if (!op_schedulable(s, op)) continue;
+        int sw = config_.ops[op].sw;
+        s.op_status[op] = static_cast<std::uint8_t>(MOpStatus::kScheduled);
+        if (pending_count[sw] == 0) {
+          flush_order[flush_order_len++] = static_cast<std::uint8_t>(sw);
+        }
+        pending[sw] |= static_cast<std::uint16_t>(1u << op);
+        ++pending_count[sw];
+        if (pending_count[sw] >= config_.batch_size) flush(sw);
+      }
+      for (int i = 0; i < flush_order_len && !aborted; ++i) {
+        flush(flush_order[i]);
+      }
+      if (aborted) {
+        // Unmark any chunks left un-flushed when the queue filled up.
+        for (int sw = 0; sw < config_.num_switches; ++sw) {
+          for (int op = 0; op < static_cast<int>(config_.ops.size()); ++op) {
+            if (pending[sw] & (1u << op)) {
+              s.op_status[op] = static_cast<std::uint8_t>(MOpStatus::kNone);
+            }
+          }
+        }
+      }
       return "";
     }
     case K::kWorkerTake: {
       int w = a.subject;
-      std::uint8_t msg = queue_pop(s.op_queue.data(), s.op_queue_len);
+      Msg msg = queue_pop(s.op_queue.data(), s.op_queue_len);
       if (!config_.opt_por) {
         s.worker_msg[w] = msg;
         s.worker_phase[w] = 0;
@@ -451,40 +579,58 @@ std::string PipelineModel::apply(State& s, const Action& a) const {
       }
       // POR macro-step: take + record + act as one atomic transition (the
       // merged steps commute with every other component).
-      if (!is_clear_msg(msg)) {
-        int sw = config_.ops[msg].sw;
-        if (static_cast<MHealth>(s.nib_health[sw]) != MHealth::kUp) {
+      if (is_clear_msg(msg)) {
+        return deliver_to_switch(s, clear_switch_of(msg), msg);
+      }
+      int sw = msg_switch(msg);
+      if (static_cast<MHealth>(s.nib_health[sw]) != MHealth::kUp) {
+        // UpdateNIBFail: the whole message (an OP, or every OP of a batch)
+        // is marked FAILED_SWITCH and dropped.
+        if (is_batch_msg(msg)) {
+          mark_batch_status(s, msg, MOpStatus::kFailedSw);
+        } else {
           s.op_status[msg] =
               static_cast<std::uint8_t>(MOpStatus::kFailedSw);
-          return "";
         }
-        s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kSent);
-        return deliver_to_switch(s, sw, msg);
+        return "";
       }
-      return deliver_to_switch(s, clear_switch_of(msg), msg);
+      if (is_batch_msg(msg)) {
+        mark_batch_status(s, msg, MOpStatus::kSent);
+      } else {
+        s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kSent);
+      }
+      return deliver_to_switch(s, sw, msg);
     }
     case K::kWorkerRecord: {
       int w = a.subject;
-      std::uint8_t msg = s.worker_msg[w];
+      Msg msg = s.worker_msg[w];
       if (is_clear_msg(msg)) {
         s.worker_phase[w] = 1;  // CLEAR is health-exempt (P7 exception)
         return "";
       }
-      int sw = config_.ops[msg].sw;
+      int sw = msg_switch(msg);
       if (static_cast<MHealth>(s.nib_health[sw]) != MHealth::kUp) {
-        s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kFailedSw);
-        s.worker_msg[w] = kNoOp;  // UpdateNIBFail, done with this OP
+        if (is_batch_msg(msg)) {
+          mark_batch_status(s, msg, MOpStatus::kFailedSw);
+        } else {
+          s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kFailedSw);
+        }
+        s.worker_msg[w] = kNoOp;  // UpdateNIBFail, done with this message
         return "";
       }
       if (!config_.bugs.send_before_record) {
-        s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kSent);
+        if (is_batch_msg(msg)) {
+          mark_batch_status(s, msg, MOpStatus::kSent);
+        } else {
+          s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kSent);
+        }
       }
       s.worker_phase[w] = 1;
       return "";
     }
     case K::kWorkerAct: {
       int w = a.subject;
-      std::uint8_t msg = s.worker_msg[w];
+      Msg msg = s.worker_msg[w];
       s.worker_msg[w] = kNoOp;
       s.worker_phase[w] = 0;
       if (is_clear_msg(msg)) {
@@ -492,26 +638,31 @@ std::string PipelineModel::apply(State& s, const Action& a) const {
       }
       if (config_.bugs.send_before_record) {
         // Listing 1 ordering: the NIB learns "sent" only now.
-        s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kSent);
+        if (is_batch_msg(msg)) {
+          mark_batch_status(s, msg, MOpStatus::kSent);
+        } else {
+          s.op_status[msg] = static_cast<std::uint8_t>(MOpStatus::kSent);
+        }
       }
-      return deliver_to_switch(s, config_.ops[msg].sw, msg);
+      return deliver_to_switch(s, msg_switch(msg), msg);
     }
     case K::kSwitchProcess: {
       int sw = a.subject;
-      std::uint8_t msg = queue_pop(s.sw_inq[sw].data(), s.sw_inq_len[sw]);
+      Msg msg = queue_pop(s.sw_inq[sw].data(), s.sw_inq_len[sw]);
       std::string violation = apply_on_switch(s, sw, msg);
       if (!violation.empty()) return violation;
+      // A batch is acknowledged as ONE batch-ACK (kBatchAck), not per OP.
       enqueue_ack(s, sw, msg);
       return "";
     }
     case K::kSwitchEmitAck: {
       int sw = a.subject;
-      std::uint8_t msg = queue_pop(s.sw_outq[sw].data(), s.sw_outq_len[sw]);
+      Msg msg = queue_pop(s.sw_outq[sw].data(), s.sw_outq_len[sw]);
       queue_push(s.ack_queue.data(), s.ack_queue_len, msg);
       return "";
     }
     case K::kMonitoring: {
-      std::uint8_t msg = queue_pop(s.ack_queue.data(), s.ack_queue_len);
+      Msg msg = queue_pop(s.ack_queue.data(), s.ack_queue_len);
       process_ack(s, msg);
       return "";
     }
@@ -532,7 +683,7 @@ std::string PipelineModel::apply(State& s, const Action& a) const {
         return "";
       }
       s.nib_health[sw] = static_cast<std::uint8_t>(MHealth::kRecovering);
-      std::uint8_t clear = static_cast<std::uint8_t>(kClearBase + sw);
+      Msg clear = static_cast<Msg>(kClearBase + sw);
       if (config_.bugs.direct_clear_tcam) {
         return deliver_to_switch(s, sw, clear);  // bypasses the Worker Pool
       }
@@ -583,14 +734,15 @@ std::string PipelineModel::apply(State& s, const Action& a) const {
     }
     case K::kWorkerCrash: {
       int w = a.subject;
-      std::uint8_t msg = s.worker_msg[w];
+      Msg msg = s.worker_msg[w];
       s.worker_msg[w] = kNoOp;
       s.worker_phase[w] = 0;
       ++s.worker_crashes_used;
       if (!config_.bugs.pop_before_process && msg != kNoOp) {
         // Crash-safe discipline (AckQueueRead/AckQueuePop): the item was
         // never acknowledged off the queue, so the restarted worker (or a
-        // sibling) re-reads it. Modeled as a front re-insert.
+        // sibling) re-reads it. Modeled as a front re-insert. A held BATCH
+        // re-enqueues whole — exactly-once for every OP in it.
         for (int i = s.op_queue_len; i > 0; --i) {
           s.op_queue[i] = s.op_queue[i - 1];
         }
@@ -598,7 +750,8 @@ std::string PipelineModel::apply(State& s, const Action& a) const {
         ++s.op_queue_len;
       }
       // With the pop-before-process bug the in-progress item dies with the
-      // worker's locals — the §3.9 "event processing" error.
+      // worker's locals — the §3.9 "event processing" error. At batch_size
+      // > 1 the whole held batch is lost.
       return "";
     }
     case K::kAppSwitchDag: {

@@ -20,6 +20,20 @@
 //    when an invisible (component-local) transition is enabled, only the
 //    first one is expanded — an ample-set of size one (§3.7 "Partial order
 //    reduction").
+//
+// Batched dispatch (the PR-4 pipeline, CoreConfig::batch_size) is modeled
+// by ModelConfig::batch_size: at 1 the model is the classic per-OP pipeline
+// (one nondeterministic Sequencer.ScheduleOP transition per ready OP); at
+// >1 one atomic Sequencer.SchedulePass coalesces every currently-ready OP
+// into per-switch batch messages of at most batch_size OPs — mirroring the
+// implementation, where one sequencer service step runs the whole
+// coalescing scan inside a single simulator event. A batch travels the
+// worker -> switch -> ACK -> Monitoring Server path as ONE message: the
+// switch applies its OPs in order and emits one batch-ACK, the Monitoring
+// Server commits that ACK as a single transaction (one transition), and a
+// worker crash mid-batch re-enqueues the WHOLE held batch exactly once
+// (front re-insert), unless the pop_before_process bug is enabled — then
+// the entire batch dies with the worker's locals.
 #pragma once
 
 #include <array>
@@ -52,6 +66,11 @@ struct ModelConfig {
   int num_switches = 2;
   int num_workers = 2;
   std::vector<ModelOp> ops;  // static op table (both DAGs)
+
+  /// Per-switch dispatch batch size (CoreConfig::batch_size). 1 = the
+  /// classic per-OP pipeline, byte-identical state space to the pre-batching
+  /// model; >1 enables the batched Sequencer pass and batch messages.
+  int batch_size = 1;
 
   /// Failure budget: how many switch failures the checker may inject.
   int max_switch_failures = 1;
@@ -90,9 +109,23 @@ struct ModelConfig {
   static ModelConfig transient_recovery_instance();
 };
 
-// Message encoding on queues: 0..kMaxOps-1 = op index; kClearMsg|sw = CLEAR.
-inline constexpr std::uint8_t kClearBase = 0xe0;
-inline constexpr std::uint8_t kNoOp = 0xff;
+/// Message encoding on queues (16-bit):
+///   0..kMaxOps-1                 one OP (the batch_size=1 wire format, and
+///                                singleton batches at batch_size>1 — the
+///                                implementation sends those as the classic
+///                                per-OP request too);
+///   kBatchFlag | sw<<10 | mask   a per-switch batch: the OPs whose indices
+///                                are set in the low-10-bit mask, applied in
+///                                ascending index order (the coalescing scan
+///                                order — DAG preds are never co-batched
+///                                with their successors, readiness requires
+///                                the pred already DONE);
+///   kClearBase + sw              CLEAR_TCAM for sw;
+///   kNoOp                        idle marker.
+using Msg = std::uint16_t;
+inline constexpr Msg kBatchFlag = 0x8000;
+inline constexpr Msg kClearBase = 0xe000;
+inline constexpr Msg kNoOp = 0xffff;
 
 /// OP lifecycle in the model's NIB.
 enum class MOpStatus : std::uint8_t {
@@ -109,20 +142,20 @@ enum class MHealth : std::uint8_t { kUp, kDown, kRecovering };
 struct State {
   std::uint8_t current_dag = 0;
   std::array<std::uint8_t, kMaxOps> op_status{};        // MOpStatus
-  std::array<std::uint8_t, kQueueCap> op_queue{};       // shared pool queue
+  std::array<Msg, kQueueCap> op_queue{};                // shared pool queue
   std::uint8_t op_queue_len = 0;
   // Per-worker: the message being processed (kNoOp = idle) and its phase
   // (0 = just taken, 1 = recorded/ready-to-act) — fine-grained mode only.
-  std::array<std::uint8_t, kMaxWorkers> worker_msg{};
+  std::array<Msg, kMaxWorkers> worker_msg{};
   std::array<std::uint8_t, kMaxWorkers> worker_phase{};
   std::array<std::uint8_t, kMaxSwitches> sw_up{};        // bool
   std::array<std::uint8_t, kMaxSwitches> nib_health{};   // MHealth
   std::array<std::uint16_t, kMaxSwitches> sw_table{};    // op bitmask
-  std::array<std::array<std::uint8_t, kQueueCap>, kMaxSwitches> sw_inq{};
+  std::array<std::array<Msg, kQueueCap>, kMaxSwitches> sw_inq{};
   std::array<std::uint8_t, kMaxSwitches> sw_inq_len{};
-  std::array<std::array<std::uint8_t, kQueueCap>, kMaxSwitches> sw_outq{};
+  std::array<std::array<Msg, kQueueCap>, kMaxSwitches> sw_outq{};
   std::array<std::uint8_t, kMaxSwitches> sw_outq_len{};
-  std::array<std::uint8_t, kQueueCap> ack_queue{};       // at monitoring
+  std::array<Msg, kQueueCap> ack_queue{};                // at monitoring
   std::uint8_t ack_queue_len = 0;
   std::array<std::uint8_t, kQueueCap> topo_queue{};      // health events
   std::uint8_t topo_queue_len = 0;
@@ -147,6 +180,7 @@ struct State {
 struct Action {
   enum class Kind : std::uint8_t {
     kSeqSchedule,
+    kSeqBatchPass,
     kWorkerTake,
     kWorkerRecord,
     kWorkerAct,
@@ -201,11 +235,14 @@ class PipelineModel {
   int shard_unused(int sw) const { return sw % config_.num_workers; }
   bool op_in_current_dag(const State& s, int op) const;
   bool preds_done(const State& s, int op) const;
-  std::string deliver_to_switch(State& s, int sw, std::uint8_t msg) const;
-  std::string apply_on_switch(State& s, int sw, std::uint8_t msg) const;
-  void enqueue_ack(State& s, int sw, std::uint8_t msg) const;
-  void process_ack(State& s, std::uint8_t msg) const;
+  bool op_schedulable(const State& s, int op) const;
+  int msg_switch(Msg msg) const;
+  std::string deliver_to_switch(State& s, int sw, Msg msg) const;
+  std::string apply_on_switch(State& s, int sw, Msg msg) const;
+  void enqueue_ack(State& s, int sw, Msg msg) const;
+  void process_ack(State& s, Msg msg) const;
   void reset_switch_ops(State& s, int sw) const;
+  void mark_batch_status(State& s, Msg msg, MOpStatus status) const;
 
   ModelConfig config_;
 };

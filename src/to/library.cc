@@ -33,6 +33,7 @@ Trace from_counterexample(const mc::CheckResult& result,
   for (const mc::TraceEvent& event : result.trace) {
     switch (event.action.kind) {
       case K::kSeqSchedule:
+      case K::kSeqBatchPass:
         append_allow(trace, "sequencer0");
         break;
       case K::kWorkerTake:

@@ -184,6 +184,31 @@ TEST_F(FabricTest, LinkFailureKeepsSwitchesUp) {
   EXPECT_EQ(fabric_.link_events().size(), 1u);
 }
 
+TEST_F(FabricTest, PermanentLinkFailureIgnoresRecovery) {
+  // A permanently-failed link (cut fiber) must not resurrect when a
+  // randomized fault schedule aims a recovery at it — mirror of the
+  // permanently-failed-switch guard in inject_recovery.
+  auto link = fabric_.topology().link_between(SwitchId(0), SwitchId(1));
+  ASSERT_TRUE(link.ok());
+  fabric_.inject_link_failure(link.value(), /*permanent=*/true);
+  sim_.run();
+  EXPECT_FALSE(fabric_.link_alive(link.value()));
+  ASSERT_EQ(fabric_.link_events().size(), 1u);
+  EXPECT_FALSE(fabric_.link_events().pop().up);
+  fabric_.inject_link_recovery(link.value());
+  sim_.run();
+  // Guarded no-op: the link stays dead and no kLinkRecover event appears.
+  EXPECT_FALSE(fabric_.link_alive(link.value()));
+  EXPECT_TRUE(fabric_.link_events().empty());
+  // A transient failure on another link still recovers normally.
+  auto other = fabric_.topology().link_between(SwitchId(1), SwitchId(2));
+  ASSERT_TRUE(other.ok());
+  fabric_.inject_link_failure(other.value());
+  fabric_.inject_link_recovery(other.value());
+  sim_.run();
+  EXPECT_TRUE(fabric_.link_alive(other.value()));
+}
+
 TEST_F(FabricTest, LinkRecoveryNeverOvertakesFailure) {
   // Asymmetric detection: keepalive resume is noticed much faster than
   // keepalive loss. The per-link monotone delivery clock must still deliver

@@ -17,6 +17,7 @@
 
 #include "chaos/campaign.h"
 #include "harness/soak.h"
+#include "mc/lockstep.h"
 #include "topo/generators.h"
 
 namespace zenith::golden {
@@ -69,6 +70,27 @@ inline chaos::CampaignConfig chaos_cell_config(chaos::TopologyKind topology,
   return config;
 }
 
+/// The lockstep conformance grid cell (mirrors the zenith_lockstep runner's
+/// defaults): a 3-second, 8-fault schedule sliced into 3 quiescence phases.
+/// The golden corpus pins the per-phase abstraction digests via
+/// LockstepReport::report_digest().
+inline mc::LockstepConfig lockstep_cell_config(chaos::TopologyKind topology,
+                                               std::size_t size,
+                                               std::size_t batch_size,
+                                               std::uint64_t seed) {
+  mc::LockstepConfig config;
+  config.campaign.topology = topology;
+  config.campaign.topology_size = size;
+  config.campaign.seed = seed;
+  config.campaign.core.batch_size = batch_size;
+  config.campaign.schedule.horizon = seconds(3);
+  config.campaign.schedule.fault_count = 8;
+  config.campaign.initial_flows = 4;
+  config.phases = 3;
+  config.check_model = false;  // the model verdict is not a run digest
+  return config;
+}
+
 inline std::map<std::string, std::uint64_t> compute_fingerprints() {
   std::map<std::string, std::uint64_t> out;
 
@@ -96,6 +118,17 @@ inline std::map<std::string, std::uint64_t> compute_fingerprints() {
           chaos_cell_config(cell.kind, cell.size, seed));
       out["chaos_" + std::string(cell.name) + "_s" + std::to_string(seed) +
           ".verdict"] = campaign.run().verdict_digest();
+    }
+  }
+
+  // Lockstep conformance grid: per-phase abstraction digests pinned at the
+  // batching extremes (bs=1 classic, bs=16 coalescing).
+  for (const Cell& cell : cells) {
+    for (std::size_t bs : {std::size_t{1}, std::size_t{16}}) {
+      mc::LockstepChecker checker(
+          lockstep_cell_config(cell.kind, cell.size, bs, /*seed=*/1));
+      out["lockstep_" + std::string(cell.name) + "_bs" + std::to_string(bs) +
+          ".report"] = checker.run().report_digest();
     }
   }
   return out;

@@ -253,6 +253,124 @@ TEST(McWorkerCrash, SwitchAndWorkerFailuresCompose) {
   EXPECT_TRUE(result.ok) << result.violation;
 }
 
+// PR 4 brought batched dispatch (CoreConfig::batch_size) into the
+// implementation; ModelConfig::batch_size brings the spec model back into
+// conformance: an atomic coalescing Sequencer pass, per-switch batch
+// messages, ONE batch-ACK committed as a single Monitoring transition, and
+// whole-batch re-enqueue on worker crash.
+TEST(McBatching, BatchedModelVerifiesAcrossBatchSizes) {
+  for (auto make : {ModelConfig::table4_instance,
+                    ModelConfig::transient_recovery_instance}) {
+    for (int bs : {2, 4}) {
+      ModelConfig config = make();
+      config.batch_size = bs;
+      config.opt_symmetry = true;
+      config.opt_compositional = true;
+      config.opt_por = true;
+      CheckResult result = check(PipelineModel(config), quick_options());
+      EXPECT_TRUE(result.ok)
+          << "batch_size=" << bs << ": " << result.violation;
+      EXPECT_FALSE(result.capped);
+    }
+  }
+}
+
+TEST(McBatching, BatchSizeOneMatchesClassicStateSpace) {
+  // batch_size=1 must be byte-identical to the pre-batching pipeline: the
+  // per-OP Sequencer transitions are kept verbatim (no SchedulePass).
+  ModelConfig classic = ModelConfig::table4_instance();
+  classic.opt_symmetry = true;
+  classic.opt_compositional = true;
+  classic.opt_por = true;
+  ModelConfig bs1 = classic;
+  bs1.batch_size = 1;
+  CheckResult a = check(PipelineModel(classic), quick_options());
+  CheckResult b = check(PipelineModel(bs1), quick_options());
+  ASSERT_TRUE(a.ok) << a.violation;
+  ASSERT_TRUE(b.ok) << b.violation;
+  EXPECT_EQ(a.distinct_states, b.distinct_states);
+  EXPECT_EQ(a.diameter, b.diameter);
+}
+
+TEST(McBatching, BatchingShrinksSchedulingInterleavings) {
+  // The atomic coalescing pass replaces up-to-kMaxOps interleaved per-OP
+  // schedule transitions with one macro-step, so the batched state space
+  // cannot exceed the classic one on the same instance.
+  ModelConfig classic = ModelConfig::table4_instance();
+  classic.opt_symmetry = true;
+  classic.opt_compositional = true;
+  classic.opt_por = true;
+  ModelConfig batched = classic;
+  batched.batch_size = 4;
+  CheckResult a = check(PipelineModel(classic), quick_options());
+  CheckResult b = check(PipelineModel(batched), quick_options());
+  ASSERT_TRUE(a.ok) << a.violation;
+  ASSERT_TRUE(b.ok) << b.violation;
+  EXPECT_LE(b.distinct_states, a.distinct_states);
+}
+
+TEST(McBatching, CrashMidBatchSurvivesWithCrashSafeDiscipline) {
+  // A worker crash while it holds a BATCH must re-enqueue the whole batch
+  // exactly once (the PR 4 ghost-ACK fix, now in the spec too).
+  ModelConfig config = ModelConfig::table4_instance();
+  config.batch_size = 4;
+  config.opt_symmetry = true;
+  config.opt_compositional = true;
+  config.opt_por = false;  // crash windows live between worker steps
+  config.max_worker_crashes = 1;
+  CheckResult result = check(PipelineModel(config), quick_options());
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_FALSE(result.capped);
+}
+
+TEST(McBatching, PopBeforeProcessLosesWholeBatchUnderCrash) {
+  ModelConfig config = ModelConfig::table4_instance();
+  config.batch_size = 4;
+  config.opt_symmetry = true;
+  config.opt_compositional = true;
+  config.opt_por = false;
+  config.max_worker_crashes = 1;
+  config.max_switch_failures = 0;  // isolate the CP failure
+  config.bugs.pop_before_process = true;
+  CheckerOptions options = quick_options();
+  options.record_traces = true;
+  CheckResult result = check(PipelineModel(config), options);
+  ASSERT_FALSE(result.ok)
+      << "a crash between dequeue and process must lose the whole batch";
+  EXPECT_NE(result.violation.find("never installed"), std::string::npos)
+      << result.violation;
+}
+
+TEST(McBatching, BatchAckCommitsAsOneTransaction) {
+  // Hand-built state: a 2-OP batch-ACK sits at the Monitoring Server. ONE
+  // kMonitoring transition must commit both OPs (status + view) — the
+  // model-level image of Nib::commit_ack_batch's single transaction.
+  ModelConfig config = ModelConfig::table4_instance();
+  config.batch_size = 4;
+  PipelineModel model(config);
+  State s = model.initial_state();
+  // op2 and op3 both live on sw1 (DAG B); pretend they were batched,
+  // applied on the switch, and the batch-ACK is queued.
+  s.current_dag = 1;
+  s.app_switched = 1;
+  s.failures_used = 1;
+  s.sw_up[0] = 0;
+  s.nib_health[0] = 1;  // MHealth::kDown
+  s.op_status[2] = static_cast<std::uint8_t>(MOpStatus::kSent);
+  s.op_status[3] = static_cast<std::uint8_t>(MOpStatus::kSent);
+  s.sw_table[1] = (1u << 2) | (1u << 3);
+  s.installed_once = (1u << 2) | (1u << 3);
+  s.ack_queue[0] = static_cast<Msg>(kBatchFlag | (1u << 10) | (1u << 2) |
+                                    (1u << 3));
+  s.ack_queue_len = 1;
+  Action monitoring{Action::Kind::kMonitoring, 0};
+  ASSERT_EQ(model.apply(s, monitoring), "");
+  EXPECT_EQ(static_cast<MOpStatus>(s.op_status[2]), MOpStatus::kDone);
+  EXPECT_EQ(static_cast<MOpStatus>(s.op_status[3]), MOpStatus::kDone);
+  EXPECT_EQ(s.nib_view[1], (1u << 2) | (1u << 3));
+  EXPECT_EQ(s.ack_queue_len, 0);
+}
+
 TEST(McParametrized, CorrectModelHoldsAcrossFailureModes) {
   struct Case {
     bool complete;

@@ -211,6 +211,102 @@ InstrumentedRun run_instrumented(std::uint64_t seed) {
   return run;
 }
 
+// Regression (monitoring_server audit): the batch-reply path must report
+// batch_committed with the COMMITTED count, not the wire batch size —
+// orphan entries (OPs this controller incarnation never registered) are
+// filtered before the NIB transaction and only counted as orphan_acks, so
+// a batch of 6 with 1 known OP is one commit of size 1, and an all-orphan
+// batch is no commit at all. The kAck path already behaves this way
+// (batch_committed(sw, 1) only when the single OP commits).
+TEST(ObsBatchMetrics, BatchCommitReportsKnownOpsNotWireSize) {
+  obs::Observability o(128);
+  ExperimentConfig config;
+  config.seed = 5;
+  config.kind = ControllerKind::kZenithNR;
+  Experiment exp(gen::figure2_diamond(), config);
+  exp.attach_observability(&o);
+  exp.start();
+
+  auto make_op = [](std::uint32_t id) {
+    Op op;
+    op.id = OpId(id);
+    op.type = OpType::kInstallRule;
+    op.sw = SwitchId(0);
+    op.rule = FlowRule{FlowId(id), SwitchId(0), SwitchId(3), SwitchId(1), 1};
+    return op;
+  };
+  // One registered OP + five orphans (state a previous master installed).
+  Op known = make_op(900);
+  exp.nib().put_op(known);
+  SwitchRequest req;
+  req.type = SwitchRequest::Type::kBatch;
+  req.batch.push_back(known);
+  for (std::uint32_t id = 901; id <= 905; ++id) {
+    req.batch.push_back(make_op(id));
+  }
+  exp.fabric().send(SwitchId(0), req);
+  exp.run_for(millis(100));
+
+  // Histogram bins on [1, 65) with 16 bins are 4 wide: a sample of 1 (the
+  // committed count) lands in bin 0; the buggy wire size 6 would land in
+  // bin 1.
+  Histogram& h =
+      o.metrics().histogram("op_batch_size", {{"stage", "commit"}}, 1.0,
+                            65.0, 16);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+  EXPECT_EQ(o.metrics().counter("orphan_acks", {}).value(), 5u);
+  // The known OP committed exactly once.
+  EXPECT_EQ(exp.nib().op_status(OpId(900)), OpStatus::kDone);
+  EXPECT_TRUE(exp.nib().view_installed(SwitchId(0)).count(OpId(900)) > 0);
+
+  // An all-orphan batch-ACK commits nothing and must not touch the
+  // histogram.
+  SwitchRequest orphans;
+  orphans.type = SwitchRequest::Type::kBatch;
+  for (std::uint32_t id = 910; id <= 912; ++id) {
+    orphans.batch.push_back(make_op(id));
+  }
+  exp.fabric().send(SwitchId(0), orphans);
+  exp.run_for(millis(100));
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(o.metrics().counter("orphan_acks", {}).value(), 8u);
+}
+
+TEST(ObsBatchMetrics, SingleOpBatchAckCommitsExactlyOnce) {
+  // A size-1 kBatchAck (possible from a direct kBatch send; the sequencer
+  // forwards singletons via the classic per-OP path) must commit the OP
+  // once — not double-count through both reply paths.
+  obs::Observability o(128);
+  ExperimentConfig config;
+  config.seed = 6;
+  config.kind = ControllerKind::kZenithNR;
+  Experiment exp(gen::figure2_diamond(), config);
+  exp.attach_observability(&o);
+  exp.start();
+
+  Op op;
+  op.id = OpId(950);
+  op.type = OpType::kInstallRule;
+  op.sw = SwitchId(1);
+  op.rule = FlowRule{FlowId(950), SwitchId(1), SwitchId(2), SwitchId(2), 1};
+  exp.nib().put_op(op);
+  SwitchRequest req;
+  req.type = SwitchRequest::Type::kBatch;
+  req.batch.push_back(op);
+  exp.fabric().send(SwitchId(1), req);
+  exp.run_for(millis(100));
+
+  EXPECT_EQ(exp.nib().op_status(OpId(950)), OpStatus::kDone);
+  Histogram& h =
+      o.metrics().histogram("op_batch_size", {{"stage", "commit"}}, 1.0,
+                            65.0, 16);
+  EXPECT_EQ(h.total(), 1u);  // exactly one commit sample, of size 1
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(o.metrics().counter("orphan_acks", {}).value(), 0u);
+}
+
 TEST(ObsPipeline, SpanGraphCoversTheFullOpLifecycle) {
   InstrumentedRun run = run_instrumented(7);
 
