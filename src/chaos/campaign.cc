@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "harness/workload.h"
 #include "obs/obs.h"
 #include "to/orchestrator.h"
@@ -14,6 +15,7 @@ namespace zenith::chaos {
 namespace {
 
 constexpr std::uint64_t kWorkloadSalt = 0x5EEDF00D5EEDF00Dull;
+constexpr std::uint64_t kTakeoverDelaySalt = 0x7A6E0FE2DE1A75A1ull;
 
 std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
   for (char c : text) {
@@ -44,6 +46,12 @@ std::string step_label(const to::TraceStep& step) {
     case Type::kCrashOfc: return "ofc-crash";
     case Type::kCrashDe: return "de-crash";
     case Type::kDropReplies: return "reply-burst-loss";
+    case Type::kReplKillLeader: return "repl-kill-leader";
+    case Type::kReplRevive: return "repl-revive";
+    case Type::kReplPartitionLeader: return "repl-partition-leader";
+    case Type::kReplHeal: return "repl-heal";
+    case Type::kReplLeaseStall: return "repl-lease-stall";
+    case Type::kReplLeaseResume: return "repl-lease-resume";
     case Type::kAllow: return "allow";
   }
   return "?";
@@ -151,6 +159,30 @@ to::Trace schedule_to_trace(const ChaosSchedule& schedule, std::string name,
       case FaultKind::kReplyBurstLoss:
         step.type = to::TraceStep::Type::kDropReplies;
         break;
+      case FaultKind::kReplKillLeader:
+        step.type = to::TraceStep::Type::kReplKillLeader;
+        step.shard = event.shard;
+        break;
+      case FaultKind::kReplRevive:
+        step.type = to::TraceStep::Type::kReplRevive;
+        step.shard = event.shard;
+        break;
+      case FaultKind::kReplPartitionLeader:
+        step.type = to::TraceStep::Type::kReplPartitionLeader;
+        step.shard = event.shard;
+        break;
+      case FaultKind::kReplHeal:
+        step.type = to::TraceStep::Type::kReplHeal;
+        step.shard = event.shard;
+        break;
+      case FaultKind::kReplLeaseStall:
+        step.type = to::TraceStep::Type::kReplLeaseStall;
+        step.shard = event.shard;
+        break;
+      case FaultKind::kReplLeaseResume:
+        step.type = to::TraceStep::Type::kReplLeaseResume;
+        step.shard = event.shard;
+        break;
     }
     trace.steps.push_back(std::move(step));
   }
@@ -195,6 +227,14 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace,
   experiment_config.seed = config_.seed;
   experiment_config.kind = config_.controller;
   experiment_config.core = config_.core;
+  if (config_.randomize_takeover_delay) {
+    // Pure function of the seed: the perturbed delay is part of the run's
+    // identity, so equal seeds still fingerprint identically.
+    Rng delay_rng(config_.seed ^ kTakeoverDelaySalt);
+    experiment_config.core.failover_takeover_delay = static_cast<SimTime>(
+        delay_rng.uniform(static_cast<double>(config_.takeover_delay_min),
+                          static_cast<double>(config_.takeover_delay_max)));
+  }
   Experiment exp(make_topology(config_), experiment_config);
   exp.attach_observability(&o);
   exp.start();
@@ -299,6 +339,13 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace,
     return false;
   };
   auto quiescent = [&] {
+    // Replication must settle first: follower commit indexes lag the leader
+    // by a heartbeat, and declaring quiescence mid-catchup would turn that
+    // lag into a spurious R4 violation in the sweep below.
+    if (auto* repl = exp.controller().repl();
+        repl != nullptr && !repl->settled()) {
+      return false;
+    }
     if (touches_dead_switch(last_dag)) {
       return exp.checker().check(std::nullopt).view_consistent;
     }
@@ -330,6 +377,15 @@ CampaignResult ChaosCampaign::replay(const to::Trace& trace,
     result.violations.push_back(
         "hidden entry persists at quiescence (installed rule with NIB "
         "status NONE on a healthy switch)");
+  }
+  // Replication invariants (R1–R4) across every shard. The convergence
+  // checks (R4) only apply when the run actually settled — an unsettled run
+  // already reports an eventual-consistency violation above.
+  if (auto* repl = exp.controller().repl(); repl != nullptr) {
+    for (std::string& violation :
+         repl->check_invariants(/*at_quiescence=*/settled.has_value())) {
+      result.violations.push_back("repl: " + std::move(violation));
+    }
   }
 
   for (DagId id : submitted) {

@@ -64,6 +64,14 @@ struct CampaignConfig {
   /// The hidden-entry probe presumes ZENITH recovery semantics; PR-style
   /// baselines leave hidden entries by design between reconciliations.
   bool check_hidden_entries = true;
+  /// Perturb core.failover_takeover_delay with a seed-derived draw from
+  /// [takeover_delay_min, takeover_delay_max] before the run: chaos then
+  /// explores takeover-timing races, while the draw being a pure function of
+  /// the seed keeps equal-seed runs byte-identical (the determinism
+  /// fingerprints still match).
+  bool randomize_takeover_delay = false;
+  SimTime takeover_delay_min = millis(20);
+  SimTime takeover_delay_max = millis(400);
   /// Run the model-conformance oracle at quiescence in addition to the
   /// campaign's own invariants. The oracle itself lives in the lockstep
   /// library (src/mc) — a layer above this one — so it is injected via

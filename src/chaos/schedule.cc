@@ -17,6 +17,12 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kOfcCrash: return "ofc-crash";
     case FaultKind::kDeCrash: return "de-crash";
     case FaultKind::kReplyBurstLoss: return "reply-burst-loss";
+    case FaultKind::kReplKillLeader: return "repl-kill-leader";
+    case FaultKind::kReplRevive: return "repl-revive";
+    case FaultKind::kReplPartitionLeader: return "repl-partition-leader";
+    case FaultKind::kReplHeal: return "repl-heal";
+    case FaultKind::kReplLeaseStall: return "repl-lease-stall";
+    case FaultKind::kReplLeaseResume: return "repl-lease-resume";
   }
   return "?";
 }
@@ -41,6 +47,14 @@ std::string ChaosEvent::to_string() const {
       break;
     case FaultKind::kComponentCrash:
       out << " " << component;
+      break;
+    case FaultKind::kReplKillLeader:
+    case FaultKind::kReplRevive:
+    case FaultKind::kReplPartitionLeader:
+    case FaultKind::kReplHeal:
+    case FaultKind::kReplLeaseStall:
+    case FaultKind::kReplLeaseResume:
+      out << " shard" << shard;
       break;
     default:
       break;
@@ -111,6 +125,16 @@ ChaosSchedule generate_schedule(const Topology& topo, const CoreConfig& core,
       {w.de_crash, FaultKind::kDeCrash, FailureMode::kCompleteTransient},
       {w.reply_burst_loss, FaultKind::kReplyBurstLoss,
        FailureMode::kCompleteTransient},
+      // Gated: on an unreplicated config these weigh zero, are never chosen,
+      // and (being at the table's tail) leave every cumulative-weight
+      // threshold above untouched — pre-replication schedules stay
+      // byte-identical for any seed.
+      {core.repl.num_shards > 0 ? w.repl_kill_leader : 0.0,
+       FaultKind::kReplKillLeader, FailureMode::kCompleteTransient},
+      {core.repl.num_shards > 0 ? w.repl_partition_leader : 0.0,
+       FaultKind::kReplPartitionLeader, FailureMode::kCompleteTransient},
+      {core.repl.num_shards > 0 ? w.repl_lease_stall : 0.0,
+       FaultKind::kReplLeaseStall, FailureMode::kCompleteTransient},
   };
   double total = 0;
   for (const WeightedKind& entry : table) total += entry.weight;
@@ -153,6 +177,14 @@ ChaosSchedule generate_schedule(const Topology& topo, const CoreConfig& core,
       case FaultKind::kComponentCrash:
         primary.event.component = rng.pick(components);
         break;
+      case FaultKind::kReplKillLeader:
+      case FaultKind::kReplPartitionLeader:
+      case FaultKind::kReplLeaseStall:
+        primary.event.shard = rng.next_below(core.repl.num_shards);
+        primary.down = static_cast<SimTime>(
+            rng.uniform(static_cast<double>(config.min_down),
+                        static_cast<double>(config.max_down)));
+        break;
       default:
         break;
     }
@@ -164,8 +196,27 @@ ChaosSchedule generate_schedule(const Topology& topo, const CoreConfig& core,
                    });
 
   // Admit switch faults under the concurrency cap (nominal down-times);
-  // everything else passes through.
+  // replication faults under an at-most-one-disruption-per-shard rule
+  // (stacked kills/partitions on one shard can starve its quorum past the
+  // settle horizon, which tests liveness of the scheduler, not the
+  // protocol); everything else passes through.
+  auto repl_recovery_kind = [](FaultKind kind) {
+    switch (kind) {
+      case FaultKind::kReplKillLeader: return FaultKind::kReplRevive;
+      case FaultKind::kReplPartitionLeader: return FaultKind::kReplHeal;
+      case FaultKind::kReplLeaseStall: return FaultKind::kReplLeaseResume;
+      case FaultKind::kLinkFail: return FaultKind::kLinkRecover;
+      default: return FaultKind::kSwitchRecover;
+    }
+  };
+  auto is_repl = [](FaultKind kind) {
+    return kind == FaultKind::kReplKillLeader ||
+           kind == FaultKind::kReplPartitionLeader ||
+           kind == FaultKind::kReplLeaseStall;
+  };
   std::vector<std::pair<SimTime, SimTime>> down_windows;  // [fail, recover)
+  // shard -> disruption window end
+  std::vector<std::pair<std::size_t, SimTime>> shard_windows;
   for (const Primary& primary : primaries) {
     if (primary.event.kind == FaultKind::kSwitchFail) {
       SimTime until = primary.down > 0 ? primary.event.at + primary.down
@@ -177,15 +228,23 @@ ChaosSchedule generate_schedule(const Topology& topo, const CoreConfig& core,
       if (overlapping >= config.max_concurrent_switch_down) continue;
       down_windows.emplace_back(primary.event.at, until);
     }
+    if (is_repl(primary.event.kind)) {
+      bool busy = false;
+      for (auto [shard, end] : shard_windows) {
+        if (shard == primary.event.shard && primary.event.at < end) busy = true;
+      }
+      if (busy) continue;
+      shard_windows.emplace_back(primary.event.shard,
+                                 primary.event.at + primary.down);
+    }
     schedule.events.push_back(primary.event);
     if (primary.down > 0) {
       ChaosEvent recovery;
       recovery.at = primary.event.at + primary.down;
       recovery.sw = primary.event.sw;
       recovery.link = primary.event.link;
-      recovery.kind = primary.event.kind == FaultKind::kLinkFail
-                          ? FaultKind::kLinkRecover
-                          : FaultKind::kSwitchRecover;
+      recovery.shard = primary.event.shard;
+      recovery.kind = repl_recovery_kind(primary.event.kind);
       schedule.events.push_back(std::move(recovery));
     }
   }

@@ -29,6 +29,16 @@ enum class FaultKind : std::uint8_t {
   kOfcCrash,        // complete OFC microservice failure, standby takeover
   kDeCrash,         // complete DE microservice failure, standby takeover
   kReplyBurstLoss,  // drop_all_in_flight_replies + abrupt OFC switchover
+  // Replicated-control-plane faults (src/repl). Only drawn when the core
+  // config enables replication (repl.num_shards > 0); all are no-ops on an
+  // unreplicated controller so shrunk schedules stay replayable anywhere.
+  kReplKillLeader,      // kill shard leader mid-flight, paired kReplRevive
+  kReplRevive,          // revive every dead replica of the shard
+  kReplPartitionLeader, // isolate the leader from its peers, paired kReplHeal
+  kReplHeal,            // heal all replica-to-replica partitions of the shard
+  kReplLeaseStall,      // wedge the leader's heartbeats (lease-expiry race),
+                        // paired kReplLeaseResume
+  kReplLeaseResume,
 };
 
 const char* to_string(FaultKind kind);
@@ -40,6 +50,7 @@ struct ChaosEvent {
   FailureMode mode = FailureMode::kCompleteTransient; // kSwitchFail
   LinkId link;                                        // link faults
   std::string component;                              // kComponentCrash
+  std::size_t shard = 0;                              // kRepl* faults
 
   std::string to_string() const;
 };
@@ -58,6 +69,13 @@ struct FaultWeights {
   double ofc_crash = 0.06;
   double de_crash = 0.05;
   double reply_burst_loss = 0.05;
+  /// Replication faults default to zero weight and are additionally forced
+  /// to zero when `core.repl.num_shards == 0`: a zero-weight entry is never
+  /// chosen and draws nothing from the rng stream, so schedules generated
+  /// before replication existed are byte-identical (golden fingerprints).
+  double repl_kill_leader = 0.0;
+  double repl_partition_leader = 0.0;
+  double repl_lease_stall = 0.0;
 };
 
 struct ChaosScheduleConfig {

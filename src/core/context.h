@@ -18,6 +18,7 @@
 #include "dag/dag.h"
 #include "dataplane/fabric.h"
 #include "nib/nib.h"
+#include "repl/repl.h"
 #include "sim/fifo.h"
 #include "sim/simulator.h"
 
@@ -104,6 +105,16 @@ struct CoreConfig {
   SimTime watchdog_period = millis(100);
   /// Extra delay for a standby microservice instance to take over.
   SimTime failover_takeover_delay = millis(200);
+  /// Planned failover: re-issue role-change requests to switches that have
+  /// not acked after this long (role ACKs ride the reply stream and can be
+  /// lost to a burst reply drop; without the retry the handoff hangs).
+  SimTime role_ack_retry = millis(150);
+  /// Replicated control plane (src/repl): num_shards == 0 (the default)
+  /// disables replication entirely — nothing constructed, byte-identical
+  /// single-instance pipeline. With shards, the install/delete ACK commit
+  /// path routes through each shard's replicated log and unplanned leader
+  /// failover re-enqueues SENT OPs exactly once.
+  repl::ReplConfig repl;
   /// Directed reconciliation (ZENITH-DR, §3.9): on switch recovery, dump
   /// and diff instead of wiping the TCAM.
   bool directed_reconciliation = false;
@@ -129,6 +140,9 @@ struct CoreContext {
   /// their own copy of this pointer (set_observability), but pipeline code
   /// that only has the context reaches it here.
   obs::Observability* observability = nullptr;
+  /// Replicated commit path; null when config.repl.num_shards == 0 (the
+  /// Monitoring Server then commits ACKs directly, the pre-replication way).
+  repl::ReplicatedControlPlane* repl = nullptr;
 
   // -- NIB-resident (persistent) queues --------------------------------------
   NadirFifo<DagRequest> dag_request_queue;          // apps -> DAG Scheduler

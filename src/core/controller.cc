@@ -36,6 +36,65 @@ ZenithController::ZenithController(Simulator* sim, Fabric* fabric,
   ctx_.kick_workers = [this] { worker_pool_->kick_all(); };
   watchdog_ = std::make_unique<Watchdog>(&ctx_);
   for (Component* c : components()) watchdog_->watch(c);
+  if (config.repl.num_shards > 0) wire_replication();
+}
+
+void ZenithController::wire_replication() {
+  repl_ = std::make_unique<repl::ReplicatedControlPlane>(ctx_.sim,
+                                                         ctx_.config.repl);
+  ctx_.repl = repl_.get();
+  // NIB apply path: only the acting shard leader applies committed entries,
+  // in log order. An entry can legally outlive its OP's freshness — the
+  // switch may have failed and had the OP reset to NONE, or a takeover may
+  // have requeued it (SCHEDULED) while the first ACK sat uncommitted — so
+  // only OPs still SENT commit; stale ones are skipped (the level-triggered
+  // pipeline re-drives them), and DONE duplicates are naturally idempotent.
+  repl_->set_apply([this](std::size_t, const repl::LogEntry& entry) {
+    std::vector<Op> fresh;
+    fresh.reserve(entry.ops.size());
+    for (const Op& op : entry.ops) {
+      if (nib_.has_op(op.id) && nib_.op_status(op.id) == OpStatus::kSent) {
+        fresh.push_back(op);
+      } else if (ctx_.observability != nullptr) {
+        ctx_.observability->count("repl_stale_log_ops");
+      }
+    }
+    nib_.commit_ack_batch(entry.sw, fresh);
+    if (ctx_.observability != nullptr) {
+      for (const Op& op : fresh) {
+        ctx_.observability->op_stage(
+            op.id, "repl", "op-ack",
+            "sw=" + std::to_string(entry.sw.value()));
+        ctx_.observability->op_closed(op.id, "repl", "done");
+      }
+      if (!fresh.empty()) {
+        ctx_.observability->batch_committed(entry.sw, fresh.size());
+      }
+    }
+  });
+  // Unplanned failover: the new (or revived) leader re-enqueues the shard's
+  // SENT OPs exactly once — the same machinery the OFC standby takeover
+  // uses, scoped to the switches this shard owns.
+  repl_->set_on_takeover(
+      [this](std::size_t shard, std::uint64_t epoch, const char* reason) {
+        ZLOG_DEBUG("repl takeover: shard %zu epoch %llu (%s)", shard,
+                   static_cast<unsigned long long>(epoch), reason);
+        if (ctx_.observability != nullptr) {
+          ctx_.observability->event(
+              "controller", "repl-takeover",
+              "shard=" + std::to_string(shard) + " epoch=" +
+                  std::to_string(epoch) + " reason=" + reason);
+        }
+        requeue_sent_ops(
+            [this, shard](SwitchId sw) { return repl_->shard_of(sw) == shard; },
+            "repl-takeover");
+      });
+  repl_->set_event_hook(
+      [this](const std::string& what, const std::string& detail) {
+        if (ctx_.observability != nullptr) {
+          ctx_.observability->event("repl", what, detail);
+        }
+      });
 }
 
 void ZenithController::start() {
@@ -43,6 +102,7 @@ void ZenithController::start() {
     nib_.register_switch(SwitchId(i));
   }
   watchdog_->start();
+  if (repl_ != nullptr) repl_->start();
 }
 
 void ZenithController::set_observability(obs::Observability* o) {
@@ -146,10 +206,16 @@ void ZenithController::ofc_takeover() {
   }
   // OPs whose ACK was lost with the old instance sit in SENT forever unless
   // re-issued; installs and deletes are idempotent by OP id, so the new
-  // instance re-sends all of them (§B's sanctioned duplicate case). Each OP
-  // is re-enqueued exactly once, re-coalesced into per-switch batches of at
-  // most batch_size so the retry traffic keeps the dispatch shape of the
-  // run (ops_with_status returns ids sorted, preserving per-switch order).
+  // instance re-sends all of them (§B's sanctioned duplicate case).
+  requeue_sent_ops(nullptr, "ofc-takeover");
+}
+
+void ZenithController::requeue_sent_ops(
+    const std::function<bool(SwitchId)>& owned, const char* reason) {
+  // Each OP is re-enqueued exactly once, re-coalesced into per-switch
+  // batches of at most batch_size so the retry traffic keeps the dispatch
+  // shape of the run (ops_with_status returns ids sorted, preserving
+  // per-switch order).
   const std::size_t batch_size =
       ctx_.config.batch_size == 0 ? 1 : ctx_.config.batch_size;
   std::unordered_map<std::uint32_t, OpBatch> pending;
@@ -160,12 +226,13 @@ void ZenithController::ofc_takeover() {
     ctx_.op_queue_for(sw).push(OpBatch{sw, std::move(b.ops)});
     b.ops.clear();
   };
+  const std::string detail = std::string("reason=") + reason;
   for (OpId id : nib_.ops_with_status(OpStatus::kSent)) {
     const Op& op = nib_.op(id);
+    if (owned && !owned(op.sw)) continue;
     nib_.set_op_status(id, OpStatus::kScheduled);
     if (ctx_.observability != nullptr) {
-      ctx_.observability->op_stage(id, "controller", "op-requeue",
-                                   "reason=ofc-takeover");
+      ctx_.observability->op_stage(id, "controller", "op-requeue", detail);
     }
     OpBatch& batch = pending[op.sw.value()];
     if (batch.ops.empty()) {

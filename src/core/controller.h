@@ -73,14 +73,26 @@ class ZenithController {
 
   Watchdog& watchdog() { return *watchdog_; }
   FailoverManager& failover_manager() { return *failover_; }
+  /// The replicated control plane, or null when CoreConfig::repl disables it
+  /// (num_shards == 0).
+  repl::ReplicatedControlPlane* repl() { return repl_.get(); }
+  const repl::ReplicatedControlPlane* repl() const { return repl_.get(); }
 
  private:
   void ofc_takeover();
   void de_takeover();
+  /// Re-enqueues every SENT OP accepted by `owned` (null = all) exactly
+  /// once, re-coalesced into per-switch batches — the §B sanctioned-
+  /// duplicate recovery shared by the OFC standby takeover (all switches)
+  /// and per-shard replicated-leader takeover (that shard's switches).
+  void requeue_sent_ops(const std::function<bool(SwitchId)>& owned,
+                        const char* reason);
+  void wire_replication();
 
   Nib nib_;
   OpIdAllocator op_ids_;
   CoreContext ctx_;
+  std::unique_ptr<repl::ReplicatedControlPlane> repl_;
 
   std::unique_ptr<DagScheduler> dag_scheduler_;
   std::vector<std::unique_ptr<Sequencer>> sequencers_;

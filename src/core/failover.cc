@@ -13,7 +13,23 @@ FailoverManager::FailoverManager(CoreContext* ctx)
 
 void FailoverManager::request_planned_failover(
     bool drain_first, std::function<void(SimTime)> on_done) {
-  if (in_progress()) return;
+  if (in_progress()) {
+    // Re-entrant/concurrent request: a second failover while one is in
+    // flight must not restart the drain or re-target the role change (the
+    // collected ACK set would be split across two targets and the handoff
+    // could complete against neither). It is a logged no-op; the caller's
+    // on_done is dropped with it.
+    ZLOG_DEBUG("planned failover request ignored: handoff to instance %d "
+               "already in progress",
+               target_instance_);
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->event(
+          name(), "failover-request-ignored",
+          "in-progress target=" + std::to_string(target_instance_));
+      ctx_->observability->count("failover_requests_ignored");
+    }
+    return;
+  }
   drain_first_ = drain_first;
   on_done_ = std::move(on_done);
   target_instance_ = ctx_->ofc_master_instance + 1;
@@ -38,13 +54,24 @@ void FailoverManager::request_planned_failover(
 
 void FailoverManager::begin_role_change() {
   phase_ = Phase::kAwaitingRoleAcks;
+  ++role_change_round_;
   if (ctx_->observability != nullptr) {
     ctx_->observability->event(name(), "role-change-begin",
                                "target=" + std::to_string(target_instance_));
   }
+  send_role_changes();
+  schedule_role_ack_retry();
+}
+
+void FailoverManager::send_role_changes() {
+  // Only the switches still owing an ACK: first call covers every healthy
+  // switch (acked_ is empty), retries narrow to the stragglers whose ACK
+  // was lost (role ACKs ride the reply stream, so a burst reply drop takes
+  // them with it).
   Nib& nib = *ctx_->nib;
   for (SwitchId sw : nib.switches()) {
     if (nib.switch_health(sw) == SwitchHealth::kDown) continue;
+    if (acked_.count(sw)) continue;
     SwitchRequest request;
     request.type = SwitchRequest::Type::kRoleChange;
     request.role = target_instance_;
@@ -52,6 +79,22 @@ void FailoverManager::begin_role_change() {
                   sw.value();
     ctx_->fabric->send(sw, request);
   }
+}
+
+void FailoverManager::schedule_role_ack_retry() {
+  const std::uint64_t round = role_change_round_;
+  sim()->schedule(ctx_->config.role_ack_retry, [this, round] {
+    if (phase_ != Phase::kAwaitingRoleAcks || round != role_change_round_) {
+      return;  // handoff completed or superseded; this timer lapses
+    }
+    if (ctx_->observability != nullptr) {
+      ctx_->observability->event(name(), "role-ack-retry",
+                                 "target=" + std::to_string(target_instance_));
+      ctx_->observability->count("role_ack_retries");
+    }
+    send_role_changes();
+    schedule_role_ack_retry();
+  });
 }
 
 bool FailoverManager::all_roles_acked() const {
@@ -83,7 +126,17 @@ bool FailoverManager::try_step() {
       bool progressed = false;
       while (!ctx_->role_reply_queue.empty()) {
         SwitchReply reply = ctx_->role_reply_queue.pop();
-        if (reply.role == target_instance_) acked_.insert(reply.sw);
+        if (reply.role == target_instance_) {
+          acked_.insert(reply.sw);
+        } else {
+          // Stale-epoch ACK: the echo of a previous handoff's (or a
+          // superseded retry's) role change. Counting it toward the current
+          // target would declare mastership on a switch that still answers
+          // to the old instance.
+          if (ctx_->observability != nullptr) {
+            ctx_->observability->count("stale_role_acks");
+          }
+        }
         progressed = true;
       }
       if (all_roles_acked()) {

@@ -47,12 +47,17 @@ class FailoverManager : public Component {
   };
 
   void begin_role_change();
+  void send_role_changes();
+  void schedule_role_ack_retry();
   bool all_roles_acked() const;
 
   CoreContext* ctx_;
   Phase phase_ = Phase::kIdle;
   bool drain_first_ = true;
   int target_instance_ = 0;
+  /// Bumped at every begin_role_change; pending retry timers from a
+  /// superseded round compare against it and lapse.
+  std::uint64_t role_change_round_ = 0;
   std::unordered_set<SwitchId> acked_;
   std::function<void(SimTime)> on_done_;
 };

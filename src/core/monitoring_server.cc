@@ -59,6 +59,18 @@ bool MonitoringServer::process_reply() {
         }
         break;
       }
+      if (ctx_->repl != nullptr && (op.type == OpType::kInstallRule ||
+                                    op.type == OpType::kDeleteRule)) {
+        // Replicated commit path: the ACK becomes a shard-log entry; the NIB
+        // transaction (and the op-closed span) happens when the shard leader
+        // applies the committed entry. ClearTcam/dump replies stay on the
+        // direct path — they drive the recovery state machine, not R_c.
+        ctx_->repl->submit_ack(reply.sw, {op});
+        if (ctx_->observability != nullptr) {
+          ctx_->observability->count("repl_log_submits");
+        }
+        break;
+      }
       bool committed = false;
       switch (op.type) {
         case OpType::kInstallRule:
@@ -108,6 +120,15 @@ bool MonitoringServer::process_reply() {
           // master installed.
           ctx_->observability->count("orphan_acks");
         }
+      }
+      if (ctx_->repl != nullptr) {
+        // Same routing as the singleton kAck: the whole batch becomes one
+        // log entry, committed as one NIB transaction at log-apply time.
+        if (!known.empty()) ctx_->repl->submit_ack(reply.sw, known);
+        if (ctx_->observability != nullptr) {
+          ctx_->observability->count("repl_log_submits");
+        }
+        break;
       }
       nib.commit_ack_batch(reply.sw, known);
       if (ctx_->observability != nullptr) {

@@ -112,9 +112,14 @@ void AbstractSwitch::apply(const SwitchRequest& request) {
       break;
     }
     case SwitchRequest::Type::kRoleChange: {
-      controller_role_ = request.role;
+      // Roles only move forward: a delayed request from an earlier handoff
+      // (retried role changes can arrive out of order with a later round's)
+      // must not demote the switch back to a superseded instance. The ACK
+      // echoes the role actually in effect, so the failover manager's
+      // stale-epoch filter sees which instance this switch answers to.
+      if (request.role >= controller_role_) controller_role_ = request.role;
       reply.type = SwitchReply::Type::kRoleAck;
-      reply.role = request.role;
+      reply.role = controller_role_;
       break;
     }
   }

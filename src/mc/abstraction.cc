@@ -33,6 +33,25 @@ std::uint64_t AbstractState::digest() const {
   for (std::uint64_t id : certified_dags) hash = fnv1a(hash, id);
   hash = fnv1a(hash, current_dag);
   hash = fnv1a(hash, down_links);
+  // Folded only when replication is on: digests of pre-replication runs are
+  // byte-identical to what they were before shards existed.
+  if (!shards.empty()) {
+    hash = fnv1a(hash, shards.size());
+    for (const AbstractShard& shard : shards) {
+      hash = fnv1a(hash, shard.epoch);
+      hash = fnv1a(hash, shard.leader);
+      hash = fnv1a(hash, shard.committed_prefix);
+      hash = fnv1a(hash, shard.committed_digest);
+      hash = fnv1a(hash, shard.replicas.size());
+      for (const AbstractReplica& r : shard.replicas) {
+        hash = fnv1a(hash, r.alive ? 1 : 0);
+        hash = fnv1a(hash, r.partitioned ? 1 : 0);
+        hash = fnv1a(hash, r.log_end);
+        hash = fnv1a(hash, r.commit_index);
+        hash = fnv1a(hash, r.applied_index);
+      }
+    }
+  }
   return hash;
 }
 
@@ -66,6 +85,34 @@ AbstractState abstract_state(Experiment& exp,
 
   state.current_dag = nib.current_dag() ? nib.current_dag()->value() : 0;
   state.down_links = static_cast<std::uint32_t>(nib.down_links().size());
+
+  if (const repl::ReplicatedControlPlane* repl = exp.controller().repl()) {
+    for (std::size_t i = 0; i < repl->num_shards(); ++i) {
+      const repl::Shard& shard = repl->shard(i);
+      AbstractShard abs;
+      abs.epoch = shard.epoch();
+      abs.leader = shard.leader();
+      abs.committed_prefix = shard.applied_to_nib();
+      std::uint64_t digest = kFnvOffset;
+      for (const repl::LogEntry& entry : shard.applied_log()) {
+        digest = fnv1a(digest, entry.index);
+        digest = fnv1a(digest, entry.sw.value());
+        digest = fnv1a(digest, entry.ops.size());
+        for (const Op& op : entry.ops) digest = fnv1a(digest, op.id.value());
+      }
+      abs.committed_digest = digest;
+      for (const repl::Replica& r : shard.replicas()) {
+        AbstractReplica abs_r;
+        abs_r.alive = r.alive;
+        abs_r.partitioned = r.partitioned;
+        abs_r.log_end = r.log_end();
+        abs_r.commit_index = r.commit_index;
+        abs_r.applied_index = r.applied_index;
+        abs.replicas.push_back(abs_r);
+      }
+      state.shards.push_back(std::move(abs));
+    }
+  }
   return state;
 }
 
@@ -161,6 +208,18 @@ std::vector<std::string> check_quiescent(Experiment& exp, DagId last_dag,
       msg << "dag" << last_dag.value()
           << " touches only live switches yet never certified";
       violations.push_back(msg.str());
+    }
+  }
+
+  // (7) Replicated commit path: the shard-log safety invariants (R1–R4)
+  // must hold at quiescence. These are the abstract-replica-set properties
+  // the model's log is defined by — contiguous applied prefix, quorum
+  // durability of every applied entry, monotone epochs, replica
+  // convergence under a serving leader.
+  if (auto* repl = exp.controller().repl(); repl != nullptr) {
+    for (std::string& violation :
+         repl->check_invariants(/*at_quiescence=*/true)) {
+      violations.push_back("replication: " + std::move(violation));
     }
   }
 

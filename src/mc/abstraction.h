@@ -37,6 +37,29 @@ struct AbstractSwitch {
   std::uint32_t view_size = 0;
 };
 
+/// One replica of a shard's replicated log, abstracted to what the
+/// replication safety argument quantifies over: how far its durable log
+/// reaches and how much of it is committed/applied.
+struct AbstractReplica {
+  bool alive = true;
+  bool partitioned = false;
+  std::uint64_t log_end = 0;
+  std::uint64_t commit_index = 0;
+  std::uint64_t applied_index = 0;
+};
+
+/// One shard's abstract replica set: leader epoch, the committed-log prefix
+/// (length + content digest), and each replica's indices. This is the
+/// "abstract replica set" the lockstep harness diffs when the replicated
+/// commit path diverges from the model.
+struct AbstractShard {
+  std::uint64_t epoch = 0;
+  std::uint64_t leader = 0;
+  std::uint64_t committed_prefix = 0;       // entries applied to the NIB
+  std::uint64_t committed_digest = 0;       // FNV over the applied entries
+  std::vector<AbstractReplica> replicas;
+};
+
 /// The abstracted controller state at one quiescence point. Everything the
 /// spec's invariants quantify over, nothing else — wall-clock, queue
 /// occupancy and observability state are deliberately absent so that
@@ -46,6 +69,9 @@ struct AbstractState {
   std::vector<std::uint64_t> certified_dags;  // sorted
   std::uint64_t current_dag = 0;  // 0 = none
   std::uint32_t down_links = 0;
+  /// Empty on an unreplicated controller; folded into the digest only when
+  /// populated so pre-replication digests are unchanged.
+  std::vector<AbstractShard> shards;
 
   /// FNV-1a over the canonical serialization.
   std::uint64_t digest() const;

@@ -42,6 +42,13 @@ std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
 /// the cleanup paths and are excluded, matching check_quiescent().
 bool pipeline_drained(Experiment& exp) {
   Nib& nib = exp.nib();
+  // Replicated commit path: an ACK sitting uncommitted in a shard log is
+  // still "in the pipe"; a quiescence point cannot be declared (nor R4
+  // evaluated) until the reachable replica sets converge.
+  if (auto* repl = exp.controller().repl();
+      repl != nullptr && !repl->settled()) {
+    return false;
+  }
   if (!nib.ops_with_status(OpStatus::kScheduled).empty()) return false;
   if (!nib.ops_with_status(OpStatus::kInFlight).empty()) return false;
   for (OpId id : nib.ops_with_status(OpStatus::kSent)) {

@@ -1,0 +1,179 @@
+#include "mc/repl_model.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace zenith::mc {
+
+namespace {
+
+struct State {
+  std::vector<int> log;     // durable log length per replica
+  std::vector<bool> alive;  // crashed replicas keep their durable log
+  int leader = 0;           // -1 = no serving leader (awaiting election)
+  int applied = 0;          // committed prefix applied to the NIB
+  int appends_left = 0;
+  int kills_left = 0;
+
+  std::string key() const {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      out << log[i] << (alive[i] ? "u" : "d");
+    }
+    out << "|" << leader << "|" << applied << "|" << appends_left << "|"
+        << kills_left;
+    return out.str();
+  }
+};
+
+int quorum(int n) { return n / 2 + 1; }
+
+/// The largest log index a quorum of replicas durably holds (dead replicas
+/// count: their disks survive the crash, mirroring Replica::log in the
+/// simulator living through kill/revive).
+int quorum_held(const State& s) {
+  std::vector<int> sorted = s.log;
+  std::sort(sorted.begin(), sorted.end(), std::greater<int>());
+  return sorted[static_cast<std::size_t>(quorum(static_cast<int>(sorted.size()))) - 1];
+}
+
+}  // namespace
+
+ReplModelResult check_repl_model(const ReplModelConfig& config) {
+  ReplModelResult result;
+
+  State init;
+  init.log.assign(static_cast<std::size_t>(config.replicas), 0);
+  init.alive.assign(static_cast<std::size_t>(config.replicas), true);
+  init.appends_left = config.max_appends;
+  init.kills_left = config.max_kills;
+
+  // key -> (parent key, action that reached it); doubles as the visited set.
+  std::map<std::string, std::pair<std::string, std::string>> parent;
+  std::deque<State> frontier;
+  parent[init.key()] = {"", ""};
+  frontier.push_back(init);
+
+  auto reconstruct = [&](const std::string& key) {
+    std::vector<std::string> actions;
+    std::string at = key;
+    while (true) {
+      const auto& [from, action] = parent.at(at);
+      if (action.empty()) break;
+      actions.push_back(action);
+      at = from;
+    }
+    std::reverse(actions.begin(), actions.end());
+    std::ostringstream out;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (i > 0) out << " -> ";
+      out << actions[i];
+    }
+    return out.str();
+  };
+
+  // Leader completeness: a serving leader's durable log contains every
+  // NIB-applied entry. This is the property quorum commit + up-to-date
+  // election preserves, and exactly what commit-before-quorum breaks.
+  auto violated = [](const State& s) {
+    return s.leader >= 0 && s.alive[static_cast<std::size_t>(s.leader)] &&
+           s.log[static_cast<std::size_t>(s.leader)] < s.applied;
+  };
+
+  auto push = [&](State next, const State& from, std::string action) {
+    std::string k = next.key();
+    if (parent.count(k) > 0) return;
+    parent[k] = {from.key(), std::move(action)};
+    if (!result.violation_found && violated(next)) {
+      result.violation_found = true;
+      std::ostringstream msg;
+      msg << "leader completeness violated: elected leader " << next.leader
+          << " holds " << next.log[static_cast<std::size_t>(next.leader)]
+          << " entries but " << next.applied
+          << " are applied to the NIB";
+      result.violation = msg.str();
+      result.counterexample = reconstruct(k);
+    }
+    frontier.push_back(std::move(next));
+  };
+
+  while (!frontier.empty() && !result.violation_found) {
+    State s = frontier.front();
+    frontier.pop_front();
+    ++result.states_explored;
+    const bool leader_up =
+        s.leader >= 0 && s.alive[static_cast<std::size_t>(s.leader)];
+
+    // append: client submission reaches the serving leader's log; with the
+    // bug it is applied immediately, before replication.
+    if (leader_up && s.appends_left > 0) {
+      State next = s;
+      ++next.log[static_cast<std::size_t>(next.leader)];
+      --next.appends_left;
+      if (config.bug_commit_before_quorum) {
+        next.applied = next.log[static_cast<std::size_t>(next.leader)];
+      }
+      push(std::move(next), s, "append");
+    }
+    if (leader_up) {
+      const int leader_log = s.log[static_cast<std::size_t>(s.leader)];
+      // replicate(f): one follower catches up to the leader's log.
+      for (int f = 0; f < config.replicas; ++f) {
+        std::size_t fi = static_cast<std::size_t>(f);
+        if (f == s.leader || !s.alive[fi] || s.log[fi] >= leader_log) continue;
+        State next = s;
+        next.log[fi] = leader_log;
+        push(std::move(next), s, "replicate(" + std::to_string(f) + ")");
+      }
+      // commit: apply the quorum-held prefix.
+      if (quorum_held(s) > s.applied) {
+        State next = s;
+        next.applied = quorum_held(next);
+        push(std::move(next), s, "commit");
+      }
+      // kill-leader: the serving leader crashes (durable log survives).
+      if (s.kills_left > 0) {
+        State next = s;
+        next.alive[static_cast<std::size_t>(next.leader)] = false;
+        next.leader = -1;
+        --next.kills_left;
+        push(std::move(next), s, "kill-leader");
+      }
+    } else if (s.leader < 0) {
+      // elect: among the live replicas (requires a quorum of them, matching
+      // Shard::maybe_elect) the most up-to-date wins; live logs longer than
+      // the winner's would hold uncommitted entries the new leader
+      // overwrites, so they truncate to the winner's length.
+      int live = 0;
+      int winner = -1;
+      for (int r = 0; r < config.replicas; ++r) {
+        std::size_t ri = static_cast<std::size_t>(r);
+        if (!s.alive[ri]) continue;
+        ++live;
+        if (winner < 0 || s.log[ri] > s.log[static_cast<std::size_t>(winner)]) {
+          winner = r;
+        }
+      }
+      if (live >= quorum(config.replicas) && winner >= 0) {
+        State next = s;
+        next.leader = winner;
+        const int winner_log = next.log[static_cast<std::size_t>(winner)];
+        for (int r = 0; r < config.replicas; ++r) {
+          std::size_t ri = static_cast<std::size_t>(r);
+          if (next.alive[ri] && next.log[ri] > winner_log) {
+            next.log[ri] = winner_log;
+          }
+        }
+        push(std::move(next), s, "elect(" + std::to_string(winner) + ")");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace zenith::mc

@@ -1,0 +1,46 @@
+// Explicit-state model of one replicated-log shard (src/repl).
+//
+// The implementation's shard protocol is a lease-based Raft variant; this
+// model strips it to the abstract replica set the safety argument is about:
+// per-replica durable log lengths, a committed (NIB-applied) prefix, a
+// serving leader, and crash/election transitions. Bounded BFS over all
+// interleavings of {append, replicate, commit, kill-leader, elect} checks
+// leader completeness — an elected leader's log must contain every entry
+// already applied to the NIB. The commit-before-quorum bug knob (the same
+// defect ReplConfig::bug_commit_before_quorum injects into the simulator)
+// makes the model apply entries no quorum holds; the checker then finds the
+// three-action counterexample (append, kill-leader, elect) that the chaos
+// harness rediscovers at full scale and ddmin-shrinks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace zenith::mc {
+
+struct ReplModelConfig {
+  int replicas = 3;
+  /// Client submissions available to the exploration (log grows this far).
+  int max_appends = 2;
+  /// Leader crashes available (each enables one election).
+  int max_kills = 1;
+  /// Inject the commit-before-quorum defect: an append is applied to the
+  /// NIB immediately, before any follower holds it.
+  bool bug_commit_before_quorum = false;
+};
+
+struct ReplModelResult {
+  bool violation_found = false;
+  std::size_t states_explored = 0;
+  /// First violated property, empty when none.
+  std::string violation;
+  /// " -> "-joined action sequence reaching the violating state (a minimal
+  /// counterexample: BFS explores by depth).
+  std::string counterexample;
+};
+
+/// Exhaustively explores the bounded model and checks leader completeness
+/// at every reachable state.
+ReplModelResult check_repl_model(const ReplModelConfig& config);
+
+}  // namespace zenith::mc

@@ -2,13 +2,19 @@
 // baseline. Usage:
 //
 //   zenith_bench_diff baseline.json current.json [--threshold PCT]
+//                     [--gate metric1,metric2,...]
 //
 // Prints one line per metric with the baseline value, the current value and
 // the ratio, flagging metrics whose relative change exceeds the threshold
-// (default 25%). The tool is advisory: benchmark noise varies wildly across
-// container hosts, so CI treats its output as a warning signal, not a gate.
-// Exit codes: 0 on any successful comparison (including flagged deltas),
-// 2 when an input file is missing or contains no metrics.
+// (default 25%). Timing metrics are advisory: benchmark noise varies wildly
+// across container hosts, so CI treats their deltas as a warning signal.
+// Metrics named in --gate are GATING: they are simulation-deterministic
+// counters (violation counts, campaign tallies, completed-OP totals) whose
+// values are host-independent, so a gated metric missing from either file
+// or drifting outside the threshold fails the comparison.
+// Exit codes: 0 on a successful advisory comparison (including flagged
+// deltas), 1 when a --gate metric is missing or out of range, 2 when an
+// input file is missing or contains no metrics.
 //
 // The scanner reads the exact shape obs::BenchResult emits — a
 // "measurements" array of {"metric":..., "value":..., "unit":...} objects —
@@ -19,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -61,9 +68,19 @@ int main(int argc, char** argv) {
   double threshold = 0.25;
   const char* baseline_path = nullptr;
   const char* current_path = nullptr;
+  std::set<std::string> gated;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold = std::strtod(argv[++i], nullptr) / 100.0;
+    } else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) gated.insert(list.substr(start, comma - start));
+        start = comma + 1;
+      }
     } else if (baseline_path == nullptr) {
       baseline_path = argv[i];
     } else if (current_path == nullptr) {
@@ -101,12 +118,15 @@ int main(int argc, char** argv) {
               "ratio");
   std::size_t flagged = 0;
   std::size_t compared = 0;
+  std::size_t gate_failures = 0;
   for (const auto& [name, base_value] : baseline) {
+    const bool gating = gated.count(name) > 0;
     auto it = current.find(name);
     if (it == current.end()) {
-      std::printf("%-48s %14.4g %14s %8s  MISSING\n", name.c_str(),
-                  base_value, "-", "-");
+      std::printf("%-48s %14.4g %14s %8s  MISSING%s\n", name.c_str(),
+                  base_value, "-", "-", gating ? " (GATE)" : "");
       ++flagged;
+      if (gating) ++gate_failures;
       continue;
     }
     ++compared;
@@ -115,8 +135,12 @@ int main(int argc, char** argv) {
                        : (it->second == 0.0 ? 1.0 : HUGE_VAL);
     bool over = std::fabs(ratio - 1.0) > threshold;
     std::printf("%-48s %14.4g %14.4g %7.2fx%s\n", name.c_str(), base_value,
-                it->second, ratio, over ? "  WARN" : "");
-    if (over) ++flagged;
+                it->second, ratio,
+                over ? (gating ? "  FAIL (GATE)" : "  WARN") : "");
+    if (over) {
+      ++flagged;
+      if (gating) ++gate_failures;
+    }
   }
   for (const auto& [name, value] : current) {
     if (baseline.count(name) == 0) {
@@ -124,8 +148,23 @@ int main(int argc, char** argv) {
                   "-");
     }
   }
+  // A gated metric absent from BOTH files is a stale gate list — fail
+  // loudly rather than silently passing an empty check.
+  for (const std::string& name : gated) {
+    if (baseline.count(name) == 0) {
+      std::printf("%-48s gated metric absent from baseline  FAIL (GATE)\n",
+                  name.c_str());
+      ++gate_failures;
+    }
+  }
   std::printf("%zu metric(s) compared, %zu outside ±%.0f%% of baseline\n",
               compared, flagged, threshold * 100.0);
+  if (gate_failures > 0) {
+    std::printf("%zu gated metric(s) failed — these are deterministic "
+                "counters; the regression is real, not host noise\n",
+                gate_failures);
+    return 1;
+  }
   if (flagged > 0) {
     std::printf("note: advisory only — benchmark hosts differ; re-baseline "
                 "with the commands in EXPERIMENTS.md if the shift is real\n");

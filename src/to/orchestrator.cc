@@ -75,6 +75,38 @@ void TraceOrchestrator::replay(const Trace& trace, SimTime grant_timeout) {
         experiment_->fabric().drop_all_in_flight_replies();
         experiment_->controller().crash_ofc();
         break;
+      // Replication injections are guarded no-ops on an unreplicated
+      // controller, so shrunk reproducers replay under any config.
+      case TraceStep::Type::kReplKillLeader:
+        if (auto* repl = experiment_->controller().repl(); repl != nullptr) {
+          repl->kill_shard_leader(step.shard);
+        }
+        break;
+      case TraceStep::Type::kReplRevive:
+        if (auto* repl = experiment_->controller().repl(); repl != nullptr) {
+          repl->revive_shard(step.shard);
+        }
+        break;
+      case TraceStep::Type::kReplPartitionLeader:
+        if (auto* repl = experiment_->controller().repl(); repl != nullptr) {
+          repl->partition_shard_leader(step.shard);
+        }
+        break;
+      case TraceStep::Type::kReplHeal:
+        if (auto* repl = experiment_->controller().repl(); repl != nullptr) {
+          repl->heal_shard(step.shard);
+        }
+        break;
+      case TraceStep::Type::kReplLeaseStall:
+        if (auto* repl = experiment_->controller().repl(); repl != nullptr) {
+          repl->stall_heartbeats(step.shard);
+        }
+        break;
+      case TraceStep::Type::kReplLeaseResume:
+        if (auto* repl = experiment_->controller().repl(); repl != nullptr) {
+          repl->resume_heartbeats(step.shard);
+        }
+        break;
     }
   }
   release();

@@ -39,6 +39,24 @@ std::string TraceStep::to_string() const {
     case Type::kDropReplies:
       out << "drop in-flight replies (abrupt OFC switchover)";
       break;
+    case Type::kReplKillLeader:
+      out << "kill repl leader shard" << shard;
+      break;
+    case Type::kReplRevive:
+      out << "revive repl shard" << shard;
+      break;
+    case Type::kReplPartitionLeader:
+      out << "partition repl leader shard" << shard;
+      break;
+    case Type::kReplHeal:
+      out << "heal repl shard" << shard;
+      break;
+    case Type::kReplLeaseStall:
+      out << "stall repl lease shard" << shard;
+      break;
+    case Type::kReplLeaseResume:
+      out << "resume repl lease shard" << shard;
+      break;
   }
   return out.str();
 }

@@ -37,6 +37,14 @@ struct TraceStep {
     kDropReplies,      // abrupt OFC switchover: every in-flight reply is lost
                        // with the old instance's sockets, then the standby
                        // takes over and re-issues SENT OPs
+    // Replicated-control-plane injections (no-ops when the experiment's
+    // controller has replication disabled, so these traces replay anywhere).
+    kReplKillLeader,   // kill `shard`'s current leader replica
+    kReplRevive,       // revive every dead replica of `shard`
+    kReplPartitionLeader,  // isolate `shard`'s leader from its peers
+    kReplHeal,         // heal `shard`'s replica-to-replica partitions
+    kReplLeaseStall,   // wedge `shard`'s leader heartbeats (lease expiry)
+    kReplLeaseResume,
   };
 
   Type type = Type::kAllow;
@@ -45,6 +53,7 @@ struct TraceStep {
   SwitchId sw;            // switch injections
   FailureMode mode = FailureMode::kCompleteTransient;
   LinkId link;            // link injections
+  std::size_t shard = 0;  // kRepl* injections
   /// Simulated time the orchestrator advances (components running freely)
   /// before applying this step. Zero replays back-to-back, the counterexample
   /// style; chaos reproducers preserve their schedule's gaps here.

@@ -3,6 +3,7 @@
 // catching a deliberately injected consistency bug, the shrinker reducing
 // the violating schedule to a minimal reproducer trace, and the curated
 // regression traces staying green on a clean build.
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -207,6 +208,137 @@ TEST(ChaosCampaign, CuratedRegressionTraces) {
     CampaignResult result = fixed.replay(trace);
     EXPECT_TRUE(result.ok) << result.summary();
   }
+}
+
+TEST(ChaosCampaign, CommitBeforeQuorumCaughtAndShrunkToShortTrace) {
+  // The replication acceptance defect: a leader that applies entries to the
+  // NIB before any follower holds them loses committed state when it dies.
+  // The schedule is curated — one kill-leader plus its revive, no other
+  // faults — because the oracle needs the kill to land inside the one-hop
+  // replication window behind an append; scanning kill offsets across the
+  // initial-install burst finds it deterministically. (Generated multi-kill
+  // schedules are avoided here: ddmin subsets of stacked kills can starve a
+  // shard's quorum on the clean build and turn the green replay flaky.)
+  CampaignConfig config;
+  config.topology = TopologyKind::kKdlLike;
+  config.topology_size = 12;
+  config.seed = 6;
+  config.schedule.horizon = seconds(3);
+  config.initial_flows = 4;
+  config.update_period = millis(40);
+  config.core.repl.num_shards = 1;
+  config.core.repl.bug_commit_before_quorum = true;
+
+  ChaosSchedule failing;
+  bool caught = false;
+  for (SimTime kill_at = millis(4); kill_at <= millis(60) && !caught;
+       kill_at += millis(4)) {
+    ChaosSchedule schedule;
+    schedule.seed = config.seed;
+    ChaosEvent kill;
+    kill.kind = FaultKind::kReplKillLeader;
+    kill.at = kill_at;
+    kill.shard = 0;
+    schedule.events.push_back(kill);
+    ChaosEvent revive;
+    revive.kind = FaultKind::kReplRevive;
+    revive.at = kill_at + millis(400);
+    revive.shard = 0;
+    schedule.events.push_back(revive);
+    ChaosCampaign campaign(config);
+    CampaignResult result = campaign.run(schedule);
+    if (result.ok) continue;
+    caught = true;
+    failing = schedule;
+    bool r2 = false;
+    for (const std::string& violation : result.violations) {
+      if (violation.find("R2") != std::string::npos) r2 = true;
+    }
+    EXPECT_TRUE(r2) << result.summary();
+  }
+  ASSERT_TRUE(caught)
+      << "commit-before-quorum never violated R2 across the kill-offset scan";
+
+  // ddmin cuts the reproducer to its essence (the revive is deletable: the
+  // surviving pair is still a quorum and the violation is already durable).
+  ShrinkResult shrunk = shrink_schedule(config, failing);
+  EXPECT_FALSE(shrunk.minimal_result.ok);
+  EXPECT_LE(shrunk.minimal.size(), 2u);
+  EXPECT_LE(shrunk.trace.length(), 4u)
+      << "minimal reproducer not minimal enough:\n"
+      << shrunk.trace.to_string();
+  EXPECT_FALSE(shrunk.trace.violation.empty());
+
+  // Faithful reproducer: the buggy build trips again on replay, the fixed
+  // build replays the same trace green.
+  ChaosCampaign replayer(config);
+  EXPECT_FALSE(replayer.replay(shrunk.trace).ok);
+  CampaignConfig clean = config;
+  clean.core.repl.bug_commit_before_quorum = false;
+  ChaosCampaign clean_replayer(clean);
+  CampaignResult clean_result = clean_replayer.replay(shrunk.trace);
+  EXPECT_TRUE(clean_result.ok) << clean_result.summary();
+}
+
+TEST(ChaosSchedule, ReplFaultsRespectShardAdmissionAndPairing) {
+  // Generated replicated schedules: every repl disruption carries its paired
+  // recovery, and at most one disruption window is outstanding per shard at
+  // a time (stacked kills would starve the quorum past the settle horizon
+  // and test scheduler liveness instead of the protocol).
+  CampaignConfig config = sweep_config(TopologyKind::kFatTree, 4, 9);
+  config.core.repl.num_shards = 2;
+  config.schedule.fault_count = 14;
+  config.schedule.weights.repl_kill_leader = 0.3;
+  config.schedule.weights.repl_partition_leader = 0.2;
+  config.schedule.weights.repl_lease_stall = 0.1;
+  Topology topo = make_topology(config);
+  ChaosSchedule schedule =
+      generate_schedule(topo, config.core, config.schedule, config.seed);
+
+  auto is_disruption = [](FaultKind kind) {
+    return kind == FaultKind::kReplKillLeader ||
+           kind == FaultKind::kReplPartitionLeader ||
+           kind == FaultKind::kReplLeaseStall;
+  };
+  auto is_recovery = [](FaultKind kind) {
+    return kind == FaultKind::kReplRevive || kind == FaultKind::kReplHeal ||
+           kind == FaultKind::kReplLeaseResume;
+  };
+  std::size_t repl_faults = 0;
+  std::map<std::size_t, int> open_windows;
+  for (const ChaosEvent& event : schedule.events) {
+    if (is_disruption(event.kind)) {
+      ++repl_faults;
+      EXPECT_LT(event.shard, config.core.repl.num_shards);
+      EXPECT_EQ(open_windows[event.shard], 0)
+          << "overlapping repl disruptions on shard " << event.shard;
+      ++open_windows[event.shard];
+    } else if (is_recovery(event.kind)) {
+      --open_windows[event.shard];
+      EXPECT_GE(open_windows[event.shard], 0);
+    }
+  }
+  EXPECT_GT(repl_faults, 0u) << "weights drew no repl faults at all";
+  for (const auto& [shard, open] : open_windows) {
+    EXPECT_EQ(open, 0) << "unpaired repl disruption on shard " << shard;
+  }
+
+  // An unreplicated core never draws them, and adding the (zero-weight)
+  // repl table entries leaves the rng stream untouched: the schedule is
+  // byte-identical to one generated with replication disabled.
+  CampaignConfig plain = sweep_config(TopologyKind::kFatTree, 4, 9);
+  plain.schedule.fault_count = 14;
+  Topology plain_topo = make_topology(plain);
+  ChaosSchedule unreplicated = generate_schedule(
+      plain_topo, plain.core, plain.schedule, plain.seed);
+  for (const ChaosEvent& event : unreplicated.events) {
+    EXPECT_FALSE(is_disruption(event.kind) || is_recovery(event.kind));
+  }
+  CampaignConfig weightless = plain;
+  weightless.schedule.weights.repl_kill_leader = 0.3;  // forced to 0: no shards
+  ChaosSchedule gated = generate_schedule(
+      plain_topo, weightless.core, weightless.schedule, weightless.seed);
+  EXPECT_EQ(unreplicated.fingerprint(), gated.fingerprint());
 }
 
 TEST(ChaosCampaign, PermanentAmputationFallsBackToViewConsistency) {

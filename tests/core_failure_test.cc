@@ -193,6 +193,52 @@ TEST(CorePlannedFailover, DrainedFailoverIsHitlessAndBounded) {
   EXPECT_TRUE(exp.nib().ops_with_status(OpStatus::kSent).empty());
 }
 
+TEST(CorePlannedFailover, ConcurrentRequestIsALoggedNoOp) {
+  // A second planned-failover request while one is in flight must not
+  // restart the drain or re-target the role change: the collected ACK set
+  // would be split across two targets and the handoff could complete
+  // against neither. The guard drops it (with the caller's callback) and
+  // the first handoff completes exactly once.
+  auto setup = diamond_with_flow(ControllerKind::kZenithNR, 59);
+  Experiment& exp = *setup.exp;
+  SimTime first_done = kSimTimeNever;
+  SimTime second_done = kSimTimeNever;
+  std::size_t first_calls = 0;
+  exp.controller().planned_ofc_failover(
+      [&](SimTime t) {
+        first_done = t;
+        ++first_calls;
+      },
+      /*drain_first=*/true);
+  // Re-entrant requests while the drain is in progress: one drained, one
+  // PR-style immediate — both must be dropped without re-targeting.
+  exp.controller().planned_ofc_failover([&](SimTime t) { second_done = t; },
+                                        /*drain_first=*/true);
+  exp.controller().planned_ofc_failover([&](SimTime t) { second_done = t; },
+                                        /*drain_first=*/false);
+  auto finished =
+      exp.run_until([&] { return first_done != kSimTimeNever; }, seconds(10));
+  ASSERT_TRUE(finished.has_value());
+  exp.run_for(seconds(1));
+  EXPECT_EQ(first_calls, 1u);
+  EXPECT_EQ(second_done, kSimTimeNever)
+      << "ignored request's callback fired anyway";
+  // Exactly one instance advance: 0 -> 1, not 2.
+  for (SwitchId sw : exp.nib().switches()) {
+    EXPECT_EQ(exp.fabric().at(sw).controller_role(), 1);
+  }
+  // The failover manager is idle again: a fresh request is accepted.
+  SimTime third_done = kSimTimeNever;
+  exp.controller().planned_ofc_failover([&](SimTime t) { third_done = t; },
+                                        /*drain_first=*/true);
+  auto again =
+      exp.run_until([&] { return third_done != kSimTimeNever; }, seconds(10));
+  ASSERT_TRUE(again.has_value());
+  for (SwitchId sw : exp.nib().switches()) {
+    EXPECT_EQ(exp.fabric().at(sw).controller_role(), 2);
+  }
+}
+
 TEST(CoreMicroserviceFailure, OfcCrashMidBatchRequeuesExactlyOnce) {
   // Regression for the batched-pipeline ghost-ACK race: OPs travel as a
   // kBatch (batch_size=4), the OFC dies while the batch-ACK is in flight,

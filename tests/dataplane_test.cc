@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "dataplane/fabric.h"
+#include "harness/experiment.h"
 #include "topo/generators.h"
 
 namespace zenith {
@@ -163,6 +164,61 @@ TEST_F(FabricTest, RoleChangeAcked) {
   EXPECT_EQ(fabric_.at(SwitchId(2)).controller_role(), 2);
   ASSERT_EQ(fabric_.replies().size(), 1u);
   EXPECT_EQ(fabric_.replies().pop().type, SwitchReply::Type::kRoleAck);
+}
+
+TEST_F(FabricTest, RoleChangesNeverDemoteAndStaleAcksEchoCurrentRole) {
+  // Roles only move forward: a delayed/retried role change from an earlier
+  // handoff arriving after a later round's must not demote the switch, and
+  // its ACK echoes the role actually in effect — the stale-epoch signature
+  // the failover manager filters on.
+  SwitchRequest newer;
+  newer.type = SwitchRequest::Type::kRoleChange;
+  newer.role = 2;
+  fabric_.send(SwitchId(1), newer);
+  sim_.run();
+  ASSERT_EQ(fabric_.at(SwitchId(1)).controller_role(), 2);
+  while (!fabric_.replies().empty()) fabric_.replies().pop();
+
+  SwitchRequest stale;
+  stale.type = SwitchRequest::Type::kRoleChange;
+  stale.role = 1;  // superseded instance
+  fabric_.send(SwitchId(1), stale);
+  sim_.run();
+  EXPECT_EQ(fabric_.at(SwitchId(1)).controller_role(), 2);
+  ASSERT_EQ(fabric_.replies().size(), 1u);
+  SwitchReply reply = fabric_.replies().pop();
+  EXPECT_EQ(reply.type, SwitchReply::Type::kRoleAck);
+  EXPECT_EQ(reply.role, 2);
+}
+
+TEST(RoleAckLoss, BurstReplyLossMidHandoffIsRepairedByRetry) {
+  // Role ACKs ride the reply stream, so a burst reply drop mid-handoff
+  // takes them with it. The failover manager must re-send the role change
+  // to the stragglers (role_ack_retry) rather than wedge awaiting ACKs that
+  // will never arrive — and the re-ACKs it then collects are for the
+  // current target, not a stale epoch.
+  ExperimentConfig config;
+  config.seed = 97;
+  config.kind = ControllerKind::kZenithNR;
+  Experiment exp(gen::linear(5), config);
+  exp.start();
+  exp.run_for(millis(50));
+
+  SimTime done_at = kSimTimeNever;
+  exp.controller().planned_ofc_failover([&](SimTime t) { done_at = t; },
+                                        /*drain_first=*/false);
+  // The no-drain path already dropped in-flight replies at switchover; let
+  // the fresh role changes reach the switches and their ACKs take wing,
+  // then shoot those down too.
+  exp.run_for(millis(1));
+  exp.fabric().drop_all_in_flight_replies();
+  auto finished =
+      exp.run_until([&] { return done_at != kSimTimeNever; }, seconds(10));
+  ASSERT_TRUE(finished.has_value())
+      << "handoff wedged: lost role ACKs were never re-solicited";
+  for (SwitchId sw : exp.nib().switches()) {
+    EXPECT_EQ(exp.fabric().at(sw).controller_role(), 1);
+  }
 }
 
 TEST_F(FabricTest, LinkFailureKeepsSwitchesUp) {

@@ -70,6 +70,23 @@ inline chaos::CampaignConfig chaos_cell_config(chaos::TopologyKind topology,
   return config;
 }
 
+/// Replicated-control-plane chaos cell: the chaos grid shape with two
+/// shards of three replicas each and the replication fault classes
+/// (kill-leader, partition-leader, lease-stall) mixed into the schedule.
+/// The pinned verdict digest covers the R1-R4 oracle sweep and the
+/// schedule/trace/metrics fingerprints across unplanned leader failovers.
+inline chaos::CampaignConfig repl_cell_config(chaos::TopologyKind topology,
+                                              std::size_t size,
+                                              std::uint64_t seed) {
+  chaos::CampaignConfig config = chaos_cell_config(topology, size, seed);
+  config.core.repl.num_shards = 2;
+  config.schedule.fault_count = 12;
+  config.schedule.weights.repl_kill_leader = 0.18;
+  config.schedule.weights.repl_partition_leader = 0.12;
+  config.schedule.weights.repl_lease_stall = 0.08;
+  return config;
+}
+
 /// The lockstep conformance grid cell (mirrors the zenith_lockstep runner's
 /// defaults): a 3-second, 8-fault schedule sliced into 3 quiescence phases.
 /// The golden corpus pins the per-phase abstraction digests via
@@ -117,6 +134,19 @@ inline std::map<std::string, std::uint64_t> compute_fingerprints() {
       chaos::ChaosCampaign campaign(
           chaos_cell_config(cell.kind, cell.size, seed));
       out["chaos_" + std::string(cell.name) + "_s" + std::to_string(seed) +
+          ".verdict"] = campaign.run().verdict_digest();
+    }
+  }
+
+  // Replicated control plane: the same chaos grid with 2 shards x 3
+  // replicas and replication faults in the mix, pinned for two seeds per
+  // topology (the full 3x3 grid runs in repl_test; the corpus pins a
+  // representative slice).
+  for (const Cell& cell : cells) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      chaos::ChaosCampaign campaign(
+          repl_cell_config(cell.kind, cell.size, seed));
+      out["repl_" + std::string(cell.name) + "_s" + std::to_string(seed) +
           ".verdict"] = campaign.run().verdict_digest();
     }
   }

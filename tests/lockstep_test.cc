@@ -85,6 +85,96 @@ TEST(LockstepGrid, ConformsAcrossTopologiesBatchSizesAndSchedules) {
   }
 }
 
+TEST(LockstepGrid, ReplicatedCellsConformAcrossLeaderFailovers) {
+  // The replicated control plane under the same lockstep microscope: phase
+  // quiescence waits for the replica sets to settle (ReplicatedControlPlane
+  // ::settled), then check_quiescent folds the abstract replica set — epoch,
+  // committed prefix, per-replica applied index — into the comparison. Any
+  // state an unplanned takeover leaves behind that the model's invariants
+  // exclude is a divergence.
+  struct Topo {
+    TopologyKind kind;
+    std::size_t size;
+  };
+  const Topo topologies[] = {
+      {TopologyKind::kKdlLike, 16},
+      {TopologyKind::kFatTree, 4},
+  };
+  for (const Topo& topo : topologies) {
+    for (std::uint64_t seed : {1, 2}) {
+      LockstepConfig config = small_cell(topo.kind, topo.size, 4, seed);
+      config.campaign.core.repl.num_shards = 2;
+      chaos::FaultWeights& w = config.campaign.schedule.weights;
+      w.repl_kill_leader = 0.25;
+      w.repl_partition_leader = 0.15;
+      w.repl_lease_stall = 0.10;
+      LockstepChecker checker(config);
+      LockstepReport report = checker.run();
+      EXPECT_FALSE(report.diverged)
+          << chaos::to_string(topo.kind) << " seed=" << seed << " :: "
+          << report.summary();
+      EXPECT_EQ(report.phases.size(), config.phases);
+    }
+  }
+}
+
+TEST(LockstepDeliberateBug, CommitBeforeQuorumDivergesAndShrinks) {
+  // The replication defect through the lockstep lens: the abstract replica
+  // set exposes a committed prefix no quorum holds, which check_quiescent's
+  // replication invariant rejects. A curated kill-leader schedule pins the
+  // fault inside the append window (generated multi-kill ddmin subsets can
+  // legally starve a quorum on the clean build, muddying the shrink).
+  //
+  // Unlike the campaign variant, lockstep converges the initial DAG before
+  // phase 0, so the only unreplicated appends come from the phase-0 update
+  // DAG submitted at the window start — its ACK-driven appends land within
+  // the first few milliseconds. The scan therefore sweeps that early window
+  // at sub-hop granularity (replication_hop is 1ms).
+  bool caught = false;
+  for (SimTime kill_at = micros(500); kill_at <= millis(16) && !caught;
+       kill_at += micros(500)) {
+    LockstepConfig config = small_cell(TopologyKind::kKdlLike, 12, 1, 5);
+    config.campaign.core.repl.num_shards = 1;
+    config.campaign.core.repl.bug_commit_before_quorum = true;
+    config.campaign.update_period = millis(40);
+    chaos::ChaosSchedule schedule;
+    schedule.seed = config.campaign.seed;
+    chaos::ChaosEvent kill;
+    kill.kind = chaos::FaultKind::kReplKillLeader;
+    kill.at = kill_at;
+    kill.shard = 0;
+    schedule.events.push_back(kill);
+    chaos::ChaosEvent revive;
+    revive.kind = chaos::FaultKind::kReplRevive;
+    revive.at = kill_at + millis(400);
+    revive.shard = 0;
+    schedule.events.push_back(revive);
+
+    LockstepChecker checker(config);
+    LockstepReport report = checker.run(schedule);
+    if (!report.diverged) continue;
+    caught = true;
+    ASSERT_FALSE(report.divergences.empty());
+    bool replication_divergence = false;
+    for (const std::string& divergence : report.divergences) {
+      if (divergence.find("replication") != std::string::npos ||
+          divergence.find("R2") != std::string::npos) {
+        replication_divergence = true;
+      }
+    }
+    EXPECT_TRUE(replication_divergence) << report.summary();
+
+    LockstepChecker::DivergenceShrink shrunk = checker.shrink(schedule);
+    EXPECT_TRUE(shrunk.minimal_report.diverged);
+    EXPECT_LE(shrunk.minimal.size(), 2u)
+        << "reproducer did not shrink: " << shrunk.trace.to_string();
+    EXPECT_FALSE(shrunk.trace.violation.empty());
+  }
+  EXPECT_TRUE(caught)
+      << "commit-before-quorum never diverged across the kill-offset scan — "
+         "the replicated lockstep harness has no teeth";
+}
+
 TEST(LockstepReportDigest, DeterministicAcrossReruns) {
   LockstepConfig config = small_cell(TopologyKind::kB4, 0, 16, 3);
   LockstepReport first = LockstepChecker(config).run();

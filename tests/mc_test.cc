@@ -6,6 +6,7 @@
 
 #include "mc/checker.h"
 #include "mc/pipeline_model.h"
+#include "mc/repl_model.h"
 
 namespace zenith::mc {
 namespace {
@@ -393,6 +394,47 @@ TEST(McParametrized, CorrectModelHoldsAcrossFailureModes) {
         << "complete=" << c.complete << " recovery=" << c.recovery
         << " budget=" << c.budget << ": " << result.violation;
   }
+}
+
+TEST(McReplModel, CorrectProtocolVerifiesExhaustively) {
+  // The abstract replica-set model (the formal twin of src/repl's shard
+  // protocol): with the correct commit rule, no reachable interleaving of
+  // appends, replication, commits, leader kills and elections elects a
+  // leader missing a NIB-applied entry.
+  ReplModelConfig config;
+  config.max_appends = 3;
+  config.max_kills = 1;
+  ReplModelResult result = check_repl_model(config);
+  EXPECT_FALSE(result.violation_found) << result.violation << "\nvia: "
+                                       << result.counterexample;
+  EXPECT_GT(result.states_explored, 10u);
+}
+
+TEST(McReplModel, FiveReplicaInstanceAlsoVerifies) {
+  ReplModelConfig config;
+  config.replicas = 5;
+  config.max_appends = 2;
+  config.max_kills = 2;
+  ReplModelResult result = check_repl_model(config);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_GT(result.states_explored, 100u);
+}
+
+TEST(McReplModel, CommitBeforeQuorumYieldsMinimalCounterexample) {
+  // The same defect knob the simulator's ReplConfig carries: committing on
+  // append means a kill + election reaches a leader whose log lacks applied
+  // entries. BFS finds the canonical three-action counterexample.
+  ReplModelConfig config;
+  config.max_appends = 1;
+  config.max_kills = 1;
+  config.bug_commit_before_quorum = true;
+  ReplModelResult result = check_repl_model(config);
+  ASSERT_TRUE(result.violation_found);
+  EXPECT_NE(result.violation.find("leader"), std::string::npos)
+      << result.violation;
+  EXPECT_EQ(result.counterexample.rfind("append -> kill-leader -> elect", 0),
+            0u)
+      << result.counterexample;
 }
 
 }  // namespace

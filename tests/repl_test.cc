@@ -1,0 +1,320 @@
+// Replicated control plane (src/repl) tests: protocol-level unit coverage
+// of the quorum log (append/commit, election on lease expiry, snapshot
+// catch-up, epoch monotonicity), the commit-before-quorum defect knob
+// tripping R2, exactly-once OP delivery across an unplanned leader
+// takeover, the seeded replicated chaos grid (3 topologies x 3 seeds,
+// zero R1-R4/P-invariant violations), and the seeded takeover-delay
+// randomization keeping equal-seed runs byte-identical.
+#include <map>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+#include "golden_scenarios.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "repl/repl.h"
+#include "sim/simulator.h"
+#include "topo/generators.h"
+
+namespace zenith {
+namespace {
+
+using repl::ReplConfig;
+using repl::ReplicatedControlPlane;
+
+Op install_op(std::uint32_t id, std::uint32_t sw) {
+  Op op;
+  op.id = OpId(id);
+  op.type = OpType::kInstallRule;
+  op.sw = SwitchId(sw);
+  op.rule = FlowRule{FlowId(id), SwitchId(sw), SwitchId(sw + 1),
+                     SwitchId(sw + 1), 1};
+  return op;
+}
+
+ReplConfig one_shard_config() {
+  ReplConfig config;
+  config.num_shards = 1;
+  return config;
+}
+
+TEST(ReplShard, AppendsCommitAtQuorumAndApplyInOrder) {
+  Simulator sim;
+  ReplicatedControlPlane rcp(&sim, one_shard_config());
+  std::vector<std::uint64_t> applied_indexes;
+  rcp.set_apply([&](std::size_t, const repl::LogEntry& entry) {
+    applied_indexes.push_back(entry.index);
+  });
+  rcp.start();
+  EXPECT_TRUE(rcp.submit_ack(SwitchId(0), {install_op(1, 0)}));
+  EXPECT_TRUE(rcp.submit_ack(SwitchId(1), {install_op(2, 1)}));
+  EXPECT_TRUE(rcp.submit_ack(SwitchId(2), {install_op(3, 2)}));
+  // Nothing reaches the NIB before a follower round trip confirms quorum.
+  EXPECT_TRUE(applied_indexes.empty());
+  sim.run_until(millis(50));
+
+  const repl::Shard& shard = rcp.shard(0);
+  EXPECT_EQ(shard.counters().appends, 3u);
+  EXPECT_EQ(shard.counters().commits, 3u);
+  ASSERT_EQ(applied_indexes.size(), 3u);
+  for (std::size_t i = 0; i < applied_indexes.size(); ++i) {
+    EXPECT_EQ(applied_indexes[i], i + 1);
+  }
+  EXPECT_TRUE(rcp.settled());
+  EXPECT_TRUE(rcp.check_invariants(/*at_quiescence=*/true).empty());
+}
+
+TEST(ReplShard, LeaderKillElectsUpToDateStandbyAtHigherEpoch) {
+  Simulator sim;
+  ReplicatedControlPlane rcp(&sim, one_shard_config());
+  rcp.start();
+  ASSERT_TRUE(rcp.submit_ack(SwitchId(0), {install_op(1, 0)}));
+  sim.run_until(millis(30));
+  ASSERT_EQ(rcp.shard(0).epoch(), 1u);
+  const int old_leader = rcp.shard(0).leader();
+
+  rcp.kill_shard_leader(0);
+  // ACKs hitting the shard while leaderless are dropped, not wedged.
+  EXPECT_FALSE(rcp.submit_ack(SwitchId(1), {install_op(2, 1)}));
+  EXPECT_GE(rcp.shard(0).counters().acks_dropped_no_leader, 1u);
+  // Election after the lease runs out; the survivors are still a quorum.
+  sim.run_until(millis(200));
+  const repl::Shard& shard = rcp.shard(0);
+  EXPECT_GE(shard.epoch(), 2u);
+  EXPECT_NE(shard.leader(), old_leader);
+  EXPECT_GE(shard.counters().elections, 1u);
+  // The new leader inherited the committed entry and keeps serving.
+  EXPECT_TRUE(rcp.submit_ack(SwitchId(2), {install_op(3, 2)}));
+  sim.run_until(sim.now() + millis(100));
+  EXPECT_EQ(shard.applied_to_nib(), 2u);
+  EXPECT_TRUE(rcp.settled());
+  EXPECT_TRUE(rcp.check_invariants(/*at_quiescence=*/true).empty());
+}
+
+TEST(ReplShard, HealedPartitionedLeaderCatchesUpViaSnapshot) {
+  Simulator sim;
+  ReplicatedControlPlane rcp(&sim, one_shard_config());
+  rcp.start();
+  ASSERT_TRUE(rcp.submit_ack(SwitchId(0), {install_op(1, 0)}));
+  sim.run_until(millis(30));
+
+  // Isolate the epoch-1 leader; the un-partitioned pair elects epoch 2 and
+  // keeps committing (2 of 3 is a quorum).
+  rcp.partition_shard_leader(0);
+  sim.run_until(millis(200));
+  ASSERT_GE(rcp.shard(0).epoch(), 2u);
+  const std::size_t lag = rcp.config().snapshot_lag_threshold + 4;
+  for (std::uint32_t i = 0; i < lag; ++i) {
+    ASSERT_TRUE(rcp.submit_ack(SwitchId(i % 3), {install_op(10 + i, i % 3)}));
+  }
+  sim.run_until(sim.now() + millis(100));
+  ASSERT_EQ(rcp.shard(0).applied_to_nib(), 1 + lag);
+
+  // The healed replica trails the committed prefix past the threshold, so
+  // catch-up installs a snapshot instead of streaming entries.
+  rcp.heal_shard(0);
+  sim.run_until(sim.now() + millis(100));
+  EXPECT_GE(rcp.shard(0).counters().snapshots_installed, 1u);
+  EXPECT_TRUE(rcp.settled());
+  EXPECT_TRUE(rcp.check_invariants(/*at_quiescence=*/true).empty());
+}
+
+TEST(ReplShard, LeaseStallTriggersFailoverAndEpochsStayMonotone) {
+  Simulator sim;
+  ReplicatedControlPlane rcp(&sim, one_shard_config());
+  rcp.start();
+  ASSERT_TRUE(rcp.submit_ack(SwitchId(0), {install_op(1, 0)}));
+  sim.run_until(millis(30));
+
+  // A wedged leader stops heartbeating without dying: followers elect a
+  // replacement at lease expiry, and the stalled process (still live and
+  // reachable) rejoins as a follower of the higher epoch.
+  rcp.stall_heartbeats(0);
+  sim.run_until(millis(300));
+  EXPECT_GE(rcp.shard(0).epoch(), 2u);
+  rcp.resume_heartbeats(0);  // guarded no-op: leadership already moved
+  sim.run_until(sim.now() + millis(100));
+  EXPECT_TRUE(rcp.settled());
+  EXPECT_TRUE(rcp.check_invariants(/*at_quiescence=*/true).empty());
+
+  const auto& history = rcp.shard(0).election_history();
+  ASSERT_FALSE(history.empty());
+  std::uint64_t previous = 1;
+  for (const auto& [epoch, leader] : history) {
+    EXPECT_GT(epoch, previous);
+    previous = epoch;
+  }
+}
+
+TEST(ReplShard, CommitBeforeQuorumDefectViolatesR2OnLeaderLoss) {
+  // The acceptance defect knob, pinned at protocol level: with the bug the
+  // leader applies the entry the instant it is appended; killing it before
+  // the append hop delivers leaves the NIB holding an entry only the dead
+  // replica's log contains — R2's exact violation.
+  auto run = [](bool bug) {
+    Simulator sim;
+    ReplConfig config = one_shard_config();
+    config.bug_commit_before_quorum = bug;
+    ReplicatedControlPlane rcp(&sim, config);
+    rcp.start();
+    rcp.submit_ack(SwitchId(0), {install_op(1, 0)});
+    rcp.kill_shard_leader(0);  // before the replication hop delivers
+    sim.run_until(millis(300));
+    return rcp.check_invariants(/*at_quiescence=*/false);
+  };
+  std::vector<std::string> buggy = run(true);
+  ASSERT_FALSE(buggy.empty());
+  bool r2 = false;
+  for (const std::string& violation : buggy) {
+    if (violation.find("R2") != std::string::npos) r2 = true;
+  }
+  EXPECT_TRUE(r2) << buggy.front();
+  EXPECT_TRUE(run(false).empty())
+      << "correct protocol must not apply before quorum";
+}
+
+TEST(ReplShard, UnitRunsAreDeterministic) {
+  auto digest_of = [] {
+    Simulator sim;
+    ReplicatedControlPlane rcp(&sim, one_shard_config());
+    rcp.start();
+    rcp.submit_ack(SwitchId(0), {install_op(1, 0)});
+    sim.run_until(millis(25));
+    rcp.kill_shard_leader(0);
+    sim.run_until(millis(200));
+    rcp.revive_shard(0);
+    sim.run_until(millis(400));
+    return rcp.digest();
+  };
+  EXPECT_EQ(digest_of(), digest_of());
+}
+
+TEST(ReplPipeline, KillLeaderMidInstallDeliversOpsExactlyOnce) {
+  // Unplanned failover during an active installation, no switch faults: the
+  // takeover requeue must re-drive lost ACKs without ever re-processing a
+  // committed one. Every OP reaches DONE exactly once — a second DONE (or a
+  // DONE->SENT flap) is a double delivery. Offsets sweep the vulnerable
+  // windows: ACK in flight toward the dying leader, entry appended but
+  // uncommitted, entry committed with the ACK already consumed.
+  for (SimTime kill_after :
+       {millis(1), millis(2), millis(4), millis(6), millis(8)}) {
+    ExperimentConfig config;
+    config.seed = 83;
+    config.kind = ControllerKind::kZenithNR;
+    config.core.repl.num_shards = 1;
+    Experiment exp(gen::linear(4), config);
+    exp.start();
+    ASSERT_NE(exp.controller().repl(), nullptr);
+
+    std::unordered_map<std::uint32_t, std::size_t> done_count;
+    NadirFifo<NibEvent> probe;
+    probe.set_wake_callback([&] {
+      while (!probe.empty()) {
+        NibEvent event = probe.pop();
+        if (event.type != NibEvent::Type::kOpStatusChanged ||
+            event.op_status != OpStatus::kDone) {
+          continue;
+        }
+        std::vector<OpId> covered =
+            event.batch.empty() ? std::vector<OpId>{event.op} : event.batch;
+        for (OpId id : covered) ++done_count[id.value()];
+      }
+    });
+    exp.nib().subscribe(&probe);
+
+    Workload workload(&exp, 89);
+    Dag dag = workload.initial_dag_for_pairs(
+        {{SwitchId(0), SwitchId(3)}, {SwitchId(3), SwitchId(0)}});
+    DagId id = dag.id();
+    exp.order_checker().register_dag(dag);
+    exp.controller().submit_dag(std::move(dag));
+    exp.run_for(kill_after);
+    exp.controller().repl()->kill_shard_leader(0);
+
+    auto converged =
+        exp.run_until([&] { return exp.checker().converged(id); }, seconds(30));
+    ASSERT_TRUE(converged.has_value())
+        << "no convergence after leader kill at +" << kill_after << "us";
+    EXPECT_GE(exp.controller().repl()->shard(0).counters().elections, 1u)
+        << "kill at +" << kill_after << "us caused no takeover";
+    for (const auto& [op, count] : done_count) {
+      EXPECT_EQ(count, 1u) << "op " << op << " delivered " << count
+                           << " times across the takeover (kill at +"
+                           << kill_after << "us)";
+    }
+    EXPECT_TRUE(exp.order_checker().ok());
+    // R4 is a quiescence invariant: give the replica set its settle (the
+    // DAG converging only proves the leader side drained; followers trail
+    // by a heartbeat).
+    auto settled = exp.run_until(
+        [&] { return exp.controller().repl()->settled(); }, seconds(5));
+    ASSERT_TRUE(settled.has_value());
+    EXPECT_TRUE(exp.controller()
+                    .repl()
+                    ->check_invariants(/*at_quiescence=*/true)
+                    .empty());
+  }
+}
+
+TEST(ReplChaosGrid, ThreeTopologiesThreeSeedsSurviveUnplannedFailover) {
+  // The acceptance grid: N=3 replica sets, kill-leader / partition /
+  // lease-stall faults mixed into the full chaos schedule on every
+  // evaluation topology. Zero violations means the §3.3 P-invariants AND
+  // the R1-R4 replication oracle held across every handoff.
+  struct Cell {
+    chaos::TopologyKind kind;
+    std::size_t size;
+  };
+  const Cell cells[] = {
+      {chaos::TopologyKind::kKdlLike, 16},
+      {chaos::TopologyKind::kB4, 0},
+      {chaos::TopologyKind::kFatTree, 4},
+  };
+  for (const Cell& cell : cells) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      chaos::CampaignConfig config =
+          golden::repl_cell_config(cell.kind, cell.size, seed);
+      ASSERT_EQ(config.core.repl.replicas_per_shard, 3u);
+      chaos::ChaosCampaign campaign(config);
+      chaos::CampaignResult result = campaign.run();
+      EXPECT_TRUE(result.ok)
+          << chaos::to_string(cell.kind) << " seed " << seed << ": "
+          << result.summary();
+      EXPECT_GT(result.stats.faults_injected, 0u);
+    }
+  }
+}
+
+TEST(ReplChaosGrid, ReplicatedCampaignsAreSeedDeterministic) {
+  chaos::CampaignConfig config =
+      golden::repl_cell_config(chaos::TopologyKind::kFatTree, 4, 2);
+  chaos::CampaignResult first = chaos::ChaosCampaign(config).run();
+  chaos::CampaignResult second = chaos::ChaosCampaign(config).run();
+  EXPECT_EQ(first.schedule_fingerprint, second.schedule_fingerprint);
+  EXPECT_EQ(first.verdict_digest(), second.verdict_digest());
+  config.seed = 3;
+  chaos::CampaignResult other = chaos::ChaosCampaign(config).run();
+  EXPECT_NE(first.schedule_fingerprint, other.schedule_fingerprint);
+}
+
+TEST(ReplChaosGrid, RandomizedTakeoverDelayKeepsEqualSeedsByteIdentical) {
+  // Satellite: chaos may draw failover_takeover_delay from the seed so the
+  // grid explores takeover-timing races — but the draw is a pure function
+  // of the seed, so the determinism contract (equal seeds, equal verdicts)
+  // must survive it.
+  chaos::CampaignConfig config =
+      golden::repl_cell_config(chaos::TopologyKind::kKdlLike, 16, 4);
+  config.randomize_takeover_delay = true;
+  chaos::CampaignResult first = chaos::ChaosCampaign(config).run();
+  chaos::CampaignResult second = chaos::ChaosCampaign(config).run();
+  EXPECT_TRUE(first.ok) << first.summary();
+  EXPECT_EQ(first.schedule_fingerprint, second.schedule_fingerprint);
+  EXPECT_EQ(first.trace_fingerprint, second.trace_fingerprint);
+  EXPECT_EQ(first.metrics_fingerprint, second.metrics_fingerprint);
+  EXPECT_EQ(first.verdict_digest(), second.verdict_digest());
+}
+
+}  // namespace
+}  // namespace zenith
