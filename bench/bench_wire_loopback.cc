@@ -1,0 +1,196 @@
+// Wire-transport loopback throughput: the zenith_controllerd/zenith_switchd
+// pair collapsed into one process (controller on the main thread, a
+// SwitchBridge served from a background thread) connected through a real
+// kernel socket — once Unix-domain, once TCP loopback. Reports wall-clock
+// OPs/sec for the standard wire scenario plus frame/byte/stall counters.
+//
+// Unlike the sim benches this measures wall time, so absolute numbers are
+// host-dependent and advisory; the deterministic gate is
+// `fingerprint_mismatches` — both socket arms and the in-process sim bus
+// must finish on the same NIB fingerprint, at any budget.
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/socket_transport.h"
+#include "net/switch_bridge.h"
+#include "netd/wire_scenario.h"
+#include "obs/bench_results.h"
+
+namespace zenith {
+namespace {
+
+struct ArmResult {
+  std::string label;
+  netd::WireScenarioReport report;
+  double wall_seconds = 0;
+  net::ConnectionStats stats;
+};
+
+/// Accepts one connection and serves a SwitchBridge until the peer says Bye.
+void serve_switchd(int listen_fd, Topology topo, std::uint64_t seed) {
+  int fd = -1;
+  for (int i = 0; i < 1000 && fd < 0; ++i) {
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    ::poll(&pfd, 1, 100);
+    auto accepted = net::accept_on(listen_fd);
+    if (!accepted.ok()) return;
+    fd = accepted.value();
+  }
+  if (fd < 0) return;
+  net::EventLoop loop;
+  net::SwitchBridge bridge(std::move(topo), seed);
+  bridge.attach(&loop, fd);
+  while (bridge.peer_connected() && !bridge.peer_said_bye()) {
+    auto polled = loop.poll(1);
+    if (!polled.ok()) break;
+    bridge.pump();
+  }
+  bridge.pump();
+  bridge.send_bye_and_flush(/*timeout_ms=*/2000);
+}
+
+ArmResult run_arm(const std::string& label, const net::Endpoint& listen_ep,
+                  const netd::WireScenarioConfig& config) {
+  ArmResult arm;
+  arm.label = label;
+  std::uint16_t port = 0;
+  auto listen_fd = net::listen_on(listen_ep, &port);
+  if (!listen_fd.ok()) {
+    arm.report.error = listen_ep.path + ": " + listen_fd.error().message;
+    return arm;
+  }
+  net::Endpoint connect_ep = listen_ep;
+  connect_ep.port = port;
+
+  Topology topo = netd::wire_topology(config);
+  std::thread server(serve_switchd, listen_fd.value(), topo, config.seed);
+
+  net::EventLoop loop;
+  auto fd = net::connect_with_retry(connect_ep, /*timeout_ms=*/5000);
+  if (!fd.ok()) {
+    arm.report.error = fd.error().message;
+    server.join();
+    return arm;
+  }
+  net::SocketTransport transport(&loop, fd.value());
+  if (auto st = transport.handshake(config.seed, /*timeout_ms=*/5000);
+      !st.ok()) {
+    arm.report.error = st.error().message;
+    server.join();
+    return arm;
+  }
+
+  Simulator sim;
+  ZenithController controller(&sim, &transport);
+  controller.start();
+  auto pump = [&] {
+    (void)loop.poll(0);
+    sim.run_until(sim.now() + micros(200));
+  };
+  auto aborted = [&] { return !transport.peer_connected(); };
+
+  auto started = std::chrono::steady_clock::now();
+  arm.report = netd::run_wire_scenario(config, controller, pump, aborted);
+  arm.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  arm.stats = transport.stats();
+
+  transport.send_bye_and_flush(/*timeout_ms=*/2000);
+  for (int i = 0; i < 200 && !transport.peer_said_bye(); ++i) {
+    auto polled = loop.poll(10);
+    if (!polled.ok() || !transport.peer_connected()) break;
+  }
+  server.join();
+  net::close_fd(listen_fd.value());
+  return arm;
+}
+
+}  // namespace
+}  // namespace zenith
+
+int main(int argc, char** argv) {
+  using namespace zenith;
+  benchutil::Options opts = benchutil::parse_options(argc, argv);
+
+  netd::WireScenarioConfig config;
+  config.target_ops = opts.quick ? 20000 : 100000;
+  config.churn_updates = opts.quick ? 20 : 50;
+  config.drain_rounds = 2;
+
+  benchutil::banner(
+      "Wire loopback throughput (controllerd<->switchd in one process)",
+      "the process boundary must not change controller semantics; "
+      "fingerprints stay bit-equal while OPs cross a real socket");
+
+  net::Endpoint uds;
+  uds.kind = net::Endpoint::Kind::kUds;
+  uds.path = "/tmp/zenith_bench_wire_" + std::to_string(::getpid()) + ".sock";
+  net::Endpoint tcp;
+  tcp.kind = net::Endpoint::Kind::kTcp;
+  tcp.port = 0;  // ephemeral
+
+  ArmResult uds_arm = run_arm("uds", uds, config);
+  ArmResult tcp_arm = run_arm("tcp", tcp, config);
+  ::unlink(uds.path.c_str());
+
+  netd::WireScenarioReport reference = run_wire_scenario_sim(config);
+
+  std::uint64_t mismatches = 0;
+  for (const ArmResult* arm : {&uds_arm, &tcp_arm}) {
+    if (!arm->report.converged ||
+        arm->report.fingerprint != reference.fingerprint) {
+      ++mismatches;
+    }
+  }
+
+  obs::BenchResult result("wire_loopback");
+  std::printf("  %-4s %10s %8s %12s %12s %10s %7s\n", "arm", "ops", "wall_s",
+              "ops/sec", "frames", "MiB_sent", "stalls");
+  for (const ArmResult* arm : {&uds_arm, &tcp_arm}) {
+    const auto& r = arm->report;
+    double ops_per_sec =
+        static_cast<double>(r.ops) /
+        (arm->wall_seconds > 0 ? arm->wall_seconds : 1e-9);
+    std::printf("  %-4s %10llu %8.2f %12.0f %12llu %10.1f %7llu%s\n",
+                arm->label.c_str(), static_cast<unsigned long long>(r.ops),
+                arm->wall_seconds, ops_per_sec,
+                static_cast<unsigned long long>(arm->stats.frames_sent),
+                static_cast<double>(arm->stats.bytes_sent) / (1 << 20),
+                static_cast<unsigned long long>(arm->stats.stall_events),
+                r.converged ? "" : (" FAILED: " + r.error).c_str());
+    result.add(arm->label + ".ops_per_sec", ops_per_sec, "1/s");
+    result.add(arm->label + ".wall_seconds", arm->wall_seconds, "s");
+    result.add_count(arm->label + ".ops", r.ops);
+    result.add_count(arm->label + ".dags", r.dags);
+    result.add_count(arm->label + ".frames_sent", arm->stats.frames_sent);
+    result.add_count(arm->label + ".frames_received",
+                     arm->stats.frames_received);
+    result.add_count(arm->label + ".bytes_sent", arm->stats.bytes_sent);
+    result.add_count(arm->label + ".short_writes", arm->stats.short_writes);
+    result.add_count(arm->label + ".stall_events", arm->stats.stall_events);
+  }
+  result.add_count("fingerprint_mismatches", mismatches);
+  result.add_note("mode", opts.quick ? "quick" : "full");
+  result.add_note("topology", "b4");
+  std::printf("  fingerprint: sim=%016llx uds=%016llx tcp=%016llx -> %s\n",
+              static_cast<unsigned long long>(reference.fingerprint),
+              static_cast<unsigned long long>(uds_arm.report.fingerprint),
+              static_cast<unsigned long long>(tcp_arm.report.fingerprint),
+              mismatches == 0 ? "MATCH" : "MISMATCH");
+
+  if (opts.json) {
+    std::string path = result.write();
+    std::printf("  wrote %s\n", path.c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -51,6 +51,31 @@ ctest --test-dir "$repo/build-ci-release" --output-on-failure -L replication
 echo "=== [replication] ctest -L replication (TSan) ==="
 ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -L replication
 
+# Wire tier: the binary codec's adversarial suite re-runs under ASan+UBSan
+# (where "rejects cleanly" means no overflow, no over-read, no giant
+# allocation — not just a non-crash), then the real daemon pair runs the
+# drain/undrain scenario end to end over a Unix socket: zenith_controllerd
+# must exit 0 with its --self-check fingerprint matching the sim backend,
+# and a SIGTERM to the lingering zenith_switchd must shut it down cleanly.
+echo "=== [wire] ctest -L wire (ASan+UBSan) ==="
+ctest --test-dir "$repo/build-ci-asan" --output-on-failure -L wire
+wire_e2e() {
+  local tree="$repo/build-ci-release"
+  local sock
+  sock="$(mktemp -u /tmp/zenith-ci-wire-XXXXXX.sock)"
+  echo "=== [wire] daemon pair e2e over uds:$sock ==="
+  "$tree/src/netd/zenith_switchd" --listen "uds:$sock" --linger &
+  local switchd_pid=$!
+  # set -e makes a non-zero controllerd exit fail the stage.
+  "$tree/src/netd/zenith_controllerd" --connect "uds:$sock" \
+    --target-ops 20000 --self-check --json
+  echo "=== [wire] SIGTERM shutdown ==="
+  kill -TERM "$switchd_pid"
+  wait "$switchd_pid"  # non-zero exit fails the stage
+  rm -f "$sock"
+}
+wire_e2e
+
 # Stress tier (nightly-style): the `stress`-labeled suites re-run in Release
 # with a six-figure OP budget (plain ctest above already ran them with the
 # cheap default, keeping tier-1 flat), plus the batching-equivalence
@@ -85,6 +110,7 @@ bench_smoke() {
     "$tree/bench/bench_fig10_trace_replay" --quick --json \
       --chrome-trace "$scratch/chrome_trace.json")
   (cd "$scratch" && "$tree/bench/bench_soak" --quick --json)
+  (cd "$scratch" && "$tree/bench/bench_wire_loopback" --quick --json)
   "$tree/src/obs/zenith_json_check" "$scratch"/BENCH_*.json \
     "$scratch/chrome_trace.json"
   echo "=== [bench] diff vs committed baselines ==="
@@ -95,9 +121,10 @@ bench_smoke() {
   local -A gates=(
     [chaos_coverage]="violations_correct_build"
     [soak]="invariant_violations"
+    [wire_loopback]="fingerprint_mismatches"
   )
   local name gate
-  for name in micro_primitives chaos_coverage soak; do
+  for name in micro_primitives chaos_coverage soak wire_loopback; do
     if [[ -f "$repo/bench/baselines/BENCH_$name.json" ]]; then
       gate="${gates[$name]:-}"
       if [[ -n "$gate" ]]; then

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Regenerates the golden-fingerprint regression corpus
-# (tests/golden/FINGERPRINTS.json) from the scenario set in
-# tests/golden_scenarios.h. Run after an INTENDED behaviour change, then
-# review the JSON diff like any other semantic change before committing.
+# Regenerates the golden regression corpora:
+#   tests/golden/FINGERPRINTS.json  (scenario set in tests/golden_scenarios.h)
+#   tests/golden/WIRE_FRAMES.json   (wire-frame corpus in
+#                                    tests/wire_frames_corpus.h)
+# Run after an INTENDED behaviour or wire-format change, then review the
+# JSON diff like any other semantic change before committing.
 #
 # Usage: scripts/update_golden.sh [build-dir]   (default: <repo>/build)
 set -euo pipefail
@@ -13,11 +15,17 @@ tree="${1:-$repo/build}"
 if [[ ! -d "$tree" ]]; then
   cmake -B "$tree" -S "$repo"
 fi
-cmake --build "$tree" --target golden_gen -j "$(nproc 2>/dev/null || echo 4)"
+cmake --build "$tree" --target golden_gen --target wire_golden_gen \
+  -j "$(nproc 2>/dev/null || echo 4)"
 
 out="$repo/tests/golden/FINGERPRINTS.json"
 mkdir -p "$(dirname "$out")"
 "$tree/tests/golden_gen" > "$out.tmp"
 mv "$out.tmp" "$out"
 echo "wrote $out"
-git -C "$repo" diff --stat -- tests/golden/FINGERPRINTS.json || true
+
+wire_out="$repo/tests/golden/WIRE_FRAMES.json"
+"$tree/tests/wire_golden_gen" > "$wire_out.tmp"
+mv "$wire_out.tmp" "$wire_out"
+echo "wrote $wire_out"
+git -C "$repo" diff --stat -- tests/golden/ || true

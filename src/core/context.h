@@ -17,6 +17,7 @@
 #include "dag/compiler.h"
 #include "dag/dag.h"
 #include "dataplane/fabric.h"
+#include "net/transport.h"
 #include "nib/nib.h"
 #include "repl/repl.h"
 #include "sim/fifo.h"
@@ -133,7 +134,15 @@ struct OpBatch {
 struct CoreContext {
   Simulator* sim = nullptr;
   Nib* nib = nullptr;
+  /// The simulated data plane, when this controller runs on the simulator
+  /// bus; null under a socket transport (zenith_controllerd has no local
+  /// switches). Pipeline components never touch it — they speak through
+  /// `transport` — but the experiment harness and tests still reach the
+  /// simulated switches here.
   Fabric* fabric = nullptr;
+  /// The southbound message seam (never null once the controller is
+  /// constructed): SimBusTransport over `fabric`, or a SocketTransport.
+  net::Transport* transport = nullptr;
   CoreConfig config;
   OpIdAllocator* op_ids = nullptr;
   /// Optional observability bundle; null = uninstrumented. Components hold

@@ -3,15 +3,35 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "net/sim_transport.h"
 #include "obs/obs.h"
 
 namespace zenith {
 
 ZenithController::ZenithController(Simulator* sim, Fabric* fabric,
                                    CoreConfig config) {
+  ctx_.fabric = fabric;
+  owned_transport_ = std::make_unique<net::SimBusTransport>(fabric);
+  ctx_.transport = owned_transport_.get();
+  construct(sim, std::move(config));
+}
+
+ZenithController::ZenithController(Simulator* sim, net::Transport* transport,
+                                   CoreConfig config) {
+  ctx_.transport = transport;
+  construct(sim, std::move(config));
+  // A stalled socket sender resumes the pipeline stages it gated: workers
+  // first (they hold the head-of-queue batches), then the sequencers (they
+  // stopped coalescing new dispatch waves).
+  transport->set_resume_callback([this] {
+    worker_pool_->kick_all();
+    for (auto& s : sequencers_) s->kick();
+  });
+}
+
+void ZenithController::construct(Simulator* sim, CoreConfig config) {
   ctx_.sim = sim;
   ctx_.nib = &nib_;
-  ctx_.fabric = fabric;
   ctx_.config = config;
   ctx_.op_ids = &op_ids_;
 
@@ -98,7 +118,7 @@ void ZenithController::wire_replication() {
 }
 
 void ZenithController::start() {
-  for (std::uint32_t i = 0; i < ctx_.fabric->switch_count(); ++i) {
+  for (std::uint32_t i = 0; i < ctx_.transport->switch_count(); ++i) {
     nib_.register_switch(SwitchId(i));
   }
   watchdog_->start();
@@ -177,8 +197,8 @@ void ZenithController::crash_ofc() {
   ctx_.topo_event_queue.clear();
   ctx_.cleanup_reply_queue.clear();
   ctx_.role_reply_queue.clear();
-  ctx_.fabric->drop_all_in_flight_replies();
-  ctx_.fabric->health_events().clear();
+  ctx_.transport->drop_all_in_flight_replies();
+  ctx_.transport->health_events().clear();
   ctx_.workers_paused = false;
   ctx_.sim->schedule(ctx_.config.failover_takeover_delay,
                      [this] { ofc_takeover(); });
@@ -195,7 +215,7 @@ void ZenithController::ofc_takeover() {
   // instance and never reach this one. Without this second drop they would
   // commit OPs this takeover is about to requeue — the same ghost-ACK race
   // the crash-time drop closes for replies already in flight back then.
-  ctx_.fabric->drop_all_in_flight_replies();
+  ctx_.transport->drop_all_in_flight_replies();
   std::vector<Component*> ofc = worker_pool_->components();
   ofc.push_back(monitoring_.get());
   ofc.push_back(topo_handler_.get());

@@ -28,7 +28,15 @@ namespace zenith {
 
 class ZenithController {
  public:
+  /// Classic wiring: controller and data plane share one simulator; the
+  /// controller owns a SimBusTransport shim over `fabric`. Byte-identical to
+  /// the pre-transport-seam pipeline.
   ZenithController(Simulator* sim, Fabric* fabric, CoreConfig config = {});
+  /// Transport wiring: messages cross `transport` (e.g. a SocketTransport in
+  /// zenith_controllerd); there is no local Fabric. `sim` still drives the
+  /// component service model and must be pumped by the caller.
+  ZenithController(Simulator* sim, net::Transport* transport,
+                   CoreConfig config = {});
 
   ZenithController(const ZenithController&) = delete;
   ZenithController& operator=(const ZenithController&) = delete;
@@ -79,6 +87,7 @@ class ZenithController {
   const repl::ReplicatedControlPlane* repl() const { return repl_.get(); }
 
  private:
+  void construct(Simulator* sim, CoreConfig config);
   void ofc_takeover();
   void de_takeover();
   /// Re-enqueues every SENT OP accepted by `owned` (null = all) exactly
@@ -92,6 +101,9 @@ class ZenithController {
   Nib nib_;
   OpIdAllocator op_ids_;
   CoreContext ctx_;
+  /// Owned only by the (sim, fabric) constructor; the transport constructor
+  /// borrows the caller's backend.
+  std::unique_ptr<net::Transport> owned_transport_;
   std::unique_ptr<repl::ReplicatedControlPlane> repl_;
 
   std::unique_ptr<DagScheduler> dag_scheduler_;

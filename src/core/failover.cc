@@ -46,7 +46,7 @@ void FailoverManager::request_planned_failover(
   } else {
     // PR-style immediate switchover: everything in flight toward the old
     // instance is lost with its sockets.
-    ctx_->fabric->drop_all_in_flight_replies();
+    ctx_->transport->drop_all_in_flight_replies();
     begin_role_change();
   }
   kick();
@@ -77,7 +77,7 @@ void FailoverManager::send_role_changes() {
     request.role = target_instance_;
     request.xid = static_cast<std::uint64_t>(target_instance_) << 32 |
                   sw.value();
-    ctx_->fabric->send(sw, request);
+    ctx_->transport->send(sw, request);
   }
 }
 

@@ -8,9 +8,9 @@ namespace zenith {
 MonitoringServer::MonitoringServer(CoreContext* ctx)
     : Component(ctx->sim, "monitoring", ctx->config.monitoring_service),
       ctx_(ctx) {
-  ctx_->fabric->replies().set_wake_callback([this] { kick(); });
-  ctx_->fabric->health_events().set_wake_callback([this] { kick(); });
-  ctx_->fabric->link_events().set_wake_callback([this] { kick(); });
+  ctx_->transport->replies().set_wake_callback([this] { kick(); });
+  ctx_->transport->health_events().set_wake_callback([this] { kick(); });
+  ctx_->transport->link_events().set_wake_callback([this] { kick(); });
 }
 
 bool MonitoringServer::try_step() {
@@ -20,7 +20,7 @@ bool MonitoringServer::try_step() {
   // Link/port transitions update the NIB's topology state directly (the
   // Topo Event Handler owns only switch-level health, whose transitions
   // gate OP scheduling).
-  NadirFifo<LinkHealthEvent>& links = ctx_->fabric->link_events();
+  NadirFifo<LinkHealthEvent>& links = ctx_->transport->link_events();
   if (!links.empty()) {
     LinkHealthEvent event = links.peek();
     ctx_->nib->set_link_up(event.link, event.up);
@@ -31,7 +31,7 @@ bool MonitoringServer::try_step() {
 }
 
 bool MonitoringServer::process_health_event() {
-  NadirFifo<SwitchHealthEvent>& events = ctx_->fabric->health_events();
+  NadirFifo<SwitchHealthEvent>& events = ctx_->transport->health_events();
   if (events.empty()) return false;
   SwitchHealthEvent event = events.peek();
   // Forward to the Topo Event Handler's queue; it owns all health-state
@@ -42,7 +42,7 @@ bool MonitoringServer::process_health_event() {
 }
 
 bool MonitoringServer::process_reply() {
-  NadirFifo<SwitchReply>& replies = ctx_->fabric->replies();
+  NadirFifo<SwitchReply>& replies = ctx_->transport->replies();
   if (replies.empty()) return false;
   SwitchReply reply = replies.peek();
   Nib& nib = *ctx_->nib;
@@ -172,7 +172,7 @@ void MonitoringServer::on_restart() {
   // instance would leave the NIB permanently stale.
   Nib& nib = *ctx_->nib;
   for (SwitchId sw : nib.switches()) {
-    bool actually_up = ctx_->fabric->alive(sw);
+    bool actually_up = ctx_->transport->switch_alive(sw);
     SwitchHealth recorded = nib.switch_health(sw);
     if (!actually_up && recorded != SwitchHealth::kDown) {
       SwitchHealthEvent event;

@@ -22,6 +22,12 @@ bool Sequencer::owns_current_dag() const {
 }
 
 bool Sequencer::try_step() {
+  // Transport backpressure, one stage upstream of the workers: while the
+  // socket sender sits above its high watermark there is no point coalescing
+  // new dispatch waves — they would only deepen the stalled queues. State is
+  // all in the NIB (OPs stay kNone), so resuming is a plain rescan when the
+  // transport's drain callback kicks us. Never taken on the sim bus.
+  if (!ctx_->transport->writable()) return false;
   // Drain wake hints; all truth lives in the NIB.
   NadirFifo<NibEvent>& wakeups = *ctx_->sequencer_wakeups.at(index_);
   bool had_events = !wakeups.empty();

@@ -99,7 +99,7 @@ void TopoEventHandler::issue_cleanup(SwitchId sw) {
                                     "direct=1 sw=" +
                                         std::to_string(sw.value()));
     }
-    ctx_->fabric->send(sw, request);
+    ctx_->transport->send(sw, request);
     return;
   }
   // Figure A.5 step 3: the cleanup request goes onto the OP queue and

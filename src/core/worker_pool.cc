@@ -33,7 +33,7 @@ void Worker::forward(const Op& op) {
       request.type = SwitchRequest::Type::kDumpTable;
       break;
   }
-  ctx_->fabric->send(op.sw, request);
+  ctx_->transport->send(op.sw, request);
 }
 
 void Worker::forward_batch(SwitchId sw, const std::vector<Op>& ops) {
@@ -48,11 +48,17 @@ void Worker::forward_batch(SwitchId sw, const std::vector<Op>& ops) {
   request.type = SwitchRequest::Type::kBatch;
   request.xid = ops.front().id.value();
   request.batch = ops;
-  ctx_->fabric->send(sw, request);
+  ctx_->transport->send(sw, request);
 }
 
 bool Worker::try_step() {
   if (ctx_->workers_paused) return false;
+  // Transport backpressure: above the sender's high watermark we leave the
+  // head batch in OPQueueNIB (persistent, level-triggered) and sleep; the
+  // transport's resume callback kicks the pool when the ring drains. The
+  // sim-bus backend never stalls, so this branch is dead in verification
+  // runs.
+  if (!ctx_->transport->writable()) return false;
   const SpecBugs& bugs = ctx_->config.bugs;
   NadirFifo<OpBatch>& queue = *ctx_->op_queues.at(id_.value());
 

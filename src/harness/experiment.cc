@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/clock.h"
 #include "obs/obs.h"
 
 namespace zenith {
@@ -87,7 +88,7 @@ void Experiment::start() {
 }
 
 void Experiment::attach_observability(obs::Observability* o) {
-  if (o != nullptr) o->set_clock([this] { return sim_.now(); });
+  if (o != nullptr) o->set_clock(obs::sim_clock(&sim_));
   controller().set_observability(o);
   fabric_->set_observability(o);
 }

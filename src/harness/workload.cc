@@ -8,10 +8,14 @@
 namespace zenith {
 
 Workload::Workload(Experiment* experiment, std::uint64_t seed)
-    : experiment_(experiment), rng_(seed) {}
+    : Workload(&experiment->topology(), &experiment->op_ids(), seed) {}
+
+Workload::Workload(const Topology* topo, OpIdAllocator* ids,
+                   std::uint64_t seed)
+    : topo_(topo), ids_(ids), rng_(seed) {}
 
 Dag Workload::initial_dag(std::size_t count) {
-  const Topology& topo = experiment_->topology();
+  const Topology& topo = *topo_;
   std::vector<std::pair<SwitchId, SwitchId>> pairs;
   std::size_t n = topo.switch_count();
   assert(n >= 2);
@@ -28,7 +32,7 @@ Dag Workload::initial_dag(std::size_t count) {
 
 Dag Workload::initial_dag_for_pairs(
     const std::vector<std::pair<SwitchId, SwitchId>>& pairs) {
-  const Topology& topo = experiment_->topology();
+  const Topology& topo = *topo_;
   std::vector<Path> paths;
   std::vector<FlowId> flow_ids;
   for (auto [src, dst] : pairs) {
@@ -66,7 +70,7 @@ Dag Workload::build_replacement(
   int priority = highest_priority(all_ops) + 1;
 
   Dag dag(next_dag_id());
-  OpIdAllocator& ids = experiment_->op_ids();
+  OpIdAllocator& ids = *ids_;
   for (std::size_t i = 0; i < new_paths.size(); ++i) {
     CompiledPath compiled =
         compile_single_path(new_paths[i], flow_ids[i], priority, ids);
@@ -108,7 +112,7 @@ std::optional<Dag> Workload::reroute_dag() {
   // Route around one random interior hop.
   SwitchId excluded =
       state.path[1 + rng_.next_below(state.path.size() - 2)];
-  auto new_path = shortest_path(experiment_->topology(), state.demand.src,
+  auto new_path = shortest_path(*topo_, state.demand.src,
                                 state.demand.dst, {excluded});
   if (!new_path || *new_path == state.path) return std::nullopt;
   return build_replacement({flow}, {*new_path});
@@ -116,7 +120,7 @@ std::optional<Dag> Workload::reroute_dag() {
 
 std::optional<Dag> Workload::next_update_dag(std::size_t max_hops) {
   if (flows_.empty()) return std::nullopt;
-  const Topology& topo = experiment_->topology();
+  const Topology& topo = *topo_;
   std::size_t n = topo.switch_count();
   // Pick the flow to replace (deterministic order for a given draw).
   std::vector<FlowId> ordered;
@@ -161,7 +165,7 @@ std::optional<Dag> Workload::repair_dag(
     if (avoid.count(state.demand.src) || avoid.count(state.demand.dst)) {
       continue;  // endpoint dead: nothing an app can do
     }
-    auto new_path = shortest_path(experiment_->topology(), state.demand.src,
+    auto new_path = shortest_path(*topo_, state.demand.src,
                                   state.demand.dst, avoid);
     if (!new_path) continue;
     affected.push_back(flow);
@@ -179,6 +183,22 @@ std::vector<Demand> Workload::demands() const {
   std::sort(ordered.begin(), ordered.end());
   for (FlowId flow : ordered) out.push_back(flows_.at(flow).demand);
   return out;
+}
+
+std::vector<Path> Workload::paths() const {
+  std::vector<FlowId> ordered = flow_ids();
+  std::vector<Path> out;
+  out.reserve(ordered.size());
+  for (FlowId flow : ordered) out.push_back(flows_.at(flow).path);
+  return out;
+}
+
+std::vector<FlowId> Workload::flow_ids() const {
+  std::vector<FlowId> ordered;
+  ordered.reserve(flows_.size());
+  for (const auto& [flow, _] : flows_) ordered.push_back(flow);
+  std::sort(ordered.begin(), ordered.end());
+  return ordered;
 }
 
 std::vector<Op> Workload::all_flow_ops() const {

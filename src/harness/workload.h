@@ -21,6 +21,13 @@ class Workload {
  public:
   Workload(Experiment* experiment, std::uint64_t seed);
 
+  /// Experiment-free form: everything the generator actually needs is the
+  /// topology, an OP-id allocator and a seed. This is what the wire daemons
+  /// use — there is no Experiment wrapping a socket-backed controller, but
+  /// the DAG/OP sequence must match the sim-backend run bit for bit.
+  /// Both `topo` and `ids` must outlive the workload.
+  Workload(const Topology* topo, OpIdAllocator* ids, std::uint64_t seed);
+
   /// Creates `count` flows between random distinct endpoint pairs and
   /// returns the DAG installing all their shortest paths.
   Dag initial_dag(std::size_t count);
@@ -52,6 +59,11 @@ class Workload {
   /// Intent-level ops currently associated with each flow.
   std::vector<Op> all_flow_ops() const;
 
+  /// Current paths / flow ids in ascending FlowId order (the drain app's
+  /// request payload).
+  std::vector<Path> paths() const;
+  std::vector<FlowId> flow_ids() const;
+
   std::size_t flow_count() const { return flows_.size(); }
 
   DagId next_dag_id() { return DagId(next_dag_id_++); }
@@ -67,7 +79,8 @@ class Workload {
                         const std::vector<Path>& new_paths,
                         const std::unordered_set<SwitchId>& skip_deletes_on = {});
 
-  Experiment* experiment_;
+  const Topology* topo_;
+  OpIdAllocator* ids_;
   Rng rng_;
   std::unordered_map<FlowId, FlowState> flows_;
   std::uint32_t next_flow_id_ = 1;

@@ -1,0 +1,324 @@
+#include "net/codec.h"
+
+#include "net/wire.h"
+
+namespace zenith::net {
+
+namespace {
+
+constexpr std::size_t kRuleSize = 20;
+constexpr std::size_t kOpSize = 13 + kRuleSize;       // 33
+constexpr std::size_t kDumpEntrySize = 4 + kRuleSize;  // 24
+
+void encode_rule(std::vector<std::uint8_t>& out, const FlowRule& rule) {
+  // The rule block is five dense 32-bit words — exactly the shape the
+  // SRT-style bulk converter exists for.
+  std::uint32_t words[5] = {rule.flow.value(), rule.sw.value(),
+                            rule.dst.value(), rule.next_hop.value(),
+                            static_cast<std::uint32_t>(rule.priority)};
+  HtoNLA(words, words, 5);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(words);
+  out.insert(out.end(), bytes, bytes + sizeof(words));
+}
+
+FlowRule decode_rule(Reader& r) {
+  std::uint32_t words[5] = {};
+  r.words(words, 5);
+  FlowRule rule;
+  rule.flow = FlowId(words[0]);
+  rule.sw = SwitchId(words[1]);
+  rule.dst = SwitchId(words[2]);
+  rule.next_hop = SwitchId(words[3]);
+  rule.priority = static_cast<std::int32_t>(words[4]);
+  return rule;
+}
+
+void encode_op(std::vector<std::uint8_t>& out, const Op& op) {
+  put_u32(out, op.id.value());
+  put_u8(out, static_cast<std::uint8_t>(op.type));
+  put_u32(out, op.sw.value());
+  put_u32(out, op.delete_target.value());
+  encode_rule(out, op.rule);
+}
+
+Result<Op> decode_op(Reader& r) {
+  Op op;
+  op.id = OpId(r.u32());
+  std::uint8_t type = r.u8();
+  op.sw = SwitchId(r.u32());
+  op.delete_target = OpId(r.u32());
+  op.rule = decode_rule(r);
+  if (!r.ok()) return Error::invalid_argument("truncated op");
+  if (type > static_cast<std::uint8_t>(OpType::kDumpTable)) {
+    return Error::invalid_argument("bad op type " + std::to_string(type));
+  }
+  op.type = static_cast<OpType>(type);
+  return op;
+}
+
+Result<std::vector<Op>> decode_op_array(Reader& r) {
+  std::uint32_t count = r.u32();
+  if (!r.fits(count, kOpSize)) {
+    return Error::invalid_argument("op count " + std::to_string(count) +
+                                   " exceeds payload");
+  }
+  std::vector<Op> ops;
+  ops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Result<Op> op = decode_op(r);
+    if (!op.ok()) return op.error();
+    ops.push_back(std::move(op).value());
+  }
+  return ops;
+}
+
+/// Reserves header space in `out` and returns the offset where the payload
+/// begins; finish_frame backpatches the length.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type,
+                        std::uint32_t sw) {
+  put_u32(out, kWireMagic);
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // flags
+  put_u32(out, 0);  // length, backpatched
+  put_u32(out, sw);
+  return out.size();
+}
+
+void finish_frame(std::vector<std::uint8_t>& out, std::size_t payload_begin) {
+  std::uint32_t length =
+      static_cast<std::uint32_t>(out.size() - payload_begin);
+  std::size_t at = payload_begin - 8;  // length field offset in the header
+  out[at] = static_cast<std::uint8_t>(length >> 24);
+  out[at + 1] = static_cast<std::uint8_t>(length >> 16);
+  out[at + 2] = static_cast<std::uint8_t>(length >> 8);
+  out[at + 3] = static_cast<std::uint8_t>(length);
+}
+
+}  // namespace
+
+void encode_request_frame(std::vector<std::uint8_t>& out, SwitchId sw,
+                          const SwitchRequest& request) {
+  std::size_t begin = begin_frame(out, FrameType::kSwitchRequest, sw.value());
+  put_u8(out, static_cast<std::uint8_t>(request.type));
+  put_i32(out, request.role);
+  put_u64(out, request.xid);
+  encode_op(out, request.op);
+  put_u32(out, static_cast<std::uint32_t>(request.batch.size()));
+  for (const Op& op : request.batch) encode_op(out, op);
+  finish_frame(out, begin);
+}
+
+void encode_reply_frame(std::vector<std::uint8_t>& out,
+                        const SwitchReply& reply) {
+  std::size_t begin = begin_frame(out, FrameType::kSwitchReply,
+                                  reply.sw.value());
+  put_u8(out, static_cast<std::uint8_t>(reply.type));
+  put_i32(out, reply.role);
+  put_u64(out, reply.xid);
+  put_u32(out, reply.sw.value());
+  encode_op(out, reply.op);
+  put_u32(out, static_cast<std::uint32_t>(reply.batch.size()));
+  for (const Op& op : reply.batch) encode_op(out, op);
+  put_u32(out, static_cast<std::uint32_t>(reply.table.size()));
+  for (const DumpedEntry& entry : reply.table) {
+    put_u32(out, entry.installed_by.value());
+    encode_rule(out, entry.rule);
+  }
+  finish_frame(out, begin);
+}
+
+void encode_health_frame(std::vector<std::uint8_t>& out,
+                         const SwitchHealthEvent& event) {
+  std::size_t begin = begin_frame(out, FrameType::kHealthEvent,
+                                  event.sw.value());
+  put_u8(out, static_cast<std::uint8_t>(event.type));
+  put_u8(out, event.state_lost ? 1 : 0);
+  finish_frame(out, begin);
+}
+
+void encode_link_frame(std::vector<std::uint8_t>& out,
+                       const LinkHealthEvent& event) {
+  std::size_t begin = begin_frame(out, FrameType::kLinkEvent, 0xFFFFFFFFu);
+  put_u32(out, event.link.value());
+  put_u8(out, event.up ? 1 : 0);
+  finish_frame(out, begin);
+}
+
+void encode_hello_frame(std::vector<std::uint8_t>& out, const Hello& hello) {
+  std::size_t begin = begin_frame(out, FrameType::kHello, 0xFFFFFFFFu);
+  put_u8(out, static_cast<std::uint8_t>(hello.role));
+  put_u16(out, hello.proto);
+  put_u32(out, hello.switch_count);
+  put_u64(out, hello.seed);
+  finish_frame(out, begin);
+}
+
+void encode_bye_frame(std::vector<std::uint8_t>& out) {
+  std::size_t begin = begin_frame(out, FrameType::kBye, 0xFFFFFFFFu);
+  finish_frame(out, begin);
+}
+
+Result<FrameHeader> decode_frame_header(const std::uint8_t* data,
+                                        std::size_t size) {
+  if (size < kFrameHeaderSize) {
+    return Error::invalid_argument("short frame header");
+  }
+  FrameHeader header;
+  header.magic = get_u32(data);
+  if (header.magic != kWireMagic) {
+    return Error::invalid_argument("bad magic");
+  }
+  header.version = data[4];
+  if (header.version != kWireVersion) {
+    return Error::invalid_argument("unsupported wire version " +
+                                   std::to_string(header.version));
+  }
+  std::uint8_t type = data[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kBye)) {
+    return Error::invalid_argument("bad frame type " + std::to_string(type));
+  }
+  header.type = static_cast<FrameType>(type);
+  header.flags = get_u16(data + 6);
+  header.length = get_u32(data + 8);
+  if (header.length > kMaxPayload) {
+    return Error::invalid_argument("oversized frame: " +
+                                   std::to_string(header.length));
+  }
+  header.sw = get_u32(data + 12);
+  return header;
+}
+
+Result<WireMessage> decode_frame(const FrameHeader& header,
+                                 const std::uint8_t* payload,
+                                 std::size_t size) {
+  if (size != header.length) {
+    return Error::invalid_argument("payload size mismatch");
+  }
+  WireMessage msg;
+  msg.type = header.type;
+  msg.sw = SwitchId(header.sw);
+  Reader r(payload, size);
+  switch (header.type) {
+    case FrameType::kHello: {
+      std::uint8_t role = r.u8();
+      msg.hello.proto = r.u16();
+      msg.hello.switch_count = r.u32();
+      msg.hello.seed = r.u64();
+      if (!r.ok() || role > 1) {
+        return Error::invalid_argument("malformed hello");
+      }
+      msg.hello.role = static_cast<Hello::Role>(role);
+      break;
+    }
+    case FrameType::kSwitchRequest: {
+      std::uint8_t type = r.u8();
+      if (type > static_cast<std::uint8_t>(SwitchRequest::Type::kBatch)) {
+        return Error::invalid_argument("bad request type");
+      }
+      msg.request.type = static_cast<SwitchRequest::Type>(type);
+      msg.request.role = r.i32();
+      msg.request.xid = r.u64();
+      Result<Op> op = decode_op(r);
+      if (!op.ok()) return op.error();
+      msg.request.op = std::move(op).value();
+      Result<std::vector<Op>> batch = decode_op_array(r);
+      if (!batch.ok()) return batch.error();
+      msg.request.batch = std::move(batch).value();
+      break;
+    }
+    case FrameType::kSwitchReply: {
+      std::uint8_t type = r.u8();
+      if (type > static_cast<std::uint8_t>(SwitchReply::Type::kBatchAck)) {
+        return Error::invalid_argument("bad reply type");
+      }
+      msg.reply.type = static_cast<SwitchReply::Type>(type);
+      msg.reply.role = r.i32();
+      msg.reply.xid = r.u64();
+      msg.reply.sw = SwitchId(r.u32());
+      Result<Op> op = decode_op(r);
+      if (!op.ok()) return op.error();
+      msg.reply.op = std::move(op).value();
+      Result<std::vector<Op>> batch = decode_op_array(r);
+      if (!batch.ok()) return batch.error();
+      msg.reply.batch = std::move(batch).value();
+      std::uint32_t entries = r.u32();
+      if (!r.fits(entries, kDumpEntrySize)) {
+        return Error::invalid_argument("dump count exceeds payload");
+      }
+      msg.reply.table.reserve(entries);
+      for (std::uint32_t i = 0; i < entries; ++i) {
+        DumpedEntry entry;
+        entry.installed_by = OpId(r.u32());
+        entry.rule = decode_rule(r);
+        msg.reply.table.push_back(entry);
+      }
+      if (!r.ok()) return Error::invalid_argument("truncated dump table");
+      break;
+    }
+    case FrameType::kHealthEvent: {
+      std::uint8_t type = r.u8();
+      std::uint8_t lost = r.u8();
+      if (!r.ok() || type > 1 || lost > 1) {
+        return Error::invalid_argument("malformed health event");
+      }
+      msg.health.type = static_cast<SwitchHealthEvent::Type>(type);
+      msg.health.sw = msg.sw;
+      msg.health.state_lost = lost != 0;
+      break;
+    }
+    case FrameType::kLinkEvent: {
+      msg.link.link = LinkId(r.u32());
+      std::uint8_t up = r.u8();
+      if (!r.ok() || up > 1) {
+        return Error::invalid_argument("malformed link event");
+      }
+      msg.link.up = up != 0;
+      break;
+    }
+    case FrameType::kBye:
+      break;
+  }
+  if (!r.ok()) return Error::invalid_argument("truncated payload");
+  if (r.remaining() != 0) {
+    return Error::invalid_argument("trailing bytes in payload");
+  }
+  return msg;
+}
+
+Status FrameAssembler::feed(const std::uint8_t* data, std::size_t size,
+                            std::vector<WireMessage>* out) {
+  if (poisoned_) {
+    return Error::failed_precondition("assembler poisoned by earlier error");
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+  while (buffer_.size() - consumed_ >= kFrameHeaderSize) {
+    const std::uint8_t* at = buffer_.data() + consumed_;
+    Result<FrameHeader> header =
+        decode_frame_header(at, buffer_.size() - consumed_);
+    if (!header.ok()) {
+      poisoned_ = true;
+      return header.error();
+    }
+    std::size_t total = kFrameHeaderSize + header.value().length;
+    if (buffer_.size() - consumed_ < total) break;  // wait for the rest
+    Result<WireMessage> msg = decode_frame(
+        header.value(), at + kFrameHeaderSize, header.value().length);
+    if (!msg.ok()) {
+      poisoned_ = true;
+      return msg.error();
+    }
+    out->push_back(std::move(msg).value());
+    consumed_ += total;
+  }
+  // Compact once the parsed prefix dominates the buffer; amortized O(1).
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return Status::success();
+}
+
+}  // namespace zenith::net

@@ -1,0 +1,134 @@
+// Binary wire codec for the OpenFlow-like controller<->switch message set.
+//
+// Frame layout (all multi-byte fields network endian):
+//
+//     0               4       5       6               8
+//     +---------------+-------+-------+---------------+
+//     | magic "ZNTH"  | ver   | type  | flags (0)     |
+//     +---------------+-------+-------+---------------+
+//     | length (payload bytes)        | switch id     |
+//     +-------------------------------+---------------+
+//     16                              12
+//
+// 16-byte fixed header, then `length` payload bytes. `switch id` names the
+// target (requests) or source (replies/health) switch; 0xFFFFFFFF when not
+// applicable (hello/bye). Payload encodings are fixed-layout POD — no
+// varints — with every array length-prefixed by a u32 count:
+//
+//   FlowRule      flow,sw,dst,next_hop,priority          5 x u32   (20 B)
+//   Op            id u32 | type u8 | sw u32 | del u32 | rule       (33 B)
+//   SwitchRequest type u8 | role u32 | xid u64 | op | count + ops
+//   SwitchReply   type u8 | role u32 | xid u64 | sw u32 | op
+//                 | count + ops | count + dump entries (24 B each)
+//   HealthEvent   type u8 | state_lost u8
+//   LinkEvent     link u32 | up u8
+//   Hello         role u8 | proto u16 | switch_count u32 | seed u64
+//   Bye           (empty)
+//
+// Decoding is total: truncated, oversized, corrupt-magic or bad-count input
+// yields an Error, never UB, a crash, or an unbounded allocation (counts are
+// validated against the remaining payload before any reserve).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataplane/messages.h"
+
+namespace zenith::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x5A4E5448;  // "ZNTH"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 16;
+/// Upper bound on one frame's payload. Generous: the largest legitimate
+/// frame is a multi-thousand-entry table dump, far below this.
+inline constexpr std::uint32_t kMaxPayload = 4u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kSwitchRequest = 2,
+  kSwitchReply = 3,
+  kHealthEvent = 4,
+  kLinkEvent = 5,
+  kBye = 6,
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kWireMagic;
+  std::uint8_t version = kWireVersion;
+  FrameType type = FrameType::kHello;
+  std::uint16_t flags = 0;
+  std::uint32_t length = 0;
+  std::uint32_t sw = 0xFFFFFFFFu;
+};
+
+/// Connection-establishment handshake: who is speaking, the protocol
+/// version it implements, how many switches sit behind it, and the RNG seed
+/// of its deployment (so a controller can cross-check the scenario).
+struct Hello {
+  enum class Role : std::uint8_t { kController = 0, kSwitchd = 1 };
+  Role role = Role::kController;
+  std::uint16_t proto = kWireVersion;
+  std::uint32_t switch_count = 0;
+  std::uint64_t seed = 0;
+};
+
+/// One decoded frame: `type` selects which member is meaningful.
+struct WireMessage {
+  FrameType type = FrameType::kBye;
+  SwitchId sw;  // header switch id (invalid for hello/bye)
+  Hello hello;
+  SwitchRequest request;
+  SwitchReply reply;
+  SwitchHealthEvent health;
+  LinkHealthEvent link;
+};
+
+// ---- frame encoders (append one complete frame to `out`) --------------------
+
+void encode_request_frame(std::vector<std::uint8_t>& out, SwitchId sw,
+                          const SwitchRequest& request);
+void encode_reply_frame(std::vector<std::uint8_t>& out,
+                        const SwitchReply& reply);
+void encode_health_frame(std::vector<std::uint8_t>& out,
+                         const SwitchHealthEvent& event);
+void encode_link_frame(std::vector<std::uint8_t>& out,
+                       const LinkHealthEvent& event);
+void encode_hello_frame(std::vector<std::uint8_t>& out, const Hello& hello);
+void encode_bye_frame(std::vector<std::uint8_t>& out);
+
+// ---- decoding ---------------------------------------------------------------
+
+/// Parses and validates a frame header from exactly kFrameHeaderSize bytes.
+Result<FrameHeader> decode_frame_header(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// Decodes one frame's payload (header already validated).
+Result<WireMessage> decode_frame(const FrameHeader& header,
+                                 const std::uint8_t* payload,
+                                 std::size_t size);
+
+/// Incremental reassembly of a framed byte stream: feed() whatever the
+/// socket produced — any split, down to single bytes — and complete frames
+/// come out in order. A malformed header poisons the assembler (the stream
+/// has lost sync; the connection must be torn down).
+class FrameAssembler {
+ public:
+  /// Appends raw bytes and decodes every now-complete frame into `out`
+  /// (appended). Returns an error on a malformed header or payload; the
+  /// assembler then rejects all further input.
+  Status feed(const std::uint8_t* data, std::size_t size,
+              std::vector<WireMessage>* out);
+
+  bool poisoned() const { return poisoned_; }
+  /// Bytes buffered awaiting the rest of a frame.
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix already parsed (compacted lazily)
+  bool poisoned_ = false;
+};
+
+}  // namespace zenith::net

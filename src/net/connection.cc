@@ -1,0 +1,147 @@
+#include "net/connection.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "net/socket.h"
+
+namespace zenith::net {
+
+Connection::Connection(EventLoop* loop, int fd, Callbacks callbacks)
+    : loop_(loop), fd_(fd), callbacks_(std::move(callbacks)) {
+  loop_->add(fd_, EPOLLIN,
+             [this](std::uint32_t events) { handle_events(events); });
+}
+
+Connection::~Connection() {
+  if (open_) {
+    loop_->remove(fd_);
+    close_fd(fd_);
+    open_ = false;
+  }
+}
+
+void Connection::send_frame(const std::vector<std::uint8_t>& frame) {
+  if (!open_) return;
+  send_ring_.push(frame.data(), frame.size());
+  ++stats_.frames_sent;
+  flush();
+  if (!stalled_ && send_ring_.size() >= high_watermark_) {
+    stalled_ = true;
+    ++stats_.stall_events;
+  }
+}
+
+void Connection::flush() {
+  while (open_ && !send_ring_.empty()) {
+    const std::uint8_t* span = send_ring_.read_ptr();
+    std::size_t len = send_ring_.read_span();
+    ssize_t n = ::write(fd_, span, len);
+    if (n > 0) {
+      stats_.bytes_sent += static_cast<std::uint64_t>(n);
+      send_ring_.pop(static_cast<std::size_t>(n));
+      // A short write means the socket buffer is full: resume from the new
+      // head on the next EPOLLOUT rather than spinning here.
+      if (static_cast<std::size_t>(n) < len) {
+        ++stats_.short_writes;
+        break;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ++stats_.short_writes;
+      break;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close("write failed: " + std::string(std::strerror(errno)));
+    return;
+  }
+  if (stalled_ && send_ring_.size() <= low_watermark_) {
+    stalled_ = false;
+    if (callbacks_.on_drained) callbacks_.on_drained();
+  }
+  update_interest();
+}
+
+void Connection::read_ready() {
+  std::uint8_t buf[64 * 1024];
+  std::vector<WireMessage> messages;
+  for (;;) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_received += static_cast<std::uint64_t>(n);
+      Status st = assembler_.feed(buf, static_cast<std::size_t>(n), &messages);
+      if (!st.ok()) {
+        close("protocol error: " + st.error().message);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Deliver whatever decoded before EOF, then report the close.
+      if (!messages.empty() && callbacks_.on_messages) {
+        stats_.frames_received += messages.size();
+        callbacks_.on_messages(messages);
+      }
+      close("peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close("read failed: " + std::string(std::strerror(errno)));
+    return;
+  }
+  if (!messages.empty() && callbacks_.on_messages) {
+    stats_.frames_received += messages.size();
+    callbacks_.on_messages(messages);
+  }
+}
+
+void Connection::handle_events(std::uint32_t events) {
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    // Drain any final bytes the peer managed to send before the hangup.
+    if (events & EPOLLIN) read_ready();
+    if (open_) close("connection reset");
+    return;
+  }
+  if (events & EPOLLOUT) flush();
+  if (open_ && (events & EPOLLIN)) read_ready();
+}
+
+void Connection::update_interest() {
+  if (!open_) return;
+  bool want = !send_ring_.empty();
+  if (want == want_write_) return;
+  want_write_ = want;
+  loop_->modify(fd_, EPOLLIN | (want ? EPOLLOUT : 0u));
+}
+
+bool Connection::flush_blocking(int timeout_ms) {
+  int waited = 0;
+  while (open_ && !send_ring_.empty() && waited <= timeout_ms) {
+    flush();
+    if (send_ring_.empty()) break;
+    pollfd pfd{fd_, POLLOUT, 0};
+    ::poll(&pfd, 1, 10);
+    waited += 10;
+  }
+  return open_ && send_ring_.empty();
+}
+
+void Connection::close(const std::string& reason) {
+  if (!open_ || in_close_) return;
+  in_close_ = true;
+  open_ = false;
+  loop_->remove(fd_);
+  close_fd(fd_);
+  fd_ = -1;
+  if (callbacks_.on_closed) callbacks_.on_closed(reason);
+  in_close_ = false;
+}
+
+}  // namespace zenith::net

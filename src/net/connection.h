@@ -1,0 +1,97 @@
+// One framed stream connection on the event loop.
+//
+// Sender side: frames append to a ByteRing; each flush writes the longest
+// contiguous span and resumes from exactly where a short write stopped
+// (EPOLLOUT interest is armed only while bytes are pending, so an idle
+// connection costs no wakeups). Receiver side: raw reads feed a
+// FrameAssembler which re-slices the stream into whole frames regardless of
+// how the kernel split them.
+//
+// Backpressure is watermark-based, like SRT's sndbuf flow control: crossing
+// `high_watermark` pending bytes latches the connection "stalled" and
+// writable() goes false — the SocketTransport propagates that to the
+// Sequencer/Worker pipeline, which simply stops producing (state lives in
+// the NIB, so stalling is free). When a flush drains below `low_watermark`
+// the drain callback fires once and the pipeline is kicked awake.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/event_loop.h"
+#include "net/ring_buffer.h"
+
+namespace zenith::net {
+
+struct ConnectionStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t short_writes = 0;   // flushes that could not drain the ring
+  std::uint64_t stall_events = 0;   // high-watermark crossings
+};
+
+class Connection {
+ public:
+  struct Callbacks {
+    /// Complete decoded frames, in stream order.
+    std::function<void(std::vector<WireMessage>&)> on_messages;
+    /// Fired once per stall when pending bytes drop below the low watermark.
+    std::function<void()> on_drained;
+    /// Peer closed or the stream broke (decode error, I/O error).
+    std::function<void(const std::string& reason)> on_closed;
+  };
+
+  /// Takes ownership of `fd` (nonblocking, already connected/accepted) and
+  /// registers it on `loop`.
+  Connection(EventLoop* loop, int fd, Callbacks callbacks);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Appends one already-encoded frame and opportunistically flushes.
+  void send_frame(const std::vector<std::uint8_t>& frame);
+
+  /// False while stalled above the high watermark.
+  bool writable() const { return open_ && !stalled_; }
+  bool open() const { return open_; }
+  int fd() const { return fd_; }
+  std::size_t pending_send_bytes() const { return send_ring_.size(); }
+  const ConnectionStats& stats() const { return stats_; }
+
+  /// Blocks (poll) until the send ring drains or `timeout_ms` passes — the
+  /// clean-shutdown path so a final Bye frame reaches the peer. Returns
+  /// true when fully drained.
+  bool flush_blocking(int timeout_ms);
+
+  void set_watermarks(std::size_t high, std::size_t low) {
+    high_watermark_ = high;
+    low_watermark_ = low;
+  }
+
+ private:
+  void handle_events(std::uint32_t events);
+  void flush();  // write as much of the ring as the socket accepts
+  void read_ready();
+  void update_interest();
+  void close(const std::string& reason);
+
+  EventLoop* loop_;
+  int fd_;
+  Callbacks callbacks_;
+  ByteRing send_ring_;
+  FrameAssembler assembler_;
+  ConnectionStats stats_;
+  std::size_t high_watermark_ = 256 * 1024;
+  std::size_t low_watermark_ = 64 * 1024;
+  bool stalled_ = false;
+  bool want_write_ = false;  // current EPOLLOUT interest
+  bool open_ = true;
+  bool in_close_ = false;
+};
+
+}  // namespace zenith::net

@@ -1,0 +1,79 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <cstring>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+namespace zenith::net {
+
+namespace {
+Error sys_error(const char* what) {
+  return Error::unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop() { epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC); }
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::add(int fd, std::uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  int op = entries_.count(fd) != 0 ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (::epoll_ctl(epoll_fd_, op, fd, &ev) < 0) {
+    return sys_error("epoll_ctl(add)");
+  }
+  entries_[fd] = Entry{std::move(cb), false};
+  return Status::success();
+}
+
+Status EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return sys_error("epoll_ctl(mod)");
+  }
+  return Status::success();
+}
+
+void EventLoop::remove(int fd) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (dispatching_) {
+    it->second.dead = true;  // a ready-list entry may still reference it
+    reap_.push_back(fd);
+  } else {
+    entries_.erase(it);
+  }
+}
+
+Result<int> EventLoop::poll(int timeout_ms) {
+  epoll_event ready[64];
+  int n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    return sys_error("epoll_wait");
+  }
+  dispatching_ = true;
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    auto it = entries_.find(ready[i].data.fd);
+    if (it == entries_.end() || it->second.dead) continue;
+    // Copy: the callback may remove this fd (or rehash the map via add).
+    FdCallback cb = it->second.cb;
+    cb(ready[i].events);
+    ++dispatched;
+  }
+  dispatching_ = false;
+  for (int fd : reap_) entries_.erase(fd);
+  reap_.clear();
+  return dispatched;
+}
+
+}  // namespace zenith::net

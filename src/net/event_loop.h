@@ -1,0 +1,58 @@
+// A minimal single-threaded epoll reactor.
+//
+// The daemons interleave this loop with their deterministic simulator pumps:
+// poll(timeout) dispatches ready fd callbacks, then the caller advances the
+// sim a slice and comes back. Edge cases the loop owns: interest-mask
+// updates (connections toggle EPOLLOUT as their send rings fill/drain) and
+// safe removal from inside a callback (deferred until dispatch finishes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace zenith::net {
+
+class EventLoop {
+ public:
+  /// Callback receives the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using FdCallback = std::function<void(std::uint32_t)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` for `events` (level-triggered). Replaces any previous
+  /// registration for the same fd.
+  Status add(int fd, std::uint32_t events, FdCallback cb);
+
+  /// Updates the interest mask of an already-registered fd.
+  Status modify(int fd, std::uint32_t events);
+
+  /// Deregisters `fd`. Safe from inside its own (or another fd's) callback;
+  /// the slot is tombstoned and reaped after dispatch.
+  void remove(int fd);
+
+  /// Waits up to `timeout_ms` (0 = nonblocking probe) and dispatches ready
+  /// callbacks. Returns the number of fds dispatched.
+  Result<int> poll(int timeout_ms);
+
+ private:
+  struct Entry {
+    FdCallback cb;
+    bool dead = false;
+  };
+
+  int epoll_fd_ = -1;
+  std::unordered_map<int, Entry> entries_;
+  bool dispatching_ = false;
+  std::vector<int> reap_;
+};
+
+}  // namespace zenith::net

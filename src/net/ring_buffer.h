@@ -1,0 +1,87 @@
+// Per-connection byte ring for the socket transport's sender and receiver
+// sides (the SRT sndbuf/rcvbuf shape, reduced to what a reliable stream
+// needs: contiguous-span access for syscalls, O(1) head/tail movement).
+//
+// The ring grows (power-of-two doubling, linearizing on reallocation) rather
+// than rejecting writes: frame loss is never acceptable on this channel, so
+// the flow-control decision lives one level up — Connection compares size()
+// against its watermarks and stalls the *producers* (Transport::writable)
+// while the ring drains. Steady state is therefore bounded by the high
+// watermark plus one frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace zenith::net {
+
+class ByteRing {
+ public:
+  explicit ByteRing(std::size_t initial_capacity = 64 * 1024) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    storage_.resize(cap);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return storage_.size(); }
+
+  /// Appends `n` bytes, growing if needed.
+  void push(const std::uint8_t* data, std::size_t n) {
+    reserve(size_ + n);
+    std::size_t tail = (head_ + size_) & mask();
+    std::size_t first = std::min(n, storage_.size() - tail);
+    std::memcpy(storage_.data() + tail, data, first);
+    if (n > first) std::memcpy(storage_.data(), data + first, n - first);
+    size_ += n;
+  }
+
+  /// Longest contiguous readable span at the head (for write(2)); a second
+  /// call after pop() reaches the wrapped remainder.
+  const std::uint8_t* read_ptr() const { return storage_.data() + head_; }
+  std::size_t read_span() const {
+    return std::min(size_, storage_.size() - head_);
+  }
+
+  /// Drops `n` bytes from the head (n <= size()).
+  void pop(std::size_t n) {
+    head_ = (head_ + n) & mask();
+    size_ -= n;
+    if (size_ == 0) head_ = 0;
+  }
+
+  /// Copies the whole content out in order (tests / drain-on-close).
+  std::vector<std::uint8_t> snapshot() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(size_);
+    std::size_t first = read_span();
+    out.insert(out.end(), read_ptr(), read_ptr() + first);
+    out.insert(out.end(), storage_.data(), storage_.data() + (size_ - first));
+    return out;
+  }
+
+ private:
+  std::size_t mask() const { return storage_.size() - 1; }
+
+  void reserve(std::size_t needed) {
+    if (needed <= storage_.size()) return;
+    std::size_t cap = storage_.size();
+    while (cap < needed) cap <<= 1;
+    std::vector<std::uint8_t> bigger(cap);
+    std::vector<std::uint8_t> current = snapshot();
+    if (!current.empty()) {
+      std::memcpy(bigger.data(), current.data(), current.size());
+    }
+    storage_.swap(bigger);
+    head_ = 0;
+  }
+
+  std::vector<std::uint8_t> storage_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace zenith::net

@@ -1,0 +1,42 @@
+// The deterministic simulator-bus backend of the Transport seam.
+//
+// A pure forwarding shim over the Fabric: send() is Fabric::send and the
+// inbound streams are the Fabric's own queues (not copies), so wake
+// callbacks, delivery order, and RNG consumption are exactly what a
+// controller wired to the Fabric directly would see. This backend must stay
+// byte-identical forever — the golden-fingerprint corpus and every
+// verification artifact run over it.
+#pragma once
+
+#include "dataplane/fabric.h"
+#include "net/transport.h"
+
+namespace zenith::net {
+
+class SimBusTransport final : public Transport {
+ public:
+  explicit SimBusTransport(Fabric* fabric) : fabric_(fabric) {}
+
+  void send(SwitchId sw, SwitchRequest request) override {
+    fabric_->send(sw, std::move(request));
+  }
+  NadirFifo<SwitchReply>& replies() override { return fabric_->replies(); }
+  NadirFifo<SwitchHealthEvent>& health_events() override {
+    return fabric_->health_events();
+  }
+  NadirFifo<LinkHealthEvent>& link_events() override {
+    return fabric_->link_events();
+  }
+  std::size_t switch_count() const override { return fabric_->switch_count(); }
+  bool switch_alive(SwitchId sw) const override { return fabric_->alive(sw); }
+  void drop_all_in_flight_replies() override {
+    fabric_->drop_all_in_flight_replies();
+  }
+
+  Fabric* fabric() { return fabric_; }
+
+ private:
+  Fabric* fabric_;
+};
+
+}  // namespace zenith::net

@@ -1,0 +1,209 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace zenith::net {
+
+namespace {
+
+Error sys_error(const char* what) {
+  return Error::unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
+Result<int> new_socket(Endpoint::Kind kind) {
+  int domain = kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) return sys_error("socket");
+  if (auto st = set_nonblocking(fd); !st.ok()) {
+    close_fd(fd);
+    return st.error();
+  }
+  if (kind == Endpoint::Kind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+Result<sockaddr_un> uds_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Error::invalid_argument("uds path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Result<Endpoint> parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    char* end = nullptr;
+    long port = std::strtol(spec.c_str() + 4, &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      return Error::invalid_argument("bad tcp endpoint: " + spec);
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  if (spec.rfind("uds:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUds;
+    ep.path = spec.substr(4);
+    if (ep.path.empty()) {
+      return Error::invalid_argument("empty uds path: " + spec);
+    }
+    return ep;
+  }
+  return Error::invalid_argument("endpoint must be tcp:PORT or uds:/path: " + spec);
+}
+
+Status set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return sys_error("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return sys_error("fcntl(F_SETFL)");
+  }
+  int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags >= 0) ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+  return Status::success();
+}
+
+Result<int> listen_on(const Endpoint& ep, std::uint16_t* bound_port) {
+  auto fd_or = new_socket(ep.kind);
+  if (!fd_or.ok()) return fd_or;
+  int fd = fd_or.value();
+
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = tcp_addr(ep.port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      Error err = sys_error("bind(tcp)");
+      close_fd(fd);
+      return err;
+    }
+    if (bound_port != nullptr) {
+      sockaddr_in actual{};
+      socklen_t len = sizeof(actual);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+        *bound_port = ntohs(actual.sin_port);
+      }
+    }
+  } else {
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    auto addr_or = uds_addr(ep.path);
+    if (!addr_or.ok()) {
+      close_fd(fd);
+      return addr_or.error();
+    }
+    sockaddr_un addr = addr_or.value();
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      Error err = sys_error("bind(uds)");
+      close_fd(fd);
+      return err;
+    }
+  }
+
+  if (::listen(fd, 16) < 0) {
+    Error err = sys_error("listen");
+    close_fd(fd);
+    return err;
+  }
+  return fd;
+}
+
+Result<int> connect_to(const Endpoint& ep) {
+  auto fd_or = new_socket(ep.kind);
+  if (!fd_or.ok()) return fd_or;
+  int fd = fd_or.value();
+
+  int rc;
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    sockaddr_in addr = tcp_addr(ep.port);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    auto addr_or = uds_addr(ep.path);
+    if (!addr_or.ok()) {
+      close_fd(fd);
+      return addr_or.error();
+    }
+    sockaddr_un addr = addr_or.value();
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc < 0 && errno != EINPROGRESS) {
+    Error err = sys_error("connect");
+    close_fd(fd);
+    return err;
+  }
+  return fd;
+}
+
+Result<int> connect_with_retry(const Endpoint& ep, int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto fd_or = connect_to(ep);
+    if (fd_or.ok()) {
+      int fd = fd_or.value();
+      // Wait for the nonblocking connect to resolve, then check SO_ERROR.
+      pollfd pfd{fd, POLLOUT, 0};
+      int prc = ::poll(&pfd, 1, 50);
+      if (prc > 0) {
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr == 0) return fd;
+      }
+      close_fd(fd);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Error::unavailable("connect timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Result<int> accept_on(int listen_fd) {
+  int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return sys_error("accept");
+  }
+  if (auto st = set_nonblocking(fd); !st.ok()) {
+    close_fd(fd);
+    return st.error();
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace zenith::net

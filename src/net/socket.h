@@ -1,0 +1,49 @@
+// Thin POSIX socket helpers shared by the event loop, the transports and the
+// daemons: nonblocking TCP-loopback / Unix-domain listeners and connectors.
+// Everything returns Result so callers surface errno context instead of
+// asserting; nothing here blocks except `connect_with_retry`, which is the
+// daemon-startup rendezvous (switchd may launch before controllerd binds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace zenith::net {
+
+/// Endpoint spec, parsed from the daemons' --listen/--connect flags:
+///   "tcp:PORT"       loopback TCP on 127.0.0.1:PORT
+///   "uds:/path.sock" Unix domain stream socket
+struct Endpoint {
+  enum class Kind { kTcp, kUds };
+  Kind kind = Kind::kTcp;
+  std::uint16_t port = 0;  // tcp
+  std::string path;        // uds
+};
+
+Result<Endpoint> parse_endpoint(const std::string& spec);
+
+/// Sets O_NONBLOCK (and FD_CLOEXEC) on an fd.
+Status set_nonblocking(int fd);
+
+/// Binds + listens, nonblocking. For TCP, port 0 picks an ephemeral port;
+/// `bound_port` (if non-null) receives the actual one. For UDS, any stale
+/// socket file at the path is unlinked first.
+Result<int> listen_on(const Endpoint& ep, std::uint16_t* bound_port = nullptr);
+
+/// One nonblocking connect attempt. May return an fd whose connect is still
+/// in progress (EINPROGRESS); poll for writability before use.
+Result<int> connect_to(const Endpoint& ep);
+
+/// Blocking rendezvous: retries connect_to until it succeeds and the
+/// connection completes, or `timeout_ms` elapses.
+Result<int> connect_with_retry(const Endpoint& ep, int timeout_ms);
+
+/// accept(2) with nonblocking + cloexec applied to the result.
+/// Returns -1 (not an error) when no connection is pending.
+Result<int> accept_on(int listen_fd);
+
+void close_fd(int fd);
+
+}  // namespace zenith::net

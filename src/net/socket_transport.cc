@@ -1,0 +1,101 @@
+#include "net/socket_transport.h"
+
+#include <chrono>
+
+namespace zenith::net {
+
+SocketTransport::SocketTransport(EventLoop* loop, int fd) : loop_(loop) {
+  Connection::Callbacks callbacks;
+  callbacks.on_messages = [this](std::vector<WireMessage>& messages) {
+    on_messages(messages);
+  };
+  callbacks.on_drained = [this] {
+    if (resume_) resume_();
+  };
+  callbacks.on_closed = [this](const std::string& reason) {
+    close_reason_ = reason;
+  };
+  connection_ = std::make_unique<Connection>(loop_, fd, std::move(callbacks));
+}
+
+Status SocketTransport::handshake(std::uint64_t seed, int timeout_ms) {
+  Hello hello;
+  hello.role = Hello::Role::kController;
+  hello.seed = seed;
+  scratch_.clear();
+  encode_hello_frame(scratch_, hello);
+  connection_->send_frame(scratch_);
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (!got_hello_) {
+    if (!connection_->open()) {
+      return Error::unavailable("peer closed during handshake: " +
+                                close_reason_);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Error::unavailable("handshake timed out");
+    }
+    auto polled = loop_->poll(20);
+    if (!polled.ok()) return polled.error();
+  }
+  if (switch_count_ == 0) {
+    return Error::failed_precondition("peer reports zero switches");
+  }
+  alive_.assign(switch_count_, true);
+  return Status::success();
+}
+
+void SocketTransport::send(SwitchId sw, SwitchRequest request) {
+  scratch_.clear();
+  encode_request_frame(scratch_, sw, request);
+  connection_->send_frame(scratch_);
+}
+
+bool SocketTransport::switch_alive(SwitchId sw) const {
+  if (sw.value() >= alive_.size()) return false;
+  return alive_[sw.value()];
+}
+
+void SocketTransport::send_bye_and_flush(int timeout_ms) {
+  if (connection_ == nullptr || !connection_->open()) return;
+  scratch_.clear();
+  encode_bye_frame(scratch_);
+  connection_->send_frame(scratch_);
+  connection_->flush_blocking(timeout_ms);
+}
+
+void SocketTransport::on_messages(std::vector<WireMessage>& messages) {
+  for (WireMessage& m : messages) {
+    switch (m.type) {
+      case FrameType::kHello:
+        got_hello_ = true;
+        switch_count_ = m.hello.switch_count;
+        peer_seed_ = m.hello.seed;
+        break;
+      case FrameType::kSwitchReply:
+        replies_.push(std::move(m.reply));
+        break;
+      case FrameType::kHealthEvent: {
+        if (m.health.sw.value() < alive_.size()) {
+          alive_[m.health.sw.value()] =
+              m.health.type == SwitchHealthEvent::Type::kRecovery;
+        }
+        health_.push(std::move(m.health));
+        break;
+      }
+      case FrameType::kLinkEvent:
+        link_.push(std::move(m.link));
+        break;
+      case FrameType::kBye:
+        peer_bye_ = true;
+        break;
+      case FrameType::kSwitchRequest:
+        // Requests flow controller->switchd only; a request arriving here
+        // means the peer is confused. Ignore rather than tear down.
+        break;
+    }
+  }
+}
+
+}  // namespace zenith::net

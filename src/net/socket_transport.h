@@ -1,0 +1,86 @@
+// The real-wire backend of the Transport seam (controller side).
+//
+// Requests encode through the binary codec and leave over one framed
+// TCP-loopback or Unix-domain connection to zenith_switchd; inbound frames
+// (replies, switch health, link health) decode into the same NadirFifos the
+// Monitoring Server consumes on the sim bus, so the whole controller
+// pipeline above this class is backend-oblivious. Wake callbacks attached to
+// those fifos fire from the epoll dispatch, scheduling controller service
+// steps in the host simulator exactly as Fabric deliveries do.
+//
+// Lifecycle: the daemon performs the Hello handshake (handshake()) before
+// constructing the controller, because switch_count() feeds NIB
+// registration. writable() reflects the connection's sender-ring watermark;
+// the resume callback re-kicks the Worker Pool / Sequencer after a stall
+// drains.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/socket.h"
+#include "net/transport.h"
+
+namespace zenith::net {
+
+class SocketTransport final : public Transport {
+ public:
+  /// Wraps an established fd (ownership transfers). `loop` must outlive
+  /// this object.
+  SocketTransport(EventLoop* loop, int fd);
+
+  /// Sends our Hello and polls the loop until the peer's Hello arrives (or
+  /// `timeout_ms` passes). On success switch_count()/peer_seed() are valid.
+  Status handshake(std::uint64_t seed, int timeout_ms);
+
+  // Transport interface --------------------------------------------------
+  void send(SwitchId sw, SwitchRequest request) override;
+  NadirFifo<SwitchReply>& replies() override { return replies_; }
+  NadirFifo<SwitchHealthEvent>& health_events() override { return health_; }
+  NadirFifo<LinkHealthEvent>& link_events() override { return link_; }
+  std::size_t switch_count() const override { return switch_count_; }
+  bool switch_alive(SwitchId sw) const override;
+  void drop_all_in_flight_replies() override { replies_.clear(); }
+  bool writable() const override {
+    return connection_ != nullptr && connection_->writable();
+  }
+  void set_resume_callback(std::function<void()> resume) override {
+    resume_ = std::move(resume);
+  }
+
+  // Wire-side accessors ---------------------------------------------------
+  bool peer_connected() const {
+    return connection_ != nullptr && connection_->open();
+  }
+  /// True once the peer sent Bye (its workload finished cleanly).
+  bool peer_said_bye() const { return peer_bye_; }
+  std::uint64_t peer_seed() const { return peer_seed_; }
+  const ConnectionStats& stats() const { return connection_->stats(); }
+  /// Sends Bye and drains the sender ring (clean shutdown).
+  void send_bye_and_flush(int timeout_ms);
+  const std::string& close_reason() const { return close_reason_; }
+
+ private:
+  void on_messages(std::vector<WireMessage>& messages);
+
+  EventLoop* loop_;
+  std::unique_ptr<Connection> connection_;
+  NadirFifo<SwitchReply> replies_;
+  NadirFifo<SwitchHealthEvent> health_;
+  NadirFifo<LinkHealthEvent> link_;
+  std::function<void()> resume_;
+  std::size_t switch_count_ = 0;
+  std::uint64_t peer_seed_ = 0;
+  bool got_hello_ = false;
+  bool peer_bye_ = false;
+  std::string close_reason_;
+  /// Liveness mirror, rebuilt from the health stream (index = switch id).
+  std::vector<bool> alive_;
+  std::vector<std::uint8_t> scratch_;  // reused frame-encode buffer
+};
+
+}  // namespace zenith::net

@@ -1,0 +1,71 @@
+// zenith_switchd's core: the data-plane half of the wire pair.
+//
+// Hosts a deterministic Simulator + Fabric (the same AbstractSwitch models
+// the in-process experiments use) behind one framed socket. Inbound request
+// frames decode and enter the fabric's delayed channels; the local simulator
+// then runs to idle — the fabric has no self-rescheduling components, so
+// "idle" means every channel delay and switch service time for the injected
+// work has elapsed — and whatever landed in the reply/health/link queues
+// encodes back out. From the controller's viewpoint the process boundary is
+// invisible: same message set, same per-switch ordering (TCP preserves what
+// DelayedChannel enforces), different clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataplane/fabric.h"
+#include "net/connection.h"
+#include "net/socket.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace zenith::net {
+
+class SwitchBridge {
+ public:
+  SwitchBridge(Topology topo, std::uint64_t seed, FabricConfig config = {});
+
+  /// Adopts an accepted connection fd and sends our Hello.
+  void attach(EventLoop* loop, int fd);
+
+  /// Injects decoded work into the fabric, advances the local simulator
+  /// until it goes idle, and ships out everything that surfaced. Returns
+  /// the number of frames sent.
+  std::size_t pump();
+
+  Fabric& fabric() { return *fabric_; }
+  Simulator& sim() { return sim_; }
+  bool peer_connected() const {
+    return connection_ != nullptr && connection_->open();
+  }
+  bool peer_said_bye() const { return peer_bye_; }
+  const std::string& close_reason() const { return close_reason_; }
+  const ConnectionStats* stats() const {
+    return connection_ != nullptr ? &connection_->stats() : nullptr;
+  }
+  std::uint64_t requests_received() const { return requests_received_; }
+
+  /// Answers the controller's Bye with our own and drains the socket.
+  void send_bye_and_flush(int timeout_ms);
+
+ private:
+  void on_messages(std::vector<WireMessage>& messages);
+  void ship_outbound();
+
+  std::uint64_t seed_;
+  Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<Connection> connection_;
+  bool peer_bye_ = false;
+  std::string close_reason_;
+  std::uint64_t requests_received_ = 0;
+  std::size_t frames_out_this_pump_ = 0;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace zenith::net

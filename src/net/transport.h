@@ -1,0 +1,72 @@
+// The controller's southbound transport seam.
+//
+// Every message between ZENITH-core and the data plane crosses this
+// interface: requests go out through send(), and the three inbound streams
+// (ACK/reply, switch health, link health) surface as NadirFifos the
+// Monitoring Server consumes. Two backends implement it:
+//
+//  * SimBusTransport (sim_transport.h) — the deterministic in-process
+//    simulator bus. It forwards to the Fabric and exposes the Fabric's own
+//    queues, so a controller on this backend is byte-identical to one wired
+//    to the Fabric directly (the golden-fingerprint corpus is asserted over
+//    it).
+//  * SocketTransport (socket_transport.h) — the real wire: frames encoded by
+//    the binary codec (codec.h) over a nonblocking TCP/UDS connection,
+//    driven by an epoll event loop. This is the honest wall-clock-throughput
+//    path behind zenith_controllerd.
+//
+// Backpressure: writable() reports whether the outbound path accepts more
+// traffic. The sim bus is infinitely deep (writable() is constantly true, so
+// the check compiles to a dead branch there); the socket backend flips it at
+// the sender ring's high watermark, which stalls the Worker Pool and the
+// Sequencer until the drain callback fires — the paper's pipeline absorbs
+// the stall safely because OPQueueNIB is persistent and level-triggered.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/ids.h"
+#include "dataplane/messages.h"
+#include "sim/fifo.h"
+
+namespace zenith::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends a request toward a switch. Ownership of the request transfers;
+  /// delivery is asynchronous (simulated channel delay or socket latency).
+  virtual void send(SwitchId sw, SwitchRequest request) = 0;
+
+  /// Merged reply stream (install/delete/clear ACKs, dumps, role ACKs).
+  virtual NadirFifo<SwitchReply>& replies() = 0;
+  /// Switch health stream (keepalive loss/resume after detection delay).
+  virtual NadirFifo<SwitchHealthEvent>& health_events() = 0;
+  /// Port/link health stream.
+  virtual NadirFifo<LinkHealthEvent>& link_events() = 0;
+
+  /// Number of switches reachable through this transport (NIB registration).
+  virtual std::size_t switch_count() const = 0;
+
+  /// Best-known data-plane liveness of `sw` (the Monitoring Server's
+  /// keepalive re-sync after an OFC restart). Socket backends answer from
+  /// the last health event observed.
+  virtual bool switch_alive(SwitchId sw) const = 0;
+
+  /// Drops every reply queued or in flight toward the controller: an abrupt
+  /// controller-instance switchover loses its sockets' receive buffers.
+  virtual void drop_all_in_flight_replies() = 0;
+
+  /// False while the outbound path is above its backpressure watermark.
+  /// Senders (Worker Pool, Sequencer dispatch) must hold off and will be
+  /// resumed through the callback below.
+  virtual bool writable() const { return true; }
+
+  /// Invoked (at most once per stall) when a non-writable transport drains
+  /// below its low watermark. Backends that never stall ignore it.
+  virtual void set_resume_callback(std::function<void()> /*resume*/) {}
+};
+
+}  // namespace zenith::net

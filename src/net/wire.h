@@ -1,0 +1,165 @@
+// Endian-safe byte-level primitives for the binary wire protocol.
+//
+// Every multi-byte field on the wire is network (big) endian. Scalar
+// accessors compose values byte-wise with shifts, which is portable on any
+// host endianness without ifdefs; the SRT-style array helpers (HtoNLA /
+// NtoHLA, see docs/dev/utilities.md in Haivision/srt) convert dense
+// 32-bit-word regions in bulk — the codec uses them for the u32-packed
+// FlowRule block, and anything batching raw word arrays (fingerprint
+// exchange, future loss lists) should too.
+//
+// Naming follows SRT: H = hardware endian, N = network endian, L = "long"
+// (32-bit), A = array; argument order follows memcpy (dst, src, n).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace zenith::net {
+
+// ---- scalar append (network order) ------------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Signed values travel as their two's-complement bit pattern.
+inline void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+// ---- scalar read (network order) --------------------------------------------
+
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) |
+                                    std::uint16_t{p[1]});
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return (std::uint64_t{get_u32(p)} << 32) | std::uint64_t{get_u32(p + 4)};
+}
+
+inline std::int32_t get_i32(const std::uint8_t* p) {
+  return static_cast<std::int32_t>(get_u32(p));
+}
+
+// ---- SRT-style 32-bit array conversion --------------------------------------
+
+inline std::uint32_t host_to_net_u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  b[0] = static_cast<std::uint8_t>(v >> 24);
+  b[1] = static_cast<std::uint8_t>(v >> 16);
+  b[2] = static_cast<std::uint8_t>(v >> 8);
+  b[3] = static_cast<std::uint8_t>(v);
+  std::uint32_t out;
+  __builtin_memcpy(&out, b, 4);
+  return out;
+}
+
+inline std::uint32_t net_to_host_u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  __builtin_memcpy(b, &v, 4);
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+/// Hardware-endian -> network-endian, `n` 32-bit words. dst may alias src.
+inline void HtoNLA(std::uint32_t* dst, const std::uint32_t* src,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = host_to_net_u32(src[i]);
+}
+
+/// Network-endian -> hardware-endian, `n` 32-bit words. dst may alias src.
+inline void NtoHLA(std::uint32_t* dst, const std::uint32_t* src,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = net_to_host_u32(src[i]);
+}
+
+/// Bounded cursor over a received payload: every read checks the remaining
+/// length and latches a failure flag instead of running past the end, so
+/// decoders can read optimistically and check ok() once per structure. A
+/// failed reader returns zeros, never touches out-of-range memory.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : p_(data), remaining_(size) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return remaining_; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return *(p_ - 1);
+  }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return get_u16(p_ - 2);
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    return get_u32(p_ - 4);
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    return get_u64(p_ - 8);
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  /// Reads `n` network-order 32-bit words into dst via NtoHLA.
+  bool words(std::uint32_t* dst, std::size_t n) {
+    if (!take(4 * n)) return false;
+    std::uint32_t tmp;
+    for (std::size_t i = 0; i < n; ++i) {
+      __builtin_memcpy(&tmp, p_ - 4 * n + 4 * i, 4);
+      NtoHLA(&dst[i], &tmp, 1);
+    }
+    return true;
+  }
+
+  /// True when a length-prefixed array of `count` elements of `elem_size`
+  /// bytes can still fit in the remaining payload — the oversized-count
+  /// guard that keeps a corrupt frame from driving a giant allocation.
+  bool fits(std::uint64_t count, std::size_t elem_size) const {
+    return ok_ && count <= remaining_ / elem_size;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || remaining_ < n) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+    remaining_ -= n;
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t remaining_;
+  bool ok_ = true;
+};
+
+}  // namespace zenith::net

@@ -1,0 +1,219 @@
+// zenith_controllerd: the ZENITH controller as a standalone daemon.
+//
+// Connects to zenith_switchd over loopback TCP or a Unix socket, handshakes,
+// then runs the full verified pipeline (DAG scheduler -> Sequencer -> Worker
+// Pool -> Monitoring Server, watchdog included) against the remote data
+// plane through the SocketTransport. The component service model still runs
+// on a deterministic Simulator that the main loop pumps in slices between
+// epoll polls; observability, by contrast, timestamps from a monotonic wall
+// clock because there is no global logical time across two processes.
+//
+// Exit codes: 0 success (scenario converged; with --self-check also
+// fingerprint-equal to the sim backend), 0 on clean SIGTERM, 1 on failure.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/controller.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/socket_transport.h"
+#include "netd/wire_scenario.h"
+#include "obs/clock.h"
+#include "obs/obs.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect <tcp:PORT|uds:/path> [--seed N]\n"
+               "          [--switches N] [--flows N] [--target-ops N]\n"
+               "          [--churn N] [--drains N] [--slice-us N] "
+               "[--self-check] "
+               "[--json]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zenith;
+
+  std::string connect_spec;
+  netd::WireScenarioConfig scenario;
+  long slice_us = 1000;
+  bool self_check = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      connect_spec = next();
+    } else if (arg == "--seed") {
+      scenario.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--switches") {
+      scenario.switches = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--flows") {
+      scenario.flows = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--target-ops") {
+      scenario.target_ops = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--churn") {
+      scenario.churn_updates = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--drains") {
+      scenario.drain_rounds = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--slice-us") {
+      slice_us = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (connect_spec.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  auto endpoint = net::parse_endpoint(connect_spec);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "controllerd: %s\n",
+                 endpoint.error().message.c_str());
+    return 1;
+  }
+
+  net::EventLoop loop;
+  auto fd = net::connect_with_retry(endpoint.value(), /*timeout_ms=*/10000);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "controllerd: %s\n", fd.error().message.c_str());
+    return 1;
+  }
+
+  net::SocketTransport transport(&loop, fd.value());
+  if (auto st = transport.handshake(scenario.seed, /*timeout_ms=*/10000);
+      !st.ok()) {
+    std::fprintf(stderr, "controllerd: handshake: %s\n",
+                 st.error().message.c_str());
+    return 1;
+  }
+  const Topology topo = netd::wire_topology(scenario);
+  if (transport.switch_count() != topo.switch_count()) {
+    std::fprintf(stderr,
+                 "controllerd: topology mismatch: peer has %zu switches, "
+                 "scenario expects %zu (check --seed/--switches agree)\n",
+                 transport.switch_count(), topo.switch_count());
+    return 1;
+  }
+
+  // Wall-clock observability: spans and metrics carry monotonic microsecond
+  // timestamps instead of simulated time.
+  obs::Observability observability;
+  observability.set_clock(obs::wall_clock());
+
+  Simulator sim;
+  ZenithController controller(&sim, &transport);
+  controller.set_observability(&observability);
+  controller.start();
+
+  const SimTime started_wall = observability.now();
+  auto pump = [&] {
+    auto polled = loop.poll(1);
+    (void)polled;
+    sim.run_until(sim.now() + micros(slice_us));
+  };
+  auto aborted = [&] {
+    return g_stop != 0 || !transport.peer_connected();
+  };
+
+  netd::WireScenarioReport report =
+      netd::run_wire_scenario(scenario, controller, pump, aborted);
+  const SimTime elapsed_wall = observability.now() - started_wall;
+  observability.event("wire", "scenario_done");
+
+  bool fingerprint_match = true;
+  std::uint64_t sim_fingerprint = 0;
+  if (self_check && report.converged) {
+    netd::WireScenarioReport reference = netd::run_wire_scenario_sim(scenario);
+    sim_fingerprint = reference.fingerprint;
+    fingerprint_match = reference.converged &&
+                        reference.fingerprint == report.fingerprint;
+  }
+
+  transport.send_bye_and_flush(/*timeout_ms=*/2000);
+  // Give the peer a beat to answer with its own Bye (not required for
+  // success — the kernel delivers our flushed Bye regardless).
+  for (int i = 0; i < 50 && !transport.peer_said_bye(); ++i) {
+    auto polled = loop.poll(10);
+    if (!polled.ok() || !transport.peer_connected()) break;
+  }
+
+  const net::ConnectionStats& stats = transport.stats();
+  double seconds_elapsed =
+      static_cast<double>(elapsed_wall > 0 ? elapsed_wall : 1) / 1e6;
+  double ops_per_sec = static_cast<double>(report.ops) / seconds_elapsed;
+
+  if (json) {
+    std::printf(
+        "{\"converged\": %s, \"dags\": %llu, \"ops\": %llu, "
+        "\"drains\": %llu, \"fingerprint\": \"%016llx\", "
+        "\"self_check\": %s, \"fingerprint_match\": %s, "
+        "\"sim_fingerprint\": \"%016llx\", \"wall_us\": %lld, "
+        "\"ops_per_sec\": %.0f, \"frames_sent\": %llu, "
+        "\"frames_received\": %llu, \"bytes_sent\": %llu, "
+        "\"bytes_received\": %llu, \"stalls\": %llu, \"error\": \"%s\"}\n",
+        report.converged ? "true" : "false",
+        static_cast<unsigned long long>(report.dags),
+        static_cast<unsigned long long>(report.ops),
+        static_cast<unsigned long long>(report.drains),
+        static_cast<unsigned long long>(report.fingerprint),
+        self_check ? "true" : "false", fingerprint_match ? "true" : "false",
+        static_cast<unsigned long long>(sim_fingerprint),
+        static_cast<long long>(elapsed_wall), ops_per_sec,
+        static_cast<unsigned long long>(stats.frames_sent),
+        static_cast<unsigned long long>(stats.frames_received),
+        static_cast<unsigned long long>(stats.bytes_sent),
+        static_cast<unsigned long long>(stats.bytes_received),
+        static_cast<unsigned long long>(stats.stall_events),
+        report.error.c_str());
+  } else {
+    std::string error_suffix =
+        report.error.empty() ? "" : " error=" + report.error;
+    std::printf(
+        "controllerd: converged=%d dags=%llu ops=%llu drains=%llu "
+        "fingerprint=%016llx wall=%.2fs (%.0f ops/s) frames=%llu/%llu%s%s\n",
+        report.converged ? 1 : 0,
+        static_cast<unsigned long long>(report.dags),
+        static_cast<unsigned long long>(report.ops),
+        static_cast<unsigned long long>(report.drains),
+        static_cast<unsigned long long>(report.fingerprint), seconds_elapsed,
+        ops_per_sec, static_cast<unsigned long long>(stats.frames_sent),
+        static_cast<unsigned long long>(stats.frames_received),
+        self_check ? (fingerprint_match ? " self-check=match"
+                                        : " self-check=MISMATCH")
+                   : "",
+        error_suffix.c_str());
+  }
+
+  if (g_stop != 0 && !report.converged) return 0;  // clean SIGTERM shutdown
+  if (!report.converged) return 1;
+  if (self_check && !fingerprint_match) return 1;
+  return 0;
+}

@@ -1,0 +1,152 @@
+// zenith_switchd: the data plane as a standalone daemon.
+//
+// Listens on loopback TCP or a Unix socket, serves one controller session
+// through a SwitchBridge (local deterministic Simulator + Fabric behind the
+// binary wire codec), and exits 0 after the controller says Bye — or on
+// SIGTERM with --linger. The topology derives from --seed/--switches using
+// the same rule as the controller; the Hello exchange lets the peer verify
+// both processes agree.
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/switch_bridge.h"
+#include "netd/wire_scenario.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen <tcp:PORT|uds:/path> [--seed N]\n"
+               "          [--switches N] [--linger]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zenith;
+
+  std::string listen_spec;
+  netd::WireScenarioConfig scenario;
+  bool linger = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      listen_spec = next();
+    } else if (arg == "--seed") {
+      scenario.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--switches") {
+      scenario.switches = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--linger") {
+      linger = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (listen_spec.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  auto endpoint = net::parse_endpoint(listen_spec);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "switchd: %s\n", endpoint.error().message.c_str());
+    return 1;
+  }
+
+  net::EventLoop loop;
+  std::uint16_t bound_port = 0;
+  auto listen_fd = net::listen_on(endpoint.value(), &bound_port);
+  if (!listen_fd.ok()) {
+    std::fprintf(stderr, "switchd: %s\n", listen_fd.error().message.c_str());
+    return 1;
+  }
+  if (endpoint.value().kind == net::Endpoint::Kind::kTcp) {
+    std::printf("switchd: listening on tcp:%u\n", bound_port);
+  } else {
+    std::printf("switchd: listening on uds:%s\n",
+                endpoint.value().path.c_str());
+  }
+  std::fflush(stdout);
+
+  bool served_any = false;
+  while (g_stop == 0) {
+    net::SwitchBridge bridge(netd::wire_topology(scenario), scenario.seed);
+
+    // Wait for a controller.
+    int conn_fd = -1;
+    while (g_stop == 0 && conn_fd < 0) {
+      auto accepted = net::accept_on(listen_fd.value());
+      if (!accepted.ok()) {
+        std::fprintf(stderr, "switchd: %s\n",
+                     accepted.error().message.c_str());
+        return 1;
+      }
+      conn_fd = accepted.value();
+      if (conn_fd < 0) {
+        // Nothing pending: sleep in epoll on the listen socket.
+        loop.add(listen_fd.value(), EPOLLIN, [](std::uint32_t) {});
+        auto polled = loop.poll(100);
+        loop.remove(listen_fd.value());
+        if (!polled.ok()) return 1;
+      }
+    }
+    if (conn_fd < 0) break;  // SIGTERM while waiting
+
+    bridge.attach(&loop, conn_fd);
+    served_any = true;
+
+    // Serve: epoll for inbound frames, run the local fabric simulator to
+    // idle, ship out whatever surfaced. Repeat until Bye or disconnect.
+    while (g_stop == 0 && bridge.peer_connected() && !bridge.peer_said_bye()) {
+      auto polled = loop.poll(10);
+      if (!polled.ok()) break;
+      bridge.pump();
+    }
+    // Late deliveries (channel delays still in the local sim) after Bye.
+    bridge.pump();
+    bridge.send_bye_and_flush(/*timeout_ms=*/2000);
+
+    const net::ConnectionStats* stats = bridge.stats();
+    std::printf(
+        "switchd: session done requests=%llu frames=%llu/%llu reason=%s\n",
+        static_cast<unsigned long long>(bridge.requests_received()),
+        static_cast<unsigned long long>(stats ? stats->frames_sent : 0),
+        static_cast<unsigned long long>(stats ? stats->frames_received : 0),
+        bridge.peer_said_bye() ? "bye" : bridge.close_reason().c_str());
+    std::fflush(stdout);
+
+    if (!linger) break;
+  }
+
+  if (endpoint.value().kind == net::Endpoint::Kind::kUds) {
+    ::unlink(endpoint.value().path.c_str());
+  }
+  // SIGTERM is a clean shutdown; never having served a session only counts
+  // as success when we were asked to linger or stopped before a connect.
+  (void)served_any;
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "netd/wire_scenario.h"
+
+#include <utility>
+
+#include "apps/drain_app.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "topo/generators.h"
+
+namespace zenith::netd {
+
+namespace {
+
+/// One pump-wait bound: generous enough for any DAG in the scenario (sim
+/// mode advances ~1ms of simulated time per pump; socket mode sleeps ~1ms
+/// of wall time per pump), tight enough that a wedged run fails instead of
+/// hanging CI.
+constexpr std::size_t kMaxWaitPumps = 600000;
+
+}  // namespace
+
+Topology wire_topology(const WireScenarioConfig& config) {
+  if (config.switches == 0) return gen::b4();
+  return gen::random_connected(config.switches, config.switches / 2,
+                               config.seed);
+}
+
+WireScenarioReport run_wire_scenario(const WireScenarioConfig& config,
+                                     ZenithController& controller,
+                                     const std::function<void()>& pump,
+                                     const std::function<bool()>& aborted) {
+  Topology topo = wire_topology(config);
+  Workload workload(&topo, &controller.op_ids(), config.seed);
+  WireScenarioReport report;
+
+  auto wait_done = [&](DagId id) {
+    for (std::size_t i = 0; i < kMaxWaitPumps; ++i) {
+      if (controller.nib().dag_is_done(id)) return true;
+      if (aborted && aborted()) {
+        report.error = "aborted while waiting for dag " +
+                       std::to_string(id.value());
+        return false;
+      }
+      pump();
+    }
+    report.error = "dag " + std::to_string(id.value()) +
+                   " never certified done";
+    return false;
+  };
+
+  auto submit = [&](Dag dag) {
+    DagId id = dag.id();
+    report.ops += dag.op_ids().size();
+    ++report.dags;
+    controller.submit_dag(std::move(dag));
+    return wait_done(id);
+  };
+
+  // Phase 1: the base path set.
+  if (!submit(workload.initial_dag(config.flows))) return report;
+
+  // Phase 2: single-flow update churn — many small frames. Every update is
+  // a quiescent full round trip, so OP/frame counts are exact in both modes.
+  for (std::size_t i = 0; i < config.churn_updates; ++i) {
+    auto dag = workload.next_update_dag();
+    if (!dag.has_value()) break;
+    if (!submit(std::move(*dag))) return report;
+  }
+
+  // Phase 3: hitless drain/undrain rounds (§4 app) over rotating targets.
+  // Each accepted drain is a full path-set reinstall (big DAG, big frames).
+  // The app state (paths/flows/ops) threads through each accepted result
+  // exactly as DrainApp::try_step does. A refused drain (endpoint node,
+  // disconnection) refuses identically in both backends — the inputs are
+  // bit-equal — so the DAG sequence stays aligned.
+  std::vector<Path> paths = workload.paths();
+  std::vector<FlowId> flows = workload.flow_ids();
+  std::vector<Op> ops = workload.all_flow_ops();
+  std::uint32_t next_drain_dag = 1000000;
+  for (std::size_t round = 0; round < config.drain_rounds; ++round) {
+    auto node = SwitchId(static_cast<std::uint32_t>(
+        (config.seed + round) % topo.switch_count()));
+    apps::DrainRequest drain{topo, paths, flows, ops, node,
+                             /*undrain=*/false};
+    auto result = apps::compute_drain_dag(drain, DagId(next_drain_dag),
+                                          controller.op_ids());
+    if (!result.ok()) continue;
+    ++next_drain_dag;
+    paths = result.value().new_paths;
+    flows = result.value().flows;
+    ops = result.value().new_ops;
+    if (!submit(std::move(result.value().dag))) return report;
+    ++report.drains;
+
+    apps::DrainRequest undrain{topo, paths, flows, ops, node,
+                               /*undrain=*/true};
+    auto back = apps::compute_drain_dag(undrain, DagId(next_drain_dag),
+                                        controller.op_ids());
+    if (!back.ok()) continue;
+    ++next_drain_dag;
+    paths = back.value().new_paths;
+    flows = back.value().flows;
+    ops = back.value().new_ops;
+    if (!submit(std::move(back.value().dag))) return report;
+    ++report.drains;
+  }
+
+  // Phase 4: volume. Fresh flow waves (new FlowIds, install-only DAGs of
+  // ~flows x hops OPs) until the scenario-wide OP floor is met — the
+  // 100k-OP soak spends nearly all its budget here, in big frames, instead
+  // of burning a wire round trip per handful of OPs.
+  while (report.ops < config.target_ops) {
+    if (!submit(workload.initial_dag(config.flows))) return report;
+  }
+
+  report.converged = true;
+  report.fingerprint = controller.nib().state_fingerprint();
+  return report;
+}
+
+WireScenarioReport run_wire_scenario_sim(const WireScenarioConfig& config) {
+  ExperimentConfig exp_config;
+  exp_config.seed = config.seed;
+  exp_config.kind = ControllerKind::kZenithNR;
+  Experiment experiment(wire_topology(config), exp_config);
+  experiment.start();
+  return run_wire_scenario(
+      config, experiment.controller(),
+      [&experiment] { experiment.run_for(millis(1)); }, nullptr);
+}
+
+}  // namespace zenith::netd

@@ -1,0 +1,70 @@
+// The deterministic workload both wire-daemon backends execute.
+//
+// zenith_controllerd runs this scenario over a SocketTransport against a
+// remote zenith_switchd; the conformance check runs the identical scenario
+// on the in-process sim bus. It is failure-free by construction, and every
+// DAG is submitted at a quiescence point (the previous DAG certified done),
+// so the final NIB state — and therefore Nib::state_fingerprint() — is
+// independent of message timing. Equal fingerprints across backends is the
+// PR's acceptance gate: the wire stack moved ~10^5 OPs through a real
+// kernel socket and the controller ended in exactly the state the verified
+// sim-backend pipeline reaches.
+//
+// Phases:
+//   1. initial DAG installing `flows` shortest-path flows;
+//   2. churn: next_update_dag() repeated until >= `target_ops` OPs total;
+//   3. drain/undrain: `drain_rounds` hitless drains (compute_drain_dag,
+//      the §4 app) of a rotating node, each followed by its undrain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/controller.h"
+#include "topo/topology.h"
+
+namespace zenith::netd {
+
+struct WireScenarioConfig {
+  std::uint64_t seed = 42;
+  /// 0 = the paper's B4 WAN; otherwise random_connected(switches, ...).
+  std::size_t switches = 0;
+  std::size_t flows = 24;
+  /// Small single-flow update DAGs in the churn phase (tiny frames).
+  std::size_t churn_updates = 50;
+  /// Minimum total OPs across the whole scenario: drain/undrain rounds —
+  /// each a full path-set reinstall, so ~2 x flows x hops OPs per DAG —
+  /// repeat past `drain_rounds` until the floor is met. This is how the
+  /// 100k-OP soak is expressed without 10^4 tiny round trips.
+  std::size_t target_ops = 2000;
+  std::size_t drain_rounds = 2;
+};
+
+struct WireScenarioReport {
+  bool converged = false;      // every DAG certified done
+  std::uint64_t dags = 0;      // DAGs submitted
+  std::uint64_t ops = 0;       // OPs across those DAGs
+  std::uint64_t drains = 0;    // accepted drain/undrain DAGs
+  std::uint64_t fingerprint = 0;  // Nib::state_fingerprint() at the end
+  std::string error;           // non-empty on abort
+};
+
+/// The scenario's topology for a given config (both processes must agree).
+Topology wire_topology(const WireScenarioConfig& config);
+
+/// Drives `controller` through the scenario. `pump` advances the world one
+/// slice (sim time and, in socket mode, the epoll loop); it is called
+/// repeatedly while waiting for DAG certification. `aborted` (may be null)
+/// lets the caller stop early — SIGTERM, peer loss — in which case the
+/// report carries converged=false and an error.
+WireScenarioReport run_wire_scenario(const WireScenarioConfig& config,
+                                     ZenithController& controller,
+                                     const std::function<void()>& pump,
+                                     const std::function<bool()>& aborted);
+
+/// Runs the identical scenario on an in-process sim-bus deployment and
+/// returns its report (the reference fingerprint).
+WireScenarioReport run_wire_scenario_sim(const WireScenarioConfig& config);
+
+}  // namespace zenith::netd

@@ -1,0 +1,21 @@
+#include "obs/clock.h"
+
+#include <chrono>
+#include <memory>
+
+namespace zenith::obs {
+
+ClockFn wall_clock() {
+  using Clock = std::chrono::steady_clock;
+  // Shared (not static-global) epoch: each wall_clock() call starts a fresh
+  // timeline, and copies of the returned function agree with each other.
+  auto epoch = std::make_shared<Clock::time_point>(Clock::now());
+  return [epoch] {
+    auto elapsed = Clock::now() - *epoch;
+    return static_cast<SimTime>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  };
+}
+
+}  // namespace zenith::obs

@@ -1,0 +1,30 @@
+// Observability clock sources.
+//
+// Everything in obs timestamps through one std::function<SimTime()> (spans,
+// metrics snapshots, the flight recorder). Under the deterministic backends
+// that function reads the simulator; under the socket transport there is no
+// single logical clock — the daemons run in real time — so spans and
+// metrics switch to a monotonic wall clock instead. Both report in the same
+// unit (SimTime microseconds), so every consumer downstream of
+// Observability::now() works unchanged.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.h"
+#include "sim/simulator.h"
+
+namespace zenith::obs {
+
+using ClockFn = std::function<SimTime()>;
+
+/// The deterministic source: reads `sim->now()`. What Experiment wires up.
+inline ClockFn sim_clock(Simulator* sim) {
+  return [sim] { return sim->now(); };
+}
+
+/// The socket-mode source: monotonic wall time in microseconds, zeroed at
+/// the first call so timestamps stay small and runs are comparable.
+ClockFn wall_clock();
+
+}  // namespace zenith::obs

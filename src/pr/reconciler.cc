@@ -51,7 +51,7 @@ void Reconciler::issue_next_dumps() {
     SwitchRequest request;
     request.type = SwitchRequest::Type::kDumpTable;
     request.xid = kReconciliationXidFlag | sw.value();
-    ctx_->fabric->send(sw, request);
+    ctx_->transport->send(sw, request);
     ++outstanding_dumps_;
   }
 }
@@ -61,7 +61,7 @@ void Reconciler::reconcile_switch(SwitchId sw) {
   SwitchRequest request;
   request.type = SwitchRequest::Type::kDumpTable;
   request.xid = kReconciliationXidFlag | sw.value();
-  ctx_->fabric->send(sw, request);
+  ctx_->transport->send(sw, request);
   // Not counted toward the periodic cycle's outstanding set: directed
   // passes (PRUp) are fire-and-forget; the reply handler below treats every
   // reconciliation dump identically.
@@ -127,7 +127,7 @@ void Reconciler::process_dump(const SwitchReply& reply) {
       request.type = SwitchRequest::Type::kDelete;
       request.op = del;
       request.xid = del.id.value();
-      ctx_->fabric->send(sw, request);
+      ctx_->transport->send(sw, request);
       ++fixes_applied_;
     }
     // Intended-but-missing entries: re-install directly.
@@ -146,7 +146,7 @@ void Reconciler::process_dump(const SwitchReply& reply) {
       request.type = SwitchRequest::Type::kInstall;
       request.op = op;
       request.xid = id.value();
-      ctx_->fabric->send(sw, request);
+      ctx_->transport->send(sw, request);
       ++fixes_applied_;
     }
     // View entries the dump disproves (phantoms) without a desired intent:

@@ -1,0 +1,423 @@
+// Wire codec suite (label: wire): round-trips every frame/message type
+// through encode -> FrameAssembler -> decode, pins the committed golden hex
+// bytes (tests/golden/WIRE_FRAMES.json), and feeds the decoder adversarial
+// input — truncated, oversized, corrupt-magic, lying-count, mutated — which
+// must come back as a clean Error, never a crash, hang, or huge allocation.
+// scripts/ci.sh runs this under ASan+UBSan, so "no crash" is load-bearing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/codec.h"
+#include "net/wire.h"
+#include "wire_frames_corpus.h"
+
+namespace zenith {
+namespace {
+
+using net::FrameAssembler;
+using net::FrameHeader;
+using net::FrameType;
+using net::WireMessage;
+
+std::vector<WireMessage> decode_all(const std::vector<std::uint8_t>& bytes) {
+  FrameAssembler assembler;
+  std::vector<WireMessage> out;
+  Status st = assembler.feed(bytes.data(), bytes.size(), &out);
+  EXPECT_TRUE(st.ok()) << st.error().message;
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+  return out;
+}
+
+// ---- round trips ----------------------------------------------------------
+
+TEST(WireCodec, RequestRoundTripsEveryType) {
+  const SwitchRequest::Type types[] = {
+      SwitchRequest::Type::kInstall,    SwitchRequest::Type::kDelete,
+      SwitchRequest::Type::kClearTcam,  SwitchRequest::Type::kDumpTable,
+      SwitchRequest::Type::kRoleChange, SwitchRequest::Type::kBatch,
+  };
+  for (SwitchRequest::Type type : types) {
+    SwitchRequest request;
+    request.type = type;
+    request.xid = 0xA1B2C3D4E5F60718ull;
+    request.role = 3;
+    request.op = golden::corpus_op(55, OpType::kInstallRule);
+    if (type == SwitchRequest::Type::kBatch) {
+      request.batch = {golden::corpus_op(56, OpType::kInstallRule),
+                       golden::corpus_op(57, OpType::kDeleteRule)};
+    }
+    std::vector<std::uint8_t> bytes;
+    net::encode_request_frame(bytes, SwitchId(9), request);
+
+    auto messages = decode_all(bytes);
+    ASSERT_EQ(messages.size(), 1u);
+    const WireMessage& m = messages[0];
+    EXPECT_EQ(m.type, FrameType::kSwitchRequest);
+    EXPECT_EQ(m.sw, SwitchId(9));
+    EXPECT_EQ(m.request.type, type);
+    EXPECT_EQ(m.request.xid, request.xid);
+    EXPECT_EQ(m.request.role, request.role);
+    EXPECT_EQ(m.request.op, request.op);
+    EXPECT_EQ(m.request.batch, request.batch);
+  }
+}
+
+TEST(WireCodec, ReplyRoundTripsEveryType) {
+  const SwitchReply::Type types[] = {
+      SwitchReply::Type::kAck,
+      SwitchReply::Type::kDumpReply,
+      SwitchReply::Type::kRoleAck,
+      SwitchReply::Type::kBatchAck,
+  };
+  for (SwitchReply::Type type : types) {
+    SwitchReply reply;
+    reply.type = type;
+    reply.xid = kReconciliationXidFlag | 77u;
+    reply.sw = SwitchId(3);
+    reply.role = 1;
+    reply.op = golden::corpus_op(60, OpType::kDumpTable);
+    if (type == SwitchReply::Type::kBatchAck) {
+      reply.batch = {golden::corpus_op(61, OpType::kInstallRule)};
+    }
+    if (type == SwitchReply::Type::kDumpReply) {
+      for (std::uint32_t i = 0; i < 5; ++i) {
+        DumpedEntry entry;
+        entry.installed_by = OpId(100 + i);
+        entry.rule = golden::corpus_op(100 + i, OpType::kInstallRule).rule;
+        reply.table.push_back(entry);
+      }
+    }
+    std::vector<std::uint8_t> bytes;
+    net::encode_reply_frame(bytes, reply);
+
+    auto messages = decode_all(bytes);
+    ASSERT_EQ(messages.size(), 1u);
+    const WireMessage& m = messages[0];
+    EXPECT_EQ(m.type, FrameType::kSwitchReply);
+    EXPECT_EQ(m.reply.type, type);
+    EXPECT_EQ(m.reply.xid, reply.xid);
+    EXPECT_EQ(m.reply.sw, reply.sw);
+    EXPECT_EQ(m.reply.role, reply.role);
+    EXPECT_EQ(m.reply.op, reply.op);
+    EXPECT_EQ(m.reply.batch, reply.batch);
+    ASSERT_EQ(m.reply.table.size(), reply.table.size());
+    for (std::size_t i = 0; i < reply.table.size(); ++i) {
+      EXPECT_EQ(m.reply.table[i].installed_by, reply.table[i].installed_by);
+      EXPECT_EQ(m.reply.table[i].rule, reply.table[i].rule);
+    }
+  }
+}
+
+TEST(WireCodec, EventAndControlFramesRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  SwitchHealthEvent health;
+  health.type = SwitchHealthEvent::Type::kFailure;
+  health.sw = SwitchId(11);
+  health.state_lost = true;
+  net::encode_health_frame(bytes, health);
+  LinkHealthEvent link;
+  link.link = LinkId(0x7F000001u);
+  link.up = true;
+  net::encode_link_frame(bytes, link);
+  net::Hello hello;
+  hello.role = net::Hello::Role::kSwitchd;
+  hello.switch_count = 12;
+  hello.seed = 0xFEEDull;
+  net::encode_hello_frame(bytes, hello);
+  net::encode_bye_frame(bytes);
+
+  auto messages = decode_all(bytes);
+  ASSERT_EQ(messages.size(), 4u);
+  EXPECT_EQ(messages[0].type, FrameType::kHealthEvent);
+  EXPECT_EQ(messages[0].health.type, health.type);
+  EXPECT_EQ(messages[0].health.sw, health.sw);
+  EXPECT_EQ(messages[0].health.state_lost, true);
+  EXPECT_EQ(messages[1].type, FrameType::kLinkEvent);
+  EXPECT_EQ(messages[1].link.link, link.link);
+  EXPECT_EQ(messages[1].link.up, true);
+  EXPECT_EQ(messages[2].type, FrameType::kHello);
+  EXPECT_EQ(messages[2].hello.role, hello.role);
+  EXPECT_EQ(messages[2].hello.proto, net::kWireVersion);
+  EXPECT_EQ(messages[2].hello.switch_count, 12u);
+  EXPECT_EQ(messages[2].hello.seed, 0xFEEDull);
+  EXPECT_EQ(messages[3].type, FrameType::kBye);
+}
+
+TEST(WireCodec, HeaderFieldsAreNetworkEndian) {
+  // Pin the byte layout, not just self-consistency: magic "ZNTH" big-endian,
+  // then version, type, flags, length, switch id.
+  std::vector<std::uint8_t> bytes;
+  SwitchHealthEvent event;
+  event.type = SwitchHealthEvent::Type::kRecovery;
+  event.sw = SwitchId(0x01020304u);
+  net::encode_health_frame(bytes, event);
+  ASSERT_GE(bytes.size(), net::kFrameHeaderSize);
+  EXPECT_EQ(bytes[0], 0x5A);  // 'Z'
+  EXPECT_EQ(bytes[1], 0x4E);  // 'N'
+  EXPECT_EQ(bytes[2], 0x54);  // 'T'
+  EXPECT_EQ(bytes[3], 0x48);  // 'H'
+  EXPECT_EQ(bytes[4], net::kWireVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kHealthEvent));
+  EXPECT_EQ(bytes[8], 0x00);  // length = 2, big endian
+  EXPECT_EQ(bytes[11], 0x02);
+  EXPECT_EQ(bytes[12], 0x01);  // switch id big endian
+  EXPECT_EQ(bytes[15], 0x04);
+}
+
+TEST(WireCodec, BulkWordConverterMatchesScalar) {
+  std::uint32_t words[4] = {0, 1, 0x01020304u, 0xFFFFFFFFu};
+  std::uint32_t wire[4];
+  net::HtoNLA(wire, words, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(wire[i], net::host_to_net_u32(words[i]));
+  }
+  std::uint32_t back[4];
+  net::NtoHLA(back, wire, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(back[i], words[i]);
+}
+
+// ---- reassembly -----------------------------------------------------------
+
+TEST(WireCodec, AssemblerReassemblesByteAtATime) {
+  std::vector<std::uint8_t> bytes;
+  for (const auto& [name, frame] : golden::wire_frame_corpus()) {
+    (void)name;
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  FrameAssembler assembler;
+  std::vector<WireMessage> out;
+  for (std::uint8_t b : bytes) {
+    ASSERT_TRUE(assembler.feed(&b, 1, &out).ok());
+  }
+  EXPECT_EQ(out.size(), golden::wire_frame_corpus().size());
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+}
+
+TEST(WireCodec, AssemblerHandlesArbitrarySplits) {
+  std::vector<std::uint8_t> bytes;
+  for (const auto& [name, frame] : golden::wire_frame_corpus()) {
+    (void)name;
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    FrameAssembler assembler;
+    std::vector<WireMessage> out;
+    std::size_t at = 0;
+    while (at < bytes.size()) {
+      std::size_t chunk = 1 + static_cast<std::size_t>(rng.next_below(38));
+      chunk = std::min(chunk, bytes.size() - at);
+      ASSERT_TRUE(assembler.feed(bytes.data() + at, chunk, &out).ok());
+      at += chunk;
+    }
+    EXPECT_EQ(out.size(), golden::wire_frame_corpus().size());
+  }
+}
+
+// ---- golden bytes ---------------------------------------------------------
+
+// Parses the flat {"name": "<hex>", ...} format WIRE_FRAMES.json uses.
+std::map<std::string, std::string> load_golden_frames(
+    const std::string& path) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t k0 = line.find('"');
+    if (k0 == std::string::npos) continue;
+    std::size_t k1 = line.find('"', k0 + 1);
+    if (k1 == std::string::npos) continue;
+    std::size_t v0 = line.find('"', k1 + 1);
+    if (v0 == std::string::npos) continue;
+    std::size_t v1 = line.find('"', v0 + 1);
+    if (v1 == std::string::npos) continue;
+    out[line.substr(k0 + 1, k1 - k0 - 1)] =
+        line.substr(v0 + 1, v1 - v0 - 1);
+  }
+  return out;
+}
+
+TEST(WireCodec, GoldenFrameBytesMatchCommitted) {
+  // The committed hex IS the wire protocol. Drift here means an (intended or
+  // not) format change: regenerate with scripts/update_golden.sh, review the
+  // hex diff, and remember old/new daemons will not interoperate.
+  std::string path =
+      std::string(ZENITH_SOURCE_DIR) + "/tests/golden/WIRE_FRAMES.json";
+  auto golden_hex = load_golden_frames(path);
+  ASSERT_FALSE(golden_hex.empty()) << "missing or unparseable " << path;
+
+  auto corpus = golden::wire_frame_corpus();
+  EXPECT_EQ(golden_hex.size(), corpus.size());
+  for (const auto& [name, frame] : corpus) {
+    auto it = golden_hex.find(name);
+    if (it == golden_hex.end()) {
+      ADD_FAILURE() << "frame '" << name
+                    << "' has no committed golden entry; run "
+                       "scripts/update_golden.sh";
+      continue;
+    }
+    EXPECT_EQ(it->second, golden::to_hex(frame))
+        << "wire bytes drift in '" << name
+        << "'; intended format changes need scripts/update_golden.sh";
+    // And the committed bytes must still decode.
+    auto bytes = golden::from_hex(it->second);
+    FrameAssembler assembler;
+    std::vector<WireMessage> out;
+    EXPECT_TRUE(assembler.feed(bytes.data(), bytes.size(), &out).ok());
+    EXPECT_EQ(out.size(), 1u) << "golden frame '" << name
+                              << "' no longer decodes";
+  }
+}
+
+// ---- adversarial input ----------------------------------------------------
+
+TEST(WireCodec, RejectsCorruptMagic) {
+  std::vector<std::uint8_t> bytes;
+  net::encode_bye_frame(bytes);
+  bytes[0] ^= 0xFF;
+  FrameAssembler assembler;
+  std::vector<WireMessage> out;
+  EXPECT_FALSE(assembler.feed(bytes.data(), bytes.size(), &out).ok());
+  EXPECT_TRUE(assembler.poisoned());
+  // A poisoned assembler rejects everything afterwards, even valid frames.
+  std::vector<std::uint8_t> good;
+  net::encode_bye_frame(good);
+  EXPECT_FALSE(assembler.feed(good.data(), good.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireCodec, RejectsBadVersionAndType) {
+  std::vector<std::uint8_t> bytes;
+  net::encode_bye_frame(bytes);
+  {
+    auto copy = bytes;
+    copy[4] = 99;  // version
+    auto header = net::decode_frame_header(copy.data(), copy.size());
+    EXPECT_FALSE(header.ok());
+  }
+  for (std::uint8_t type : {std::uint8_t{0}, std::uint8_t{7},
+                            std::uint8_t{255}}) {
+    auto copy = bytes;
+    copy[5] = type;
+    auto header = net::decode_frame_header(copy.data(), copy.size());
+    EXPECT_FALSE(header.ok()) << "type " << int(type) << " accepted";
+  }
+}
+
+TEST(WireCodec, RejectsOversizedLength) {
+  std::vector<std::uint8_t> bytes;
+  net::encode_bye_frame(bytes);
+  // length := kMaxPayload + 1, big endian at offset 8.
+  std::uint32_t length = net::kMaxPayload + 1;
+  bytes[8] = static_cast<std::uint8_t>(length >> 24);
+  bytes[9] = static_cast<std::uint8_t>(length >> 16);
+  bytes[10] = static_cast<std::uint8_t>(length >> 8);
+  bytes[11] = static_cast<std::uint8_t>(length);
+  auto header = net::decode_frame_header(bytes.data(), bytes.size());
+  EXPECT_FALSE(header.ok());
+}
+
+TEST(WireCodec, TruncatedHeaderWaitsTruncatedPayloadRejects) {
+  std::vector<std::uint8_t> bytes;
+  SwitchRequest request;
+  request.op = golden::corpus_op(9, OpType::kInstallRule);
+  net::encode_request_frame(bytes, SwitchId(1), request);
+
+  // A short header is not an error — the assembler waits for more bytes.
+  FrameAssembler waits;
+  std::vector<WireMessage> out;
+  ASSERT_TRUE(waits.feed(bytes.data(), 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(waits.pending_bytes(), 10u);
+
+  // But a complete frame whose payload was truncated (length lies) must
+  // reject in decode_frame.
+  auto header = net::decode_frame_header(bytes.data(), bytes.size());
+  ASSERT_TRUE(header.ok());
+  auto msg = net::decode_frame(header.value(),
+                               bytes.data() + net::kFrameHeaderSize,
+                               header.value().length - 4);
+  EXPECT_FALSE(msg.ok());
+}
+
+TEST(WireCodec, LyingArrayCountRejectsWithoutHugeAllocation) {
+  // A 4 GiB op count in a 100-byte payload must fail count validation
+  // before any reserve — under ASan an attempted 137 GB allocation aborts,
+  // so passing this test proves the guard, not just the error path.
+  std::vector<std::uint8_t> bytes;
+  SwitchRequest request;
+  request.op = golden::corpus_op(9, OpType::kInstallRule);
+  net::encode_request_frame(bytes, SwitchId(1), request);
+  // Batch count is the last 4 payload bytes of a batchless request frame.
+  std::size_t count_at = bytes.size() - 4;
+  bytes[count_at] = 0xFF;
+  bytes[count_at + 1] = 0xFF;
+  bytes[count_at + 2] = 0xFF;
+  bytes[count_at + 3] = 0xFF;
+  FrameAssembler assembler;
+  std::vector<WireMessage> out;
+  EXPECT_FALSE(assembler.feed(bytes.data(), bytes.size(), &out).ok());
+  EXPECT_TRUE(assembler.poisoned());
+}
+
+TEST(WireCodec, TrailingPayloadBytesReject) {
+  // Extend a bye frame's payload by one byte (and fix the length): decode
+  // must notice the unconsumed remainder instead of ignoring it.
+  std::vector<std::uint8_t> bytes;
+  net::encode_bye_frame(bytes);
+  bytes.push_back(0xAB);
+  bytes[11] = 1;  // length 0 -> 1
+  FrameAssembler assembler;
+  std::vector<WireMessage> out;
+  EXPECT_FALSE(assembler.feed(bytes.data(), bytes.size(), &out).ok());
+}
+
+TEST(WireCodec, SingleByteMutationsNeverCrash) {
+  // Deterministic mutation fuzz: every byte of every corpus frame, flipped
+  // to a handful of values, fed to a fresh assembler. Any outcome is
+  // acceptable except UB — decode succeeds (mutation hit a don't-care or
+  // stayed in-domain) or errors cleanly. ASan+UBSan in CI make this sharp.
+  for (const auto& [name, frame] : golden::wire_frame_corpus()) {
+    for (std::size_t at = 0; at < frame.size(); ++at) {
+      for (std::uint8_t value : {std::uint8_t{0x00}, std::uint8_t{0xFF},
+                                 std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+        if (frame[at] == value) continue;
+        auto copy = frame;
+        copy[at] = value;
+        FrameAssembler assembler;
+        std::vector<WireMessage> out;
+        (void)assembler.feed(copy.data(), copy.size(), &out);
+      }
+    }
+    (void)name;
+  }
+}
+
+TEST(WireCodec, RandomGarbageNeverCrashes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(300));
+    std::vector<std::uint8_t> junk(n);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Half the trials lead with a valid magic so parsing goes deeper.
+    if (trial % 2 == 0 && n >= 4) {
+      junk[0] = 0x5A;
+      junk[1] = 0x4E;
+      junk[2] = 0x54;
+      junk[3] = 0x48;
+    }
+    FrameAssembler assembler;
+    std::vector<WireMessage> out;
+    (void)assembler.feed(junk.data(), junk.size(), &out);
+  }
+}
+
+}  // namespace
+}  // namespace zenith

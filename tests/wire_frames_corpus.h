@@ -1,0 +1,238 @@
+// Canonical wire-frame corpus: one representative, fully-populated frame
+// per message type, with fixed distinguishable field values. Shared by
+// wire_golden_gen (which writes tests/golden/WIRE_FRAMES.json) and
+// net_codec_test (which compares live encodes against the committed hex) so
+// the committed bytes and the checked bytes can never drift apart silently.
+// Any change here or in src/net/codec.cc is a WIRE FORMAT CHANGE: regenerate
+// with scripts/update_golden.sh and review the hex diff like a protocol RFC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/codec.h"
+
+namespace zenith::golden {
+
+inline std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+inline std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+inline Op corpus_op(std::uint32_t id, OpType type) {
+  Op op;
+  op.id = OpId(id);
+  op.type = type;
+  op.sw = SwitchId(7);
+  op.delete_target = OpId(type == OpType::kDeleteRule ? id - 1 : 0);
+  op.rule.flow = FlowId(0x11223344u);
+  op.rule.sw = SwitchId(7);
+  op.rule.dst = SwitchId(12);
+  op.rule.next_hop = SwitchId(9);
+  op.rule.priority = 100;
+  return op;
+}
+
+/// The corpus: (name, encoded frame bytes) in fixed order.
+inline std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+wire_frame_corpus() {
+  using Buf = std::vector<std::uint8_t>;
+  std::vector<std::pair<std::string, Buf>> corpus;
+  auto add = [&corpus](const char* name, Buf frame) {
+    corpus.emplace_back(name, std::move(frame));
+  };
+
+  {
+    net::Hello hello;
+    hello.role = net::Hello::Role::kController;
+    hello.proto = net::kWireVersion;
+    hello.switch_count = 0;
+    hello.seed = 0xDEADBEEFCAFEF00Dull;
+    Buf out;
+    net::encode_hello_frame(out, hello);
+    add("hello_controller", std::move(out));
+  }
+  {
+    net::Hello hello;
+    hello.role = net::Hello::Role::kSwitchd;
+    hello.proto = net::kWireVersion;
+    hello.switch_count = 13;
+    hello.seed = 42;
+    Buf out;
+    net::encode_hello_frame(out, hello);
+    add("hello_switchd", std::move(out));
+  }
+  {
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kInstall;
+    request.xid = 0x0102030405060708ull;
+    request.op = corpus_op(1001, OpType::kInstallRule);
+    Buf out;
+    net::encode_request_frame(out, SwitchId(7), request);
+    add("request_install", std::move(out));
+  }
+  {
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kDelete;
+    request.xid = 0x1112131415161718ull;
+    request.op = corpus_op(1002, OpType::kDeleteRule);
+    Buf out;
+    net::encode_request_frame(out, SwitchId(7), request);
+    add("request_delete", std::move(out));
+  }
+  {
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kClearTcam;
+    request.xid = 0x21222324252627ull;
+    request.op = corpus_op(1003, OpType::kClearTcam);
+    Buf out;
+    net::encode_request_frame(out, SwitchId(7), request);
+    add("request_clear_tcam", std::move(out));
+  }
+  {
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kDumpTable;
+    request.xid = kReconciliationXidFlag | 0x31ull;
+    request.op = corpus_op(1004, OpType::kDumpTable);
+    Buf out;
+    net::encode_request_frame(out, SwitchId(7), request);
+    add("request_dump_table", std::move(out));
+  }
+  {
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kRoleChange;
+    request.xid = 0x41ull;
+    request.role = 2;
+    Buf out;
+    net::encode_request_frame(out, SwitchId(7), request);
+    add("request_role_change", std::move(out));
+  }
+  {
+    SwitchRequest request;
+    request.type = SwitchRequest::Type::kBatch;
+    request.xid = 0x51ull;
+    request.batch = {corpus_op(1005, OpType::kInstallRule),
+                     corpus_op(1006, OpType::kDeleteRule),
+                     corpus_op(1007, OpType::kInstallRule)};
+    Buf out;
+    net::encode_request_frame(out, SwitchId(7), request);
+    add("request_batch", std::move(out));
+  }
+  {
+    SwitchReply reply;
+    reply.type = SwitchReply::Type::kAck;
+    reply.xid = 0x0102030405060708ull;
+    reply.sw = SwitchId(7);
+    reply.op = corpus_op(1001, OpType::kInstallRule);
+    Buf out;
+    net::encode_reply_frame(out, reply);
+    add("reply_ack", std::move(out));
+  }
+  {
+    SwitchReply reply;
+    reply.type = SwitchReply::Type::kDumpReply;
+    reply.xid = kReconciliationXidFlag | 0x31ull;
+    reply.sw = SwitchId(7);
+    reply.op = corpus_op(1004, OpType::kDumpTable);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      DumpedEntry entry;
+      entry.installed_by = OpId(2000 + i);
+      entry.rule = corpus_op(2000 + i, OpType::kInstallRule).rule;
+      entry.rule.priority = static_cast<int>(i);
+      reply.table.push_back(entry);
+    }
+    Buf out;
+    net::encode_reply_frame(out, reply);
+    add("reply_dump", std::move(out));
+  }
+  {
+    SwitchReply reply;
+    reply.type = SwitchReply::Type::kRoleAck;
+    reply.xid = 0x41ull;
+    reply.sw = SwitchId(7);
+    reply.role = 2;
+    Buf out;
+    net::encode_reply_frame(out, reply);
+    add("reply_role_ack", std::move(out));
+  }
+  {
+    SwitchReply reply;
+    reply.type = SwitchReply::Type::kBatchAck;
+    reply.xid = 0x51ull;
+    reply.sw = SwitchId(7);
+    reply.batch = {corpus_op(1005, OpType::kInstallRule),
+                   corpus_op(1006, OpType::kDeleteRule),
+                   corpus_op(1007, OpType::kInstallRule)};
+    Buf out;
+    net::encode_reply_frame(out, reply);
+    add("reply_batch_ack", std::move(out));
+  }
+  {
+    SwitchHealthEvent event;
+    event.type = SwitchHealthEvent::Type::kFailure;
+    event.sw = SwitchId(4);
+    event.state_lost = true;
+    Buf out;
+    net::encode_health_frame(out, event);
+    add("health_failure_state_lost", std::move(out));
+  }
+  {
+    SwitchHealthEvent event;
+    event.type = SwitchHealthEvent::Type::kRecovery;
+    event.sw = SwitchId(4);
+    event.state_lost = false;
+    Buf out;
+    net::encode_health_frame(out, event);
+    add("health_recovery", std::move(out));
+  }
+  {
+    LinkHealthEvent event;
+    event.link = LinkId(0x0A0B0C0Du);
+    event.up = false;
+    Buf out;
+    net::encode_link_frame(out, event);
+    add("link_down", std::move(out));
+  }
+  {
+    LinkHealthEvent event;
+    event.link = LinkId(0x0A0B0C0Du);
+    event.up = true;
+    Buf out;
+    net::encode_link_frame(out, event);
+    add("link_up", std::move(out));
+  }
+  {
+    Buf out;
+    net::encode_bye_frame(out);
+    add("bye", std::move(out));
+  }
+  return corpus;
+}
+
+}  // namespace zenith::golden

@@ -1,0 +1,19 @@
+// Regenerates tests/golden/WIRE_FRAMES.json: the committed hex bytes of the
+// canonical wire-frame corpus (see wire_frames_corpus.h). Not a test —
+// scripts/update_golden.sh runs this and net_codec_test compares against the
+// committed output byte for byte.
+#include <cstdio>
+
+#include "wire_frames_corpus.h"
+
+int main() {
+  auto corpus = zenith::golden::wire_frame_corpus();
+  std::printf("{\n");
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    std::printf("  \"%s\": \"%s\"%s\n", corpus[i].first.c_str(),
+                zenith::golden::to_hex(corpus[i].second).c_str(),
+                i + 1 < corpus.size() ? "," : "");
+  }
+  std::printf("}\n");
+  return 0;
+}
