@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.h"
 #include "dag/compiler.h"
 #include "mc/pipeline_model.h"
 #include "nadir/value.h"
@@ -154,6 +155,76 @@ void BM_NibOpsOnSwitchIndexed(benchmark::State& state) {
 }
 BENCHMARK(BM_NibOpsOnSwitchIndexed)->Arg(10000);
 
+// The OpBatch id-buffer lifecycle with the PR-8 arena: a window of
+// `range(0)` buffers in flight (the pipeline's peak depth), each filled to a
+// 16-OP batch and retired. After the pool warms up every acquire recycles a
+// retired buffer with its capacity intact — steady state is allocation-free.
+void BM_OpBatchArenaChurn(benchmark::State& state) {
+  OpBatchArena arena;
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<OpId>> in_flight;
+  in_flight.reserve(depth);
+  std::uint32_t next = 1;
+  for (auto _ : state) {
+    if (in_flight.size() == depth) {
+      arena.release(std::move(in_flight.front()));
+      in_flight.erase(in_flight.begin());
+    }
+    std::vector<OpId> buffer = arena.acquire();
+    for (int i = 0; i < 16; ++i) buffer.push_back(OpId(next++));
+    benchmark::DoNotOptimize(buffer.data());
+    in_flight.push_back(std::move(buffer));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["fresh_allocs"] =
+      static_cast<double>(arena.fresh_allocations());
+}
+BENCHMARK(BM_OpBatchArenaChurn)->Arg(32);
+
+// The pre-arena shape for comparison: the same in-flight window, but every
+// batch builds a fresh vector and its retirement frees the buffer — one
+// heap round-trip (plus the push_back growth doublings) per batch.
+void BM_OpBatchHeapChurn(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<OpId>> in_flight;
+  in_flight.reserve(depth);
+  std::uint32_t next = 1;
+  for (auto _ : state) {
+    if (in_flight.size() == depth) {
+      in_flight.erase(in_flight.begin());  // frees the buffer
+    }
+    std::vector<OpId> buffer;
+    for (int i = 0; i < 16; ++i) buffer.push_back(OpId(next++));
+    benchmark::DoNotOptimize(buffer.data());
+    in_flight.push_back(std::move(buffer));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpBatchHeapChurn)->Arg(32);
+
+/// Deterministic arena accounting over a fixed churn script (no
+/// google-benchmark timing involved): 100k acquire/release cycles through a
+/// 32-deep in-flight window. A correct arena allocates exactly once per
+/// window slot — 32 fresh allocations total — independent of host speed, so
+/// scripts/ci.sh gates this counter against the committed baseline.
+std::size_t arena_fresh_allocs_fixed_churn() {
+  OpBatchArena arena;
+  constexpr std::size_t kDepth = 32;
+  constexpr std::size_t kCycles = 100'000;
+  std::vector<std::vector<OpId>> in_flight;
+  std::uint32_t next = 1;
+  for (std::size_t cycle = 0; cycle < kCycles; ++cycle) {
+    if (in_flight.size() == kDepth) {
+      arena.release(std::move(in_flight.front()));
+      in_flight.erase(in_flight.begin());
+    }
+    std::vector<OpId> buffer = arena.acquire();
+    for (int i = 0; i < 16; ++i) buffer.push_back(OpId(next++));
+    in_flight.push_back(std::move(buffer));
+  }
+  return arena.fresh_allocations();
+}
+
 void BM_McStateFingerprint(benchmark::State& state) {
   mc::PipelineModel model(mc::ModelConfig::table4_measurement_instance());
   mc::State s = model.initial_state();
@@ -289,6 +360,19 @@ int main(int argc, char** argv) {
       bench.add("nib_status_query_speedup_10k",
                 scan->second.ns_per_op / indexed->second.ns_per_op, "x");
     }
+    // Derived headline ratio: arena-pooled batch-buffer churn vs the
+    // pre-arena heap round-trip per batch (PR-8 satellite).
+    auto pooled = samples.find("BM_OpBatchArenaChurn/32");
+    auto heap = samples.find("BM_OpBatchHeapChurn/32");
+    if (pooled != samples.end() && heap != samples.end() &&
+        pooled->second.ns_per_op > 0.0) {
+      bench.add("arena_batch_churn_speedup",
+                heap->second.ns_per_op / pooled->second.ns_per_op, "x");
+    }
+    // Host-independent pool accounting — gated in scripts/ci.sh (a value
+    // above the 32-slot window depth means recycling broke).
+    bench.add_count("arena.fresh_allocs_fixed_churn",
+                    zenith::arena_fresh_allocs_fixed_churn());
     bench.add_note("mode", quick ? "quick" : "full");
     std::string path = bench.write(".");
     std::printf("wrote %s\n", path.c_str());

@@ -42,6 +42,16 @@ run_suite asan "" -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=address
 run_suite tsan 'parallel_test|sim_test|chaos_test|lockstep_test' \
   -DCMAKE_BUILD_TYPE=Debug -DZENITH_SANITIZE=thread
 
+# Sharded hot-path tier (PR 8): the lock-free stage queues' threaded stress
+# cases and the sharded NIB pipeline — including the commit-thread-pool
+# byte-equivalence case and a chaos soak with a real executor — re-run
+# under TSan with a bumped OP budget. This is where the SPSC/MPSC memory-
+# order arguments and the parallel-commit disjointness are machine-checked.
+echo "=== [sharded] queue stress + sharded soak under TSan (ZENITH_SOAK_OPS=20000) ==="
+ZENITH_SOAK_OPS=20000 \
+  ctest --test-dir "$repo/build-ci-tsan" --output-on-failure \
+  -R 'queue_test|sharded_nib_test'
+
 # Replication tier: the replicated control plane's own suites (unit protocol
 # tests, the seeded kill-leader/partition chaos grid, exactly-once takeover)
 # run in Release and again under TSan — leader handoff re-enqueues OPs
@@ -113,15 +123,16 @@ bench_smoke() {
   (cd "$scratch" && "$tree/bench/bench_wire_loopback" --quick --json)
   "$tree/src/obs/zenith_json_check" "$scratch"/BENCH_*.json \
     "$scratch/chrome_trace.json"
-  echo "=== [bench] diff vs committed baselines ==="
+  echo "=== [bench-gate] diff vs committed baselines (deterministic metrics GATE, timings advisory) ==="
   # Gated (deterministic) metric subsets; everything else stays advisory.
   # Only budget-independent counters qualify: the committed baselines come
   # from full runs while CI smokes --quick, so campaign/OP tallies differ by
   # design — but a correct build reports zero violations at any budget.
   local -A gates=(
     [chaos_coverage]="violations_correct_build"
-    [soak]="invariant_violations"
+    [soak]="invariant_violations,fingerprint_match"
     [wire_loopback]="fingerprint_mismatches"
+    [micro_primitives]="arena.fresh_allocs_fixed_churn"
   )
   local name gate
   for name in micro_primitives chaos_coverage soak wire_loopback; do

@@ -1,0 +1,135 @@
+#include "common/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace zenith {
+
+std::size_t default_bench_threads() {
+  const char* env = std::getenv("ZENITH_BENCH_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(std::min(parsed, 64L));
+    }
+    std::fprintf(stderr,
+                 "[WARN  parallel] ignoring ZENITH_BENCH_THREADS='%s' "
+                 "(want an integer >= 1)\n",
+                 env);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return std::min<std::size_t>(4, hw);
+}
+
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+PersistentExecutor::PersistentExecutor(std::size_t threads) {
+  std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PersistentExecutor::~PersistentExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void PersistentExecutor::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    drain(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void PersistentExecutor::drain(const std::function<void(std::size_t)>& body) {
+  const std::size_t n = job_size_;
+  for (;;) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void PersistentExecutor::run(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &body;
+    job_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(body);  // the caller's thread pitches in
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace zenith

@@ -1,0 +1,66 @@
+// OpBatchArena: a recycling pool for OpBatch id buffers (PR 8).
+//
+// The hot path allocates one std::vector<OpId> per OpBatch — built by the
+// Sequencer (or enqueue_op / the takeover re-enqueue), carried through the
+// NIB OP queue, and destroyed when the Worker acks the batch. At soak scale
+// that is one heap round-trip per batch, millions per run. The arena keeps
+// retired buffers and hands them back with their capacity intact, so steady
+// state does zero allocations: the pool warms up to the pipeline's peak
+// in-flight batch count and then every acquire is a recycle.
+//
+// Recycling is pure capacity reuse — a recycled buffer is cleared before it
+// leaves release(), so observable behavior (and every golden fingerprint)
+// is unchanged. Simulator-thread only; counters feed bench_micro_primitives
+// ("arena.fresh_allocs_fixed_churn" is gated on the committed baseline).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace zenith {
+
+class OpBatchArena {
+ public:
+  /// Returns an empty buffer: a recycled one (capacity intact) when the
+  /// pool has any, else a fresh zero-capacity vector.
+  std::vector<OpId> acquire() {
+    ++acquires_;
+    if (pool_.empty()) {
+      ++fresh_allocations_;
+      return {};
+    }
+    std::vector<OpId> buffer = std::move(pool_.back());
+    pool_.pop_back();
+    return buffer;
+  }
+
+  /// Retires a buffer back to the pool. Zero-capacity buffers carry nothing
+  /// worth keeping; beyond kMaxPooled the buffer is simply dropped so a
+  /// burst can't pin memory forever.
+  void release(std::vector<OpId> buffer) {
+    if (buffer.capacity() == 0) return;
+    if (pool_.size() >= kMaxPooled) return;
+    buffer.clear();
+    pool_.push_back(std::move(buffer));
+    if (pool_.size() > peak_pooled_) peak_pooled_ = pool_.size();
+  }
+
+  std::size_t acquires() const { return acquires_; }
+  std::size_t fresh_allocations() const { return fresh_allocations_; }
+  std::size_t recycled() const { return acquires_ - fresh_allocations_; }
+  std::size_t pooled() const { return pool_.size(); }
+  std::size_t peak_pooled() const { return peak_pooled_; }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 4096;
+
+  std::vector<std::vector<OpId>> pool_;
+  std::size_t acquires_ = 0;
+  std::size_t fresh_allocations_ = 0;
+  std::size_t peak_pooled_ = 0;
+};
+
+}  // namespace zenith

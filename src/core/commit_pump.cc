@@ -1,0 +1,93 @@
+#include "core/commit_pump.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace zenith {
+
+CommitPump::CommitPump(CoreContext* ctx)
+    : Component(ctx->sim, "commit_pump", ctx->config.monitoring_service),
+      ctx_(ctx) {
+  const std::size_t shards = ctx->config.nib_shards;
+  jobs_.resize(shards);
+  applied_.resize(shards);
+  applied_used_.assign(shards, 0);
+  if (ctx->config.commit_threads >= 2) {
+    executor_ = std::make_unique<PersistentExecutor>(
+        std::min(ctx->config.commit_threads, shards));
+  }
+}
+
+bool CommitPump::try_step() {
+  const std::size_t shards = jobs_.size();
+  bool any = false;
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Drain the whole backlog queued at step time: the step applies it as
+    // one batched NIB transaction per shard (see header). Jobs pushed by
+    // later simulator events belong to the next service step.
+    jobs_[s].clear();
+    while (auto job = ctx_->commit_queues[s]->try_pop()) {
+      jobs_[s].push_back(std::move(*job));
+      any = true;
+    }
+  }
+  if (!any) return false;
+
+  Nib& nib = *ctx_->nib;
+  auto apply_shard = [&](std::size_t s) {
+    applied_used_[s] = 0;
+    for (const CommitJob& job : jobs_[s]) {
+      if (applied_[s].size() <= applied_used_[s]) applied_[s].emplace_back();
+      AppliedBatch& batch = applied_[s][applied_used_[s]++];
+      batch.sw = job.sw;
+      batch.stale = 0;
+      batch.fresh.clear();
+      for (const Op& op : job.ops) {
+        // Same freshness rule as the replicated log's apply path: an ACK
+        // can outlive its OP's SENT state (takeover requeue, recovery
+        // reset); only OPs still SENT commit, the level-triggered pipeline
+        // re-drives the rest.
+        if (nib.has_op(op.id) && nib.op_status(op.id) == OpStatus::kSent) {
+          batch.fresh.push_back(op);
+        } else {
+          ++batch.stale;
+        }
+      }
+      batch.committed = nib.commit_ack_batch(job.sw, batch.fresh);
+    }
+  };
+
+  nib.begin_parallel_commits();
+  if (executor_ != nullptr) {
+    executor_->run(shards, apply_shard);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) apply_shard(s);
+  }
+  nib.end_parallel_commits();  // replays events + ring wakes in shard order
+
+  if (ctx_->observability != nullptr) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t b = 0; b < applied_used_[s]; ++b) {
+        const AppliedBatch& batch = applied_[s][b];
+        for (std::size_t i = 0; i < batch.stale; ++i) {
+          ctx_->observability->count("commit_stale_ops");
+        }
+        for (const Op& op : batch.fresh) {
+          ctx_->observability->op_stage(
+              op.id, name(), "op-ack",
+              "sw=" + std::to_string(batch.sw.value()));
+          ctx_->observability->op_closed(op.id, name(), "done");
+        }
+        if (batch.committed > 0) {
+          ctx_->observability->batch_committed(batch.sw, batch.committed);
+        }
+      }
+    }
+  }
+  for (auto& shard_jobs : jobs_) shard_jobs.clear();
+  return true;
+}
+
+}  // namespace zenith

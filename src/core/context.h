@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/mpsc_queue.h"
+#include "common/spsc_ring.h"
+#include "core/arena.h"
 #include "dag/compiler.h"
 #include "dag/dag.h"
 #include "dataplane/fabric.h"
@@ -119,6 +122,43 @@ struct CoreConfig {
   /// Directed reconciliation (ZENITH-DR, §3.9): on switch recovery, dump
   /// and diff instead of wiping the TCAM.
   bool directed_reconciliation = false;
+  /// Sharded hot path (PR 8). 0 or 1 (the default) keeps the classic
+  /// single-pipeline wiring byte-identical: one NIB Event Handler draining
+  /// the subscribe()-queue, one Monitoring Server on the transport streams,
+  /// ACKs committed inline. >= 2 partitions the NIB by switch into that
+  /// many shards, each with its own SPSC event ring + NIB Event Handler +
+  /// Monitoring Server instance, a Reply Router demuxing the transport
+  /// streams per shard, and a CommitPump applying per-shard ACK-commit jobs
+  /// from lock-free MPSC stage queues. Simulated-time throughput scales
+  /// with the shard count because the per-shard service steps overlap in
+  /// sim time; final NIB state is fingerprint-equal to the unsharded run
+  /// on chaos-free workloads (sharded_nib_test, bench_soak's equivalence
+  /// probe).
+  std::size_t nib_shards = 0;
+  /// Sharded mode: NIB events one handler instance routes per service step
+  /// (the batch amortizes the per-step service charge that saturated the
+  /// single unsharded handler).
+  std::size_t nib_event_batch = 16;
+  /// Sharded mode: transport messages the Reply Router demuxes per step.
+  std::size_t reply_route_batch = 16;
+  /// Service time of one Reply Router step. Cheap by design: routing is a
+  /// hash + queue push, no NIB access.
+  SimTime reply_route_service = micros(2);
+  /// Service time of one sharded Monitoring Server step. The classic 20us
+  /// monitoring_service models ACK validation *plus* the inline NIB commit
+  /// transaction; in sharded mode the commit half moves to the CommitPump
+  /// (which charges its own service per batched transaction), so the
+  /// per-shard monitor charges only the validation/forward half here.
+  /// Charging the full 20us again would double-count the commit work the
+  /// pump already pays for.
+  SimTime monitoring_forward_service = micros(10);
+  /// Sharded mode: OS threads applying commit jobs inside a CommitPump
+  /// step. 0/1 = apply serially in ascending shard order on the simulator
+  /// thread; >= 2 = apply concurrently on a persistent pool. Byte-identical
+  /// either way (shards are disjoint and events replay in shard order —
+  /// asserted by sharded_nib_test, exercised under TSan in CI).
+  std::size_t commit_threads = 0;
+  bool sharded() const { return nib_shards >= 2; }
   SpecBugs bugs;
 };
 
@@ -129,6 +169,14 @@ struct CoreConfig {
 struct OpBatch {
   SwitchId sw;
   std::vector<OpId> ops;
+};
+
+/// One ACK-commit unit of the sharded pipeline: the acked install/delete
+/// OPs of one switch, flowing from that shard's Monitoring Server instance
+/// through the shard's MPSC queue to the CommitPump.
+struct CommitJob {
+  SwitchId sw;
+  std::vector<Op> ops;
 };
 
 struct CoreContext {
@@ -160,6 +208,29 @@ struct CoreContext {
 
   // -- DE-internal (volatile) ---------------------------------------------------
   std::vector<std::unique_ptr<NadirFifo<NibEvent>>> sequencer_wakeups;
+
+  // -- sharded hot path (PR 8; empty when config.nib_shards <= 1) --------------
+  /// Per-shard NIB event rings (NIB-resident, like nib_event_queue: they
+  /// survive DE crashes). Lock-free SPSC: NIB publishes, the shard's NIB
+  /// Event Handler drains.
+  std::vector<std::unique_ptr<SpscRing<NibEvent>>> shard_event_rings;
+  /// Per-shard demuxed transport streams (OFC-volatile, like the transport
+  /// queues they mirror): the Reply Router routes switch replies and health
+  /// events to the owning shard's Monitoring Server instance. Link events
+  /// are not switch-keyed; they all route to shard 0.
+  std::vector<std::unique_ptr<NadirFifo<SwitchReply>>> shard_replies;
+  std::vector<std::unique_ptr<NadirFifo<SwitchHealthEvent>>> shard_health;
+  std::vector<std::unique_ptr<NadirFifo<LinkHealthEvent>>> shard_links;
+  /// Per-shard ACK-commit job queues into the CommitPump (OFC-volatile:
+  /// dropped on OFC crash, regenerated by the takeover requeue). Lock-free
+  /// MPSC — single-threaded in the simulator, stress-tested concurrently
+  /// in queue_test.
+  std::vector<std::unique_ptr<MpscQueue<CommitJob>>> commit_queues;
+  /// Wakes the CommitPump (set by the controller in sharded mode).
+  std::function<void()> kick_commit_pump;
+  /// Recycled OpBatch id buffers (all modes; steady state allocates zero
+  /// vectors per batch).
+  OpBatchArena batch_arena;
 
   // -- OFC-internal (volatile) --------------------------------------------------
   NadirFifo<SwitchHealthEvent> topo_event_queue;
@@ -202,11 +273,19 @@ struct CoreContext {
   }
   /// Pushes one OP as its own batch (the non-sequencer entry points: cleanup
   /// OPs, directed-reconciliation deletes, takeover requeues, PR re-issues).
+  /// The id buffer comes from the arena; the Worker recycles it on ack.
   void enqueue_op(SwitchId sw, OpId id) {
-    op_queue_for(sw).push(OpBatch{sw, {id}});
+    std::vector<OpId> ops = batch_arena.acquire();
+    ops.push_back(id);
+    op_queue_for(sw).push(OpBatch{sw, std::move(ops)});
   }
   std::size_t sequencer_of(DagId dag) const {
     return dag.value() % config.num_sequencers;
+  }
+  /// NIB shard that owns a switch (the same stable mix as shard_of, modulo
+  /// nib_shards). Always 0 in unsharded mode.
+  std::size_t nib_shard_of(SwitchId sw) const {
+    return Nib::shard_slot(sw, config.nib_shards);
   }
 };
 

@@ -42,15 +42,50 @@ void ZenithController::construct(Simulator* sim, CoreConfig config) {
     ctx_.sequencer_wakeups.push_back(std::make_unique<NadirFifo<NibEvent>>());
   }
 
-  nib_.subscribe(&ctx_.nib_event_queue);
+  if (config.sharded()) {
+    // Sharded wiring (PR 8): the NIB partitions its OP rows and secondary
+    // indexes by switch shard and publishes each shard's events onto a
+    // dedicated SPSC ring instead of the single nib_event_queue.
+    nib_.configure_sharding(config.nib_shards);
+    for (std::size_t s = 0; s < config.nib_shards; ++s) {
+      ctx_.shard_event_rings.push_back(std::make_unique<SpscRing<NibEvent>>());
+      ctx_.shard_replies.push_back(std::make_unique<NadirFifo<SwitchReply>>());
+      ctx_.shard_health.push_back(
+          std::make_unique<NadirFifo<SwitchHealthEvent>>());
+      ctx_.shard_links.push_back(
+          std::make_unique<NadirFifo<LinkHealthEvent>>());
+      ctx_.commit_queues.push_back(std::make_unique<MpscQueue<CommitJob>>());
+    }
+  } else {
+    nib_.subscribe(&ctx_.nib_event_queue);
+  }
 
   dag_scheduler_ = std::make_unique<DagScheduler>(&ctx_);
   for (std::size_t i = 0; i < config.num_sequencers; ++i) {
     sequencers_.push_back(std::make_unique<Sequencer>(&ctx_, i));
   }
-  nib_event_handler_ = std::make_unique<NibEventHandler>(&ctx_);
+  if (config.sharded()) {
+    for (std::size_t s = 0; s < config.nib_shards; ++s) {
+      auto handler = std::make_unique<NibEventHandler>(&ctx_, s);
+      NibEventHandler* h = handler.get();
+      nib_.set_shard_ring(s, ctx_.shard_event_rings[s].get(),
+                          [h] { h->kick(); });
+      nib_event_handlers_.push_back(std::move(handler));
+    }
+  } else {
+    nib_event_handler_ = std::make_unique<NibEventHandler>(&ctx_);
+  }
   worker_pool_ = std::make_unique<WorkerPool>(&ctx_);
-  monitoring_ = std::make_unique<MonitoringServer>(&ctx_);
+  if (config.sharded()) {
+    reply_router_ = std::make_unique<ReplyRouter>(&ctx_);
+    for (std::size_t s = 0; s < config.nib_shards; ++s) {
+      monitors_.push_back(std::make_unique<MonitoringServer>(&ctx_, s));
+    }
+    commit_pump_ = std::make_unique<CommitPump>(&ctx_);
+    ctx_.kick_commit_pump = [this] { commit_pump_->kick(); };
+  } else {
+    monitoring_ = std::make_unique<MonitoringServer>(&ctx_);
+  }
   topo_handler_ = std::make_unique<TopoEventHandler>(&ctx_);
   failover_ = std::make_unique<FailoverManager>(&ctx_);
   ctx_.kick_workers = [this] { worker_pool_->kick_all(); };
@@ -146,16 +181,29 @@ void ZenithController::delete_dag(DagId id) {
 }
 
 void ZenithController::register_app_sink(NadirFifo<NibEvent>* sink) {
-  nib_event_handler_->register_app_sink(sink);
+  // Sharded mode: every handler forwards the app-relevant events of its own
+  // shard, so registering with all of them reproduces the classic stream
+  // (each event is routed to exactly one shard, so no duplicates).
+  if (nib_event_handler_ != nullptr) {
+    nib_event_handler_->register_app_sink(sink);
+  }
+  for (auto& h : nib_event_handlers_) h->register_app_sink(sink);
 }
 
 std::vector<Component*> ZenithController::components() {
   std::vector<Component*> out;
   out.push_back(dag_scheduler_.get());
   for (auto& s : sequencers_) out.push_back(s.get());
-  out.push_back(nib_event_handler_.get());
+  if (nib_event_handler_ != nullptr) out.push_back(nib_event_handler_.get());
+  for (auto& h : nib_event_handlers_) out.push_back(h.get());
   for (Component* w : worker_pool_->components()) out.push_back(w);
-  out.push_back(monitoring_.get());
+  if (monitoring_ != nullptr) {
+    out.push_back(monitoring_.get());
+  } else {
+    out.push_back(reply_router_.get());
+    for (auto& m : monitors_) out.push_back(m.get());
+    out.push_back(commit_pump_.get());
+  }
   out.push_back(topo_handler_.get());
   out.push_back(failover_.get());
   return out;
@@ -179,11 +227,7 @@ void ZenithController::crash_ofc() {
     ctx_.observability->event("controller", "ofc-crash");
   }
   // Every OFC component dies and is held for the standby instance.
-  std::vector<Component*> ofc = worker_pool_->components();
-  ofc.push_back(monitoring_.get());
-  ofc.push_back(topo_handler_.get());
-  ofc.push_back(failover_.get());
-  for (Component* c : ofc) {
+  for (Component* c : ofc_components()) {
     c->crash();
     c->set_held(true);
   }
@@ -199,9 +243,32 @@ void ZenithController::crash_ofc() {
   ctx_.role_reply_queue.clear();
   ctx_.transport->drop_all_in_flight_replies();
   ctx_.transport->health_events().clear();
+  // The demuxed per-shard queues and the ACK-commit jobs are just as
+  // volatile as the instance's sockets — an ACK parked in either belongs to
+  // the dead instance, and the takeover requeue regenerates that work. The
+  // per-shard NIB-event rings are NOT cleared: they mirror nib_event_queue,
+  // which is NIB-resident state and survives instance failures.
+  for (auto& q : ctx_.shard_replies) q->clear();
+  for (auto& q : ctx_.shard_health) q->clear();
+  for (auto& q : ctx_.shard_links) q->clear();
+  for (auto& q : ctx_.commit_queues) q->clear();
   ctx_.workers_paused = false;
   ctx_.sim->schedule(ctx_.config.failover_takeover_delay,
                      [this] { ofc_takeover(); });
+}
+
+std::vector<Component*> ZenithController::ofc_components() {
+  std::vector<Component*> ofc = worker_pool_->components();
+  if (monitoring_ != nullptr) {
+    ofc.push_back(monitoring_.get());
+  } else {
+    ofc.push_back(reply_router_.get());
+    for (auto& m : monitors_) ofc.push_back(m.get());
+    ofc.push_back(commit_pump_.get());
+  }
+  ofc.push_back(topo_handler_.get());
+  ofc.push_back(failover_.get());
+  return ofc;
 }
 
 void ZenithController::ofc_takeover() {
@@ -216,11 +283,7 @@ void ZenithController::ofc_takeover() {
   // commit OPs this takeover is about to requeue — the same ghost-ACK race
   // the crash-time drop closes for replies already in flight back then.
   ctx_.transport->drop_all_in_flight_replies();
-  std::vector<Component*> ofc = worker_pool_->components();
-  ofc.push_back(monitoring_.get());
-  ofc.push_back(topo_handler_.get());
-  ofc.push_back(failover_.get());
-  for (Component* c : ofc) {
+  for (Component* c : ofc_components()) {
     c->set_held(false);
     c->restart();  // MonitoringServer::on_restart re-syncs switch health
   }
@@ -258,6 +321,9 @@ void ZenithController::requeue_sent_ops(
     if (batch.ops.empty()) {
       batch.sw = op.sw;
       flush_order.push_back(op.sw.value());
+      // Pooled id buffers: the worker releases them back to the arena after
+      // dispatch, same as the sequencer's steady-state batches.
+      if (batch.ops.capacity() == 0) batch.ops = ctx_.batch_arena.acquire();
     }
     batch.ops.push_back(id);
     if (batch.ops.size() >= batch_size) flush(batch);
@@ -273,11 +339,15 @@ void ZenithController::crash_de() {
   std::vector<Component*> de;
   de.push_back(dag_scheduler_.get());
   for (auto& s : sequencers_) de.push_back(s.get());
-  de.push_back(nib_event_handler_.get());
+  if (nib_event_handler_ != nullptr) de.push_back(nib_event_handler_.get());
+  for (auto& h : nib_event_handlers_) de.push_back(h.get());
   for (Component* c : de) {
     c->crash();
     c->set_held(true);
   }
+  // The per-shard NIB-event rings, like nib_event_queue itself, are
+  // NIB-resident and survive the DE instance — the revived handlers resume
+  // draining them.
   for (auto& wakeup : ctx_.sequencer_wakeups) wakeup->clear();
   ctx_.sim->schedule(ctx_.config.failover_takeover_delay,
                      [this] { de_takeover(); });
@@ -291,7 +361,8 @@ void ZenithController::de_takeover() {
   std::vector<Component*> de;
   de.push_back(dag_scheduler_.get());
   for (auto& s : sequencers_) de.push_back(s.get());
-  de.push_back(nib_event_handler_.get());
+  if (nib_event_handler_ != nullptr) de.push_back(nib_event_handler_.get());
+  for (auto& h : nib_event_handlers_) de.push_back(h.get());
   for (Component* c : de) {
     c->set_held(false);
     c->restart();

@@ -14,11 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "core/commit_pump.h"
 #include "core/context.h"
 #include "core/dag_scheduler.h"
 #include "core/failover.h"
 #include "core/monitoring_server.h"
 #include "core/nib_event_handler.h"
+#include "core/reply_router.h"
 #include "core/sequencer.h"
 #include "core/topo_event_handler.h"
 #include "core/watchdog.h"
@@ -88,6 +90,12 @@ class ZenithController {
 
  private:
   void construct(Simulator* sim, CoreConfig config);
+  /// The components that die together in a complete OFC microservice
+  /// failure: the worker pool plus the ACK/health path (the single
+  /// Monitoring Server, or — sharded — the Reply Router, the per-shard
+  /// monitoring instances and the Commit Pump), the Topo Event Handler and
+  /// the failover manager.
+  std::vector<Component*> ofc_components();
   void ofc_takeover();
   void de_takeover();
   /// Re-enqueues every SENT OP accepted by `owned` (null = all) exactly
@@ -108,9 +116,18 @@ class ZenithController {
 
   std::unique_ptr<DagScheduler> dag_scheduler_;
   std::vector<std::unique_ptr<Sequencer>> sequencers_;
+  /// Exactly one of the two handler shapes is populated: the single
+  /// instance when nib_shards <= 1 (classic wiring, byte-identical to the
+  /// pre-sharding pipeline) or one instance per NIB shard otherwise.
   std::unique_ptr<NibEventHandler> nib_event_handler_;
+  std::vector<std::unique_ptr<NibEventHandler>> nib_event_handlers_;
   std::unique_ptr<WorkerPool> worker_pool_;
+  /// Same duality for the ACK path: the single Monitoring Server, or the
+  /// Reply Router + per-shard monitoring instances + Commit Pump pipeline.
   std::unique_ptr<MonitoringServer> monitoring_;
+  std::unique_ptr<ReplyRouter> reply_router_;
+  std::vector<std::unique_ptr<MonitoringServer>> monitors_;
+  std::unique_ptr<CommitPump> commit_pump_;
   std::unique_ptr<TopoEventHandler> topo_handler_;
   std::unique_ptr<FailoverManager> failover_;
   std::unique_ptr<Watchdog> watchdog_;

@@ -13,6 +13,36 @@ MonitoringServer::MonitoringServer(CoreContext* ctx)
   ctx_->transport->link_events().set_wake_callback([this] { kick(); });
 }
 
+MonitoringServer::MonitoringServer(CoreContext* ctx, std::size_t shard)
+    // Validation/forward half only: the NIB commit this step performed in
+    // the classic shape is charged by the CommitPump per batched
+    // transaction (see CoreConfig::monitoring_forward_service).
+    : Component(ctx->sim, "monitoring" + std::to_string(shard),
+                ctx->config.monitoring_forward_service),
+      ctx_(ctx),
+      shard_(shard) {
+  // The Reply Router owns the transport wake callbacks; this instance wakes
+  // on its demuxed per-shard queues.
+  ctx_->shard_replies[shard]->set_wake_callback([this] { kick(); });
+  ctx_->shard_health[shard]->set_wake_callback([this] { kick(); });
+  ctx_->shard_links[shard]->set_wake_callback([this] { kick(); });
+}
+
+NadirFifo<SwitchReply>& MonitoringServer::reply_queue() {
+  return shard_ == kUnsharded ? ctx_->transport->replies()
+                              : *ctx_->shard_replies[shard_];
+}
+
+NadirFifo<SwitchHealthEvent>& MonitoringServer::health_queue() {
+  return shard_ == kUnsharded ? ctx_->transport->health_events()
+                              : *ctx_->shard_health[shard_];
+}
+
+NadirFifo<LinkHealthEvent>& MonitoringServer::link_queue() {
+  return shard_ == kUnsharded ? ctx_->transport->link_events()
+                              : *ctx_->shard_links[shard_];
+}
+
 bool MonitoringServer::try_step() {
   // Health events first: a failure notification should not queue behind a
   // burst of ACKs (the spec models them as separate processes).
@@ -20,7 +50,7 @@ bool MonitoringServer::try_step() {
   // Link/port transitions update the NIB's topology state directly (the
   // Topo Event Handler owns only switch-level health, whose transitions
   // gate OP scheduling).
-  NadirFifo<LinkHealthEvent>& links = ctx_->transport->link_events();
+  NadirFifo<LinkHealthEvent>& links = link_queue();
   if (!links.empty()) {
     LinkHealthEvent event = links.peek();
     ctx_->nib->set_link_up(event.link, event.up);
@@ -31,7 +61,7 @@ bool MonitoringServer::try_step() {
 }
 
 bool MonitoringServer::process_health_event() {
-  NadirFifo<SwitchHealthEvent>& events = ctx_->transport->health_events();
+  NadirFifo<SwitchHealthEvent>& events = health_queue();
   if (events.empty()) return false;
   SwitchHealthEvent event = events.peek();
   // Forward to the Topo Event Handler's queue; it owns all health-state
@@ -42,7 +72,7 @@ bool MonitoringServer::process_health_event() {
 }
 
 bool MonitoringServer::process_reply() {
-  NadirFifo<SwitchReply>& replies = ctx_->transport->replies();
+  NadirFifo<SwitchReply>& replies = reply_queue();
   if (replies.empty()) return false;
   SwitchReply reply = replies.peek();
   Nib& nib = *ctx_->nib;
@@ -69,6 +99,16 @@ bool MonitoringServer::process_reply() {
         if (ctx_->observability != nullptr) {
           ctx_->observability->count("repl_log_submits");
         }
+        break;
+      }
+      if (shard_ != kUnsharded && (op.type == OpType::kInstallRule ||
+                                   op.type == OpType::kDeleteRule)) {
+        // Sharded commit path: the NIB transaction (and the op-closed
+        // observability) happens when the CommitPump applies the job.
+        // ClearTcam/dump replies stay inline — they drive the recovery
+        // state machine and are rare.
+        ctx_->commit_queues[shard_]->push(CommitJob{reply.sw, {op}});
+        if (ctx_->kick_commit_pump) ctx_->kick_commit_pump();
         break;
       }
       bool committed = false;
@@ -130,6 +170,13 @@ bool MonitoringServer::process_reply() {
         }
         break;
       }
+      if (shard_ != kUnsharded) {
+        if (!known.empty()) {
+          ctx_->commit_queues[shard_]->push(CommitJob{reply.sw, std::move(known)});
+          if (ctx_->kick_commit_pump) ctx_->kick_commit_pump();
+        }
+        break;
+      }
       nib.commit_ack_batch(reply.sw, known);
       if (ctx_->observability != nullptr) {
         for (const Op& op : known) {
@@ -172,6 +219,10 @@ void MonitoringServer::on_restart() {
   // instance would leave the NIB permanently stale.
   Nib& nib = *ctx_->nib;
   for (SwitchId sw : nib.switches()) {
+    // Sharded instances re-sync only the switches they own — the peers
+    // cover theirs, so the union is exactly the classic single-instance
+    // resync without duplicate synthesized events.
+    if (shard_ != kUnsharded && ctx_->nib_shard_of(sw) != shard_) continue;
     bool actually_up = ctx_->transport->switch_alive(sw);
     SwitchHealth recorded = nib.switch_health(sw);
     if (!actually_up && recorded != SwitchHealth::kDown) {

@@ -91,6 +91,9 @@ std::size_t Sequencer::schedule_ready_ops(const Dag& dag) {
     if (batch.ops.empty()) {
       batch.sw = op.sw;
       flush_order.push_back(op.sw.value());
+      // Pooled id buffers (PR 8): acquire a recycled vector instead of
+      // growing a fresh one; the worker releases it after dispatch.
+      if (batch.ops.capacity() == 0) batch.ops = ctx_->batch_arena.acquire();
     }
     batch.ops.push_back(id);
     // A switch that refills after a flush lands in flush_order again; the

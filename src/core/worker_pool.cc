@@ -70,6 +70,7 @@ bool Worker::try_step() {
       OpBatch batch = std::move(*popped_batch_);
       popped_batch_.reset();
       process(batch);
+      ctx_->batch_arena.release(std::move(batch.ops));
       return true;
     }
     if (queue.empty()) return false;
@@ -79,11 +80,14 @@ bool Worker::try_step() {
 
   if (queue.empty()) return false;
   process(queue.peek());  // AckQueueRead
+  // AckQueuePop — done here (not inside process) so the spent id buffer can
+  // be recycled through the batch arena instead of freed.
+  OpBatch spent = queue.pop();
+  ctx_->batch_arena.release(std::move(spent.ops));
   return true;
 }
 
 void Worker::process(const OpBatch& batch) {
-  NadirFifo<OpBatch>& queue = *ctx_->op_queues.at(id_.value());
   Nib& nib = *ctx_->nib;
   const SpecBugs& bugs = ctx_->config.bugs;
 
@@ -91,7 +95,8 @@ void Worker::process(const OpBatch& batch) {
   // and its SENT status land in the NIB before the message carrying it goes
   // out. The health gate is evaluated per OP, but a sequencer batch targets
   // one switch, so in practice the whole batch goes one way.
-  std::vector<Op> to_send;
+  std::vector<Op>& to_send = to_send_;  // member scratch, reused across steps
+  to_send.clear();
   to_send.reserve(batch.ops.size());
   for (OpId op_id : batch.ops) {
     const Op& op = nib.op(op_id);
@@ -132,9 +137,9 @@ void Worker::process(const OpBatch& batch) {
     }
   }
 
-  // Clear the in-progress slot, then drop the queue entry (RemoveOPFromQueue).
+  // Clear the in-progress slot; the caller drops the queue entry
+  // (RemoveOPFromQueue) and recycles its id buffer.
   nib.set_worker_state(id_, std::nullopt);
-  if (!bugs.pop_before_process) queue.ack_pop();
 }
 
 void Worker::on_crash() { popped_batch_.reset(); }

@@ -46,6 +46,8 @@ class Worker : public Component {
 
   CoreContext* ctx_;
   WorkerId id_;
+  /// Scratch reused across process() calls to avoid a per-batch allocation.
+  std::vector<Op> to_send_;
   /// pop-before-process bug only: the dequeued-but-unprocessed batch lives
   /// in volatile local state for one service step — a crash in that window
   /// loses it (the §3.9 "event processing" error class).

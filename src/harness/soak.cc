@@ -46,7 +46,19 @@ bool SoakWorkload::pick_groups() {
     std::uint64_t key =
         (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
     if (!used_pairs.insert(key).second) continue;
-    auto path = shortest_path(topo, src, dst);
+    std::optional<Path> path;
+    if (config_.path_spread > 1) {
+      // ECMP-style spread: pick (seeded) among the alternative paths so
+      // group load fans across the equal-cost agg/core layer instead of
+      // piling onto the deterministic BFS winner (see SoakConfig).
+      std::vector<Path> alternatives =
+          k_alternative_paths(topo, src, dst, config_.path_spread);
+      std::erase_if(alternatives,
+                    [](const Path& p) { return p.size() < 3; });
+      if (!alternatives.empty()) path = rng_.pick(alternatives);
+    } else {
+      path = shortest_path(topo, src, dst);
+    }
     if (!path || path->size() < 3) continue;  // want a multi-hop elephant
     Group group;
     group.path = *path;
@@ -64,15 +76,32 @@ bool SoakWorkload::pick_groups() {
   }
   // Single-component crash targets (the Watchdog restarts each); whole-
   // microservice failovers are the chaos campaigns' job, not the soak's.
+  const CoreConfig& core = experiment_->config().core;
   crashable_components_.push_back("dag_scheduler");
-  for (std::size_t i = 0; i < experiment_->config().core.num_sequencers; ++i) {
+  for (std::size_t i = 0; i < core.num_sequencers; ++i) {
     crashable_components_.push_back("sequencer" + std::to_string(i));
   }
-  crashable_components_.push_back("nib_event_handler");
-  for (std::size_t i = 0; i < experiment_->config().core.num_workers; ++i) {
+  if (core.sharded()) {
+    for (std::size_t s = 0; s < core.nib_shards; ++s) {
+      crashable_components_.push_back("nib_event_handler" + std::to_string(s));
+    }
+  } else {
+    crashable_components_.push_back("nib_event_handler");
+  }
+  for (std::size_t i = 0; i < core.num_workers; ++i) {
     crashable_components_.push_back("worker" + std::to_string(i));
   }
-  crashable_components_.push_back("monitoring");
+  if (core.sharded()) {
+    // The sharded ACK path: router, per-shard monitoring, and the pump all
+    // take the same single-component crashes the classic monitoring did.
+    crashable_components_.push_back("reply_router");
+    for (std::size_t s = 0; s < core.nib_shards; ++s) {
+      crashable_components_.push_back("monitoring" + std::to_string(s));
+    }
+    crashable_components_.push_back("commit_pump");
+  } else {
+    crashable_components_.push_back("monitoring");
+  }
   crashable_components_.push_back("topo_handler");
   return true;
 }

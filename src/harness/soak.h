@@ -32,6 +32,14 @@ struct SoakConfig {
   std::size_t target_ops = 1'000'000;
   /// Endpoint candidates (e.g. fat-tree edge switches); empty = any switch.
   std::vector<SwitchId> endpoints;
+  /// ECMP-style path diversity: each group picks its path (seeded) from up
+  /// to this many alternative shortest-ish paths instead of always the
+  /// deterministic BFS winner. 1 (the default) keeps the classic
+  /// single-path behavior byte-identical. Fat-tree BFS concentrates every
+  /// pod's traffic on stride-aligned agg/core switches, which no shard map
+  /// can balance; real fabrics hash flows across the equal-cost fan, and
+  /// the parallel hot-path tier measures against that spread.
+  std::size_t path_spread = 1;
   SimTime dag_timeout = seconds(120);
   /// Light chaos: transient blips on non-path switches + single-component
   /// crashes. Off-path by construction, so every round still converges.

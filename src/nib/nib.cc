@@ -16,30 +16,103 @@ const char* to_string(SwitchHealth h) {
   return "?";
 }
 
+void Nib::configure_sharding(std::size_t shards) {
+  assert(ops_.empty() && switch_health_.empty() &&
+         "configure_sharding on a populated NIB");
+  shards_ = std::max<std::size_t>(1, shards);
+  by_status_.assign(shards_, StatusIndex{});
+  write_counts_.assign(shards_, PaddedCounter{});
+}
+
+void Nib::set_shard_ring(std::size_t shard, SpscRing<NibEvent>* ring,
+                         std::function<void()> wake) {
+  assert(shard < shards_);
+  if (shard_io_.size() < shards_) shard_io_.resize(shards_);
+  shard_io_[shard].ring = ring;
+  shard_io_[shard].wake = std::move(wake);
+}
+
+void Nib::begin_parallel_commits() {
+  assert(!parallel_section_);
+  parallel_section_ = true;
+}
+
+void Nib::end_parallel_commits() {
+  assert(parallel_section_);
+  parallel_section_ = false;
+  // Replay deferred events in ascending shard order: rings, classic sinks,
+  // wakes — byte-identical to a serial shard-order application.
+  for (std::size_t s = 0; s < shard_io_.size(); ++s) {
+    ShardIo& io = shard_io_[s];
+    for (const NibEvent& event : io.deferred) publish_to_shard(s, event);
+    io.deferred.clear();
+  }
+}
+
+void Nib::publish_to_shard(std::size_t shard, const NibEvent& event) {
+  ShardIo& io = shard_io_[shard];
+  if (parallel_section_) {
+    // Captured by the shard's own committing thread; replayed at
+    // end_parallel_commits() on the simulator thread.
+    io.deferred.push_back(event);
+    return;
+  }
+  const bool was_empty = io.ring->empty();
+  if (!io.ring->try_push(event)) {
+    io.ring->grow();  // simulator thread: producer == consumer, safe
+    bool pushed = io.ring->try_push(event);
+    assert(pushed && "SPSC ring full right after grow()");
+    (void)pushed;
+  }
+  for (EventSink sink : sinks_) sink->push(event);
+  if (was_empty && io.wake) io.wake();
+}
+
 void Nib::publish(const NibEvent& event) {
+  if (!shard_io_.empty()) {
+    std::size_t shard = 0;
+    switch (event.type) {
+      case NibEvent::Type::kOpStatusChanged:
+      case NibEvent::Type::kSwitchHealthChanged:
+        shard = shard_of(event.sw);
+        break;
+      default:
+        break;  // non-switch-keyed events route to shard 0
+    }
+    publish_to_shard(shard, event);
+    return;
+  }
   for (EventSink sink : sinks_) sink->push(event);
 }
 
 void Nib::index_insert(OpId id, SwitchId sw, OpStatus status) {
   auto slot = static_cast<std::size_t>(status);
-  by_status_[slot].insert(id);
-  by_switch_status_[sw][slot].insert(id);
+  by_status_[shard_of(sw)][slot].insert(id);
+  auto it = by_switch_status_.find(sw);
+  if (it == by_switch_status_.end()) {
+    // First OP for this switch. Only reachable from the simulator thread
+    // (put_op / preload precede any commit), so the rehash is safe.
+    assert(!parallel_section_);
+    it = by_switch_status_.emplace(sw, StatusIndex{}).first;
+  }
+  it->second[slot].insert(id);
 }
 
 void Nib::index_erase(OpId id, SwitchId sw, OpStatus status) {
   auto slot = static_cast<std::size_t>(status);
-  by_status_[slot].erase(id);
+  by_status_[shard_of(sw)][slot].erase(id);
   auto it = by_switch_status_.find(sw);
   if (it != by_switch_status_.end()) it->second[slot].erase(id);
 }
 
 void Nib::put_op(const Op& op) {
   assert(op.id.valid());
+  assert(!parallel_section_);
   auto [it, inserted] = ops_.emplace(op.id, op);
   if (inserted) {
     op_status_[op.id] = OpStatus::kNone;
     index_insert(op.id, op.sw, OpStatus::kNone);
-    ++write_count_;
+    ++write_counts_[shard_of(op.sw)].value;
   } else {
     assert(it->second == op && "op id reused with different payload");
   }
@@ -52,8 +125,9 @@ OpStatus Nib::op_status(OpId id) const {
 
 void Nib::set_op_status(OpId id, OpStatus status) {
   assert(ops_.count(id) && "status write for unregistered op");
-  ++write_count_;
+  assert(!parallel_section_ && "per-op status writes are simulator-thread only");
   OpStatus& slot = op_status_[id];
+  ++write_counts_[shard_of(ops_.at(id).sw)].value;
   if (slot == status) return;
   SwitchId sw = ops_.at(id).sw;
   index_erase(id, sw, slot);
@@ -84,12 +158,13 @@ std::vector<OpId> Nib::ops_on_switch(SwitchId sw, StatusMask filter) const {
 }
 
 void Nib::preload_op(const Op& op, OpStatus status, bool in_view) {
+  assert(!parallel_section_);
   auto [it, inserted] = ops_.emplace(op.id, op);
   if (!inserted) index_erase(op.id, it->second.sw, op_status_[op.id]);
   op_status_[op.id] = status;
   index_insert(op.id, it->second.sw, status);
   if (in_view) view_[op.sw].insert(op.id);
-  ++write_count_;
+  ++write_counts_[shard_of(op.sw)].value;
 }
 
 std::size_t Nib::commit_ack_batch(SwitchId sw, const std::vector<Op>& ops) {
@@ -99,6 +174,12 @@ std::size_t Nib::commit_ack_batch(SwitchId sw, const std::vector<Op>& ops) {
   // -> Sequencer wakeups) one service step instead of sixteen. Without this
   // the per-OP kOpStatusChanged stream re-serializes exactly the traffic
   // batching removed from the Monitoring Server.
+  // Thread note: inside a parallel commit section this runs on a pool
+  // thread, one call per shard, each touching only its own shard's rows.
+  // Map *topology* is never mutated here — every key pre-exists (put_op /
+  // register_switch happen on the simulator thread before any ACK), so the
+  // find()-based lookups below are rehash-free and the per-value writes are
+  // disjoint across shards.
   std::size_t committed = 0;
   NibEvent event;
   event.type = NibEvent::Type::kOpStatusChanged;
@@ -106,8 +187,8 @@ std::size_t Nib::commit_ack_batch(SwitchId sw, const std::vector<Op>& ops) {
   event.sw = sw;
   for (const Op& op : ops) {
     if (!ops_.count(op.id)) continue;  // orphan element; the caller counts it
-    ++write_count_;
-    OpStatus& slot = op_status_[op.id];
+    ++write_counts_[shard_of(sw)].value;
+    OpStatus& slot = op_status_.find(op.id)->second;
     if (slot != OpStatus::kDone) {
       index_erase(op.id, sw, slot);
       index_insert(op.id, sw, OpStatus::kDone);
@@ -134,16 +215,28 @@ std::size_t Nib::commit_ack_batch(SwitchId sw, const std::vector<Op>& ops) {
 }
 
 std::vector<OpId> Nib::ops_with_status(OpStatus status) const {
-  const std::set<OpId>& ids = by_status_[static_cast<std::size_t>(status)];
-  return std::vector<OpId>(ids.begin(), ids.end());
+  const auto slot = static_cast<std::size_t>(status);
+  if (by_status_.size() == 1) {
+    const std::set<OpId>& ids = by_status_[0][slot];
+    return std::vector<OpId>(ids.begin(), ids.end());
+  }
+  std::vector<OpId> out;
+  for (const StatusIndex& index : by_status_) {
+    out.insert(out.end(), index[slot].begin(), index[slot].end());
+  }
+  // Per-shard runs are id-sorted; merge into the global id order the
+  // unsharded index produced.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Nib::register_switch(SwitchId sw) {
+  assert(!parallel_section_);
   if (switch_health_.emplace(sw, SwitchHealth::kUp).second) {
     switches_cache_stale_ = true;
   }
   view_.emplace(sw, std::unordered_set<OpId>{});
-  ++write_count_;
+  ++write_counts_[shard_of(sw)].value;
 }
 
 SwitchHealth Nib::switch_health(SwitchId sw) const {
@@ -155,7 +248,8 @@ SwitchHealth Nib::switch_health(SwitchId sw) const {
 void Nib::set_switch_health(SwitchId sw, SwitchHealth health) {
   auto it = switch_health_.find(sw);
   assert(it != switch_health_.end() && "unregistered switch");
-  ++write_count_;
+  assert(!parallel_section_);
+  ++write_counts_[shard_of(sw)].value;
   if (it->second == health) return;
   bool was_up = it->second == SwitchHealth::kUp;
   it->second = health;
@@ -170,7 +264,8 @@ void Nib::set_switch_health(SwitchId sw, SwitchHealth health) {
 }
 
 void Nib::set_link_up(LinkId link, bool up) {
-  ++write_count_;
+  assert(!parallel_section_);
+  ++write_counts_[0].value;
   bool was_up = !down_links_.count(link);
   if (was_up == up) return;
   if (up) {
@@ -197,18 +292,30 @@ const std::vector<SwitchId>& Nib::switches() const {
 }
 
 void Nib::view_add_installed(SwitchId sw, OpId op) {
-  view_[sw].insert(op);
-  ++write_count_;
+  // find() rather than operator[]: commits mutate the view from pool
+  // threads, where inserting a new key (rehash) would race. The key always
+  // pre-exists by then (register_switch runs first, on the simulator
+  // thread); a missing key is only legal outside parallel sections.
+  auto it = view_.find(sw);
+  if (it == view_.end()) {
+    assert(!parallel_section_);
+    it = view_.emplace(sw, std::unordered_set<OpId>{}).first;
+  }
+  it->second.insert(op);
+  ++write_counts_[shard_of(sw)].value;
 }
 
 void Nib::view_remove_installed(SwitchId sw, OpId op) {
-  view_[sw].erase(op);
-  ++write_count_;
+  auto it = view_.find(sw);
+  if (it != view_.end()) it->second.erase(op);
+  ++write_counts_[shard_of(sw)].value;
 }
 
 void Nib::view_clear_switch(SwitchId sw) {
-  view_[sw].clear();
-  ++write_count_;
+  assert(!parallel_section_);
+  auto it = view_.find(sw);
+  if (it != view_.end()) it->second.clear();
+  ++write_counts_[shard_of(sw)].value;
 }
 
 const std::unordered_set<OpId>& Nib::view_installed(SwitchId sw) const {
@@ -221,12 +328,12 @@ void Nib::put_dag(Dag dag) {
   assert(id.valid());
   for (const Op* op : dag.all_ops()) put_op(*op);
   dags_[id] = std::move(dag);
-  ++write_count_;
+  ++write_counts_[0].value;
 }
 
 void Nib::remove_dag(DagId id) {
   dags_.erase(id);
-  ++write_count_;
+  ++write_counts_[0].value;
   if (current_dag_ == id) current_dag_.reset();
 }
 
@@ -239,12 +346,12 @@ void Nib::publish_dag_done(DagId id) {
 
 void Nib::mark_dag_done(DagId id) {
   done_dags_.insert(id);
-  ++write_count_;
+  ++write_counts_[0].value;
 }
 
 void Nib::clear_dag_done(DagId id) {
   done_dags_.erase(id);
-  ++write_count_;
+  ++write_counts_[0].value;
 }
 
 void Nib::publish_dag_accepted(DagId id) {
@@ -255,7 +362,8 @@ void Nib::publish_dag_accepted(DagId id) {
 }
 
 void Nib::set_worker_state(WorkerId worker, std::optional<OpId> op) {
-  ++write_count_;
+  assert(!parallel_section_);
+  ++write_counts_[0].value;
   if (op.has_value()) {
     // §B safety: "no two workers can work on the same task at the same
     // time". Consistent sharding makes this structural; the NIB asserts it
@@ -337,6 +445,94 @@ std::uint64_t Nib::state_fingerprint() const {
     mix(worker.value());
     mix(op.value());
   }
+  return h;
+}
+
+std::uint64_t Nib::write_count() const {
+  std::uint64_t total = 0;
+  for (const PaddedCounter& c : write_counts_) total += c.value;
+  return total;
+}
+
+std::uint64_t Nib::shard_fingerprint(std::size_t shard,
+                                     std::size_t shards) const {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+
+  mix(0x53484152u);  // shard slice header: (shard, shards)
+  mix(shard);
+  mix(shards);
+
+  mix(0x4f505354u);  // this shard's OP statuses, sorted by id
+  std::vector<OpId> op_ids;
+  for (const auto& [id, op] : ops_) {
+    if (shard_slot(op.sw, shards) == shard) op_ids.push_back(id);
+  }
+  std::sort(op_ids.begin(), op_ids.end());
+  for (OpId id : op_ids) {
+    mix(id.value());
+    mix(static_cast<std::uint64_t>(op_status_.at(id)));
+  }
+
+  mix(0x53574854u);  // this shard's switches: health + view R_c
+  for (SwitchId sw : switches()) {
+    if (shard_slot(sw, shards) != shard) continue;
+    mix(sw.value());
+    mix(static_cast<std::uint64_t>(switch_health_.at(sw)));
+    std::vector<OpId> installed(view_installed(sw).begin(),
+                                view_installed(sw).end());
+    std::sort(installed.begin(), installed.end());
+    mix(installed.size());
+    for (OpId id : installed) mix(id.value());
+  }
+
+  if (shard == 0) {
+    // Shard 0 additionally owns the non-switch-keyed state, mirroring the
+    // event-routing rule (non-switch events go to shard 0's ring).
+    mix(0x4c4e4b53u);
+    std::vector<LinkId> links(down_links_.begin(), down_links_.end());
+    std::sort(links.begin(), links.end());
+    for (LinkId link : links) mix(link.value());
+
+    mix(0x44414753u);
+    std::vector<DagId> dag_ids;
+    dag_ids.reserve(dags_.size());
+    for (const auto& [id, _] : dags_) dag_ids.push_back(id);
+    std::sort(dag_ids.begin(), dag_ids.end());
+    for (DagId id : dag_ids) mix(id.value());
+    std::vector<DagId> done_ids(done_dags_.begin(), done_dags_.end());
+    std::sort(done_ids.begin(), done_ids.end());
+    for (DagId id : done_ids) mix(id.value());
+    mix(current_dag_ ? current_dag_->value() : ~0ull);
+
+    mix(0x574b5253u);
+    std::vector<std::pair<WorkerId, OpId>> slots(worker_state_.begin(),
+                                                 worker_state_.end());
+    std::sort(slots.begin(), slots.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [worker, op] : slots) {
+      mix(worker.value());
+      mix(op.value());
+    }
+  }
+  return h;
+}
+
+std::uint64_t Nib::folded_shard_fingerprint(std::size_t shards) const {
+  if (shards == 0) shards = shards_;
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  for (std::size_t s = 0; s < shards; ++s) mix(shard_fingerprint(s, shards));
   return h;
 }
 

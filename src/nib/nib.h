@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <functional>
 #include <optional>
 #include <set>
@@ -26,6 +27,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "common/spsc_ring.h"
 #include "dag/dag.h"
 #include "nib/events.h"
 #include "sim/fifo.h"
@@ -46,6 +48,59 @@ class Nib {
 
   /// Registers a subscriber queue that receives every published event.
   void subscribe(EventSink sink) { sinks_.push_back(sink); }
+
+  // ---- sharding (PR 8) -----------------------------------------------------
+  //
+  // The NIB partitions its hot mutable state by switch: each shard owns the
+  // secondary status indexes of its switches, a padded write counter, and a
+  // lock-free SPSC event ring into that shard's NIB Event Handler. shards
+  // <= 1 (the default) keeps the unsharded single-index layout and the
+  // classic subscribe()-queue event path byte-identical.
+
+  /// The canonical switch -> shard map: the same stable splitmix64 mix the
+  /// worker pool uses (CoreContext::shard_of), so ownership is a pure
+  /// function of (switch id, shard count) — identical across runs, sharded
+  /// or not. A mixing hash, not a plain modulo: topology generators hand
+  /// out ids with structured strides (fat-tree pod blocks), and the
+  /// deterministic routing concentrates load on stride-aligned switches (a
+  /// pod's first agg), so `id % shards` can land every hot switch on one
+  /// shard. With shards <= 1 everything maps to shard 0.
+  static std::size_t shard_slot(SwitchId sw, std::size_t shards) {
+    if (shards <= 1) return 0;
+    std::uint64_t x =
+        static_cast<std::uint64_t>(sw.value()) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % shards);
+  }
+
+  /// Splits the indexes/counters into `shards` partitions. Must be called
+  /// before any state is registered (fresh NIB only).
+  void configure_sharding(std::size_t shards);
+  std::size_t shard_count() const { return shards_; }
+  std::size_t shard_of(SwitchId sw) const { return shard_slot(sw, shards_); }
+
+  /// Attaches shard `shard`'s event ring and wake hook. Once any ring is
+  /// attached, publish() routes switch-keyed events (kOpStatusChanged,
+  /// kSwitchHealthChanged) to the owning shard's ring and everything else
+  /// to shard 0's — while still fanning every event out to the classic
+  /// subscribe() sinks (the chaos oracle's hidden-probe tap). `wake` fires
+  /// on every empty -> non-empty ring transition, on the simulator thread.
+  void set_shard_ring(std::size_t shard, SpscRing<NibEvent>* ring,
+                      std::function<void()> wake);
+
+  /// Opens a parallel commit section: until end_parallel_commits() the ONLY
+  /// legal mutations are commit_ack_batch calls, one serial lane per shard
+  /// (a lane may apply many batches, in order), each touching only its own
+  /// shard's switches. Events produced inside the section are captured per
+  /// shard and replayed — rings, sinks and wakes — in ascending shard order
+  /// (FIFO within each shard) at end_parallel_commits(), so a pool-parallel
+  /// section is byte-identical to applying the same commits serially in
+  /// shard order. Caller: the CommitPump, inside one atomic simulator step
+  /// (no other component runs concurrently).
+  void begin_parallel_commits();
+  void end_parallel_commits();
 
   // ---- OP table ------------------------------------------------------------
 
@@ -140,8 +195,10 @@ class Nib {
 
   /// Number of NIB writes performed; reconciliation's NIB-update bottleneck
   /// (Figure 4b) is modeled by charging simulated time per write in the PR
-  /// reconciler, and tests use the counter to verify write volumes.
-  std::uint64_t write_count() const { return write_count_; }
+  /// reconciler, and tests use the counter to verify write volumes. Stored
+  /// as one cache-line-padded counter per shard (parallel commit sections
+  /// bump them concurrently); the total is the sum.
+  std::uint64_t write_count() const;
 
   // ---- state fingerprint -----------------------------------------------------
 
@@ -154,6 +211,18 @@ class Nib {
   /// and the golden-fingerprint corpus are asserted over this digest.
   std::uint64_t state_fingerprint() const;
 
+  /// Digest of the slice of durable state owned by shard `shard` under a
+  /// `shards`-way shard_slot partition (shard 0 additionally owns the
+  /// non-switch-keyed state: links, DAG bookkeeping, worker slots). Pure
+  /// read-side function of the partition parameters — computable on ANY
+  /// Nib, sharded or not — so the equivalence sweep can fold the shards of
+  /// a sharded run and compare against the same fold of an unsharded run.
+  std::uint64_t shard_fingerprint(std::size_t shard, std::size_t shards) const;
+
+  /// shard_fingerprint(0..shards-1, shards) folded in ascending shard
+  /// order. shards == 0 means "this NIB's own shard count".
+  std::uint64_t folded_shard_fingerprint(std::size_t shards = 0) const;
+
  private:
   /// Ordered OpId sets per status — one network-wide, one per switch. Kept
   /// incrementally consistent with op_status_ by every status write, so the
@@ -161,13 +230,33 @@ class Nib {
   /// PR deadlock scans) are O(result) lookups instead of full-table scans.
   using StatusIndex = std::array<std::set<OpId>, kNumOpStatuses>;
 
+  /// Padded so concurrent per-shard increments in a parallel commit section
+  /// don't false-share one cache line.
+  struct alignas(64) PaddedCounter {
+    std::uint64_t value = 0;
+  };
+
+  /// Per-shard event plumbing (empty vector until set_shard_ring is called).
+  struct ShardIo {
+    SpscRing<NibEvent>* ring = nullptr;
+    std::function<void()> wake;
+    /// Events produced inside a parallel commit section, replayed in shard
+    /// order at end_parallel_commits(). Only the shard's own committing
+    /// thread appends, so no locking is needed.
+    std::vector<NibEvent> deferred;
+  };
+
   void publish(const NibEvent& event);
+  void publish_to_shard(std::size_t shard, const NibEvent& event);
   void index_insert(OpId id, SwitchId sw, OpStatus status);
   void index_erase(OpId id, SwitchId sw, OpStatus status);
 
   std::unordered_map<OpId, Op> ops_;
   std::unordered_map<OpId, OpStatus> op_status_;
-  StatusIndex by_status_;
+  /// One network-wide status index per shard; slot = shard_of(op.sw).
+  /// Unsharded this is a single element, making every lookup identical to
+  /// the classic layout.
+  std::vector<StatusIndex> by_status_ = std::vector<StatusIndex>(1);
   std::unordered_map<SwitchId, StatusIndex> by_switch_status_;
   std::unordered_map<SwitchId, SwitchHealth> switch_health_;
   mutable std::vector<SwitchId> switches_cache_;
@@ -179,7 +268,10 @@ class Nib {
   std::optional<DagId> current_dag_;
   std::unordered_map<WorkerId, OpId> worker_state_;
   std::vector<EventSink> sinks_;
-  std::uint64_t write_count_ = 0;
+  std::size_t shards_ = 1;
+  std::vector<ShardIo> shard_io_;
+  bool parallel_section_ = false;
+  std::vector<PaddedCounter> write_counts_ = std::vector<PaddedCounter>(1);
 
   static const std::unordered_set<OpId> kEmptyView;
 };

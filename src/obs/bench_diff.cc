@@ -28,6 +28,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -118,7 +119,11 @@ int main(int argc, char** argv) {
               "ratio");
   std::size_t flagged = 0;
   std::size_t compared = 0;
-  std::size_t gate_failures = 0;
+  // Each entry: one line naming the failed gate metric with both values, so
+  // the CI log's final lines identify the regression without scrolling back
+  // through the full comparison table.
+  std::vector<std::string> gate_failures;
+  char detail[256];
   for (const auto& [name, base_value] : baseline) {
     const bool gating = gated.count(name) > 0;
     auto it = current.find(name);
@@ -126,7 +131,12 @@ int main(int argc, char** argv) {
       std::printf("%-48s %14.4g %14s %8s  MISSING%s\n", name.c_str(),
                   base_value, "-", "-", gating ? " (GATE)" : "");
       ++flagged;
-      if (gating) ++gate_failures;
+      if (gating) {
+        std::snprintf(detail, sizeof(detail),
+                      "%s: committed %.6g, current run did not report it",
+                      name.c_str(), base_value);
+        gate_failures.push_back(detail);
+      }
       continue;
     }
     ++compared;
@@ -139,7 +149,14 @@ int main(int argc, char** argv) {
                 over ? (gating ? "  FAIL (GATE)" : "  WARN") : "");
     if (over) {
       ++flagged;
-      if (gating) ++gate_failures;
+      if (gating) {
+        std::snprintf(detail, sizeof(detail),
+                      "%s: committed %.6g, current %.6g (%+.1f%%, threshold "
+                      "±%.0f%%)",
+                      name.c_str(), base_value, it->second,
+                      (ratio - 1.0) * 100.0, threshold * 100.0);
+        gate_failures.push_back(detail);
+      }
     }
   }
   for (const auto& [name, value] : current) {
@@ -154,15 +171,22 @@ int main(int argc, char** argv) {
     if (baseline.count(name) == 0) {
       std::printf("%-48s gated metric absent from baseline  FAIL (GATE)\n",
                   name.c_str());
-      ++gate_failures;
+      std::snprintf(detail, sizeof(detail),
+                    "%s: named in --gate but absent from committed baseline "
+                    "'%s' — stale gate list or missing re-baseline",
+                    name.c_str(), baseline_path);
+      gate_failures.push_back(detail);
     }
   }
   std::printf("%zu metric(s) compared, %zu outside ±%.0f%% of baseline\n",
               compared, flagged, threshold * 100.0);
-  if (gate_failures > 0) {
+  if (!gate_failures.empty()) {
     std::printf("%zu gated metric(s) failed — these are deterministic "
-                "counters; the regression is real, not host noise\n",
-                gate_failures);
+                "counters; the regression is real, not host noise:\n",
+                gate_failures.size());
+    for (const std::string& failure : gate_failures) {
+      std::printf("  GATE FAIL %s\n", failure.c_str());
+    }
     return 1;
   }
   if (flagged > 0) {

@@ -1,0 +1,157 @@
+// The lock-free stage queues of the sharded hot path (PR 8): SpscRing (the
+// per-shard NIB-event channel) and MpscQueue (the ACK-commit stage queue).
+// Single-thread semantics pin the FIFO/wraparound/grow contracts; the
+// threaded stress cases are the ones scripts/ci.sh re-runs under TSan — the
+// memory-order arguments in the headers are validated there, not by review.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "common/spsc_ring.h"
+
+namespace zenith {
+namespace {
+
+TEST(SpscRing, SingleThreadFifoWithWraparound) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.empty());
+  // Push/pop interleaved far past the capacity so the cursors wrap.
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.try_push(next_in++));
+    EXPECT_TRUE(ring.try_push(next_in++));
+    auto out = ring.try_pop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, next_out++);
+    out = ring.try_pop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, next_out++);
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, RejectsPushWhenFull) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.try_push(99));
+  auto out = ring.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 0);
+  EXPECT_TRUE(ring.try_push(4));  // slot freed
+}
+
+TEST(SpscRing, GrowPreservesFifoOrderAcrossWrap) {
+  SpscRing<int> ring(4);
+  // Advance the cursors so the occupied window straddles the wrap point,
+  // then fill completely and grow.
+  ASSERT_TRUE(ring.try_push(-1));
+  ASSERT_TRUE(ring.try_push(-2));
+  ring.try_pop();
+  ring.try_pop();
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  ASSERT_FALSE(ring.try_push(4));
+  ring.grow();
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.size(), 4u);
+  ASSERT_TRUE(ring.try_push(4));
+  for (int want = 0; want <= 4; ++want) {
+    auto out = ring.try_pop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, want);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+// The TSan-validated case: one real producer thread, one real consumer
+// thread, strict order and no loss across many wraparounds of a tiny ring.
+TEST(SpscRing, ConcurrentProducerConsumerKeepsOrder) {
+  constexpr std::uint64_t kItems = 200'000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kItems) {
+    auto out = ring.try_pop();
+    if (!out.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*out, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscQueue, SingleThreadFifo) {
+  MpscQueue<int> queue;
+  EXPECT_TRUE(queue.empty());
+  for (int i = 0; i < 100; ++i) queue.push(i);
+  EXPECT_FALSE(queue.empty());
+  for (int want = 0; want < 100; ++want) {
+    auto out = queue.try_pop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, want);
+  }
+  EXPECT_FALSE(queue.try_pop().has_value());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(MpscQueue, ClearDrainsEverything) {
+  MpscQueue<int> queue;
+  for (int i = 0; i < 10; ++i) queue.push(i);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.try_pop().has_value());
+  queue.push(42);  // still usable after clear
+  auto out = queue.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 42);
+}
+
+// Four producers race while the consumer drains concurrently: every item
+// arrives exactly once, and each producer's own items stay in its push
+// order (the MPSC guarantee — no cross-producer order is promised).
+TEST(MpscQueue, ConcurrentProducersCompleteAndStayPerProducerFifo) {
+  constexpr std::uint64_t kPerProducer = 50'000;
+  constexpr std::uint64_t kProducers = 4;
+  MpscQueue<std::uint64_t> queue;
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        queue.push((p << 32) | i);  // tag: producer id | sequence
+      }
+    });
+  }
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t drained = 0;
+  while (drained < kProducers * kPerProducer) {
+    auto out = queue.try_pop();
+    if (!out.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t p = *out >> 32;
+    const std::uint64_t seq = *out & 0xffffffffull;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(seq, next_seq[p]) << "producer " << p << " reordered";
+    ++next_seq[p];
+    ++drained;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace zenith
