@@ -61,6 +61,20 @@ ctest --test-dir "$repo/build-ci-release" --output-on-failure -L replication
 echo "=== [replication] ctest -L replication (TSan) ==="
 ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -L replication
 
+# Model-checker tier (PR 9): the parallel exploration engine. The `mc`
+# label runs the full checker suite — including the thread-count
+# equivalence grids and counterexample replay — in Release, then again
+# under TSan: the work-stealing frontier, the striped-lock seen-set and the
+# first-violation claim are exactly the code where a memory-order mistake
+# would corrupt a verification verdict silently. The TSan pass also covers
+# the ShardedFingerprintSet concurrent-insert case in common_test.
+echo "=== [mc] ctest -L mc (Release) ==="
+ctest --test-dir "$repo/build-ci-release" --output-on-failure -L mc
+echo "=== [mc] parallel checker suites (TSan) ==="
+ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -L mc
+GTEST_FILTER='ShardedFingerprintSet.*' \
+  ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -R common_test
+
 # Wire tier: the binary codec's adversarial suite re-runs under ASan+UBSan
 # (where "rejects cleanly" means no overflow, no over-read, no giant
 # allocation — not just a non-crash), then the real daemon pair runs the
@@ -121,6 +135,7 @@ bench_smoke() {
       --chrome-trace "$scratch/chrome_trace.json")
   (cd "$scratch" && "$tree/bench/bench_soak" --quick --json)
   (cd "$scratch" && "$tree/bench/bench_wire_loopback" --quick --json)
+  (cd "$scratch" && "$tree/bench/bench_tab04_mc_optimizations" --quick --json)
   "$tree/src/obs/zenith_json_check" "$scratch"/BENCH_*.json \
     "$scratch/chrome_trace.json"
   echo "=== [bench-gate] diff vs committed baselines (deterministic metrics GATE, timings advisory) ==="
@@ -133,9 +148,13 @@ bench_smoke() {
     [soak]="invariant_violations,fingerprint_match"
     [wire_loopback]="fingerprint_mismatches"
     [micro_primitives]="arena.fresh_allocs_fixed_churn"
+    # PR 9 parallel checker: thread-count agreement on states/diameter and
+    # a clean headline run are exact at any budget; state counts and
+    # states/sec stay advisory (quick explores a smaller instance).
+    [tab04_mc]="scaling.states_agree,scaling.diameter_agree,repl_headline.violations"
   )
   local name gate
-  for name in micro_primitives chaos_coverage soak wire_loopback; do
+  for name in micro_primitives chaos_coverage soak wire_loopback tab04_mc; do
     if [[ -f "$repo/bench/baselines/BENCH_$name.json" ]]; then
       gate="${gates[$name]:-}"
       if [[ -n "$gate" ]]; then

@@ -3,6 +3,8 @@
 #   tests/golden/FINGERPRINTS.json  (scenario set in tests/golden_scenarios.h)
 #   tests/golden/WIRE_FRAMES.json   (wire-frame corpus in
 #                                    tests/wire_frames_corpus.h)
+#   tests/golden/MC_CELLS.json      (model-checking cells in
+#                                    tests/mc_golden_cells.h)
 # Run after an INTENDED behaviour or wire-format change, then review the
 # JSON diff like any other semantic change before committing.
 #
@@ -16,7 +18,7 @@ if [[ ! -d "$tree" ]]; then
   cmake -B "$tree" -S "$repo"
 fi
 cmake --build "$tree" --target golden_gen --target wire_golden_gen \
-  -j "$(nproc 2>/dev/null || echo 4)"
+  --target mc_golden_gen -j "$(nproc 2>/dev/null || echo 4)"
 
 out="$repo/tests/golden/FINGERPRINTS.json"
 mkdir -p "$(dirname "$out")"
@@ -28,4 +30,9 @@ wire_out="$repo/tests/golden/WIRE_FRAMES.json"
 "$tree/tests/wire_golden_gen" > "$wire_out.tmp"
 mv "$wire_out.tmp" "$wire_out"
 echo "wrote $wire_out"
+
+mc_out="$repo/tests/golden/MC_CELLS.json"
+"$tree/tests/mc_golden_gen" > "$mc_out.tmp"
+mv "$mc_out.tmp" "$mc_out"
+echo "wrote $mc_out"
 git -C "$repo" diff --stat -- tests/golden/ || true

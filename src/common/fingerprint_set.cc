@@ -1,0 +1,182 @@
+#include "common/fingerprint_set.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace zenith {
+
+namespace {
+
+constexpr std::size_t kMinCapacity = 64;
+
+std::size_t round_up_pow2(std::size_t v, std::size_t floor) {
+  v = std::max(v, floor);
+  return std::bit_ceil(v);
+}
+
+// The surrogate for the (0, 0) fingerprint: an arbitrary fixed constant so
+// the empty-slot sentinel never collides with a stored state.
+constexpr std::uint64_t kZeroLo = 0x5a5a5a5a00000001ull;
+constexpr std::uint64_t kZeroHi = 0xa5a5a5a500000002ull;
+
+std::atomic<std::uint64_t> g_store_counter{0};
+
+}  // namespace
+
+ShardedFingerprintSet::ShardedFingerprintSet(Options options) {
+  std::size_t shards = round_up_pow2(options.shards, 1);
+  shard_bits_ = std::countr_zero(shards);
+  disk_dir_ = options.disk_store_path;
+  disk_backed_ = !disk_dir_.empty();
+  store_id_ = g_store_counter.fetch_add(1, std::memory_order_relaxed);
+  if (disk_backed_) {
+    struct stat st{};
+    if (stat(disk_dir_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+      throw std::runtime_error("ShardedFingerprintSet: disk_store_path '" +
+                               disk_dir_ + "' is not a directory");
+    }
+  }
+  std::size_t capacity =
+      round_up_pow2(options.initial_capacity_per_shard, kMinCapacity);
+  shards_.reserve(shards);
+  generations_.assign(shards, 0);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->region = make_region(capacity, i, 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedFingerprintSet::~ShardedFingerprintSet() {
+  for (auto& shard : shards_) release_region(shard->region);
+}
+
+ShardedFingerprintSet::Region ShardedFingerprintSet::make_region(
+    std::size_t capacity, std::size_t shard_index,
+    std::size_t generation) const {
+  Region region;
+  region.capacity = capacity;
+  std::size_t bytes = capacity * 2 * sizeof(std::uint64_t);
+  if (!disk_backed_) {
+    region.heap.assign(capacity * 2, 0);
+    region.slots = region.heap.data();
+    return region;
+  }
+  region.file = disk_dir_ + "/fpset-" + std::to_string(store_id_) + "-shard" +
+                std::to_string(shard_index) + "-gen" +
+                std::to_string(generation) + ".bin";
+  int fd = ::open(region.file.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0600);
+  if (fd < 0) {
+    throw std::runtime_error("ShardedFingerprintSet: open('" + region.file +
+                             "') failed: " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(region.file.c_str());
+    throw std::runtime_error("ShardedFingerprintSet: ftruncate(" +
+                             std::to_string(bytes) +
+                             ") failed: " + std::strerror(err));
+  }
+  void* map =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    int err = errno;
+    ::unlink(region.file.c_str());
+    throw std::runtime_error("ShardedFingerprintSet: mmap(" +
+                             std::to_string(bytes) +
+                             ") failed: " + std::strerror(err));
+  }
+  region.slots = static_cast<std::uint64_t*>(map);
+  region.mapped_bytes = bytes;
+  // ftruncate zero-fills, matching the empty-slot sentinel.
+  return region;
+}
+
+void ShardedFingerprintSet::release_region(Region& region) {
+  if (region.mapped_bytes > 0) {
+    ::munmap(region.slots, region.mapped_bytes);
+    ::unlink(region.file.c_str());
+    region.mapped_bytes = 0;
+  }
+  region.heap.clear();
+  region.heap.shrink_to_fit();
+  region.slots = nullptr;
+  region.capacity = 0;
+}
+
+bool ShardedFingerprintSet::insert_into(Region& region, Fingerprint fp) {
+  std::size_t mask = region.capacity - 1;
+  std::size_t at = static_cast<std::size_t>(mix(fp.second)) & mask;
+  for (;;) {
+    std::uint64_t lo = region.slots[2 * at];
+    std::uint64_t hi = region.slots[2 * at + 1];
+    if (lo == 0 && hi == 0) {
+      region.slots[2 * at] = fp.first;
+      region.slots[2 * at + 1] = fp.second;
+      return true;
+    }
+    if (lo == fp.first && hi == fp.second) return false;
+    at = (at + 1) & mask;
+  }
+}
+
+void ShardedFingerprintSet::grow(Shard& shard, std::size_t shard_index) {
+  std::size_t generation = ++generations_[shard_index];
+  Region bigger = make_region(shard.region.capacity * 2, shard_index,
+                              generation);
+  for (std::size_t i = 0; i < shard.region.capacity; ++i) {
+    std::uint64_t lo = shard.region.slots[2 * i];
+    std::uint64_t hi = shard.region.slots[2 * i + 1];
+    if (lo == 0 && hi == 0) continue;
+    insert_into(bigger, {lo, hi});
+  }
+  release_region(shard.region);
+  shard.region = std::move(bigger);
+}
+
+bool ShardedFingerprintSet::insert(Fingerprint fp) {
+  if (fp.first == 0 && fp.second == 0) fp = {kZeroLo, kZeroHi};
+  std::size_t index =
+      shard_bits_ == 0
+          ? 0
+          : static_cast<std::size_t>(mix(fp.first) >> (64 - shard_bits_));
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Grow past 70% load so probe chains stay short.
+  if ((shard.count + 1) * 10 >= shard.region.capacity * 7) {
+    grow(shard, index);
+  }
+  if (!insert_into(shard.region, fp)) return false;
+  ++shard.count;
+  return true;
+}
+
+std::size_t ShardedFingerprintSet::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->count;
+  }
+  return total;
+}
+
+std::size_t ShardedFingerprintSet::disk_bytes_mapped() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->region.mapped_bytes;
+  }
+  return total;
+}
+
+}  // namespace zenith

@@ -1,0 +1,110 @@
+// Concurrent 128-bit fingerprint set for the model checker's seen-state
+// store (PR 9).
+//
+// The set is sharded by the high bits of a splitmix64-mixed fingerprint —
+// the same stable mix the NIB shard map and the worker pool use
+// (Nib::shard_slot / CoreContext::shard_of) — so shard choice is a pure
+// function of the fingerprint, identical across runs and thread counts.
+// Each shard is an open-addressing (linear probing) table of 16-byte
+// fingerprints behind its own striped lock; inserts into different shards
+// never contend. The table stores fingerprints only — hash-compacted
+// states, TLC-style: a collision merges two states, with the usual
+// astronomically-small-probability caveat the paper's Table 4 runs accept.
+//
+// A shard's slot array lives either on the heap (default) or in a
+// file-backed mmap region when `Options::disk_store_path` names a
+// directory: the seen-set can then exceed RAM and spill to disk, paging
+// under kernel control. Spill files are unlinked on rehash/destruction —
+// they are scratch, not an artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zenith {
+
+class ShardedFingerprintSet {
+ public:
+  using Fingerprint = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct Options {
+    /// Number of striped-lock shards; rounded up to a power of two.
+    std::size_t shards = 64;
+    /// Initial slot count per shard; rounded up to a power of two. Shards
+    /// grow independently (double + rehash) past 70% load.
+    std::size_t initial_capacity_per_shard = 1024;
+    /// When non-empty: a directory for mmap-backed slot arrays, letting the
+    /// set exceed RAM. Must exist and be writable; construction throws
+    /// std::runtime_error otherwise (a silently-in-memory "disk" store
+    /// would defeat the knob's purpose).
+    std::string disk_store_path;
+  };
+
+  ShardedFingerprintSet() : ShardedFingerprintSet(Options()) {}
+  explicit ShardedFingerprintSet(Options options);
+  ~ShardedFingerprintSet();
+
+  ShardedFingerprintSet(const ShardedFingerprintSet&) = delete;
+  ShardedFingerprintSet& operator=(const ShardedFingerprintSet&) = delete;
+
+  /// Inserts `fp`; returns true when it was not present before. Thread-safe
+  /// against concurrent insert()s.
+  bool insert(Fingerprint fp);
+
+  /// Total stored fingerprints. Exact only when no insert() is in flight.
+  std::size_t size() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  bool disk_backed() const { return disk_backed_; }
+  /// Bytes currently mapped from spill files (0 for in-memory sets).
+  std::size_t disk_bytes_mapped() const;
+
+  /// The splitmix64 finalizer (public: shard routing must be reproducible
+  /// by tests and by the checker's documentation of determinism).
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  // A contiguous array of 2*capacity uint64 (lo, hi interleaved), on the
+  // heap or mmap-backed. (0, 0) marks an empty slot; the real fingerprint
+  // (0, 0) — should fnv1a ever produce it — is remapped deterministically
+  // at insert so no state is silently dropped.
+  struct Region {
+    std::uint64_t* slots = nullptr;
+    std::size_t capacity = 0;  // entries, power of two
+    // mmap bookkeeping (disk-backed only).
+    std::string file;
+    std::size_t mapped_bytes = 0;
+    std::vector<std::uint64_t> heap;  // in-memory backing
+  };
+
+  struct Shard {
+    std::mutex mu;
+    Region region;
+    std::size_t count = 0;
+  };
+
+  Region make_region(std::size_t capacity, std::size_t shard_index,
+                     std::size_t generation) const;
+  static void release_region(Region& region);
+  void grow(Shard& shard, std::size_t shard_index);
+  static bool insert_into(Region& region, Fingerprint fp);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::size_t> generations_;
+  int shard_bits_ = 0;
+  bool disk_backed_ = false;
+  std::string disk_dir_;
+  std::uint64_t store_id_ = 0;  // disambiguates spill files between sets
+};
+
+}  // namespace zenith

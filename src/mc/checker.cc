@@ -1,121 +1,141 @@
 #include "mc/checker.h"
 
-#include <chrono>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
+#include <utility>
 
-#include "common/hash.h"
+#include "mc/parallel_bfs.h"
 
 namespace zenith::mc {
 
 namespace {
 
-struct FingerprintHash {
-  std::size_t operator()(
-      const std::pair<std::uint64_t, std::uint64_t>& fp) const noexcept {
-    return fp.first ^ (fp.second * 0x9e3779b97f4a7c15ull);
+// PipelineModel -> parallel_bfs adapter. `visit` mirrors the serial
+// checker's pop-time block exactly: quiescence is counted unconditionally,
+// the ②/③ consistency check runs only under check_liveness.
+struct PipelineAdapter {
+  using State = mc::State;
+  using Action = mc::Action;
+
+  const PipelineModel* model;
+  bool symmetry;
+  bool check_liveness;
+
+  State initial() const { return model->initial_state(); }
+
+  std::pair<std::uint64_t, std::uint64_t> fingerprint(const State& s) const {
+    return s.fingerprint(symmetry);
   }
-};
 
-struct Node {
-  State state;
-  std::size_t depth;
-  std::int64_t trace_parent;  // index into trace node pool, -1 for root
-};
+  std::string visit(const State& s, bool& quiescent) const {
+    if (model->quiescent(s)) {
+      quiescent = true;
+      if (check_liveness) return model->check_quiescent_consistency(s);
+    }
+    return {};
+  }
 
-struct TraceNode {
-  std::int64_t parent;
-  Action action;
+  template <typename Sink>
+  std::string expand(const State& s, Sink& sink) const {
+    for (const Action& action : model->enabled_actions(s)) {
+      State next = s;
+      std::string violation = model->apply(next, action);
+      if (!sink.transition(action, std::move(next), violation)) break;
+    }
+    return {};
+  }
 };
 
 }  // namespace
 
 CheckResult check(const PipelineModel& model, CheckerOptions options) {
-  auto started = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         started)
-        .count();
-  };
+  ParallelBfsOptions bfs;
+  bfs.max_states = options.max_states;
+  bfs.time_limit_seconds = options.time_limit_seconds;
+  bfs.record_traces = options.record_traces;
+  bfs.threads = options.threads;
+  bfs.disk_store_path = options.disk_store_path;
+
+  PipelineAdapter adapter{&model, model.config().opt_symmetry,
+                          options.check_liveness};
+  ParallelBfsResult<Action> bfs_result = parallel_bfs(adapter, bfs);
 
   CheckResult result;
-  bool symmetry = model.config().opt_symmetry;
-
-  std::unordered_set<std::pair<std::uint64_t, std::uint64_t>, FingerprintHash>
-      visited;
-  std::deque<Node> frontier;
-  std::vector<TraceNode> trace_pool;
-
-  State initial = model.initial_state();
-  visited.insert(initial.fingerprint(symmetry));
-  frontier.push_back(Node{initial, 0, -1});
-  result.distinct_states = 1;
-
-  auto build_trace = [&](std::int64_t leaf) {
-    std::vector<TraceEvent> trace;
-    for (std::int64_t at = leaf; at >= 0; at = trace_pool[at].parent) {
-      trace.push_back(
-          TraceEvent{trace_pool[at].action, trace_pool[at].action.label()});
-    }
-    std::reverse(trace.begin(), trace.end());
-    return trace;
-  };
-
-  while (!frontier.empty()) {
-    if (result.distinct_states >= options.max_states ||
-        elapsed() > options.time_limit_seconds) {
-      result.capped = true;
-      break;
-    }
-    Node node = std::move(frontier.front());
-    frontier.pop_front();
-    result.diameter = std::max(result.diameter, node.depth);
-
-    std::vector<Action> actions = model.enabled_actions(node.state);
-
-    if (model.quiescent(node.state)) {
-      ++result.quiescent_states;
-      if (options.check_liveness) {
-        std::string violation =
-            model.check_quiescent_consistency(node.state);
-        if (!violation.empty()) {
-          result.ok = false;
-          result.violation = violation;
-          if (options.record_traces) {
-            result.trace = build_trace(node.trace_parent);
-          }
-          break;
-        }
-      }
-    }
-
-    for (const Action& action : actions) {
-      State next = node.state;
-      std::string violation = model.apply(next, action);
-      ++result.transitions;
-      std::int64_t trace_index = -1;
-      if (options.record_traces) {
-        trace_pool.push_back(TraceNode{node.trace_parent, action});
-        trace_index = static_cast<std::int64_t>(trace_pool.size()) - 1;
-      }
-      if (!violation.empty()) {
-        result.ok = false;
-        result.violation = violation;
-        if (options.record_traces) result.trace = build_trace(trace_index);
-        result.seconds = elapsed();
-        return result;
-      }
-      auto fp = next.fingerprint(symmetry);
-      if (visited.insert(fp).second) {
-        ++result.distinct_states;
-        frontier.push_back(Node{std::move(next), node.depth + 1, trace_index});
-      }
-    }
+  result.ok = bfs_result.ok;
+  result.capped = bfs_result.capped;
+  result.violation = std::move(bfs_result.violation);
+  result.distinct_states = bfs_result.distinct_states;
+  result.transitions = bfs_result.transitions;
+  result.quiescent_states = bfs_result.quiescent_states;
+  result.diameter = bfs_result.diameter;
+  result.seconds = bfs_result.seconds;
+  result.threads_used = bfs_result.threads_used;
+  result.trace.reserve(bfs_result.trace.size());
+  for (const Action& action : bfs_result.trace) {
+    result.trace.push_back(TraceEvent{action, action.label()});
   }
-
-  result.seconds = elapsed();
   return result;
+}
+
+std::string replay_trace(const PipelineModel& model,
+                         const std::vector<TraceEvent>& trace,
+                         bool check_liveness) {
+  State state = model.initial_state();
+  for (const TraceEvent& event : trace) {
+    std::vector<Action> enabled = model.enabled_actions(state);
+    bool found = false;
+    for (const Action& candidate : enabled) {
+      if (candidate.kind == event.action.kind &&
+          candidate.subject == event.action.subject) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return {};  // malformed trace: action not enabled here
+    std::string violation = model.apply(state, event.action);
+    if (!violation.empty()) return violation;
+  }
+  if (check_liveness && model.quiescent(state)) {
+    return model.check_quiescent_consistency(state);
+  }
+  return {};
+}
+
+std::vector<TraceEvent> shrink_trace(const PipelineModel& model,
+                                     std::vector<TraceEvent> trace,
+                                     bool check_liveness,
+                                     std::size_t max_probes) {
+  std::size_t probes = 0;
+  auto reproduces = [&](const std::vector<TraceEvent>& candidate) {
+    ++probes;
+    return !replay_trace(model, candidate, check_liveness).empty();
+  };
+  if (trace.empty() || !reproduces(trace)) return trace;
+
+  // Classic ddmin: try removing chunks of shrinking granularity until the
+  // trace is 1-minimal with respect to the replay oracle.
+  std::size_t chunk = trace.size() / 2;
+  while (chunk >= 1 && probes < max_probes) {
+    bool removed_any = false;
+    for (std::size_t at = 0; at < trace.size() && probes < max_probes;) {
+      std::vector<TraceEvent> candidate;
+      candidate.reserve(trace.size());
+      std::size_t end = std::min(trace.size(), at + chunk);
+      candidate.insert(candidate.end(), trace.begin(),
+                       trace.begin() + static_cast<std::ptrdiff_t>(at));
+      candidate.insert(candidate.end(),
+                       trace.begin() + static_cast<std::ptrdiff_t>(end),
+                       trace.end());
+      if (!candidate.empty() && reproduces(candidate)) {
+        trace = std::move(candidate);
+        removed_any = true;
+        // re-test from the same offset: the chunk there is now different
+      } else {
+        at += chunk;
+      }
+    }
+    if (!removed_any) chunk /= 2;
+  }
+  return trace;
 }
 
 }  // namespace zenith::mc

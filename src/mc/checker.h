@@ -3,6 +3,19 @@
 // quiescent-consistency (liveness surrogate) checking on every terminal
 // state. Reports the statistics Table 4 tracks: wall time, distinct states,
 // and diameter (depth of the deepest state).
+//
+// Since PR 9 the exploration runs on the shared work-stealing parallel BFS
+// engine (parallel_bfs.h). The determinism contract:
+//  * threads == 1 reproduces the serial checker byte-for-byte: identical
+//    distinct_states/transitions/quiescent_states/diameter, identical
+//    capped flag, identical violation and counterexample trace.
+//  * threads >= 2, uncapped clean runs: distinct_states, transitions,
+//    quiescent_states and diameter are still EXACT (level-synchronous BFS
+//    discovers every state at its true BFS depth) — only seconds varies.
+//  * capped or violating runs: the verdict (ok) and the capped flag agree
+//    across thread counts; counters are only bounded (>= max_states on a
+//    cap) and the specific violation/trace may differ between threads,
+//    though any reported trace replays to a real violation (replay_trace).
 #pragma once
 
 #include <optional>
@@ -26,6 +39,12 @@ struct CheckerOptions {
   bool record_traces = false;
   /// Check ②/③ at quiescent states.
   bool check_liveness = true;
+  /// Exploration workers. 1 (default) = the serial BFS, byte-identical to
+  /// the pre-PR-9 checker; 0 = default_bench_threads().
+  std::size_t threads = 1;
+  /// When non-empty: directory for the seen-set's mmap-backed spill store,
+  /// letting checked instances exceed RAM (see ShardedFingerprintSet).
+  std::string disk_store_path;
 };
 
 struct CheckResult {
@@ -37,10 +56,30 @@ struct CheckResult {
   std::size_t quiescent_states = 0;
   std::size_t diameter = 0;
   double seconds = 0.0;
+  std::size_t threads_used = 1;
   /// Counterexample (record_traces only): actions from the initial state.
   std::vector<TraceEvent> trace;
 };
 
 CheckResult check(const PipelineModel& model, CheckerOptions options = {});
+
+/// Replays `trace` from the model's initial state, validating that each
+/// action is enabled where it fires. Returns the violation the replay
+/// reaches: a transition-attached safety violation, or (when the final
+/// state is quiescent and `check_liveness`) its quiescent-consistency
+/// violation. "" = the trace does not reproduce any violation (including
+/// when an action is not enabled — a malformed trace proves nothing).
+std::string replay_trace(const PipelineModel& model,
+                         const std::vector<TraceEvent>& trace,
+                         bool check_liveness = true);
+
+/// ddmin over a violating trace's action list against replay_trace: drops
+/// event chunks while the remainder still replays to a violation, until
+/// 1-minimal (or the probe budget runs out). Returns the shrunk trace;
+/// the input comes back untouched when it does not reproduce.
+std::vector<TraceEvent> shrink_trace(const PipelineModel& model,
+                                     std::vector<TraceEvent> trace,
+                                     bool check_liveness = true,
+                                     std::size_t max_probes = 4096);
 
 }  // namespace zenith::mc

@@ -1,30 +1,94 @@
 #include "mc/nadir_explorer.h"
 
-#include <chrono>
-#include <deque>
-#include <unordered_set>
+#include <utility>
+
+#include "common/fingerprint_set.h"
+#include "mc/parallel_bfs.h"
 
 namespace zenith::mc {
 
 namespace {
 
-struct EnvNode {
+// The crash budget is part of the state (the same env with budget left can
+// reach more states), so it rides along and folds into the fingerprint —
+// exactly the pre-PR-9 `env.hash() * prime + crashes` partition.
+struct EnvState {
   nadir::Env env;
-  std::size_t depth;
-  std::size_t crashes_used;
+  std::size_t crashes_used = 0;
+};
+
+struct NadirAction {
+  std::string process;
+  bool crash = false;
+};
+
+struct NadirAdapter {
+  using State = EnvState;
+  using Action = NadirAction;
+
+  const nadir::Spec* spec;
+  const NadirCheckerOptions* options;
+  nadir::Env initial_env;
+
+  State initial() const { return EnvState{initial_env, 0}; }
+
+  std::pair<std::uint64_t, std::uint64_t> fingerprint(const State& s) const {
+    // Widened to 128 bits for the sharded set, but the dedup partition is
+    // the old 64-bit one (the second word is a pure function of the
+    // first): threads=1 visits exactly the serial explorer's state set.
+    std::uint64_t h = s.env.hash() * 1099511628211ull + s.crashes_used;
+    return {h, ShardedFingerprintSet::mix(h)};
+  }
+
+  std::string visit(const State&, bool&) const { return {}; }
+
+  template <typename Sink>
+  std::string expand(const State& s, Sink& sink) const {
+    bool any_executed = false;
+    for (const nadir::Process& process : spec->processes()) {
+      nadir::Env next = s.env;
+      auto outcome =
+          nadir::Interpreter::try_step(*spec, next, process.name());
+      if (outcome != nadir::StepOutcome::kExecuted) continue;
+      any_executed = true;
+      // TypeOK after every step — the NADIR annotation invariant.
+      std::string violation;
+      auto types = spec->check_types(next);
+      if (!types.ok()) {
+        violation = types.error().message;
+      } else if (options->invariant) {
+        violation = options->invariant(next);
+      }
+      if (!sink.transition(NadirAction{process.name(), false},
+                           EnvState{std::move(next), s.crashes_used},
+                           violation)) {
+        return {};
+      }
+    }
+
+    // Crash injection (unfair transitions).
+    if (s.crashes_used < options->max_crashes) {
+      for (const std::string& name : options->crashable) {
+        nadir::Env next = s.env;
+        nadir::Interpreter::crash_process(*spec, next, name);
+        if (!sink.transition(NadirAction{name, true},
+                             EnvState{std::move(next), s.crashes_used + 1})) {
+          return {};
+        }
+      }
+    }
+
+    if (!any_executed && options->quiescence) {
+      return options->quiescence(s.env);
+    }
+    return {};
+  }
 };
 
 }  // namespace
 
 NadirCheckResult explore(const nadir::Spec& spec,
                          NadirCheckerOptions options) {
-  auto started = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         started)
-        .count();
-  };
-
   NadirCheckResult result;
   auto initial = spec.make_initial_env();
   if (!initial.ok()) {
@@ -33,88 +97,23 @@ NadirCheckResult explore(const nadir::Spec& spec,
     return result;
   }
 
-  // The crash budget is part of the state (same env with budget left can
-  // reach more states), so fold it into the fingerprint.
-  auto fingerprint = [](const nadir::Env& env, std::size_t crashes) {
-    return env.hash() * 1099511628211ull + crashes;
-  };
+  ParallelBfsOptions bfs;
+  bfs.max_states = options.max_states;
+  bfs.time_limit_seconds = options.time_limit_seconds;
+  bfs.threads = options.threads;
+  bfs.disk_store_path = options.disk_store_path;
 
-  std::unordered_set<std::uint64_t> visited;
-  std::deque<EnvNode> frontier;
-  visited.insert(fingerprint(initial.value(), 0));
-  frontier.push_back(EnvNode{std::move(initial).value(), 0, 0});
-  result.distinct_states = 1;
+  NadirAdapter adapter{&spec, &options, std::move(initial).value()};
+  ParallelBfsResult<NadirAction> bfs_result = parallel_bfs(adapter, bfs);
 
-  auto fail = [&](std::string violation) {
-    result.ok = false;
-    result.violation = std::move(violation);
-    result.seconds = elapsed();
-  };
-
-  while (!frontier.empty()) {
-    if (result.distinct_states >= options.max_states ||
-        elapsed() > options.time_limit_seconds) {
-      result.capped = true;
-      break;
-    }
-    EnvNode node = std::move(frontier.front());
-    frontier.pop_front();
-    result.diameter = std::max(result.diameter, node.depth);
-
-    bool any_executed = false;
-    for (const nadir::Process& process : spec.processes()) {
-      nadir::Env next = node.env;
-      auto outcome = nadir::Interpreter::try_step(spec, next, process.name());
-      if (outcome != nadir::StepOutcome::kExecuted) continue;
-      any_executed = true;
-      ++result.transitions;
-      // TypeOK after every step — the NADIR annotation invariant.
-      auto types = spec.check_types(next);
-      if (!types.ok()) {
-        fail(types.error().message);
-        return result;
-      }
-      if (options.invariant) {
-        std::string violation = options.invariant(next);
-        if (!violation.empty()) {
-          fail(std::move(violation));
-          return result;
-        }
-      }
-      std::uint64_t fp = fingerprint(next, node.crashes_used);
-      if (visited.insert(fp).second) {
-        ++result.distinct_states;
-        frontier.push_back(
-            EnvNode{std::move(next), node.depth + 1, node.crashes_used});
-      }
-    }
-
-    // Crash injection (unfair transitions).
-    if (node.crashes_used < options.max_crashes) {
-      for (const std::string& name : options.crashable) {
-        nadir::Env next = node.env;
-        nadir::Interpreter::crash_process(spec, next, name);
-        ++result.transitions;
-        std::uint64_t fp = fingerprint(next, node.crashes_used + 1);
-        if (visited.insert(fp).second) {
-          ++result.distinct_states;
-          frontier.push_back(
-              EnvNode{std::move(next), node.depth + 1,
-                      node.crashes_used + 1});
-        }
-      }
-    }
-
-    if (!any_executed && options.quiescence) {
-      std::string violation = options.quiescence(node.env);
-      if (!violation.empty()) {
-        fail(std::move(violation));
-        return result;
-      }
-    }
-  }
-
-  result.seconds = elapsed();
+  result.ok = bfs_result.ok;
+  result.capped = bfs_result.capped;
+  result.violation = std::move(bfs_result.violation);
+  result.distinct_states = bfs_result.distinct_states;
+  result.transitions = bfs_result.transitions;
+  result.diameter = bfs_result.diameter;
+  result.seconds = bfs_result.seconds;
+  result.threads_used = bfs_result.threads_used;
   return result;
 }
 

@@ -3,6 +3,12 @@
 // user-supplied invariant on every state and an optional quiescence
 // condition on terminal states. TypeOK (the NADIR annotations) is enforced
 // on every transition.
+//
+// Since PR 9 the exploration runs on the shared work-stealing parallel BFS
+// engine (parallel_bfs.h), with the same determinism contract as
+// mc::check: threads == 1 reproduces the old serial explorer exactly, and
+// clean uncapped runs report identical distinct_states / transitions /
+// diameter at every thread count.
 #pragma once
 
 #include <functional>
@@ -24,6 +30,11 @@ struct NadirCheckerOptions {
   /// checker may inject, at most `max_crashes` times total.
   std::vector<std::string> crashable;
   std::size_t max_crashes = 0;
+  /// Exploration workers. 1 (default) = the serial explorer, byte-identical
+  /// to the pre-PR-9 results; 0 = default_bench_threads().
+  std::size_t threads = 1;
+  /// When non-empty: directory for the seen-set's mmap-backed spill store.
+  std::string disk_store_path;
 };
 
 struct NadirCheckResult {
@@ -34,6 +45,7 @@ struct NadirCheckResult {
   std::size_t transitions = 0;
   std::size_t diameter = 0;
   double seconds = 0.0;
+  std::size_t threads_used = 1;
 };
 
 NadirCheckResult explore(const nadir::Spec& spec,

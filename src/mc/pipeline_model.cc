@@ -127,63 +127,62 @@ ModelConfig ModelConfig::transient_recovery_instance() {
 
 std::pair<std::uint64_t, std::uint64_t> State::fingerprint(
     bool symmetry) const {
-  State canon = *this;
-  if (symmetry) {
-    // Workers are interchangeable: canonicalize by sorting their
-    // (msg, phase) tuples. (§3.7 symmetry reduction.)
-    std::array<std::pair<Msg, std::uint8_t>, kMaxWorkers> slots;
-    for (int w = 0; w < kMaxWorkers; ++w) {
-      slots[w] = {canon.worker_msg[w], canon.worker_phase[w]};
-    }
-    std::sort(slots.begin(), slots.end());
-    for (int w = 0; w < kMaxWorkers; ++w) {
-      canon.worker_msg[w] = slots[w].first;
-      canon.worker_phase[w] = slots[w].second;
-    }
-  }
-  // Field-by-field serialization: hashing the raw struct would include
-  // indeterminate padding bytes and split identical states.
-  std::vector<std::uint8_t> bytes;
-  bytes.reserve(256);
-  auto put8 = [&](std::uint8_t v) { bytes.push_back(v); };
-  auto put16 = [&](std::uint16_t v) {
-    bytes.push_back(static_cast<std::uint8_t>(v & 0xff));
-    bytes.push_back(static_cast<std::uint8_t>(v >> 8));
-  };
-  put8(canon.current_dag);
-  for (auto v : canon.op_status) put8(v);
-  put8(canon.op_queue_len);
-  for (int i = 0; i < canon.op_queue_len; ++i) put16(canon.op_queue[i]);
+  // Workers are interchangeable: canonicalize by sorting their
+  // (msg, phase) tuples. (§3.7 symmetry reduction.) Only the worker slots
+  // differ between the raw and canonical forms, so the state itself is
+  // never copied — the sorted slots are serialized in place of the raw
+  // ones below.
+  std::array<std::pair<Msg, std::uint8_t>, kMaxWorkers> slots;
   for (int w = 0; w < kMaxWorkers; ++w) {
-    put16(canon.worker_msg[w]);
-    put8(canon.worker_phase[w]);
+    slots[w] = {worker_msg[w], worker_phase[w]};
+  }
+  if (symmetry) std::sort(slots.begin(), slots.end());
+
+  // Field-by-field serialization: hashing the raw struct would include
+  // indeterminate padding bytes and split identical states. The buffer is
+  // stack-allocated — this runs once per generated state, so a heap
+  // allocation here dominates the checker's flat profile (PR 9).
+  std::array<std::uint8_t, 320> bytes;
+  std::size_t len = 0;
+  auto put8 = [&](std::uint8_t v) { bytes[len++] = v; };
+  auto put16 = [&](std::uint16_t v) {
+    bytes[len++] = static_cast<std::uint8_t>(v & 0xff);
+    bytes[len++] = static_cast<std::uint8_t>(v >> 8);
+  };
+  put8(current_dag);
+  for (auto v : op_status) put8(v);
+  put8(op_queue_len);
+  for (int i = 0; i < op_queue_len; ++i) put16(op_queue[i]);
+  for (int w = 0; w < kMaxWorkers; ++w) {
+    put16(slots[w].first);
+    put8(slots[w].second);
   }
   for (int sw = 0; sw < kMaxSwitches; ++sw) {
-    put8(canon.sw_up[sw]);
-    put8(canon.nib_health[sw]);
-    put16(canon.sw_table[sw]);
-    put16(canon.nib_view[sw]);
-    put8(canon.sw_inq_len[sw]);
-    for (int i = 0; i < canon.sw_inq_len[sw]; ++i) put16(canon.sw_inq[sw][i]);
-    put8(canon.sw_outq_len[sw]);
-    for (int i = 0; i < canon.sw_outq_len[sw]; ++i) {
-      put16(canon.sw_outq[sw][i]);
+    put8(sw_up[sw]);
+    put8(nib_health[sw]);
+    put16(sw_table[sw]);
+    put16(nib_view[sw]);
+    put8(sw_inq_len[sw]);
+    for (int i = 0; i < sw_inq_len[sw]; ++i) put16(sw_inq[sw][i]);
+    put8(sw_outq_len[sw]);
+    for (int i = 0; i < sw_outq_len[sw]; ++i) {
+      put16(sw_outq[sw][i]);
     }
   }
-  put8(canon.ack_queue_len);
-  for (int i = 0; i < canon.ack_queue_len; ++i) put16(canon.ack_queue[i]);
-  put8(canon.topo_queue_len);
-  for (int i = 0; i < canon.topo_queue_len; ++i) put8(canon.topo_queue[i]);
-  put8(canon.cleanup_queue_len);
-  for (int i = 0; i < canon.cleanup_queue_len; ++i) {
-    put8(canon.cleanup_queue[i]);
+  put8(ack_queue_len);
+  for (int i = 0; i < ack_queue_len; ++i) put16(ack_queue[i]);
+  put8(topo_queue_len);
+  for (int i = 0; i < topo_queue_len; ++i) put8(topo_queue[i]);
+  put8(cleanup_queue_len);
+  for (int i = 0; i < cleanup_queue_len; ++i) {
+    put8(cleanup_queue[i]);
   }
-  put16(canon.installed_once);
-  put8(canon.failures_used);
-  put8(canon.worker_crashes_used);
-  put8(canon.app_switched);
-  put8(canon.pending_reset);
-  std::span<const std::uint8_t> span(bytes.data(), bytes.size());
+  put16(installed_once);
+  put8(failures_used);
+  put8(worker_crashes_used);
+  put8(app_switched);
+  put8(pending_reset);
+  std::span<const std::uint8_t> span(bytes.data(), len);
   return {fnv1a(span, 0xcbf29ce484222325ull),
           fnv1a(span, 0x9e3779b97f4a7c15ull)};
 }

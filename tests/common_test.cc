@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <random>
+#include <set>
+#include <thread>
+
+#include "common/fingerprint_set.h"
 #include "common/hash.h"
 #include "common/ids.h"
 #include "common/result.h"
@@ -153,6 +159,86 @@ TEST(TablePrinterTest, AlignsColumns) {
   std::string s = t.to_string();
   EXPECT_NE(s.find("| name"), std::string::npos);
   EXPECT_NE(s.find("| longer"), std::string::npos);
+}
+
+// PR 9: the model checker's sharded seen-set.
+
+TEST(ShardedFingerprintSet, InsertDeduplicatesAndGrows) {
+  ShardedFingerprintSet::Options options;
+  options.shards = 4;
+  options.initial_capacity_per_shard = 64;  // force several growth rounds
+  ShardedFingerprintSet set(options);
+  std::mt19937_64 rng(42);
+  std::vector<ShardedFingerprintSet::Fingerprint> fps;
+  for (int i = 0; i < 5000; ++i) fps.push_back({rng(), rng()});
+  for (const auto& fp : fps) EXPECT_TRUE(set.insert(fp));
+  for (const auto& fp : fps) EXPECT_FALSE(set.insert(fp));
+  EXPECT_EQ(set.size(), fps.size());
+  EXPECT_EQ(set.shard_count(), 4u);
+  EXPECT_FALSE(set.disk_backed());
+}
+
+TEST(ShardedFingerprintSet, ZeroFingerprintIsNotSilentlyDropped) {
+  // (0,0) doubles as the empty-slot sentinel; the insert path must remap it
+  // so the real state is stored exactly once.
+  ShardedFingerprintSet set;
+  EXPECT_TRUE(set.insert({0, 0}));
+  EXPECT_FALSE(set.insert({0, 0}));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ShardedFingerprintSet, ConcurrentInsertsCountEachValueOnce) {
+  ShardedFingerprintSet::Options options;
+  options.shards = 8;
+  options.initial_capacity_per_shard = 64;
+  ShardedFingerprintSet set(options);
+  // 4 threads race over overlapping ranges; every value must win exactly
+  // one insert across all threads.
+  constexpr int kValues = 20'000;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&set, &wins] {
+      int local = 0;
+      for (int v = 0; v < kValues; ++v) {
+        std::uint64_t x = static_cast<std::uint64_t>(v) * 0x2545f4914f6cdd1dull;
+        if (set.insert({x, ~x})) ++local;
+      }
+      wins += local;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(wins.load(), kValues);
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(kValues));
+}
+
+TEST(ShardedFingerprintSet, DiskBackedStoreSpillsAndCleansUp) {
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "fpset_spill_test";
+  std::filesystem::create_directories(dir);
+  {
+    ShardedFingerprintSet::Options options;
+    options.shards = 2;
+    options.initial_capacity_per_shard = 64;
+    options.disk_store_path = dir.string();
+    ShardedFingerprintSet set(options);
+    EXPECT_TRUE(set.disk_backed());
+    EXPECT_GT(set.disk_bytes_mapped(), 0u);
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 2000; ++i) EXPECT_TRUE(set.insert({rng(), rng()}));
+    EXPECT_EQ(set.size(), 2000u);
+    // Spill files are unlinked as soon as they are mapped/replaced — the
+    // directory holds no bytes the set does not still use.
+  }
+  // After destruction nothing is left behind.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove(dir);
+}
+
+TEST(ShardedFingerprintSet, MissingSpillDirectoryThrows) {
+  ShardedFingerprintSet::Options options;
+  options.disk_store_path = "/nonexistent/zenith-fpset";
+  EXPECT_THROW(ShardedFingerprintSet set(options), std::runtime_error);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "golden_scenarios.h"
 #include "harness/experiment.h"
 #include "mc/core_spec.h"
+#include "mc_golden_cells.h"
 #include "nadir/interpreter.h"
 #include "topo/generators.h"
 
@@ -153,6 +154,65 @@ TEST(Conformance, GoldenFingerprintCorpusMatchesLiveRuns) {
     EXPECT_TRUE(live.count(name))
         << "stale golden entry '" << name
         << "' no longer produced; run scripts/update_golden.sh";
+  }
+}
+
+// Parses the flat {"name": "text", ...} format MC_CELLS.json uses (string
+// values, unlike the hex fingerprints above).
+std::map<std::string, std::string> load_golden_strings(
+    const std::string& path) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t k0 = line.find('"');
+    if (k0 == std::string::npos) continue;
+    std::size_t k1 = line.find('"', k0 + 1);
+    if (k1 == std::string::npos) continue;
+    std::size_t v0 = line.find('"', k1 + 1);
+    if (v0 == std::string::npos) continue;
+    std::size_t v1 = line.find('"', v0 + 1);
+    if (v1 == std::string::npos) continue;
+    out[line.substr(k0 + 1, k1 - k0 - 1)] =
+        line.substr(v0 + 1, v1 - v0 - 1);
+  }
+  return out;
+}
+
+TEST(Conformance, GoldenMcCellsMatchLiveRunsAtEveryThreadCount) {
+  // The model-checking regression corpus (PR 9): exact state counts,
+  // transition counts and diameters for the small golden instances. Run
+  // twice — serial and with a work-stealing worker pool — because the
+  // engine's determinism contract says clean runs are thread-count
+  // invariant; a diff at threads=1 is state-space semantic drift, a diff
+  // only at threads=3 is a parallel-engine bug.
+  std::string path =
+      std::string(ZENITH_SOURCE_DIR) + "/tests/golden/MC_CELLS.json";
+  std::map<std::string, std::string> golden = load_golden_strings(path);
+  ASSERT_FALSE(golden.empty()) << "missing or unparseable " << path;
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    std::map<std::string, std::string> live =
+        golden::compute_mc_cells(threads);
+    for (const auto& [name, value] : live) {
+      auto it = golden.find(name);
+      if (it == golden.end()) {
+        ADD_FAILURE() << "cell '" << name
+                      << "' has no committed golden entry; run "
+                         "scripts/update_golden.sh";
+        continue;
+      }
+      EXPECT_EQ(it->second, value)
+          << "MC statistics drift in '" << name << "' at threads=" << threads
+          << " (committed vs live); intended model changes need "
+             "scripts/update_golden.sh";
+    }
+    for (const auto& [name, value] : golden) {
+      (void)value;
+      EXPECT_TRUE(live.count(name))
+          << "stale golden entry '" << name
+          << "' no longer produced; run scripts/update_golden.sh";
+    }
   }
 }
 

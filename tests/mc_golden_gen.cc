@@ -1,0 +1,18 @@
+// Regenerates tests/golden/MC_CELLS.json (stdout). Run through
+// scripts/update_golden.sh so the committed file and the build stay in
+// sync.
+#include <cstdio>
+
+#include "mc_golden_cells.h"
+
+int main() {
+  auto cells = zenith::golden::compute_mc_cells(/*threads=*/1);
+  std::printf("{\n");
+  std::size_t i = 0;
+  for (const auto& [name, value] : cells) {
+    std::printf("  \"%s\": \"%s\"%s\n", name.c_str(), value.c_str(),
+                ++i < cells.size() ? "," : "");
+  }
+  std::printf("}\n");
+  return 0;
+}

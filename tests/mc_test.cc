@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "mc/checker.h"
+#include "mc/parallel_bfs.h"
 #include "mc/pipeline_model.h"
 #include "mc/repl_model.h"
 
@@ -435,6 +436,335 @@ TEST(McReplModel, CommitBeforeQuorumYieldsMinimalCounterexample) {
   EXPECT_EQ(result.counterexample.rfind("append -> kill-leader -> elect", 0),
             0u)
       << result.counterexample;
+}
+
+// ---------------------------------------------------------------------------
+// PR 9: the parallel exploration engine.
+//
+// The determinism contract under test (see checker.h):
+//  * clean uncapped runs: distinct_states / transitions / quiescent_states /
+//    diameter are EXACT at every thread count (level-synchronous BFS);
+//  * capped runs: the capped flag and the ok verdict agree across thread
+//    counts; distinct_states is only bounded (>= max_states);
+//  * violating runs: the ok verdict agrees; the specific trace may differ
+//    past threads=1 but must replay to a real violation.
+
+TEST(McParallel, CleanRunsAgreeExactlyAcrossThreadCounts) {
+  struct Cell {
+    const char* name;
+    ModelConfig config;
+  };
+  std::vector<Cell> cells;
+  cells.push_back({"tiny-fine", ModelConfig::tiny_instance()});
+  {
+    ModelConfig config = ModelConfig::tiny_instance();
+    config.opt_por = true;
+    cells.push_back({"tiny-por", config});
+  }
+  {
+    ModelConfig config = ModelConfig::table4_instance();
+    config.opt_symmetry = true;
+    config.opt_compositional = true;
+    config.opt_por = true;
+    cells.push_back({"table4-sym-com-por", config});
+  }
+  {
+    ModelConfig config = ModelConfig::transient_recovery_instance();
+    config.opt_symmetry = true;
+    config.opt_compositional = true;
+    config.opt_por = true;
+    cells.push_back({"transient-recovery", config});
+  }
+  {
+    ModelConfig config = ModelConfig::table4_instance();
+    config.opt_symmetry = true;
+    config.opt_compositional = true;
+    config.opt_por = true;
+    config.batch_size = 2;
+    cells.push_back({"table4-batch2", config});
+  }
+
+  for (const Cell& cell : cells) {
+    PipelineModel model(cell.config);
+    CheckerOptions options = quick_options();
+    options.threads = 1;
+    CheckResult serial = check(model, options);
+    ASSERT_TRUE(serial.ok) << cell.name << ": " << serial.violation;
+    ASSERT_FALSE(serial.capped) << cell.name;
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      options.threads = threads;
+      CheckResult parallel = check(model, options);
+      EXPECT_TRUE(parallel.ok) << cell.name << " t=" << threads;
+      EXPECT_FALSE(parallel.capped) << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.distinct_states, serial.distinct_states)
+          << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.transitions, serial.transitions)
+          << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.quiescent_states, serial.quiescent_states)
+          << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.diameter, serial.diameter)
+          << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.threads_used, threads);
+    }
+  }
+}
+
+TEST(McParallel, ReplModelAgreesExactlyAcrossThreadCounts) {
+  struct Cell {
+    const char* name;
+    ReplModelConfig config;
+  };
+  std::vector<Cell> cells;
+  {
+    ReplModelConfig config;
+    config.max_appends = 3;
+    config.max_kills = 1;
+    cells.push_back({"r3-a3-k1", config});
+  }
+  {
+    ReplModelConfig config;
+    config.replicas = 5;
+    config.max_appends = 2;
+    config.max_kills = 2;
+    cells.push_back({"r5-a2-k2", config});
+  }
+  {
+    ReplModelConfig config;
+    config.replicas = 5;
+    config.max_appends = 4;
+    config.max_kills = 1;
+    config.stepwise_replication = true;
+    cells.push_back({"r5-a4-k1-stepwise", config});
+  }
+
+  for (const Cell& cell : cells) {
+    ReplModelConfig config = cell.config;
+    config.threads = 1;
+    ReplModelResult serial = check_repl_model(config);
+    ASSERT_FALSE(serial.violation_found) << cell.name << ": "
+                                         << serial.violation;
+    ASSERT_FALSE(serial.capped) << cell.name;
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      config.threads = threads;
+      ReplModelResult parallel = check_repl_model(config);
+      EXPECT_FALSE(parallel.violation_found) << cell.name << " t=" << threads;
+      EXPECT_FALSE(parallel.capped) << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.states_explored, serial.states_explored)
+          << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.transitions, serial.transitions)
+          << cell.name << " t=" << threads;
+      EXPECT_EQ(parallel.diameter, serial.diameter)
+          << cell.name << " t=" << threads;
+    }
+  }
+}
+
+TEST(McParallel, CappedRunsAgreeOnVerdictAndCappedFlag) {
+  // Caps stop the search mid-level, so only the verdict and the capped flag
+  // are exact across thread counts; distinct_states is bounded below by the
+  // cap (the stopping worker saw distinct >= max_states) and may overshoot
+  // by in-flight expansions. transitions/diameter are not compared at all.
+  ModelConfig config = ModelConfig::table4_measurement_instance();
+  config.opt_symmetry = true;
+  config.opt_compositional = true;
+  config.opt_por = true;
+  CheckerOptions options;
+  options.max_states = 20'000;
+  options.time_limit_seconds = 60.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    options.threads = threads;
+    CheckResult result = check(PipelineModel(config), options);
+    EXPECT_TRUE(result.ok) << "t=" << threads << ": " << result.violation;
+    EXPECT_TRUE(result.capped) << "t=" << threads;
+    EXPECT_GE(result.distinct_states, options.max_states) << "t=" << threads;
+  }
+}
+
+TEST(McParallel, ViolationVerdictAgreesAcrossThreadCounts) {
+  ModelConfig config = ModelConfig::table4_instance();
+  config.opt_symmetry = true;
+  config.opt_compositional = true;
+  config.opt_por = false;
+  config.max_worker_crashes = 1;
+  config.max_switch_failures = 0;
+  config.bugs.pop_before_process = true;
+  PipelineModel model(config);
+  CheckerOptions options = quick_options();
+  options.record_traces = true;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    options.threads = threads;
+    CheckResult result = check(model, options);
+    ASSERT_FALSE(result.ok) << "t=" << threads;
+    EXPECT_FALSE(result.capped) << "t=" << threads;
+    // Whatever trace this thread count found must replay to a violation
+    // under the model's own apply semantics.
+    EXPECT_FALSE(replay_trace(model, result.trace).empty())
+        << "t=" << threads << " trace does not reproduce";
+  }
+}
+
+TEST(McParallel, DiskBackedSeenSetMatchesInMemory) {
+  ModelConfig config = ModelConfig::table4_instance();
+  config.opt_symmetry = true;
+  config.opt_compositional = true;
+  config.opt_por = true;
+  PipelineModel model(config);
+  CheckerOptions options = quick_options();
+  CheckResult in_memory = check(model, options);
+  ASSERT_TRUE(in_memory.ok) << in_memory.violation;
+
+  options.disk_store_path = ::testing::TempDir();
+  for (std::size_t threads : {1u, 4u}) {
+    options.threads = threads;
+    CheckResult spilled = check(model, options);
+    EXPECT_TRUE(spilled.ok) << spilled.violation;
+    EXPECT_EQ(spilled.distinct_states, in_memory.distinct_states)
+        << "t=" << threads;
+    EXPECT_EQ(spilled.transitions, in_memory.transitions) << "t=" << threads;
+    EXPECT_EQ(spilled.diameter, in_memory.diameter) << "t=" << threads;
+  }
+}
+
+// PR 9 counterexample determinism: parallel-found violations must replay
+// and ddmin-shrink just like serial ones.
+
+TEST(McCounterexample, PopBeforeProcessTraceReplaysAndShrinks) {
+  ModelConfig config = ModelConfig::table4_instance();
+  config.opt_symmetry = true;
+  config.opt_compositional = true;
+  config.opt_por = false;
+  config.max_worker_crashes = 1;
+  config.max_switch_failures = 0;
+  config.bugs.pop_before_process = true;
+  PipelineModel model(config);
+  CheckerOptions options = quick_options();
+  options.record_traces = true;
+
+  options.threads = 1;
+  CheckResult serial = check(model, options);
+  ASSERT_FALSE(serial.ok);
+  // The serial trace replays to exactly the violation the checker reported.
+  EXPECT_EQ(replay_trace(model, serial.trace), serial.violation);
+  std::vector<TraceEvent> serial_shrunk = shrink_trace(model, serial.trace);
+  EXPECT_LE(serial_shrunk.size(), 15u);
+  EXPECT_FALSE(replay_trace(model, serial_shrunk).empty());
+
+  // A parallel run may claim a different first violation, but its trace
+  // must still replay and shrink to the same <=15-event bound.
+  options.threads = 4;
+  CheckResult parallel = check(model, options);
+  ASSERT_FALSE(parallel.ok);
+  std::string replayed = replay_trace(model, parallel.trace);
+  EXPECT_FALSE(replayed.empty()) << "parallel trace does not reproduce";
+  std::vector<TraceEvent> parallel_shrunk =
+      shrink_trace(model, parallel.trace);
+  EXPECT_LE(parallel_shrunk.size(), 15u);
+  EXPECT_FALSE(replay_trace(model, parallel_shrunk).empty());
+}
+
+TEST(McCounterexample, CommitBeforeQuorumReplaysAcrossThreadCounts) {
+  ReplModelConfig config;
+  config.max_appends = 1;
+  config.max_kills = 1;
+  config.bug_commit_before_quorum = true;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    config.threads = threads;
+    ReplModelResult result = check_repl_model(config);
+    ASSERT_TRUE(result.violation_found) << "t=" << threads;
+    std::string replayed =
+        replay_repl_counterexample(config, result.counterexample);
+    EXPECT_FALSE(replayed.empty())
+        << "t=" << threads << " '" << result.counterexample
+        << "' does not reproduce";
+  }
+  // threads=1 keeps the exact canonical counterexample.
+  config.threads = 1;
+  ReplModelResult serial = check_repl_model(config);
+  EXPECT_EQ(serial.counterexample, "append -> kill-leader -> elect(1)");
+  EXPECT_EQ(replay_repl_counterexample(config, serial.counterexample),
+            serial.violation);
+}
+
+// PR 9 satellite: the initial state IS visited like any other state — it is
+// popped (depth 0) before expansion, so a violating initial terminal state
+// is reported with an empty trace, and a healthy terminal initial state is
+// counted as quiescent. (Verified against the pre-PR-9 serial checker,
+// which had the same pop-time semantics; these tests pin it down.)
+
+// Engine-level regression: a model whose INITIAL state already violates at
+// visit time must be reported (ok=false, empty trace) — the root is not
+// silently expanded past. The counting toy walks 0..9 with a violation
+// planted at `bad`.
+struct CountingToyModel {
+  using State = int;
+  using Action = int;
+  int limit = 10;
+  int bad = -1;  // visit-violating state, -1 = none
+
+  State initial() const { return 0; }
+  std::pair<std::uint64_t, std::uint64_t> fingerprint(const State& s) const {
+    return {static_cast<std::uint64_t>(s) + 1, 0};
+  }
+  std::string visit(const State& s, bool& quiescent) const {
+    if (s == limit - 1) quiescent = true;
+    if (s == bad) return "toy violation at " + std::to_string(s);
+    return {};
+  }
+  template <typename Sink>
+  std::string expand(const State& s, Sink& sink) const {
+    if (s + 1 < limit) sink.transition(s, s + 1);
+    return {};
+  }
+};
+
+TEST(McInitialState, ViolatingInitialStateIsReportedWithEmptyTrace) {
+  CountingToyModel model;
+  model.bad = 0;
+  for (std::size_t threads : {1u, 4u}) {
+    ParallelBfsOptions options;
+    options.record_traces = true;
+    options.threads = threads;
+    ParallelBfsResult<int> result = parallel_bfs(model, options);
+    EXPECT_FALSE(result.ok) << "t=" << threads;
+    EXPECT_EQ(result.violation, "toy violation at 0") << "t=" << threads;
+    EXPECT_TRUE(result.trace.empty()) << "t=" << threads;
+    EXPECT_EQ(result.distinct_states, 1u) << "t=" << threads;
+    EXPECT_EQ(result.transitions, 0u) << "t=" << threads;
+  }
+}
+
+TEST(McInitialState, ToyChainCountsExactlyAtEveryThreadCount) {
+  CountingToyModel model;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ParallelBfsOptions options;
+    options.threads = threads;
+    ParallelBfsResult<int> result = parallel_bfs(model, options);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.distinct_states, 10u) << "t=" << threads;
+    EXPECT_EQ(result.transitions, 9u) << "t=" << threads;
+    EXPECT_EQ(result.quiescent_states, 1u) << "t=" << threads;
+    EXPECT_EQ(result.diameter, 9u) << "t=" << threads;
+  }
+}
+
+TEST(McInitialState, TerminalInitialStateIsQuiescenceCheckedAndCounted) {
+  // No ops: the initial state is terminal. It must be counted (1 distinct,
+  // 1 quiescent, diameter 0) and consistency-checked (vacuously ok).
+  ModelConfig config;
+  config.num_switches = 1;
+  config.num_workers = 1;
+  config.max_switch_failures = 0;
+  config.ops = {};
+  for (std::size_t threads : {1u, 4u}) {
+    CheckerOptions options = quick_options();
+    options.threads = threads;
+    CheckResult result = check(PipelineModel(config), options);
+    EXPECT_TRUE(result.ok) << result.violation;
+    EXPECT_EQ(result.distinct_states, 1u) << "t=" << threads;
+    EXPECT_EQ(result.quiescent_states, 1u) << "t=" << threads;
+    EXPECT_EQ(result.diameter, 0u) << "t=" << threads;
+    EXPECT_EQ(result.transitions, 0u) << "t=" << threads;
+  }
 }
 
 }  // namespace
