@@ -1,0 +1,223 @@
+// Adaptive-consistency grid (PR 10): the topology corpus × {strong,
+// eventual} NIB visibility, every cell a seeded chaos campaign with the
+// three replicated-control-plane fault kinds enabled (leader kill, leader
+// partition, lease stall) and the full §3.3 oracle plus the lockstep
+// conformance check at quiescence.
+//
+// The availability/consistency trade the paper motivates shows up as the
+// strong-vs-eventual row pairs: eventual cells publish install commits from
+// the bounded-staleness apply log (eventual_commits > 0, max lag ≤ the E1
+// bound) while strong cells take the barrier on every commit; both must be
+// violation-free, and every cell must be deterministic (equal seeds ⇒ equal
+// verdict digests — counted and gated, not assumed).
+#include <chrono>
+
+#include "bench_util.h"
+#include "chaos/campaign.h"
+#include "chaos/parallel.h"
+#include "mc/lockstep.h"
+#include "obs/bench_results.h"
+
+namespace zenith {
+namespace {
+
+chaos::CampaignConfig cell_config(chaos::TopologyKind topology,
+                                  std::size_t size, bool eventual,
+                                  std::uint64_t seed) {
+  chaos::CampaignConfig config;
+  config.topology = topology;
+  config.topology_size = size;
+  config.seed = seed;
+  config.schedule.horizon = seconds(3);
+  config.schedule.fault_count = 10;
+  // The three repl fault kinds this grid is about; the generic switch/link/
+  // component classes keep their default weights alongside.
+  config.core.repl.num_shards = 2;
+  config.schedule.weights.repl_kill_leader = 0.25;
+  config.schedule.weights.repl_partition_leader = 0.15;
+  config.schedule.weights.repl_lease_stall = 0.10;
+  config.initial_flows = 4;
+  config.update_period = millis(100);
+  config.core.consistency.eventual_installs = eventual;
+  // Slow the apply pump well below the commit cadence so the eventual log
+  // actually accumulates: peak lag then probes the E1 bound instead of
+  // sitting at 1 (the structural drain still caps it at staleness_bound).
+  config.core.eventual_apply_service = millis(1);
+  config.lockstep = true;
+  return config;
+}
+
+struct CellResult {
+  std::size_t campaigns = 0;
+  std::size_t violations = 0;
+  std::size_t repl_faults = 0;
+  std::size_t eventual_commits = 0;
+  std::size_t eventual_max_lag = 0;
+  std::size_t strong_barriers = 0;
+  std::size_t dags_submitted = 0;
+  std::size_t dags_certified = 0;
+  std::size_t digest_mismatches = 0;
+  Summary quiescence;
+};
+
+bool is_repl_fault(const std::string& kind) {
+  return kind.rfind("repl-", 0) == 0;
+}
+
+// One grid cell: `seeds` campaigns plus a digest re-run of the first seed
+// (the determinism witness). All runs fan out on the pool together;
+// aggregation happens afterwards in seed order so stdout stays
+// byte-identical to a serial sweep.
+CellResult run_cell(const chaos::ParallelRunner& runner,
+                    chaos::TopologyKind topology, std::size_t size,
+                    bool eventual, std::size_t seeds) {
+  std::vector<chaos::CampaignConfig> configs;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    configs.push_back(cell_config(topology, size, eventual, seed));
+  }
+  configs.push_back(cell_config(topology, size, eventual, 1));  // re-run
+  std::vector<chaos::CampaignResult> results = runner.run_campaigns(configs);
+  CellResult out;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    const chaos::CampaignResult& result = results[i];
+    ++out.campaigns;
+    if (!result.ok) ++out.violations;
+    for (const auto& [kind, count] : result.stats.faults_by_kind) {
+      if (is_repl_fault(kind)) out.repl_faults += count;
+    }
+    out.eventual_commits += result.stats.eventual_commits;
+    out.eventual_max_lag =
+        std::max(out.eventual_max_lag, result.stats.eventual_max_lag);
+    out.strong_barriers += result.stats.strong_barriers;
+    out.dags_submitted += result.stats.dags_submitted;
+    out.dags_certified += result.stats.dags_certified;
+    out.quiescence.add(to_seconds(result.stats.quiescence_latency));
+  }
+  if (results.back().verdict_digest() != results.front().verdict_digest()) {
+    ++out.digest_mismatches;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace zenith
+
+int main(int argc, char** argv) {
+  using namespace zenith;
+  benchutil::Options opts = benchutil::parse_options(argc, argv);
+  // The lockstep conformance oracle runs at every campaign's quiescence
+  // (config.lockstep above); install it once before any cell runs.
+  mc::enable_campaign_lockstep_oracle();
+  benchutil::banner(
+      "Adaptive consistency: strong vs eventual NIB visibility under chaos",
+      "per-OP-class consistency — eventual install commits from a "
+      "bounded-staleness log (E1), strong OPs barrier first (E2), both "
+      "violation-free under replicated leader kill/partition/lease faults");
+
+  struct Entry {
+    chaos::TopologyKind kind;
+    std::size_t size;
+    const char* label;
+    bool quick;  // included in --quick sweeps
+  };
+  const Entry topologies[] = {
+      {chaos::TopologyKind::kFatTree, 4, "fat_tree_k4", true},
+      {chaos::TopologyKind::kFatTree, 8, "fat_tree_k8", false},
+      {chaos::TopologyKind::kFatTree, 16, "fat_tree_k16", false},
+      {chaos::TopologyKind::kKdlLike, 20, "kdl_like", true},
+      {chaos::TopologyKind::kRandomConnected, 16, "random_connected", false},
+      {chaos::TopologyKind::kRing, 10, "ring", true},
+  };
+  const std::size_t seeds_per_cell = opts.quick ? 1 : 2;
+
+  chaos::ParallelRunner runner;  // thread count: $ZENITH_BENCH_THREADS
+  std::size_t cell_count = 0;
+  for (const Entry& entry : topologies) {
+    if (opts.quick && !entry.quick) continue;
+    cell_count += 2;  // strong + eventual
+  }
+  std::printf("running %zu cells x %zu seed(s) (+1 digest re-run each) on "
+              "%zu thread(s)\n",
+              cell_count, seeds_per_cell, runner.threads());
+
+  obs::BenchResult bench("consistency");
+  TablePrinter table({"topology", "mode", "runs", "repl faults", "violations",
+                      "evt commits", "max lag", "barriers", "dags(cert/sub)",
+                      "quiesce p50(s)"});
+  std::size_t total_campaigns = 0;
+  std::size_t total_violations = 0;
+  std::size_t total_mismatches = 0;
+  std::size_t total_repl_faults = 0;
+  std::size_t eventual_commits = 0;
+  std::size_t eventual_max_lag = 0;
+  std::size_t strong_barriers_eventual = 0;
+  Summary quiesce_strong;
+  Summary quiesce_eventual;
+  auto sweep_start = std::chrono::steady_clock::now();
+  for (const Entry& entry : topologies) {
+    if (opts.quick && !entry.quick) continue;
+    for (bool eventual : {false, true}) {
+      CellResult cell = run_cell(runner, entry.kind, entry.size, eventual,
+                                 seeds_per_cell);
+      table.add_row({entry.label, eventual ? "eventual" : "strong",
+                     std::to_string(cell.campaigns),
+                     std::to_string(cell.repl_faults),
+                     std::to_string(cell.violations),
+                     std::to_string(cell.eventual_commits),
+                     std::to_string(cell.eventual_max_lag),
+                     std::to_string(cell.strong_barriers),
+                     std::to_string(cell.dags_certified) + "/" +
+                         std::to_string(cell.dags_submitted),
+                     TablePrinter::fmt(cell.quiescence.median(), 3)});
+      total_campaigns += cell.campaigns;
+      total_violations += cell.violations;
+      total_mismatches += cell.digest_mismatches;
+      total_repl_faults += cell.repl_faults;
+      if (eventual) {
+        eventual_commits += cell.eventual_commits;
+        eventual_max_lag = std::max(eventual_max_lag, cell.eventual_max_lag);
+        strong_barriers_eventual += cell.strong_barriers;
+        quiesce_eventual.add(cell.quiescence.median());
+      } else {
+        quiesce_strong.add(cell.quiescence.median());
+      }
+    }
+  }
+  double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nacross eventual cells: %zu install commits published via "
+              "the eventual log,\npeak staleness %zu entries (E1 bound 8), "
+              "%zu strong barriers taken (E2);\ndigest re-run mismatches: "
+              "%zu\n",
+              eventual_commits, eventual_max_lag, strong_barriers_eventual,
+              total_mismatches);
+  // stderr: stdout must stay byte-identical across runs (the determinism
+  // probe diffs it), and wall time is the one nondeterministic datum here.
+  std::fprintf(stderr,
+               "sweep wall time: %.2fs (%zu campaigns + %zu digest re-runs, "
+               "%zu thread(s))\n",
+               sweep_wall, total_campaigns, total_campaigns / seeds_per_cell,
+               runner.threads());
+
+  bench.add_count("campaigns", total_campaigns);
+  bench.add_count("violations_correct_build", total_violations);
+  bench.add_count("determinism_mismatches", total_mismatches);
+  bench.add_count("repl_faults_injected", total_repl_faults);
+  bench.add_count("eventual_commits", eventual_commits);
+  bench.add_count("eventual_max_lag", eventual_max_lag);
+  bench.add_count("strong_barriers_eventual_cells", strong_barriers_eventual);
+  bench.add("quiescence_p50_strong", quiesce_strong.median(), "s");
+  bench.add("quiescence_p50_eventual", quiesce_eventual.median(), "s");
+  bench.add("sweep_wall_time", sweep_wall, "s");
+  bench.add_note("mode", opts.quick ? "quick" : "full");
+  bench.add_note("threads", std::to_string(runner.threads()));
+  bench.add_note("lockstep", "on");
+  if (opts.json) {
+    std::string path = bench.write(".");
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "apps/maintenance_app.h"
+
+#include "common/logging.h"
+
+namespace zenith::apps {
+
+MaintenanceApp::MaintenanceApp(ZenithController* controller,
+                               const Topology* topo,
+                               std::uint32_t first_dag_id)
+    : Component(controller->context().sim, "maintenance_app", micros(150)),
+      controller_(controller),
+      topo_(topo),
+      next_dag_id_(first_dag_id) {
+  events_.set_wake_callback([this] { kick(); });
+  controller_->register_app_sink(&events_);
+}
+
+void MaintenanceApp::set_intent(std::vector<Path> paths,
+                                std::vector<FlowId> flows,
+                                std::vector<Op> ops) {
+  paths_ = std::move(paths);
+  flows_ = std::move(flows);
+  ops_ = std::move(ops);
+}
+
+void MaintenanceApp::request(MaintenanceRequest req) {
+  queue_.push_back(req);
+  kick();
+}
+
+bool MaintenanceApp::submit_transition(bool undrain) {
+  DrainRequest req;
+  req.topology = *topo_;
+  req.paths = paths_;
+  req.flows = flows_;
+  req.ops = ops_;
+  req.node_to_drain = target_;
+  req.undrain = undrain;
+  DagId dag_id(next_dag_id_);
+  auto result = compute_drain_dag(req, dag_id, controller_->op_ids());
+  if (!result.ok()) {
+    ZLOG_DEBUG("maintenance %s of sw%llu rejected: %s",
+               undrain ? "restore" : "drain",
+               static_cast<unsigned long long>(target_.value()),
+               result.error().message.c_str());
+    return false;
+  }
+  ++next_dag_id_;
+  pending_dag_ = dag_id;
+  paths_ = result.value().new_paths;
+  flows_ = result.value().flows;
+  ops_ = result.value().new_ops;
+  controller_->submit_dag(std::move(result).value().dag);
+  return true;
+}
+
+bool MaintenanceApp::start_next() {
+  const MaintenanceRequest req = queue_.front();
+  queue_.pop_front();
+  target_ = req.sw;
+  window_ = req.window;
+  if (!submit_transition(/*undrain=*/false)) {
+    ++windows_rejected_;
+    return true;  // stay idle; the next try_step picks up the next request
+  }
+  phase_ = Phase::kDraining;
+  return true;
+}
+
+bool MaintenanceApp::try_step() {
+  // Window timer fired: bring the switch back with the undrain DAG.
+  if (phase_ == Phase::kInService && sim()->now() >= window_ends_) {
+    if (submit_transition(/*undrain=*/true)) {
+      phase_ = Phase::kRestoring;
+    } else {
+      // An undrain over the already-restored intent cannot disconnect
+      // anything; a refusal means the intent is stale — bail out safely.
+      ++windows_rejected_;
+      phase_ = Phase::kIdle;
+    }
+    return true;
+  }
+
+  if (!events_.empty()) {
+    NibEvent event = events_.peek();
+    events_.ack_pop();
+    const bool our_dag = event.type == NibEvent::Type::kDagDone &&
+                         event.dag == pending_dag_;
+    if (phase_ == Phase::kDraining && our_dag) {
+      // The window gate: this is the one read that must NOT be stale. Drain
+      // pending eventual commits, then re-check the fully-published view —
+      // only an empty view on the target proves no traffic still transits
+      // it (E2: the strong class never observes eventual state).
+      Nib& nib = controller_->nib();
+      ++gate_barriers_;
+      nib.strong_barrier();
+      if (!nib.view_installed(target_).empty()) {
+        ++gate_aborts_;
+        ZLOG_DEBUG("maintenance gate abort: sw%llu still carries %zu rules",
+                   static_cast<unsigned long long>(target_.value()),
+                   nib.view_installed(target_).size());
+        if (submit_transition(/*undrain=*/true)) {
+          phase_ = Phase::kRestoring;
+        } else {
+          ++windows_rejected_;
+          phase_ = Phase::kIdle;
+        }
+      } else {
+        phase_ = Phase::kInService;
+        window_ends_ = sim()->now() + window_;
+        sim()->schedule(window_, [this] { kick(); });
+      }
+    } else if (phase_ == Phase::kRestoring && our_dag) {
+      ++windows_completed_;
+      phase_ = Phase::kIdle;
+    } else if (phase_ == Phase::kDraining &&
+               event.type == NibEvent::Type::kOpStatusChanged) {
+      // Planning progress poll while the drain installs: an eventual-class
+      // read — in eventual mode this view may trail the committed prefix
+      // by up to the staleness bound, which is fine for pacing.
+      ++eventual_reads_;
+      (void)controller_->nib().view_installed(target_).size();
+    }
+    return true;
+  }
+
+  if (phase_ == Phase::kIdle && !queue_.empty()) return start_next();
+  return false;
+}
+
+}  // namespace zenith::apps

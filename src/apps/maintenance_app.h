@@ -1,0 +1,108 @@
+// Maintenance-scheduler application (PR 10; ROADMAP item 4).
+//
+// The consumer the adaptive-consistency knob was built for: a scheduler
+// that takes switches out of service one maintenance window at a time.
+// Its read/commit pattern splits exactly along the strong/eventual line:
+//
+//  * planning reads are EVENTUAL-class — while the drain DAG installs, the
+//    app polls the NIB's routing view (which in eventual mode may trail the
+//    committed prefix by up to the staleness bound). Bounded staleness is
+//    fine here: a stale view only delays the plan a step, it cannot make
+//    the window unsafe.
+//  * the window gate is STRONG-class — before declaring the switch safe to
+//    service, the app issues Nib::strong_barrier() so every pending
+//    eventual commit publishes, then re-checks against the now-fully-
+//    published view. Opening a window off a stale view is the failure mode
+//    E2 exists to rule out.
+//
+// Each accepted request runs drain -> barrier+gate -> in-service window ->
+// undrain, reusing compute_drain_dag (the §E machinery) for both DAGs, so
+// every maintenance transition inherits the drain app's hitless and
+// connectivity invariants. The NADIR spec (build_maintenance_spec,
+// app_specs.h) verifies the same phase machine against an AbstractCore with
+// an explicit eventual log; check_maintenance_gate is the spec-level E2.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "apps/drain_app.h"
+#include "core/component.h"
+#include "core/controller.h"
+
+namespace zenith::apps {
+
+struct MaintenanceRequest {
+  SwitchId sw;
+  /// How long the switch stays out of service once the gate opens.
+  SimTime window = millis(50);
+};
+
+class MaintenanceApp : public Component {
+ public:
+  MaintenanceApp(ZenithController* controller, const Topology* topo,
+                 std::uint32_t first_dag_id = 3000);
+
+  /// Seeds the app's routing intent (the paths/flows/ops the network
+  /// currently implements) — same contract as DrainRequest.
+  void set_intent(std::vector<Path> paths, std::vector<FlowId> flows,
+                  std::vector<Op> ops);
+
+  /// FIFOPut on the maintenance queue; windows run strictly one at a time.
+  void request(MaintenanceRequest req);
+
+  std::size_t windows_completed() const { return windows_completed_; }
+  std::size_t windows_rejected() const { return windows_rejected_; }
+  /// Planning polls of the (possibly stale) routing view.
+  std::size_t eventual_reads() const { return eventual_reads_; }
+  /// Strong barriers issued at the window gate.
+  std::size_t gate_barriers() const { return gate_barriers_; }
+  /// Gate re-checks that found residual intent after the barrier (each is
+  /// a window the app refused to open — the safety path).
+  std::size_t gate_aborts() const { return gate_aborts_; }
+  bool idle() const { return phase_ == Phase::kIdle && queue_.empty(); }
+  /// The switch currently in (or entering) maintenance, if any.
+  std::optional<SwitchId> in_service() const {
+    return phase_ == Phase::kInService
+               ? std::optional<SwitchId>(target_)
+               : std::nullopt;
+  }
+
+ protected:
+  bool try_step() override;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kDraining,    // drain DAG submitted, waiting for certification
+    kInService,   // gate passed; switch under maintenance until the timer
+    kRestoring,   // undrain DAG submitted, waiting for certification
+  };
+
+  bool start_next();
+  bool submit_transition(bool undrain);
+
+  ZenithController* controller_;
+  const Topology* topo_;
+  NadirFifo<NibEvent> events_;
+  std::deque<MaintenanceRequest> queue_;
+  std::uint32_t next_dag_id_;
+
+  Phase phase_ = Phase::kIdle;
+  SwitchId target_;
+  SimTime window_ = 0;
+  SimTime window_ends_ = 0;
+  DagId pending_dag_;
+
+  std::vector<Path> paths_;
+  std::vector<FlowId> flows_;
+  std::vector<Op> ops_;
+
+  std::size_t windows_completed_ = 0;
+  std::size_t windows_rejected_ = 0;
+  std::size_t eventual_reads_ = 0;
+  std::size_t gate_barriers_ = 0;
+  std::size_t gate_aborts_ = 0;
+};
+
+}  // namespace zenith::apps

@@ -42,6 +42,7 @@ enum class TopologyKind : std::uint8_t {
   kB4,        // 12-site WAN
   kFatTree,   // topology_size is k (must be even)
   kKdlLike,   // sparse WAN, seed-parameterized
+  kRandomConnected,  // spanning tree + n/4 extra edges, seed-parameterized
 };
 
 const char* to_string(TopologyKind kind);
@@ -88,6 +89,11 @@ struct CampaignStats {
   std::size_t installs_observed = 0;
   std::size_t sim_events_executed = 0;
   SimTime quiescence_latency = 0;  // horizon end -> oracle satisfied
+  // Adaptive-consistency telemetry (PR 10); all zero in all-strong runs, so
+  // verdict_digest() — which never folds them — stays stable either way.
+  std::size_t eventual_commits = 0;   // OPs published via the eventual log
+  std::size_t eventual_max_lag = 0;   // peak pending entries (E1 evidence)
+  std::size_t strong_barriers = 0;    // forced drains before strong ops
 };
 
 struct CampaignResult {

@@ -62,8 +62,17 @@ class SpscRing {
   }
 
   std::size_t size() const {
-    return tail_.load(std::memory_order_acquire) -
-           head_.load(std::memory_order_acquire);
+    // Snapshot head BEFORE tail: the two loads are not atomic together, and
+    // a consumer pop between them would make `tail - head` underflow to
+    // ~2^64 if tail were read first. With head read first the difference
+    // never goes negative (tail only grows, and tail >= head held when head
+    // was read) — but a pop+push pair landing between the loads can still
+    // push the later tail read past head+capacity, so clamp to capacity:
+    // every snapshot is then a plausible occupancy.
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t diff = tail - head;
+    return diff < buffer_.size() ? diff : buffer_.size();
   }
 
   std::size_t capacity() const { return buffer_.size(); }

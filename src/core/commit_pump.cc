@@ -36,6 +36,11 @@ bool CommitPump::try_step() {
   if (!any) return false;
 
   Nib& nib = *ctx_->nib;
+  // Eventual mode (PR 10): install-only batches never reach the commit
+  // queues (they route to the eventual log at the monitor), so every job
+  // here carries a delete — strong-class. Barriers are illegal inside the
+  // parallel section (pool threads), so drain the eventual log up front.
+  if (ctx_->config.consistency.any_eventual()) nib.strong_barrier();
   auto apply_shard = [&](std::size_t s) {
     applied_used_[s] = 0;
     for (const CommitJob& job : jobs_[s]) {

